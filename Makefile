@@ -1,0 +1,24 @@
+# Convenience targets for the CoHoRT reproduction.
+
+.PHONY: install test bench examples all-experiments lint clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex"; python $$ex > /dev/null || exit 1; \
+	done; echo "all examples ok"
+
+all-experiments:
+	cohort all -o reproduction_report.txt
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .hypothesis \
+		$$(find . -name __pycache__ -type d)

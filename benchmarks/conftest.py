@@ -1,0 +1,54 @@
+"""Shared configuration for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  Each benchmark prints the
+regenerated rows/series (run ``pytest benchmarks/ --benchmark-only -s``
+to see them live) and also appends them to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import pytest
+
+from repro.opt import GAConfig
+
+#: GA settings used across benchmarks: small but representative.
+BENCH_GA = GAConfig(population_size=20, generations=15, seed=1)
+
+#: Workload scale used across benchmarks (keeps a full run to minutes).
+BENCH_SCALE = 1.0
+
+#: The benchmark subset used for the multi-benchmark figures.
+BENCH_SUITE = ["fft", "lu", "radix", "barnes", "ocean", "water"]
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit(name: str, text: str, payload=None) -> None:
+    """Print a regenerated artefact and persist it under benchmarks/out/.
+
+    ``payload`` (a JSON-serialisable dict) is additionally written as
+    ``<name>.json`` for machine consumption.
+    """
+    print()
+    print(text)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    if payload is not None:
+        from repro.experiments import dump_json
+
+        dump_json(os.path.join(OUT_DIR, f"{name}.json"), payload)
+
+
+def run_once(benchmark, fn: Callable):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def ga_config():
+    return BENCH_GA

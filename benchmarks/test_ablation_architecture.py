@@ -1,0 +1,112 @@
+"""Ablations of the architectural design choices DESIGN.md calls out.
+
+* RROF vs plain RR vs FCFS arbitration under the same CoHoRT protocol —
+  RROF is what makes the Equation-1 bound tight without hurting the
+  average case.
+* The hits-over-misses (run-ahead) window of the non-blocking private
+  caches.
+* Direct cache-to-cache transfers vs PCC-style via-LLC transfers.
+"""
+
+from dataclasses import replace
+
+from repro.params import ArbiterKind, cohort_config
+from repro.experiments import format_table
+from repro.sim.system import run_simulation
+from repro.workloads import splash_traces
+
+from conftest import BENCH_SCALE, emit, run_once
+
+THETAS = [120, 60, 60, 60]
+
+
+def test_ablation_arbitration(benchmark):
+    traces = splash_traces("lu", 4, scale=BENCH_SCALE, seed=0)
+
+    def run():
+        out = {}
+        for kind in (ArbiterKind.RROF, ArbiterKind.ROUND_ROBIN,
+                     ArbiterKind.FCFS):
+            cfg = cohort_config(THETAS, arbiter=kind)
+            stats = run_simulation(cfg, traces, record_latencies=True)
+            out[kind.value] = stats
+        return out
+
+    results = run_once(benchmark, run)
+    rows = [
+        [
+            name,
+            stats.execution_time,
+            max(c.max_request_latency for c in stats.cores),
+        ]
+        for name, stats in results.items()
+    ]
+    emit(
+        "ablation_arbitration",
+        format_table(
+            ["arbiter", "execution time", "worst observed latency"],
+            rows,
+            title="Arbitration ablation under CoHoRT timers (lu)",
+        ),
+    )
+    # RROF's average-case cost vs FCFS stays small.
+    assert results["rrof"].execution_time <= results["fcfs"].execution_time * 1.25
+
+
+def test_ablation_runahead_window(benchmark):
+    traces = splash_traces("cholesky", 4, scale=BENCH_SCALE, seed=0)
+
+    def run():
+        out = {}
+        for window in (0, 2, 8, 32):
+            cfg = replace(cohort_config(THETAS), runahead_window=window)
+            out[window] = run_simulation(cfg, traces)
+        return out
+
+    results = run_once(benchmark, run)
+    rows = [
+        [w, s.execution_time, sum(c.runahead_hits for c in s.cores)]
+        for w, s in results.items()
+    ]
+    emit(
+        "ablation_runahead",
+        format_table(
+            ["window", "execution time", "run-ahead hits"],
+            rows,
+            title="Hits-over-misses window ablation (cholesky)",
+        ),
+    )
+    # Non-blocking caches help: window 8 beats fully blocking.
+    assert results[8].execution_time <= results[0].execution_time
+    # And the benefit is monotone-ish going from 0 to 8.
+    assert results[2].execution_time <= results[0].execution_time
+
+
+def test_ablation_transfer_path(benchmark):
+    """Cache-to-cache vs via-LLC dirty handovers (CoHoRT vs PCC family)."""
+    traces = splash_traces("radix", 4, scale=BENCH_SCALE, seed=0)
+
+    def run():
+        direct = run_simulation(cohort_config(THETAS), traces)
+        via_llc = run_simulation(
+            replace(cohort_config(THETAS), via_llc_transfers=True), traces
+        )
+        return direct, via_llc
+
+    direct, via_llc = run_once(benchmark, run)
+    emit(
+        "ablation_transfer",
+        format_table(
+            ["transfer path", "execution time", "write-backs"],
+            [
+                ["direct cache-to-cache (CoHoRT)", direct.execution_time,
+                 direct.writebacks],
+                ["via LLC (PCC family)", via_llc.execution_time,
+                 via_llc.writebacks],
+            ],
+            title="Dirty-handover path ablation (radix)",
+        ),
+    )
+    # Routing dirty transfers through the LLC costs time and traffic.
+    assert via_llc.execution_time >= direct.execution_time
+    assert via_llc.writebacks > direct.writebacks

@@ -1,0 +1,48 @@
+"""Figure 5a: total WCML with all four cores critical.
+
+Paper shape: experimental WCML under the analytical bound for every
+system (predictability); CoHoRT's bounds ~2.15x tighter than PCC's on
+average; PENDULUM's bounds the loosest (~16x worse than CoHoRT).
+"""
+
+from repro.experiments import FIG5_CONFIGS, run_wcml_experiment
+
+from conftest import BENCH_GA, BENCH_SCALE, BENCH_SUITE, emit, run_once
+
+
+def test_fig5a_wcml_all_critical(benchmark):
+    def run():
+        return [
+            run_wcml_experiment(
+                name, FIG5_CONFIGS["all_cr"], scale=BENCH_SCALE, seed=0,
+                ga_config=BENCH_GA,
+            )
+            for name in BENCH_SUITE
+        ]
+
+    experiments = run_once(benchmark, run)
+    blocks = []
+    for exp in experiments:
+        blocks.append(exp.to_table())
+        blocks.append(exp.to_chart())
+        blocks.append(
+            f"bound ratios vs CoHoRT: PCC "
+            f"{exp.bound_ratio('PCC', 'CoHoRT'):.2f}x, "
+            f"PENDULUM {exp.bound_ratio('PENDULUM', 'CoHoRT'):.2f}x"
+        )
+    emit(
+        "fig5a",
+        "\n\n".join(blocks),
+        payload={"experiments": [e.to_dict() for e in experiments]},
+    )
+
+    for exp in experiments:
+        # Predictability: every measured WCML under its analytical bound.
+        for system in exp.systems:
+            assert system.within_bounds(), f"{exp.benchmark}/{system.name}"
+        # CoHoRT tightest, PENDULUM loosest (the paper's ordering).
+        pcc_ratio = exp.bound_ratio("PCC", "CoHoRT")
+        pend_ratio = exp.bound_ratio("PENDULUM", "CoHoRT")
+        assert pcc_ratio > 1.0, exp.benchmark
+        assert pend_ratio > pcc_ratio, exp.benchmark
+        assert pend_ratio > 3.0, exp.benchmark

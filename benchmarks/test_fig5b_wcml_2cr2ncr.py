@@ -1,0 +1,67 @@
+"""Figure 5b: total WCML with 2 critical + 2 non-critical cores.
+
+Paper shape: a Cr core now suffers interference from only one other Cr
+core, so CoHoRT's bounds tighten vs the all-Cr panel; PENDULUM is ~6x
+worse than CoHoRT; PENDULUM's nCr cores have no bound at all.
+"""
+
+import math
+
+from repro.experiments import FIG5_CONFIGS, run_wcml_experiment
+
+from conftest import BENCH_GA, BENCH_SCALE, BENCH_SUITE, emit, run_once
+
+
+def test_fig5b_wcml_2cr_2ncr(benchmark):
+    critical = FIG5_CONFIGS["2cr_2ncr"]
+
+    def run():
+        return [
+            run_wcml_experiment(
+                name, critical, scale=BENCH_SCALE, seed=0, ga_config=BENCH_GA
+            )
+            for name in BENCH_SUITE
+        ]
+
+    experiments = run_once(benchmark, run)
+    blocks = []
+    for exp in experiments:
+        blocks.append(exp.to_table())
+        blocks.append(
+            f"bound ratio PENDULUM/CoHoRT (Cr cores): "
+            f"{exp.bound_ratio('PENDULUM', 'CoHoRT'):.2f}x"
+        )
+    emit("fig5b", "\n\n".join(blocks))
+
+    for exp in experiments:
+        for system in exp.systems:
+            assert system.within_bounds(), f"{exp.benchmark}/{system.name}"
+        pend = exp.system("PENDULUM")
+        # nCr cores are unbounded under PENDULUM (Section VII critique)...
+        assert math.isinf(pend.analytical[2])
+        assert math.isinf(pend.analytical[3])
+        # ...while CoHoRT keeps an Equation-3 bound even for nCr cores.
+        cohort = exp.system("CoHoRT")
+        assert all(math.isfinite(a) for a in cohort.analytical)
+        assert exp.bound_ratio("PENDULUM", "CoHoRT") > 2.0
+
+
+def test_fig5b_tighter_than_all_cr(benchmark):
+    """Fewer Cr co-runners → tighter Cr bounds than the all-Cr panel."""
+
+    def run():
+        all_cr = run_wcml_experiment(
+            "fft", FIG5_CONFIGS["all_cr"], scale=BENCH_SCALE, seed=0,
+            ga_config=BENCH_GA,
+        )
+        mixed = run_wcml_experiment(
+            "fft", FIG5_CONFIGS["2cr_2ncr"], scale=BENCH_SCALE, seed=0,
+            ga_config=BENCH_GA,
+        )
+        return all_cr, mixed
+
+    all_cr, mixed = run_once(benchmark, run)
+    assert (
+        mixed.system("CoHoRT").analytical[0]
+        < all_cr.system("CoHoRT").analytical[0]
+    )

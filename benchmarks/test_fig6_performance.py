@@ -1,0 +1,41 @@
+"""Figure 6: overall execution time normalised to COTS MSI + FCFS.
+
+Paper shape (all-Cr panel): average slowdowns of ~1.03x (CoHoRT),
+~1.13x (PCC) and ~1.50x (PENDULUM, whose TDM arbiter wastes idle
+slots).  The ordering CoHoRT < PCC/PENDULUM must hold in every panel.
+"""
+
+import pytest
+
+from repro.experiments import FIG5_CONFIGS, run_performance_experiment
+
+from conftest import BENCH_GA, BENCH_SCALE, BENCH_SUITE, emit, run_once
+
+
+@pytest.mark.parametrize("config_name", ["all_cr", "2cr_2ncr", "1cr_3ncr"])
+def test_fig6_normalised_execution_time(benchmark, config_name):
+    critical = FIG5_CONFIGS[config_name]
+
+    exp = run_once(
+        benchmark,
+        lambda: run_performance_experiment(
+            BENCH_SUITE, critical, scale=BENCH_SCALE, seed=0,
+            ga_config=BENCH_GA,
+        ),
+    )
+    emit(
+        f"fig6_{config_name}",
+        exp.to_table() + "\n\n" + exp.utilization_table(),
+        payload=exp.to_dict(),
+    )
+
+    cohort = exp.average_slowdown("CoHoRT")
+    pcc = exp.average_slowdown("PCC")
+    pend = exp.average_slowdown("PENDULUM")
+    # The paper's ordering: CoHoRT closest to COTS, PENDULUM worst.
+    assert cohort < pend
+    assert pcc < pend
+    # CoHoRT's average slowdown stays small (paper: 1.03x).
+    assert cohort < 1.30
+    # PENDULUM pays a visible TDM penalty (paper: 1.50x).
+    assert pend > 1.10

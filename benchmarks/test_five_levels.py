@@ -1,0 +1,58 @@
+"""Generality: five criticality levels (DO-178C style) on six cores.
+
+The paper stresses that CoHoRT supports *any* number of criticality
+levels — unlike PENDULUM/CARP's effective two — citing DO-178C's five
+assurance levels.  This benchmark configures a six-core system with
+levels 5..1, fills a five-mode Mode-Switch LUT, and checks the
+escalation ladder degrades exactly one criticality band per mode while
+every mode keeps the higher-criticality cores schedulable.
+"""
+
+from repro.params import MSI_THETA, LatencyParams, cohort_config
+from repro.analysis import build_profiles
+from repro.mcs import ModeSwitchController, Task, TaskSet
+from repro.opt import GAConfig, OptimizationEngine
+from repro.workloads import splash_traces
+
+from conftest import emit, run_once
+
+CRITICALITIES = [5, 4, 3, 2, 1, 1]
+
+
+def test_five_criticality_levels(benchmark):
+    def run():
+        traces = splash_traces("lu", len(CRITICALITIES), scale=0.7, seed=0)
+        profiles = build_profiles(traces, cohort_config([1] * 6).l1)
+        engine = OptimizationEngine(
+            profiles, LatencyParams(),
+            GAConfig(population_size=14, generations=10, seed=2),
+        )
+        table = engine.optimize_modes(
+            CRITICALITIES, {m: [None] * 6 for m in range(1, 6)}
+        )
+        tasks = TaskSet(
+            tuple(
+                Task(f"tau_{i}", l, traces[i])
+                for i, l in enumerate(CRITICALITIES)
+            )
+        )
+        controller = ModeSwitchController(
+            tasks, table, profiles, LatencyParams()
+        )
+        return table, controller
+
+    table, controller = run_once(benchmark, run)
+    emit("five_levels", "Five-level Mode-Switch LUTs (lu, 6 cores):\n"
+         + str(table))
+
+    assert table.modes == [1, 2, 3, 4, 5]
+    for mode in table.modes:
+        thetas = table.thetas[mode]
+        for core, level in enumerate(CRITICALITIES):
+            if level >= mode:
+                assert thetas[core] != MSI_THETA, (mode, core)
+            else:
+                assert thetas[core] == MSI_THETA, (mode, core)
+    # Escalation monotonically tightens the top core's bound.
+    bounds = [controller.bounds_at(m)[0].wcml for m in table.modes]
+    assert bounds[-1] < bounds[0]

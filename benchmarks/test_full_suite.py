@@ -1,0 +1,95 @@
+"""The complete benchmark suite (all ten workloads) in one sweep.
+
+The per-figure benches use a four-workload subset to keep iteration
+fast; this file runs the headline Figure-5a and Figure-6 comparisons
+over the *entire* registered suite, as the paper does with SPLASH-2.
+"""
+
+from repro.experiments import (
+    FIG5_CONFIGS,
+    format_table,
+    geomean,
+    run_performance_benchmark,
+    run_wcml_experiment,
+)
+from repro.workloads import benchmark_names
+
+from conftest import BENCH_GA, BENCH_SCALE, emit, run_once
+
+
+def test_full_suite_wcml(benchmark):
+    def run():
+        return [
+            run_wcml_experiment(
+                name, FIG5_CONFIGS["all_cr"], scale=BENCH_SCALE, seed=0,
+                ga_config=BENCH_GA,
+            )
+            for name in benchmark_names()
+        ]
+
+    experiments = run_once(benchmark, run)
+    rows = []
+    for exp in experiments:
+        rows.append(
+            [
+                exp.benchmark,
+                f"{exp.bound_ratio('PCC', 'CoHoRT'):.2f}",
+                f"{exp.bound_ratio('PENDULUM', 'CoHoRT'):.2f}",
+                all(s.within_bounds() for s in exp.systems),
+            ]
+        )
+    pcc_geo = geomean([float(r[1]) for r in rows])
+    pend_geo = geomean([float(r[2]) for r in rows])
+    rows.append(["geomean", f"{pcc_geo:.2f}", f"{pend_geo:.2f}", "-"])
+    emit(
+        "full_suite_wcml",
+        format_table(
+            ["benchmark", "PCC/CoHoRT bound", "PEND/CoHoRT bound",
+             "predictable"],
+            rows,
+            title="Figure 5a over the full suite (all cores critical)",
+        ),
+    )
+    for exp in experiments:
+        for system in exp.systems:
+            assert system.within_bounds(), f"{exp.benchmark}/{system.name}"
+        # CoHoRT at least matches PCC on every workload (it strictly wins
+        # wherever any hits are guaranteeable) and the suite-wide margins
+        # match the paper's story.
+        assert exp.bound_ratio("PCC", "CoHoRT") >= 0.99, exp.benchmark
+        assert exp.bound_ratio("PENDULUM", "CoHoRT") > 2.0, exp.benchmark
+    assert pcc_geo > 1.5
+    assert pend_geo > 6.0
+
+
+def test_full_suite_performance(benchmark):
+    def run():
+        return [
+            run_performance_benchmark(
+                name, [True] * 4, scale=BENCH_SCALE, seed=0,
+                ga_config=BENCH_GA,
+            )
+            for name in benchmark_names()
+        ]
+
+    results = run_once(benchmark, run)
+    rows = []
+    for r in results:
+        norm = r.normalised()
+        rows.append(
+            [r.benchmark, f"{norm['CoHoRT']:.2f}", f"{norm['PCC']:.2f}",
+             f"{norm['PENDULUM']:.2f}"]
+        )
+    cohort_geo = geomean([float(r[1]) for r in rows])
+    pend_geo = geomean([float(r[3]) for r in rows])
+    rows.append(["geomean", f"{cohort_geo:.2f}", "-", f"{pend_geo:.2f}"])
+    emit(
+        "full_suite_performance",
+        format_table(
+            ["benchmark", "CoHoRT", "PCC", "PENDULUM"],
+            rows,
+            title="Figure 6 over the full suite (normalised to MSI-FCFS)",
+        ),
+    )
+    assert cohort_geo < 1.25
+    assert pend_geo > cohort_geo

@@ -1,0 +1,67 @@
+"""PENDULUM's global-timer dilemma: no single θ serves everyone.
+
+PENDULUM exposes *one* timer value for the whole platform.  This bench
+sweeps it and shows the dilemma that motivates CoHoRT's per-core,
+requirement-optimized timers: small θ forfeits the hit protection that
+makes time-based coherence attractive, large θ blows up every critical
+core's bound — and the average case suffers from TDM regardless.
+"""
+
+from repro.params import pendulum_config
+from repro.analysis import build_profiles, pendulum_bounds, wcl_miss_pendulum
+from repro.params import LatencyParams
+from repro.experiments import format_table
+from repro.sim.system import run_simulation
+from repro.workloads import splash_traces
+
+from conftest import BENCH_SCALE, emit, run_once
+
+THETA_SWEEP = (20, 100, 300, 1000)
+
+
+def test_pendulum_global_theta_sensitivity(benchmark):
+    critical = [True, True, False, False]
+    traces = splash_traces("lu", 4, scale=BENCH_SCALE, seed=0)
+    latencies = LatencyParams()
+    profiles = build_profiles(traces, pendulum_config(critical).l1)
+
+    def run():
+        rows = []
+        for theta in THETA_SWEEP:
+            stats = run_simulation(
+                pendulum_config(critical, theta=theta), traces
+            )
+            bounds = pendulum_bounds(critical, theta, profiles, latencies)
+            rows.append(
+                [
+                    theta,
+                    bounds[0].wcml,
+                    stats.core(0).hits,
+                    stats.execution_time,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(
+        "pendulum_theta_sensitivity",
+        format_table(
+            ["global θ", "Cr WCML bound", "Cr measured hits",
+             "execution time"],
+            rows,
+            title="PENDULUM global-timer sweep (lu, 2Cr+2nCr)",
+        ),
+    )
+    sw = latencies.slot_width
+    # The bound grows linearly in θ — per Cr core, every co-runner's
+    # (identical) timer is charged.
+    assert rows[-1][1] > rows[0][1] * 3
+    small, large = rows[0], rows[-1]
+    bound_small = wcl_miss_pendulum(4, 2, THETA_SWEEP[0], sw)
+    bound_large = wcl_miss_pendulum(4, 2, THETA_SWEEP[-1], sw)
+    assert bound_large / bound_small > 4  # grows ~linearly in θ
+    # Larger θ does buy measured hits (the protection is real)...
+    assert large[2] >= small[2]
+    # ...which is exactly the dilemma: hits and bounds pull θ in opposite
+    # directions, and a single global value cannot satisfy per-task
+    # requirements — CoHoRT's optimization engine exists to resolve this.

@@ -1,0 +1,64 @@
+"""Paper-scale soak run: fft at the size the paper reports (~47k requests).
+
+The evaluation section says fft has about 47k requests.  This benchmark
+runs the full pipeline — generation, GA optimization, contended
+simulation, bounds — at that scale (fft at scale 10 ≈ 43k requests
+across the four cores) and asserts the predictability properties hold
+unchanged.  It also documents the wall-clock cost of a paper-sized run.
+"""
+
+from repro.params import LatencyParams, cohort_config
+from repro.analysis import build_profiles, cohort_bounds, wcl_miss
+from repro.experiments import format_table
+from repro.opt import GAConfig, OptimizationEngine
+from repro.sim.system import run_simulation
+from repro.workloads import splash_traces
+
+from conftest import emit, run_once
+
+
+def test_paper_scale_fft_soak(benchmark):
+    def run():
+        traces = splash_traces("fft", 4, scale=10.0, seed=0)
+        config = cohort_config([1] * 4)
+        profiles = build_profiles(traces, config.l1)
+        engine = OptimizationEngine(
+            profiles, LatencyParams(),
+            GAConfig(population_size=16, generations=10, seed=1),
+        )
+        thetas = engine.optimize(timed=[True] * 4).thetas
+        stats = run_simulation(
+            cohort_config(thetas), traces, record_latencies=False
+        )
+        bounds = cohort_bounds(thetas, profiles, config.latencies)
+        return traces, thetas, stats, bounds
+
+    traces, thetas, stats, bounds = run_once(benchmark, run)
+    total_requests = sum(len(t) for t in traces)
+    sw = LatencyParams().slot_width
+    rows = [
+        [
+            f"c{c.core_id}",
+            c.accesses,
+            c.hits,
+            c.total_memory_latency,
+            b.wcml,
+            c.max_request_latency,
+            wcl_miss(thetas, c.core_id, sw),
+        ]
+        for c, b in zip(stats.cores, bounds)
+    ]
+    emit(
+        "scale_soak",
+        format_table(
+            ["core", "accesses", "hits", "WCML meas", "WCML bound",
+             "max lat", "WCL bound"],
+            rows,
+            title=f"Paper-scale fft soak: {total_requests:,} requests, "
+            f"Θ={thetas}, {stats.final_cycle:,} cycles",
+        ),
+    )
+    assert total_requests > 40_000  # comparable to the paper's 47k
+    for core, bound in zip(stats.cores, bounds):
+        assert core.total_memory_latency <= bound.wcml
+        assert core.max_request_latency <= wcl_miss(thetas, core.core_id, sw)

@@ -1,0 +1,53 @@
+"""Simulator throughput: simulated cycles per wall-clock second.
+
+Documents the performance claim in docs/simulator.md and guards against
+order-of-magnitude regressions in the event engine: the kernel skips
+idle cycles, so timer waits are free and contended workloads dominate.
+"""
+
+import time
+
+from repro.params import cohort_config, msi_fcfs_config
+from repro.experiments import format_table
+from repro.sim.system import run_simulation
+from repro.workloads import splash_traces
+
+from conftest import emit, run_once
+
+
+def test_simulator_throughput(benchmark):
+    traces = splash_traces("ocean", 4, scale=4.0, seed=0)
+    total_accesses = sum(len(t) for t in traces)
+
+    def run():
+        rows = []
+        for name, cfg in (
+            ("CoHoRT θ=60", cohort_config([60] * 4)),
+            ("MSI-FCFS", msi_fcfs_config(4)),
+        ):
+            started = time.perf_counter()
+            stats = run_simulation(cfg, traces)
+            wall = time.perf_counter() - started
+            rows.append(
+                [
+                    name,
+                    stats.final_cycle,
+                    f"{wall:.2f}",
+                    f"{stats.final_cycle / wall:,.0f}",
+                    f"{total_accesses / wall:,.0f}",
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(
+        "sim_throughput",
+        format_table(
+            ["system", "cycles", "wall s", "cycles/s", "accesses/s"],
+            rows,
+            title=f"Simulator throughput (ocean x4, {total_accesses:,} accesses)",
+        ),
+    )
+    for row in rows:
+        # Guard: at least 10^4 simulated cycles per second.
+        assert float(row[3].replace(",", "")) > 10_000, row

@@ -1,0 +1,12 @@
+"""Table I: predictable-coherence works vs the four MCS challenges."""
+
+from repro.experiments import cohort_addresses_all, render_table_i
+
+from conftest import emit, run_once
+
+
+def test_table1_related_work(benchmark):
+    text = run_once(benchmark, render_table_i)
+    emit("table1", text)
+    assert "CoHoRT" in text
+    assert cohort_addresses_all()

@@ -1,0 +1,23 @@
+"""Workload characterisation table (supports the DESIGN.md substitution).
+
+Not a paper artefact per se, but the evidence behind the SPLASH-2
+substitution: every synthetic benchmark must exhibit true sharing, and
+the write-shared lines — the coherence-traffic drivers the timers
+arbitrate over — must be present wherever the real benchmark has them.
+"""
+
+from repro.workloads import characterize_suite, suite_table
+
+from conftest import BENCH_SCALE, emit, run_once
+
+
+def test_workload_characterisation(benchmark):
+    profiles = run_once(
+        benchmark, lambda: characterize_suite(scale=BENCH_SCALE, seed=0)
+    )
+    emit("workload_characterisation", suite_table(profiles))
+    read_only_shared = {"raytrace", "cholesky"}
+    for p in profiles:
+        assert p.shared_lines > 0, p.name
+        if p.name not in read_only_shared:
+            assert p.write_shared_lines > 0, p.name

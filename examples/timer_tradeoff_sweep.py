@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The fundamental timer trade-off, measured and analysed.
+
+Section III of the paper explains why picking θ is non-trivial:
+
+* larger θ → more guaranteed hits for the owner (good for the owner's
+  WCML and for throughput);
+* larger θ → longer worst-case waits for every other core (Equation 1).
+
+This example sweeps θ for core 0 of a barnes-like workload and prints
+the two curves side by side — the exact tension the optimization
+engine of Section V resolves — together with a simulation spot-check.
+
+Run:  python examples/timer_tradeoff_sweep.py
+"""
+
+from repro import cohort_config, run_simulation
+from repro.analysis import build_profiles, wcl_miss
+from repro.experiments import format_table
+from repro.workloads import splash_traces
+
+
+def main() -> None:
+    traces = splash_traces("barnes", 4, scale=0.6, seed=2)
+    config = cohort_config([1, 60, 60, 60])
+    profiles = build_profiles(traces, config.l1)
+    sw = config.latencies.slot_width
+
+    sweep = [1, 5, 15, 40, 100, 250, 600, 1500]
+    rows = []
+    for theta in sweep:
+        thetas = [theta, 60, 60, 60]
+        # Core 0's own per-request bound is unaffected by its own timer...
+        own_wcl = wcl_miss(thetas, 0, sw)
+        # ...but its guaranteed hits grow with it,
+        counts = profiles[0].analyze(theta, own_wcl)
+        # ...while every co-runner's bound degrades.
+        corunner_wcl = wcl_miss(thetas, 1, sw)
+        wcml = counts.m_hit * config.latencies.hit + counts.m_miss * own_wcl
+        rows.append(
+            [theta, counts.m_hit, f"{counts.hit_rate:.0%}", wcml, corunner_wcl]
+        )
+    print(
+        format_table(
+            [
+                "θ_0",
+                "guaranteed hits (c0)",
+                "hit rate",
+                "c0 WCML bound",
+                "co-runner WCL bound",
+            ],
+            rows,
+            title="The timer trade-off (barnes, co-runners at θ=60)",
+        )
+    )
+    print(
+        "\nLarger θ_0 buys core 0 guaranteed hits but inflates everyone "
+        "else's Equation-1 bound —\nthe contradiction the GA optimization "
+        "engine balances under constraint C1."
+    )
+
+    # Simulation spot-check at two extremes.
+    for theta in (5, 600):
+        stats = run_simulation(cohort_config([theta, 60, 60, 60]), traces)
+        print(
+            f"\nsimulated θ_0={theta}: c0 hits={stats.core(0).hits}, "
+            f"c1 max latency={stats.core(1).max_request_latency} "
+            f"(bound {wcl_miss([theta, 60, 60, 60], 1, sw)})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e .` works on environments without `wheel`."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""CoHoRT: criticality- and requirement-aware heterogeneous cache coherence.
+
+A faithful Python reproduction of *"Criticality and Requirement Aware
+Heterogeneous Coherence for Mixed Criticality Systems"* (DATE 2025):
+a cycle-accurate multi-core cache simulator, the CoHoRT heterogeneous
+timed/MSI coherence architecture, the worst-case timing analysis, the
+GA-based timer optimization engine, and the mode-switching machinery —
+plus the PCC, PENDULUM and COTS-MSI baselines it is evaluated against.
+"""
+
+from repro.params import (
+    MSI_THETA,
+    ArbiterKind,
+    CacheGeometry,
+    CoreConfig,
+    LatencyParams,
+    MemOp,
+    SimConfig,
+    cohort_config,
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    msi_fcfs_config,
+    pcc_config,
+    pendulum_config,
+    pendulum_star_config,
+    save_config,
+)
+from repro.sim import (
+    CoherenceViolationError,
+    System,
+    Trace,
+    TraceAccess,
+    run_simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MSI_THETA",
+    "ArbiterKind",
+    "CacheGeometry",
+    "CoreConfig",
+    "LatencyParams",
+    "MemOp",
+    "SimConfig",
+    "cohort_config",
+    "config_from_dict",
+    "config_to_dict",
+    "load_config",
+    "save_config",
+    "msi_fcfs_config",
+    "pcc_config",
+    "pendulum_config",
+    "pendulum_star_config",
+    "System",
+    "Trace",
+    "TraceAccess",
+    "run_simulation",
+    "CoherenceViolationError",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Worst-case timing analysis for CoHoRT and the baseline systems.
+
+* :mod:`repro.analysis.wcl` — per-request worst-case latency bounds
+  (Equation 1 and the baselines' bounds).
+* :mod:`repro.analysis.wcml` — whole-task worst-case memory latency
+  (Equations 2 and 3) and per-system bound builders.
+* :mod:`repro.analysis.cache_analysis` — the static in-isolation
+  guaranteed-hit analysis that feeds the optimization engine.
+"""
+
+from repro.analysis.cache_analysis import (
+    GuaranteedCounts,
+    IsolationProfile,
+    build_profiles,
+)
+from repro.analysis.schedulability import (
+    ModeFeasibility,
+    SchedulabilityReport,
+    first_feasible_mode,
+    schedulability_report,
+    tightening_headroom,
+)
+from repro.analysis.wcl import (
+    wcl_miss,
+    wcl_miss_all,
+    wcl_miss_msi_rrof,
+    wcl_miss_nonperfect,
+    wcl_miss_pcc,
+    wcl_miss_pendulum,
+    wcl_miss_shared_wb,
+)
+from repro.analysis.wcml import (
+    CoreBound,
+    average_wcml,
+    cohort_bounds,
+    meets_requirements,
+    pcc_bounds,
+    pendulum_bounds,
+    wcml_snoop,
+    wcml_timed,
+)
+
+__all__ = [
+    "GuaranteedCounts",
+    "IsolationProfile",
+    "build_profiles",
+    "ModeFeasibility",
+    "SchedulabilityReport",
+    "first_feasible_mode",
+    "schedulability_report",
+    "tightening_headroom",
+    "wcl_miss",
+    "wcl_miss_all",
+    "wcl_miss_msi_rrof",
+    "wcl_miss_nonperfect",
+    "wcl_miss_pcc",
+    "wcl_miss_pendulum",
+    "wcl_miss_shared_wb",
+    "CoreBound",
+    "average_wcml",
+    "cohort_bounds",
+    "meets_requirements",
+    "pcc_bounds",
+    "pendulum_bounds",
+    "wcml_snoop",
+    "wcml_timed",
+]

@@ -1,0 +1,168 @@
+"""Schedulability and sensitivity analysis over mode tables.
+
+Section VI's mode-switching story, quantified: given a task set and the
+per-mode timer vectors of a Mode-Switch LUT, this module answers
+
+* *is* a requirement vector schedulable, and at which mode
+  (:func:`first_feasible_mode`);
+* *how much* requirement tightening each mode can absorb before the
+  system becomes unschedulable (:func:`tightening_headroom`) — the
+  quantitative version of the Figure-7 experiment;
+* a full per-mode feasibility report (:func:`schedulability_report`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from typing import TYPE_CHECKING
+
+from repro.params import LatencyParams
+from repro.analysis.cache_analysis import IsolationProfile
+from repro.analysis.wcml import CoreBound, cohort_bounds
+
+if TYPE_CHECKING:  # avoid an analysis ↔ opt/mcs import cycle at runtime
+    from repro.mcs.task import TaskSet
+    from repro.opt.engine import ModeTable
+
+
+@dataclass(frozen=True)
+class ModeFeasibility:
+    """Feasibility of one mode against one requirement vector."""
+
+    mode: int
+    feasible: bool
+    bounds: List[CoreBound]
+    #: Per-core slack Γ_i − WCML_i (None where no requirement applies).
+    slack: List[Optional[float]]
+
+    @property
+    def min_slack(self) -> float:
+        values = [s for s in self.slack if s is not None]
+        return min(values) if values else math.inf
+
+
+@dataclass
+class SchedulabilityReport:
+    """Feasibility of every mode for one requirement vector."""
+
+    requirements: List[Optional[float]]
+    modes: List[ModeFeasibility] = field(default_factory=list)
+
+    @property
+    def feasible_modes(self) -> List[int]:
+        return [m.mode for m in self.modes if m.feasible]
+
+    @property
+    def schedulable(self) -> bool:
+        return bool(self.feasible_modes)
+
+    @property
+    def first_feasible(self) -> Optional[int]:
+        feasible = self.feasible_modes
+        return feasible[0] if feasible else None
+
+
+def _mode_feasibility(
+    mode: int,
+    thetas: Sequence[int],
+    tasks: TaskSet,
+    profiles: Sequence[IsolationProfile],
+    latencies: LatencyParams,
+    requirements: Sequence[Optional[float]],
+) -> ModeFeasibility:
+    bounds = cohort_bounds(list(thetas), profiles, latencies)
+    slack: List[Optional[float]] = []
+    feasible = True
+    for core_id, gamma in enumerate(requirements):
+        if gamma is None or not tasks[core_id].guaranteed_at(mode):
+            slack.append(None)
+            continue
+        s = gamma - bounds[core_id].wcml
+        slack.append(s)
+        if s < 0:
+            feasible = False
+    return ModeFeasibility(mode=mode, feasible=feasible, bounds=bounds,
+                           slack=slack)
+
+
+def schedulability_report(
+    tasks: TaskSet,
+    mode_table: ModeTable,
+    profiles: Sequence[IsolationProfile],
+    latencies: LatencyParams,
+    requirements: Sequence[Optional[float]],
+) -> SchedulabilityReport:
+    """Evaluate every mode of the table against the requirement vector.
+
+    Degraded cores (criticality below the mode) are exempt from their
+    requirement at that mode, exactly as the run-time controller treats
+    them.
+    """
+    if len(requirements) != len(tasks):
+        raise ValueError("one requirement slot per core required")
+    report = SchedulabilityReport(requirements=list(requirements))
+    for mode in mode_table.modes:
+        report.modes.append(
+            _mode_feasibility(
+                mode, mode_table.thetas[mode], tasks, profiles, latencies,
+                requirements,
+            )
+        )
+    return report
+
+
+def first_feasible_mode(
+    tasks: TaskSet,
+    mode_table: ModeTable,
+    profiles: Sequence[IsolationProfile],
+    latencies: LatencyParams,
+    requirements: Sequence[Optional[float]],
+) -> Optional[int]:
+    """The lowest feasible mode, or None when unschedulable everywhere."""
+    report = schedulability_report(
+        tasks, mode_table, profiles, latencies, requirements
+    )
+    return report.first_feasible
+
+
+def tightening_headroom(
+    tasks: TaskSet,
+    mode_table: ModeTable,
+    profiles: Sequence[IsolationProfile],
+    latencies: LatencyParams,
+    core_id: int,
+    base_requirement: Optional[float] = None,
+) -> Dict[int, float]:
+    """Max tightening factor of one core's requirement per mode.
+
+    For each mode *m* in which ``core_id`` keeps its guarantee, returns
+    the largest factor *f* such that ``base_requirement / f`` is still
+    met at that mode — i.e. ``base / bound_m``.  ``base_requirement``
+    defaults to the core's bound at the lowest mode (so headroom at the
+    lowest mode is exactly 1.0), making the dict directly comparable to
+    the Figure-7 stage factors.
+    """
+    if not mode_table.modes:
+        raise ValueError("empty mode table")
+    if base_requirement is None:
+        lowest = mode_table.modes[0]
+        base_requirement = cohort_bounds(
+            mode_table.thetas[lowest], profiles, latencies
+        )[core_id].wcml
+    if base_requirement <= 0:
+        raise ValueError("base requirement must be positive")
+    headroom: Dict[int, float] = {}
+    for mode in mode_table.modes:
+        if not tasks[core_id].guaranteed_at(mode):
+            continue
+        bound = cohort_bounds(
+            mode_table.thetas[mode], profiles, latencies
+        )[core_id].wcml
+        if bound <= 0:
+            headroom[mode] = math.inf
+        else:
+            headroom[mode] = base_requirement / bound
+    return headroom

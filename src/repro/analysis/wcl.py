@@ -1,0 +1,164 @@
+"""Per-request worst-case latency (WCL) bounds.
+
+:func:`wcl_miss` is Equation 1 of the paper — the CoHoRT bound under RROF
+arbitration.  The module also derives the per-request bounds used for the
+baselines in the evaluation:
+
+* :func:`wcl_miss_pcc` — the PCC / predictable-MSI family, in which every
+  interfering core holds the line for at most one transaction but dirty
+  handovers cost a write-back slot plus a re-fetch slot through the LLC.
+* :func:`wcl_miss_pendulum` — PENDULUM's pessimistic bound: TDM
+  re-alignment around every timer-protected handover, and *no* bound at
+  all for non-critical cores (they are served only in slack).
+* :func:`wcl_miss_shared_wb` — Equation 1 extended with one write-back
+  slot per interfering core, for configurations that serialise eviction
+  write-backs on the main bus (``SimConfig.wb_on_bus``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.params import MSI_THETA, LatencyParams
+
+
+def wcl_miss(
+    thetas: Sequence[int], core_id: int, slot_width: int
+) -> int:
+    """Equation 1: worst-case per-request latency of ``core_id``'s miss.
+
+    .. math::
+
+        WCL_i = SW + (N-1) \\cdot SW +
+                \\sum_{j \\ne i} (\\theta_j + SW) \\ [\\theta_j \\ge 0]
+
+    The first slot covers the head of the broadcast order fetching the
+    line from shared memory; each timed interferer then holds the line
+    for its timer period plus a (worst-case mis-aligned) handover slot;
+    the final slot transfers the data to the requester.
+    """
+    n = len(thetas)
+    if not 0 <= core_id < n:
+        raise IndexError(f"core_id {core_id} out of range for {n} cores")
+    if slot_width < 1:
+        raise ValueError("slot width must be positive")
+    total = slot_width + (n - 1) * slot_width
+    for j, theta in enumerate(thetas):
+        if j == core_id:
+            continue
+        if theta != MSI_THETA:
+            if theta < 0:
+                raise ValueError(f"invalid theta {theta} for core {j}")
+            total += theta + slot_width
+    return total
+
+
+def wcl_miss_all(thetas: Sequence[int], slot_width: int) -> List[int]:
+    """Equation 1 evaluated for every core."""
+    return [wcl_miss(thetas, i, slot_width) for i in range(len(thetas))]
+
+
+def wcl_miss_shared_wb(
+    thetas: Sequence[int], core_id: int, slot_width: int
+) -> int:
+    """Equation 1 plus one write-back slot per core (shared-WB-bus option)."""
+    return wcl_miss(thetas, core_id, slot_width) + len(thetas) * slot_width
+
+
+def wcl_miss_pcc(num_cores: int, slot_width: int) -> int:
+    """Per-request bound of the predictable-MSI (PCC) baseline.
+
+    Under RROF every other core completes at most one transaction ahead of
+    the requester; each transaction costs two slots in the worst case
+    (the dirty owner's write-back plus the LLC re-fetch), and the
+    requester's own service costs the same two slots:
+
+    .. math:: WCL^{PCC} = 2 N \\cdot SW
+    """
+    if num_cores < 1:
+        raise ValueError("need at least one core")
+    return 2 * num_cores * slot_width
+
+
+def wcl_miss_pendulum(
+    num_cores: int,
+    num_critical: int,
+    theta: int,
+    slot_width: int,
+    critical: bool = True,
+) -> float:
+    """Per-request bound of the PENDULUM baseline.
+
+    In PENDULUM [16] *every* core runs the time-based protocol with one
+    global timer value — criticality only affects arbitration — so a
+    critical requester can wait behind the timer of every co-runner,
+    critical or not.  Critical cores share a TDM schedule of period
+    ``P = N_{cr} · SW``; in the worst case the requester waits one full
+    period to broadcast its request, another full period to be granted
+    its data slot once ready, and, per interfering core, the timer plus
+    a TDM re-alignment before each handover slot (this re-alignment
+    per-hop is the pessimism the paper's Section VII calls out):
+
+    .. math:: WCL^{PEND} = 2P + (N - 1)(\\theta + P + SW) + SW
+
+    Non-critical cores are served only when no critical core has an
+    outstanding request, so their latency is unbounded (``math.inf``).
+    """
+    if num_critical < 1:
+        raise ValueError("PENDULUM needs at least one critical core")
+    if num_cores < num_critical:
+        raise ValueError("num_cores must include the critical cores")
+    if theta < 1:
+        raise ValueError("PENDULUM's global timer must be >= 1")
+    if not critical:
+        return math.inf
+    period = num_critical * slot_width
+    return (
+        2 * period
+        + (num_cores - 1) * (theta + period + slot_width)
+        + slot_width
+    )
+
+
+def wcl_miss_nonperfect(
+    thetas: Sequence[int],
+    core_id: int,
+    slot_width: int,
+    dram_latency: int,
+) -> int:
+    """Equation 1 extended for the non-perfect LLC (our extension).
+
+    The paper's analysis assumes a perfect LLC; with a real LLC each
+    transfer whose data source is the shared memory may additionally
+    wait for a DRAM fetch (``dram_latency``), an un-drained eviction
+    write-back (one data latency on the dedicated port) and an LLC
+    insertion that defers around an in-flight bus transfer (bounded by
+    one further slot).  At most ``N`` transfers sit on the request's
+    critical path, so the margin is ``N · (D + L_data + SW)`` — safe but
+    conservative, as the tightness benchmark shows.
+
+    Note this extends the *per-request* bound only: guaranteed-hit
+    counts (Equation 2) are not sound under a non-perfect LLC because
+    inclusion back-invalidations can evict timer-protected lines.
+    """
+    n = len(thetas)
+    if dram_latency < 0:
+        raise ValueError("dram_latency must be non-negative")
+    base = wcl_miss(thetas, core_id, slot_width)
+    data_latency = slot_width  # conservative: >= the data phase
+    return base + n * (dram_latency + data_latency + slot_width)
+
+
+def wcl_miss_msi_rrof(num_cores: int, slot_width: int) -> int:
+    """Per-request bound for plain-MSI cores under RROF (no timers).
+
+    This is Equation 1 with every ``θ_j = -1``: ``N · SW``.  Useful for
+    heterogeneous configurations in which an MSI core still wants a bound.
+    """
+    return num_cores * slot_width
+
+
+def slot_width(latencies: LatencyParams) -> int:
+    """``SW`` as used throughout the analysis."""
+    return latencies.slot_width

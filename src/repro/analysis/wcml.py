@@ -1,0 +1,185 @@
+"""Worst-Case Memory Latency (WCML) bounds — Equations 2 and 3.
+
+WCML is the total memory latency a task can suffer across all its
+``Λ`` accesses (Definition 1).  For a timed core the in-isolation cache
+analysis guarantees ``M_hit`` hits (Equation 2); for an MSI core no hits
+can be guaranteed and all accesses are assumed misses (Equation 3).
+
+The helpers at the bottom compute the per-core analytical bounds of
+every system in the paper's evaluation (CoHoRT, PCC, PENDULUM), which is
+what Figures 5 and 7 plot as the "T bars".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.params import MSI_THETA, LatencyParams
+from repro.analysis.cache_analysis import IsolationProfile
+from repro.analysis.wcl import (
+    wcl_miss,
+    wcl_miss_pcc,
+    wcl_miss_pendulum,
+)
+
+
+def wcml_timed(
+    m_hit: int, m_miss: int, wcl: float, hit_latency: int = 1
+) -> float:
+    """Equation 2: ``M_hit · L_hit + M_miss · WCL_miss``."""
+    if m_hit < 0 or m_miss < 0:
+        raise ValueError("hit/miss counts must be non-negative")
+    return m_hit * hit_latency + m_miss * wcl
+
+
+def wcml_snoop(num_accesses: int, wcl: float) -> float:
+    """Equation 3: ``Λ · WCL_miss`` (all accesses assumed misses)."""
+    if num_accesses < 0:
+        raise ValueError("access count must be non-negative")
+    return num_accesses * wcl
+
+
+@dataclass(frozen=True)
+class CoreBound:
+    """The analytical memory-latency bound of one core's task."""
+
+    core_id: int
+    wcml: float
+    wcl: float
+    m_hit: int
+    m_miss: int
+
+    @property
+    def accesses(self) -> int:
+        return self.m_hit + self.m_miss
+
+    @property
+    def average_per_access(self) -> float:
+        """The per-core term of the optimization objective (Section V)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.wcml / self.accesses
+
+    @property
+    def bounded(self) -> bool:
+        return math.isfinite(self.wcml)
+
+
+def cohort_bounds(
+    thetas: Sequence[int],
+    profiles: Sequence[IsolationProfile],
+    latencies: LatencyParams,
+) -> List[CoreBound]:
+    """Per-core CoHoRT bounds for a timer vector Θ.
+
+    Timed cores use Equation 2 with the guaranteed-hit analysis; MSI
+    cores (``θ = -1``) use Equation 3.  Both use the per-request bound of
+    Equation 1 evaluated against the co-runners' timers.
+    """
+    if len(thetas) != len(profiles):
+        raise ValueError("one profile per core required")
+    sw = latencies.slot_width
+    bounds: List[CoreBound] = []
+    for i, (theta, profile) in enumerate(zip(thetas, profiles)):
+        wcl = wcl_miss(thetas, i, sw)
+        if theta == MSI_THETA:
+            lam = profile.num_accesses
+            bounds.append(
+                CoreBound(
+                    core_id=i,
+                    wcml=wcml_snoop(lam, wcl),
+                    wcl=wcl,
+                    m_hit=0,
+                    m_miss=lam,
+                )
+            )
+        else:
+            counts = profile.analyze(theta, wcl)
+            bounds.append(
+                CoreBound(
+                    core_id=i,
+                    wcml=wcml_timed(
+                        counts.m_hit, counts.m_miss, wcl, latencies.hit
+                    ),
+                    wcl=wcl,
+                    m_hit=counts.m_hit,
+                    m_miss=counts.m_miss,
+                )
+            )
+    return bounds
+
+
+def pcc_bounds(
+    profiles: Sequence[IsolationProfile],
+    latencies: LatencyParams,
+) -> List[CoreBound]:
+    """Per-core bounds of the predictable-MSI (PCC) baseline: Equation 3."""
+    n = len(profiles)
+    wcl = wcl_miss_pcc(n, latencies.slot_width)
+    return [
+        CoreBound(
+            core_id=i,
+            wcml=wcml_snoop(p.num_accesses, wcl),
+            wcl=wcl,
+            m_hit=0,
+            m_miss=p.num_accesses,
+        )
+        for i, p in enumerate(profiles)
+    ]
+
+
+def pendulum_bounds(
+    critical: Sequence[bool],
+    theta: int,
+    profiles: Sequence[IsolationProfile],
+    latencies: LatencyParams,
+) -> List[CoreBound]:
+    """Per-core bounds of the PENDULUM baseline.
+
+    Critical cores: Equation 3 with PENDULUM's pessimistic per-request
+    bound.  Non-critical cores: unbounded (``inf``), since the arbiter
+    serves them only when no critical core has a pending request.
+    """
+    if len(critical) != len(profiles):
+        raise ValueError("one profile per core required")
+    n_cr = sum(1 for c in critical if c)
+    bounds: List[CoreBound] = []
+    for i, (is_cr, p) in enumerate(zip(critical, profiles)):
+        wcl = wcl_miss_pendulum(
+            len(critical), n_cr, theta, latencies.slot_width, critical=is_cr
+        )
+        bounds.append(
+            CoreBound(
+                core_id=i,
+                wcml=wcml_snoop(p.num_accesses, wcl),
+                wcl=wcl,
+                m_hit=0,
+                m_miss=p.num_accesses,
+            )
+        )
+    return bounds
+
+
+def average_wcml(bounds: Sequence[CoreBound]) -> float:
+    """The optimization objective: mean per-access WCML across cores."""
+    if not bounds:
+        raise ValueError("no bounds supplied")
+    return sum(b.average_per_access for b in bounds) / len(bounds)
+
+
+def meets_requirements(
+    bounds: Sequence[CoreBound],
+    requirements: Sequence[Optional[float]],
+) -> bool:
+    """Constraint C1: every core with a requirement satisfies it.
+
+    ``requirements[i] = None`` means core *i* has no WCML requirement.
+    """
+    if len(bounds) != len(requirements):
+        raise ValueError("one requirement slot per core required")
+    for bound, gamma in zip(bounds, requirements):
+        if gamma is not None and bound.wcml > gamma:
+            return False
+    return True

@@ -1,0 +1,440 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Installed as the ``cohort`` console script::
+
+    cohort table1                    # related-work challenge matrix
+    cohort table2                    # per-mode optimized timers (fft)
+    cohort fig5 --config all_cr      # WCML comparison (one panel)
+    cohort fig6 --config all_cr      # normalised execution time
+    cohort fig7                      # mode-switch adaptation
+    cohort optimize -b fft           # run the optimization engine
+    cohort simulate -b fft -t 100 20 20 -1   # one simulation run
+
+Every command prints the rows/series the corresponding paper artefact
+reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.params import LatencyParams, cohort_config
+from repro.analysis import build_profiles, cohort_bounds
+from repro.experiments import (
+    FIG5_CONFIGS,
+    format_table,
+    render_table_i,
+    run_mode_switch_experiment,
+    run_performance_experiment,
+    run_wcml_experiment,
+)
+from repro.opt import GAConfig, OptimizationEngine
+from repro.sim.system import run_simulation
+from repro.workloads import benchmark_names, splash_traces
+
+
+def _ga_config(args: argparse.Namespace) -> GAConfig:
+    return GAConfig(
+        population_size=args.population,
+        generations=args.generations,
+        seed=args.seed,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--population", type=int, default=24,
+                        help="GA population size")
+    parser.add_argument("--generations", type=int, default=20,
+                        help="GA generations")
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """``cohort table1``: print the related-work challenge matrix."""
+    print(render_table_i())
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    """``cohort table2``: per-mode optimized timer values (Table II)."""
+    exp = run_mode_switch_experiment(
+        benchmark=args.benchmark,
+        scale=args.scale,
+        seed=args.seed,
+        ga_config=_ga_config(args),
+        run_measured=False,
+    )
+    print(f"Table II equivalent: per-mode timers for {args.benchmark}")
+    print(exp.mode_table)
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    """``cohort fig5``: one WCML comparison panel per benchmark."""
+    critical = FIG5_CONFIGS[args.config]
+    for benchmark in args.benchmarks:
+        exp = run_wcml_experiment(
+            benchmark, critical, scale=args.scale, seed=args.seed,
+            ga_config=_ga_config(args), perfect_llc=not args.non_perfect_llc,
+        )
+        print(exp.to_table())
+        print(
+            f"  bound ratios vs CoHoRT: PCC "
+            f"{exp.bound_ratio('PCC', 'CoHoRT'):.2f}x, PENDULUM "
+            f"{exp.bound_ratio('PENDULUM', 'CoHoRT'):.2f}x"
+        )
+        print()
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    """``cohort fig6``: execution time normalised to MSI-FCFS."""
+    critical = FIG5_CONFIGS[args.config]
+    exp = run_performance_experiment(
+        args.benchmarks, critical, scale=args.scale, seed=args.seed,
+        ga_config=_ga_config(args), perfect_llc=not args.non_perfect_llc,
+    )
+    print(exp.to_table())
+    return 0
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    """``cohort fig7``: the mode-switch adaptation experiment."""
+    exp = run_mode_switch_experiment(
+        benchmark=args.benchmark, scale=args.scale, seed=args.seed,
+        ga_config=_ga_config(args),
+    )
+    print(exp.mode_table)
+    print()
+    print(exp.to_table())
+    if exp.measured_c0_adaptive is not None:
+        print(
+            f"\nmeasured c0 memory latency: adaptive="
+            f"{exp.measured_c0_adaptive:,} static={exp.measured_c0_static:,}"
+        )
+    return 0
+
+
+def cmd_all(args: argparse.Namespace) -> int:
+    """``cohort all``: the complete reproduction in one run."""
+    from repro.experiments.summary import quick_sanity_table, run_everything
+
+    report = run_everything(
+        suite=args.benchmarks,
+        scale=args.scale,
+        seed=args.seed,
+        ga_config=_ga_config(args),
+    )
+    print(report.render())
+    print()
+    print(quick_sanity_table(report))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report.render() + "\n\n" + quick_sanity_table(report))
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    """``cohort characterize``: workload characterisation table."""
+    from repro.workloads import characterize_suite, suite_table
+
+    profiles = characterize_suite(
+        num_cores=4, scale=args.scale, seed=args.seed
+    )
+    print(suite_table(profiles))
+    return 0
+
+
+def cmd_headroom(args: argparse.Namespace) -> int:
+    """``cohort headroom``: per-mode requirement-tightening headroom."""
+    from repro.analysis import tightening_headroom
+    from repro.mcs import Task, TaskSet
+
+    criticalities = [4, 3, 2, 1]
+    traces = splash_traces(args.benchmark, 4, scale=args.scale,
+                           seed=args.seed)
+    profiles = build_profiles(traces, cohort_config([1] * 4).l1)
+    engine = OptimizationEngine(profiles, LatencyParams(), _ga_config(args))
+    table = engine.optimize_modes(
+        criticalities, {m: [None] * 4 for m in range(1, 5)}
+    )
+    tasks = TaskSet(
+        tuple(
+            Task(f"tau_{i}", l, traces[i])
+            for i, l in enumerate(criticalities)
+        )
+    )
+    headroom = tightening_headroom(
+        tasks, table, profiles, LatencyParams(), core_id=0
+    )
+    print(table)
+    rows = [[f"mode {m}", f"{headroom[m]:.2f}x"] for m in sorted(headroom)]
+    print()
+    print(format_table(
+        ["mode", "max tightening of Γ_0"],
+        rows,
+        title=f"Requirement headroom of c0 per mode ({args.benchmark})",
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``cohort sweep``: the timer trade-off curve for one core."""
+    from repro.analysis import wcl_miss
+
+    traces = splash_traces(args.benchmark, 4, scale=args.scale,
+                           seed=args.seed)
+    config = cohort_config([1] * 4)
+    profiles = build_profiles(traces, config.l1)
+    sw = config.latencies.slot_width
+    rows = []
+    for theta in args.sweep:
+        thetas = [theta] + [args.corunner_theta] * 3
+        own_wcl = wcl_miss(thetas, 0, sw)
+        counts = profiles[0].analyze(theta, own_wcl)
+        wcml = counts.m_hit * config.latencies.hit + counts.m_miss * own_wcl
+        rows.append(
+            [theta, counts.m_hit, f"{counts.hit_rate:.0%}", wcml,
+             wcl_miss(thetas, 1, sw)]
+        )
+    print(format_table(
+        ["θ_0", "guaranteed hits", "hit rate", "c0 WCML bound",
+         "co-runner WCL"],
+        rows,
+        title=f"Timer trade-off on {args.benchmark} "
+        f"(co-runners θ={args.corunner_theta})",
+    ))
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    """``cohort optimize``: run the GA timer optimization engine."""
+    traces = splash_traces(args.benchmark, 4, scale=args.scale, seed=args.seed)
+    config = cohort_config([1] * 4)
+    profiles = build_profiles(traces, config.l1)
+    engine = OptimizationEngine(profiles, LatencyParams(), _ga_config(args))
+    result = engine.optimize(timed=[True] * 4)
+    print(f"optimized thetas for {args.benchmark}: {result.thetas}")
+    print(f"objective (avg per-access WCML): {result.objective:.2f}")
+    print(f"feasible: {result.feasible}, GA evaluations: "
+          f"{result.ga.evaluations}, wall time: {result.wall_seconds:.1f}s")
+    rows = [
+        [f"c{b.core_id}", b.m_hit, b.m_miss, b.wcl, b.wcml]
+        for b in result.bounds
+    ]
+    print(format_table(["core", "M_hit", "M_miss", "WCL", "WCML"], rows))
+    return 0
+
+
+def _load_trace_file(path: str):
+    from repro.sim.trace import Trace
+
+    if path.endswith(".npz"):
+        return Trace.load(path)
+    with open(path) as fh:
+        return Trace.from_csv(fh.read())
+
+
+def cmd_trace_generate(args: argparse.Namespace) -> int:
+    """``cohort trace generate``: write benchmark traces to disk."""
+    import os
+
+    traces = splash_traces(args.benchmark, args.cores,
+                           scale=args.scale, seed=args.seed)
+    os.makedirs(args.out, exist_ok=True)
+    for core_id, trace in enumerate(traces):
+        stem = os.path.join(args.out, f"{args.benchmark}_c{core_id}")
+        if args.format == "npz":
+            trace.save(stem + ".npz")
+        else:
+            with open(stem + ".csv", "w") as fh:
+                fh.write(trace.to_csv())
+    print(f"wrote {len(traces)} {args.format} traces to {args.out}/")
+    return 0
+
+
+def cmd_trace_inspect(args: argparse.Namespace) -> int:
+    """``cohort trace inspect``: summarise trace files."""
+    rows = []
+    for path in args.files:
+        trace = _load_trace_file(path)
+        rows.append(
+            [
+                path,
+                len(trace),
+                trace.unique_lines(64),
+                f"{trace.write_ratio:.2f}",
+                int(trace.gaps.sum()),
+            ]
+        )
+    print(format_table(
+        ["trace", "accesses", "lines", "write ratio", "compute cycles"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """``cohort simulate``: one simulation run with bounds next to measurements."""
+    if args.config:
+        from repro.params import load_config
+
+        base = load_config(args.config)
+        args.thetas = base.thetas
+    if args.trace_files:
+        traces = [_load_trace_file(p) for p in args.trace_files]
+        if len(traces) != len(args.thetas):
+            raise SystemExit(
+                f"{len(args.thetas)} thetas but {len(traces)} trace files"
+            )
+    else:
+        traces = splash_traces(args.benchmark, len(args.thetas),
+                               scale=args.scale, seed=args.seed)
+    if args.config:
+        from repro.params import load_config
+
+        config = load_config(args.config)
+    else:
+        config = cohort_config(args.thetas)
+    stats = run_simulation(config, traces)
+    profiles = build_profiles(traces, config.l1)
+    bounds = cohort_bounds(args.thetas, profiles, config.latencies)
+    rows = []
+    for core, bound in zip(stats.cores, bounds):
+        rows.append([
+            f"c{core.core_id}", core.hits, core.misses,
+            core.total_memory_latency, bound.wcml, core.max_request_latency,
+            bound.wcl,
+        ])
+    source = "trace files" if args.trace_files else args.benchmark
+    print(format_table(
+        ["core", "hits", "misses", "WCML (meas)", "WCML (bound)",
+         "max lat (meas)", "WCL (bound)"],
+        rows,
+        title=f"{source} with Θ={args.thetas}",
+    ))
+    print(f"execution time: {stats.execution_time:,} cycles")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``cohort`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="cohort",
+        description="CoHoRT (DATE 2025) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="related-work challenge matrix")
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("table2", help="per-mode optimized timer values")
+    p.add_argument("-b", "--benchmark", default="fft",
+                   choices=benchmark_names())
+    _add_common(p)
+    p.set_defaults(fn=cmd_table2)
+
+    p = sub.add_parser("fig5", help="WCML: CoHoRT vs PCC vs PENDULUM")
+    p.add_argument("--config", default="all_cr", choices=sorted(FIG5_CONFIGS))
+    p.add_argument("-b", "--benchmarks", nargs="+", default=["fft", "lu"],
+                   choices=benchmark_names())
+    p.add_argument("--non-perfect-llc", action="store_true",
+                   help="use the non-perfect LLC + DRAM model (footnote 1)")
+    _add_common(p)
+    p.set_defaults(fn=cmd_fig5)
+
+    p = sub.add_parser("fig6", help="normalised execution time")
+    p.add_argument("--config", default="all_cr", choices=sorted(FIG5_CONFIGS))
+    p.add_argument("-b", "--benchmarks", nargs="+",
+                   default=["fft", "lu", "radix"], choices=benchmark_names())
+    p.add_argument("--non-perfect-llc", action="store_true")
+    _add_common(p)
+    p.set_defaults(fn=cmd_fig6)
+
+    p = sub.add_parser("fig7", help="mode-switch adaptation")
+    p.add_argument("-b", "--benchmark", default="fft",
+                   choices=benchmark_names())
+    _add_common(p)
+    p.set_defaults(fn=cmd_fig7)
+
+    p = sub.add_parser("all", help="run the complete reproduction")
+    p.add_argument("-b", "--benchmarks", nargs="+",
+                   default=["fft", "lu", "radix", "barnes"],
+                   choices=benchmark_names())
+    p.add_argument("-o", "--out", help="also write the report to this file")
+    _add_common(p)
+    p.set_defaults(fn=cmd_all)
+
+    p = sub.add_parser("optimize", help="run the timer optimization engine")
+    p.add_argument("-b", "--benchmark", default="fft",
+                   choices=benchmark_names())
+    _add_common(p)
+    p.set_defaults(fn=cmd_optimize)
+
+    p = sub.add_parser("simulate", help="one simulation run")
+    p.add_argument("-b", "--benchmark", default="fft",
+                   choices=benchmark_names())
+    p.add_argument("-t", "--thetas", nargs="+", type=int,
+                   default=[100, 20, 20, 20],
+                   help="per-core timers (-1 = MSI)")
+    p.add_argument("--trace-files", nargs="+",
+                   help="run these trace files (.npz/.csv) instead of a "
+                        "generated benchmark; one per core")
+    p.add_argument("--config",
+                   help="load the full system configuration from a JSON "
+                        "file (see repro.params.save_config); overrides "
+                        "--thetas")
+    _add_common(p)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("characterize", help="workload characterisation")
+    _add_common(p)
+    p.set_defaults(fn=cmd_characterize)
+
+    p = sub.add_parser("headroom", help="per-mode requirement headroom")
+    p.add_argument("-b", "--benchmark", default="fft",
+                   choices=benchmark_names())
+    _add_common(p)
+    p.set_defaults(fn=cmd_headroom)
+
+    p = sub.add_parser("sweep", help="timer trade-off curve for core 0")
+    p.add_argument("-b", "--benchmark", default="barnes",
+                   choices=benchmark_names())
+    p.add_argument("--sweep", nargs="+", type=int,
+                   default=[1, 5, 15, 40, 100, 250, 600])
+    p.add_argument("--corunner-theta", type=int, default=60)
+    _add_common(p)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("trace", help="trace-file tooling")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+
+    g = trace_sub.add_parser("generate", help="write benchmark traces to disk")
+    g.add_argument("-b", "--benchmark", default="fft",
+                   choices=benchmark_names())
+    g.add_argument("-o", "--out", required=True, help="output directory")
+    g.add_argument("--cores", type=int, default=4)
+    g.add_argument("--format", choices=("npz", "csv"), default="npz")
+    _add_common(g)
+    g.set_defaults(fn=cmd_trace_generate)
+
+    i = trace_sub.add_parser("inspect", help="summarise trace files")
+    i.add_argument("files", nargs="+")
+    i.set_defaults(fn=cmd_trace_inspect)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console-script entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Experiment drivers that regenerate the paper's tables and figures."""
+
+from repro.experiments.mode_switch import (
+    ModeSwitchExperiment,
+    Stage,
+    run_mode_switch_experiment,
+)
+from repro.experiments.performance import (
+    PerformanceExperiment,
+    PerformanceResult,
+    run_performance_benchmark,
+    run_performance_experiment,
+)
+from repro.experiments.related_work import (
+    TABLE_I,
+    cohort_addresses_all,
+    render_table_i,
+)
+from repro.experiments.report import (
+    bar_chart,
+    dump_json,
+    format_table,
+    geomean,
+    ratio_summary,
+)
+from repro.experiments.summary import (
+    ReproductionReport,
+    quick_sanity_table,
+    run_everything,
+)
+from repro.experiments.tightness import (
+    TightnessResult,
+    adversarial_traces,
+    measure_tightness,
+)
+from repro.experiments.wcml import (
+    FIG5_CONFIGS,
+    PENDULUM_THETA,
+    SystemWCML,
+    WCMLExperiment,
+    optimize_cohort_thetas,
+    run_wcml_experiment,
+)
+
+__all__ = [
+    "ModeSwitchExperiment",
+    "Stage",
+    "run_mode_switch_experiment",
+    "PerformanceExperiment",
+    "PerformanceResult",
+    "run_performance_benchmark",
+    "run_performance_experiment",
+    "TABLE_I",
+    "cohort_addresses_all",
+    "render_table_i",
+    "bar_chart",
+    "dump_json",
+    "format_table",
+    "geomean",
+    "ratio_summary",
+    "TightnessResult",
+    "adversarial_traces",
+    "measure_tightness",
+    "ReproductionReport",
+    "quick_sanity_table",
+    "run_everything",
+    "FIG5_CONFIGS",
+    "PENDULUM_THETA",
+    "SystemWCML",
+    "WCMLExperiment",
+    "optimize_cohort_thetas",
+    "run_wcml_experiment",
+]

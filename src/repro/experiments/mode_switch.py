@@ -1,0 +1,208 @@
+"""The mode-switching experiment of Figure 7 (and Table II).
+
+Four cores with criticality levels 4, 3, 2, 1 run the fft benchmark.
+The optimization engine fills the Mode-Switch LUTs offline, once per
+mode (Table II).  At run time, the requirement of the most-critical
+core c₀ tightens in three stages (by ~1.5× and then ~1.8×, as in the
+paper); the controller escalates the operating mode, degrading the
+lower-criticality cores to MSI **without suspending them**, until c₀'s
+analytical bound fits again.  Without mode switching the system is
+unschedulable from stage 2 on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.params import LatencyParams, cohort_config
+from repro.analysis import build_profiles
+from repro.experiments.report import format_table
+from repro.mcs import ModeSwitchController, Task, TaskSet, UnschedulableError
+from repro.opt import GAConfig, ModeTable, OptimizationEngine
+from repro.sim.system import run_simulation
+from repro.workloads import splash_traces
+
+
+@dataclass
+class Stage:
+    """One requirement stage of the Figure-7 experiment."""
+
+    index: int
+    requirement_c0: float
+    #: Static system stuck at mode 1.
+    bound_without: float
+    ok_without: bool
+    #: Adaptive system: the mode the controller selected (None if even the
+    #: highest mode fails).
+    mode_with: Optional[int]
+    bound_with: Optional[float]
+    ok_with: bool
+    degraded: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ModeSwitchExperiment:
+    """Results of the Figure-7 experiment."""
+
+    benchmark: str
+    criticalities: List[int]
+    mode_table: ModeTable
+    stages: List[Stage] = field(default_factory=list)
+    #: Measured c0 total memory latency with run-time switching enabled,
+    #: and with the static mode-1 configuration, for the same traces.
+    measured_c0_adaptive: Optional[int] = None
+    measured_c0_static: Optional[int] = None
+
+    def to_table(self) -> str:
+        """Render the per-stage adaptation results as a table."""
+        rows = []
+        for s in self.stages:
+            rows.append(
+                [
+                    f"stage {s.index}",
+                    s.requirement_c0,
+                    s.bound_without,
+                    s.ok_without,
+                    s.mode_with if s.mode_with is not None else "-",
+                    s.bound_with,
+                    s.ok_with,
+                ]
+            )
+        return format_table(
+            [
+                "stage",
+                "Γ_0 requirement",
+                "c0 bound (no switch)",
+                "schedulable",
+                "mode (switch)",
+                "c0 bound (switch)",
+                "schedulable",
+            ],
+            rows,
+            title=f"Mode-switch adaptation on {self.benchmark} "
+            f"(criticalities {self.criticalities})",
+        )
+
+
+def run_mode_switch_experiment(
+    benchmark: str = "fft",
+    criticalities: Sequence[int] = (4, 3, 2, 1),
+    stage_shrink: Sequence[float] = (1.5, 1.8),
+    headroom: float = 1.05,
+    scale: float = 1.0,
+    seed: int = 0,
+    ga_config: Optional[GAConfig] = None,
+    run_measured: bool = True,
+) -> ModeSwitchExperiment:
+    """Reproduce Figure 7.
+
+    Stage 1's requirement is set ``headroom`` above c₀'s mode-1 bound (so
+    the initial system is schedulable); each later stage divides it by
+    the next ``stage_shrink`` factor, mirroring the paper's ~1.5× and
+    ~1.8× reductions.
+    """
+    criticalities = list(criticalities)
+    num_cores = len(criticalities)
+    traces = splash_traces(benchmark, num_cores, scale=scale, seed=seed)
+    latencies = LatencyParams()
+    l1 = cohort_config([1] * num_cores).l1
+    profiles = build_profiles(traces, l1)
+
+    engine = OptimizationEngine(
+        profiles, latencies, ga_config or GAConfig(seed=1)
+    )
+    modes = sorted(set(range(1, max(criticalities) + 1)))
+    mode_table = engine.optimize_modes(
+        criticalities, {m: [None] * num_cores for m in modes}
+    )
+
+    tasks = TaskSet(
+        tuple(
+            Task(name=f"tau_{i}", criticality=l, trace=traces[i])
+            for i, l in enumerate(criticalities)
+        )
+    )
+    controller = ModeSwitchController(tasks, mode_table, profiles, latencies)
+
+    experiment = ModeSwitchExperiment(
+        benchmark=benchmark,
+        criticalities=criticalities,
+        mode_table=mode_table,
+    )
+
+    bound_mode1 = controller.bounds_at(1)[0].wcml
+    requirement = bound_mode1 * headroom
+    shrinks = [1.0] + list(stage_shrink)
+    chosen_modes: List[int] = []
+    for idx, shrink in enumerate(shrinks, start=1):
+        requirement = requirement / shrink
+        requirements = [requirement] + [None] * (num_cores - 1)
+        ok_without = bound_mode1 <= requirement
+        try:
+            decision = controller.required_mode(requirements)
+            stage = Stage(
+                index=idx,
+                requirement_c0=requirement,
+                bound_without=bound_mode1,
+                ok_without=ok_without,
+                mode_with=decision.mode,
+                bound_with=decision.bounds[0].wcml,
+                ok_with=True,
+                degraded=decision.degraded,
+            )
+            chosen_modes.append(decision.mode)
+        except UnschedulableError:
+            stage = Stage(
+                index=idx,
+                requirement_c0=requirement,
+                bound_without=bound_mode1,
+                ok_without=ok_without,
+                mode_with=None,
+                bound_with=None,
+                ok_with=False,
+            )
+            chosen_modes.append(max(mode_table.modes))
+        experiment.stages.append(stage)
+
+    if run_measured:
+        experiment.measured_c0_adaptive = _measured_c0(
+            traces, criticalities, mode_table, chosen_modes, controller
+        )
+        experiment.measured_c0_static = _measured_c0(
+            traces, criticalities, mode_table, [1] * len(chosen_modes), controller
+        )
+    return experiment
+
+
+def _measured_c0(
+    traces,
+    criticalities,
+    mode_table: ModeTable,
+    stage_modes: List[int],
+    controller: ModeSwitchController,
+) -> int:
+    """Run the simulator with mode switches applied at stage boundaries."""
+    initial = stage_modes[0]
+    config = cohort_config(
+        mode_table.thetas[initial],
+        criticalities=criticalities,
+        critical=[True] * len(criticalities),
+    )
+    from repro.sim.system import System  # local import to avoid a cycle
+
+    system = System(config, traces)
+    controller.program_luts(system)
+    # Estimate the total span from a dry static run, then split into stages.
+    probe = run_simulation(config, traces)
+    span = max(1, probe.final_cycle)
+    num_stages = len(stage_modes)
+    for k, mode in enumerate(stage_modes):
+        if k == 0:
+            continue
+        at = (span * k) // num_stages
+        system.kernel.schedule(
+            at, system.PHASE_EFFECT, lambda m=mode: system.switch_mode(m)
+        )
+    stats = system.run()
+    return stats.cores[0].total_memory_latency

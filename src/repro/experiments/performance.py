@@ -1,0 +1,170 @@
+"""The average-case performance experiment of Figure 6.
+
+Overall system execution time of CoHoRT / PCC / PENDULUM normalised to
+the COTS baseline (standard MSI with an FCFS arbiter).  The paper's
+headline numbers for the all-critical configuration are average
+slowdowns of 1.03× (CoHoRT), 1.13× (PCC) and 1.50× (PENDULUM, whose TDM
+arbiter wastes idle slots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.params import (
+    cohort_config,
+    msi_fcfs_config,
+    pcc_config,
+    pendulum_config,
+)
+from repro.analysis import build_profiles
+from repro.experiments.report import format_table, geomean
+from repro.experiments.wcml import PENDULUM_THETA
+from repro.opt import GAConfig, OptimizationEngine
+from repro.sim.system import run_simulation
+from repro.workloads import splash_traces
+
+
+@dataclass
+class PerformanceResult:
+    """Normalised execution time of each system for one benchmark."""
+
+    benchmark: str
+    critical: List[bool]
+    #: system name → absolute execution time (cycles).
+    execution_time: Dict[str, int] = field(default_factory=dict)
+    #: system name → fraction of cycles the shared bus was occupied.
+    bus_utilization: Dict[str, float] = field(default_factory=dict)
+
+    def normalised(self) -> Dict[str, float]:
+        """Execution times divided by the MSI-FCFS baseline."""
+        base = self.execution_time["MSI-FCFS"]
+        return {
+            name: cycles / base for name, cycles in self.execution_time.items()
+        }
+
+
+@dataclass
+class PerformanceExperiment:
+    """One Figure-6 panel: several benchmarks, one criticality config."""
+
+    critical: List[bool]
+    results: List[PerformanceResult] = field(default_factory=list)
+
+    def average_slowdown(self, system: str) -> float:
+        """Geomean normalised execution time of one system."""
+        return geomean([r.normalised()[system] for r in self.results])
+
+    def to_table(self) -> str:
+        """Render the Figure-6 panel as a table (with geomeans)."""
+        systems = list(self.results[0].execution_time) if self.results else []
+        rows = []
+        for r in self.results:
+            norm = r.normalised()
+            rows.append([r.benchmark] + [norm[s] for s in systems])
+        if self.results:
+            rows.append(
+                ["geomean"] + [self.average_slowdown(s) for s in systems]
+            )
+        return format_table(
+            ["benchmark"] + systems,
+            rows,
+            title=f"Execution time normalised to MSI-FCFS, critical={self.critical}",
+        )
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (see report.dump_json)."""
+        return {
+            "critical": self.critical,
+            "results": [
+                {
+                    "benchmark": r.benchmark,
+                    "execution_time": dict(r.execution_time),
+                    "normalised": r.normalised(),
+                    "bus_utilization": dict(r.bus_utilization),
+                }
+                for r in self.results
+            ],
+        }
+
+    def utilization_table(self) -> str:
+        """Shared-bus occupancy per system: makes PENDULUM's idle-slot
+        waste (low utilisation *and* long runtime) directly visible."""
+        systems = list(self.results[0].bus_utilization) if self.results else []
+        rows = [
+            [r.benchmark] + [f"{r.bus_utilization[s]:.0%}" for s in systems]
+            for r in self.results
+        ]
+        return format_table(
+            ["benchmark"] + systems,
+            rows,
+            title="Shared-bus utilisation",
+        )
+
+
+def run_performance_benchmark(
+    benchmark: str,
+    critical: Sequence[bool],
+    scale: float = 1.0,
+    seed: int = 0,
+    ga_config: Optional[GAConfig] = None,
+    perfect_llc: bool = True,
+    pendulum_theta: int = PENDULUM_THETA,
+) -> PerformanceResult:
+    """Execution time of all four systems on one benchmark."""
+    critical = list(critical)
+    num_cores = len(critical)
+    traces = splash_traces(benchmark, num_cores, scale=scale, seed=seed)
+    result = PerformanceResult(benchmark=benchmark, critical=critical)
+    kwargs = dict(perfect_llc=perfect_llc)
+
+    def record(name: str, stats) -> None:
+        result.execution_time[name] = stats.execution_time
+        result.bus_utilization[name] = stats.bus_utilization()
+
+    base_cfg = msi_fcfs_config(num_cores, **kwargs)
+    record("MSI-FCFS", run_simulation(base_cfg, traces))
+
+    profiles = build_profiles(traces, base_cfg.l1)
+    engine = OptimizationEngine(
+        profiles, base_cfg.latencies, ga_config or GAConfig(seed=1)
+    )
+    thetas = engine.optimize(timed=critical).thetas
+    record(
+        "CoHoRT",
+        run_simulation(cohort_config(thetas, critical=critical, **kwargs),
+                       traces),
+    )
+    record("PCC", run_simulation(pcc_config(num_cores, **kwargs), traces))
+    record(
+        "PENDULUM",
+        run_simulation(
+            pendulum_config(critical, theta=pendulum_theta, **kwargs), traces
+        ),
+    )
+    return result
+
+
+def run_performance_experiment(
+    benchmarks: Sequence[str],
+    critical: Sequence[bool],
+    scale: float = 1.0,
+    seed: int = 0,
+    ga_config: Optional[GAConfig] = None,
+    perfect_llc: bool = True,
+) -> PerformanceExperiment:
+    """One Figure-6 panel across a benchmark list."""
+    experiment = PerformanceExperiment(critical=list(critical))
+    for name in benchmarks:
+        experiment.results.append(
+            run_performance_benchmark(
+                name,
+                critical,
+                scale=scale,
+                seed=seed,
+                ga_config=ga_config,
+                perfect_llc=perfect_llc,
+            )
+        )
+    return experiment

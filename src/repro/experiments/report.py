@@ -1,0 +1,132 @@
+"""Plain-text reporting helpers shared by the experiment drivers.
+
+The benchmark harness regenerates the paper's tables and figures as
+aligned ASCII tables (plus machine-readable dicts), so every
+``pytest benchmarks/`` run prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "unbounded"
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's 'on average ...x' aggregations)."""
+    vals = [v for v in values if math.isfinite(v)]
+    if not vals:
+        return math.inf
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def ratio_summary(
+    numerators: Sequence[float], denominators: Sequence[float]
+) -> float:
+    """Geometric mean of pairwise ratios, ignoring unbounded entries."""
+    ratios = [
+        n / d
+        for n, d in zip(numerators, denominators)
+        if math.isfinite(n) and math.isfinite(d) and d > 0
+    ]
+    return geomean(ratios) if ratios else math.inf
+
+
+def bar_chart(
+    items: Sequence[tuple],
+    width: int = 50,
+    log_scale: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``(label, value)`` pairs as horizontal ASCII bars.
+
+    ``log_scale=True`` mirrors the paper's Figure 5 (logarithmic vertical
+    axis).  Infinite values render as an unbounded marker.
+    """
+    finite = [v for _l, v in items if math.isfinite(v) and v > 0]
+    if not finite:
+        return (title + "\n" if title else "") + "(no finite values)"
+    vmax = max(finite)
+    vmin = min(finite)
+    label_w = max(len(str(l)) for l, _v in items)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in items:
+        if not math.isfinite(value):
+            bar = "∞" * width
+            shown = "unbounded"
+        else:
+            if log_scale:
+                lo = math.log(max(vmin, 1.0) / 2.0)
+                hi = math.log(vmax)
+                frac = 1.0 if hi <= lo else (
+                    (math.log(max(value, 1.0)) - lo) / (hi - lo)
+                )
+            else:
+                frac = value / vmax
+            n = max(1, int(round(frac * width)))
+            bar = "█" * min(n, width)
+            shown = f"{value:,.0f}"
+        lines.append(f"{str(label).rjust(label_w)} | {bar} {shown}")
+    return "\n".join(lines)
+
+
+def dump_json(path: str, payload: Dict[str, Any]) -> None:
+    """Persist experiment output for later inspection.
+
+    Non-finite floats are stored as strings so the files stay strict
+    JSON (``Infinity`` is not valid JSON).
+    """
+
+    def sanitise(obj: Any) -> Any:
+        if isinstance(obj, float) and not math.isfinite(obj):
+            return str(obj)
+        if isinstance(obj, dict):
+            return {k: sanitise(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [sanitise(v) for v in obj]
+        return obj
+
+    with open(path, "w") as fh:
+        json.dump(sanitise(payload), fh, indent=2, allow_nan=False)

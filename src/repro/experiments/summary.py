@@ -1,0 +1,116 @@
+"""One-shot reproduction driver: every table and figure in one report.
+
+``cohort all`` (and the EXPERIMENTS.md refresh workflow) use this to run
+the complete evaluation — Table I/II, the three Figure-5 panels, the
+three Figure-6 panels and Figure 7 — and produce a single text report
+plus a machine-readable dict.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.mode_switch import run_mode_switch_experiment
+from repro.experiments.performance import run_performance_experiment
+from repro.experiments.related_work import render_table_i
+from repro.experiments.report import format_table
+from repro.experiments.wcml import FIG5_CONFIGS, run_wcml_experiment
+from repro.opt import GAConfig
+
+DEFAULT_SUITE = ["fft", "lu", "radix", "barnes"]
+
+
+@dataclass
+class ReproductionReport:
+    """Everything the paper's evaluation section reports, regenerated."""
+
+    sections: List[str] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def add(self, title: str, body: str) -> None:
+        """Append one titled report section."""
+        bar = "=" * max(8, len(title))
+        self.sections.append(f"{bar}\n{title}\n{bar}\n{body}")
+
+    def render(self) -> str:
+        """The full report as text, with the metric footer."""
+        footer = (
+            f"\ncomplete reproduction run in {self.wall_seconds:.1f}s; "
+            f"key metrics: "
+            + ", ".join(f"{k}={v:.2f}" for k, v in sorted(self.metrics.items()))
+        )
+        return "\n\n".join(self.sections) + footer
+
+
+def run_everything(
+    suite: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    ga_config: Optional[GAConfig] = None,
+) -> ReproductionReport:
+    """Run the full evaluation; takes a few minutes at scale 1.0."""
+    suite = list(suite or DEFAULT_SUITE)
+    ga = ga_config or GAConfig(population_size=20, generations=15, seed=1)
+    report = ReproductionReport()
+    started = time.perf_counter()
+
+    report.add("Table I — related-work challenge matrix", render_table_i())
+
+    for config_name, critical in FIG5_CONFIGS.items():
+        blocks = []
+        for name in suite:
+            exp = run_wcml_experiment(
+                name, critical, scale=scale, seed=seed, ga_config=ga
+            )
+            blocks.append(exp.to_table())
+            ratio = exp.bound_ratio("PENDULUM", "CoHoRT")
+            blocks.append(f"PENDULUM/CoHoRT bound ratio: {ratio:.2f}x")
+            report.metrics[f"fig5_{config_name}_{name}_pend_ratio"] = ratio
+        report.add(f"Figure 5 ({config_name}) — total WCML",
+                   "\n\n".join(blocks))
+
+    for config_name, critical in FIG5_CONFIGS.items():
+        perf = run_performance_experiment(
+            suite, critical, scale=scale, seed=seed, ga_config=ga
+        )
+        report.add(
+            f"Figure 6 ({config_name}) — normalised execution time",
+            perf.to_table(),
+        )
+        for system in ("CoHoRT", "PCC", "PENDULUM"):
+            report.metrics[f"fig6_{config_name}_{system.lower()}"] = (
+                perf.average_slowdown(system)
+            )
+
+    mode_exp = run_mode_switch_experiment(
+        scale=scale, seed=seed, ga_config=ga, run_measured=False
+    )
+    report.add(
+        "Table II — per-mode timers & Figure 7 — mode switching",
+        str(mode_exp.mode_table) + "\n\n" + mode_exp.to_table(),
+    )
+    report.metrics["fig7_stages_recovered"] = sum(
+        1 for s in mode_exp.stages if s.ok_with and not s.ok_without
+    )
+
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def quick_sanity_table(report: ReproductionReport) -> str:
+    """A compact pass/fail view of the paper's headline shapes."""
+    checks = []
+    for key in sorted(report.metrics):
+        value = report.metrics[key]
+        if key.startswith("fig5_") and key.endswith("_pend_ratio"):
+            checks.append([key, value, value > 1.0])
+        elif key.startswith("fig6_") and key.endswith("_cohort"):
+            checks.append([key, value, value < 1.35])
+        elif key.startswith("fig6_") and key.endswith("_pendulum"):
+            checks.append([key, value, value > 1.1])
+        elif key == "fig7_stages_recovered":
+            checks.append([key, value, value >= 2])
+    return format_table(["metric", "value", "shape holds"], checks)

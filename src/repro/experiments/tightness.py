@@ -1,0 +1,75 @@
+"""Bound-tightness experiment: how close can Equation 1 get?
+
+The proof of Lemma 1 describes the worst case: a request is broadcast
+directly after every other core has issued a store to the same line, so
+the line snakes through all co-runners — each holding it for its timer
+period — before reaching the requester.  This module *constructs* that
+scenario and measures how much of the analytical bound is actually
+exercised, which quantifies the pessimism of the analysis (an
+experiment the paper implies but does not show).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.params import MSI_THETA, cohort_config
+from repro.analysis.wcl import wcl_miss
+from repro.sim.system import System
+from repro.sim.trace import Trace
+from repro.workloads.synthetic import LINE
+
+
+@dataclass(frozen=True)
+class TightnessResult:
+    """Measured worst-case latency against the Equation-1 bound."""
+
+    thetas: List[int]
+    target_core: int
+    measured: int
+    bound: int
+
+    @property
+    def tightness(self) -> float:
+        """Fraction of the analytical bound actually observed (≤ 1)."""
+        return self.measured / self.bound
+
+
+def adversarial_traces(
+    num_cores: int, target_core: int, line_index: int = 1
+) -> List[Trace]:
+    """The Lemma-1 scenario: everyone stores one line, the target last.
+
+    Co-runners issue their stores at cycle 0; the target issues just
+    after their broadcasts have left, so its request queues behind the
+    full handover chain.
+    """
+    traces = []
+    for core in range(num_cores):
+        gap = 8 * num_cores if core == target_core else 0
+        traces.append(
+            Trace.from_arrays([gap], [1], [line_index * LINE])
+        )
+    return traces
+
+
+def measure_tightness(
+    thetas: Sequence[int], target_core: int = 0
+) -> TightnessResult:
+    """Run the adversarial scenario and compare with Equation 1."""
+    thetas = list(thetas)
+    if thetas[target_core] == MSI_THETA:
+        pass  # the target's own protocol does not affect its bound
+    config = cohort_config(thetas)
+    traces = adversarial_traces(len(thetas), target_core)
+    system = System(config, traces, record_latencies=True)
+    stats = system.run()
+    measured = stats.core(target_core).max_request_latency
+    bound = wcl_miss(thetas, target_core, config.latencies.slot_width)
+    return TightnessResult(
+        thetas=thetas,
+        target_core=target_core,
+        measured=measured,
+        bound=bound,
+    )

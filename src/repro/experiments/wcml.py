@@ -1,0 +1,232 @@
+"""The total-WCML experiments of Figure 5 (and footnote 1).
+
+For one benchmark and one criticality configuration, runs the three
+systems the paper compares —
+
+* **CoHoRT**: critical cores timed with GA-optimized timers, non-critical
+  cores on MSI, RROF arbitration;
+* **PCC**: predictable MSI (transfers via the LLC), RROF;
+* **PENDULUM**: global timer on critical cores, TDM arbitration with
+  slack-only service for non-critical cores —
+
+and reports, per core, the *experimental* WCML (measured total memory
+latency, the solid bars) next to the *analytical* WCML bound (the T
+bars).  Non-critical cores under PENDULUM are unbounded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.params import (
+    LatencyParams,
+    SimConfig,
+    cohort_config,
+    pcc_config,
+    pendulum_config,
+)
+from repro.analysis import (
+    build_profiles,
+    cohort_bounds,
+    pcc_bounds,
+    pendulum_bounds,
+)
+from repro.experiments.report import bar_chart, format_table, ratio_summary
+from repro.opt import GAConfig, OptimizationEngine
+from repro.sim.system import run_simulation
+from repro.sim.trace import Trace
+from repro.workloads import splash_traces
+
+#: The global timer value used for the PENDULUM baseline.
+PENDULUM_THETA = 300
+
+
+@dataclass
+class SystemWCML:
+    """One system's per-core WCML results."""
+
+    name: str
+    experimental: List[int]
+    analytical: List[float]
+    thetas: Optional[List[int]] = None
+
+    def within_bounds(self) -> bool:
+        """Every measured WCML at or below its analytical bound."""
+        return all(
+            e <= a
+            for e, a in zip(self.experimental, self.analytical)
+            if math.isfinite(a)
+        )
+
+
+@dataclass
+class WCMLExperiment:
+    """Results of one Figure-5 panel for one benchmark."""
+
+    benchmark: str
+    critical: List[bool]
+    systems: List[SystemWCML] = field(default_factory=list)
+
+    def system(self, name: str) -> SystemWCML:
+        """The named system's results."""
+        for s in self.systems:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def bound_ratio(self, name_a: str, name_b: str) -> float:
+        """Geomean of per-core analytical-bound ratios a/b (critical cores)."""
+        a = self.system(name_a)
+        b = self.system(name_b)
+        num = [x for x, c in zip(a.analytical, self.critical) if c]
+        den = [x for x, c in zip(b.analytical, self.critical) if c]
+        return ratio_summary(num, den)
+
+    def to_table(self) -> str:
+        """Render the panel as a table (experimental vs analytical)."""
+        rows = []
+        for s in self.systems:
+            for core_id, (exp, bound) in enumerate(
+                zip(s.experimental, s.analytical)
+            ):
+                rows.append(
+                    [
+                        s.name,
+                        f"c{core_id}" + ("(Cr)" if self.critical[core_id] else ""),
+                        exp,
+                        bound,
+                    ]
+                )
+        return format_table(
+            ["system", "core", "experimental WCML", "analytical WCML"],
+            rows,
+            title=f"[{self.benchmark}] critical={self.critical}",
+        )
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (see report.dump_json)."""
+        return {
+            "benchmark": self.benchmark,
+            "critical": self.critical,
+            "systems": [
+                {
+                    "name": s.name,
+                    "experimental": list(s.experimental),
+                    "analytical": list(s.analytical),
+                    "thetas": s.thetas,
+                }
+                for s in self.systems
+            ],
+        }
+
+    def to_chart(self) -> str:
+        """Figure-5-style log-scale bars: experimental vs analytical."""
+        items = []
+        for s in self.systems:
+            for core_id in range(len(self.critical)):
+                items.append(
+                    (f"{s.name}/c{core_id} exp", float(s.experimental[core_id]))
+                )
+                items.append(
+                    (f"{s.name}/c{core_id} bound", float(s.analytical[core_id]))
+                )
+        return bar_chart(
+            items,
+            title=f"[{self.benchmark}] WCML (log scale), "
+            f"critical={self.critical}",
+        )
+
+
+def optimize_cohort_thetas(
+    traces: Sequence[Trace],
+    critical: Sequence[bool],
+    config: SimConfig,
+    ga_config: Optional[GAConfig] = None,
+    requirements: Optional[Sequence[Optional[float]]] = None,
+) -> List[int]:
+    """GA-optimized timer vector for a CoHoRT deployment."""
+    profiles = build_profiles(traces, config.l1, config.latencies.hit)
+    engine = OptimizationEngine(
+        profiles, config.latencies, ga_config or GAConfig(seed=1)
+    )
+    result = engine.optimize(timed=list(critical), requirements=requirements)
+    return result.thetas
+
+
+def run_wcml_experiment(
+    benchmark: str,
+    critical: Sequence[bool],
+    scale: float = 1.0,
+    seed: int = 0,
+    ga_config: Optional[GAConfig] = None,
+    perfect_llc: bool = True,
+    pendulum_theta: int = PENDULUM_THETA,
+) -> WCMLExperiment:
+    """Run one Figure-5 panel for one benchmark."""
+    critical = list(critical)
+    num_cores = len(critical)
+    traces = splash_traces(benchmark, num_cores, scale=scale, seed=seed)
+    base_kwargs = dict(perfect_llc=perfect_llc)
+    latencies = LatencyParams()
+    profiles = build_profiles(traces, cohort_config([1] * num_cores).l1)
+    experiment = WCMLExperiment(benchmark=benchmark, critical=critical)
+
+    # --- CoHoRT -----------------------------------------------------------
+    engine = OptimizationEngine(
+        profiles, latencies, ga_config or GAConfig(seed=1)
+    )
+    opt = engine.optimize(timed=critical)
+    cohort_cfg = cohort_config(opt.thetas, critical=critical, **base_kwargs)
+    cohort_stats = run_simulation(cohort_cfg, traces)
+    experiment.systems.append(
+        SystemWCML(
+            name="CoHoRT",
+            experimental=[
+                c.total_memory_latency for c in cohort_stats.cores
+            ],
+            analytical=[
+                b.wcml
+                for b in cohort_bounds(opt.thetas, profiles, latencies)
+            ],
+            thetas=opt.thetas,
+        )
+    )
+
+    # --- PCC ---------------------------------------------------------------
+    pcc_cfg = pcc_config(num_cores, **base_kwargs)
+    pcc_stats = run_simulation(pcc_cfg, traces)
+    experiment.systems.append(
+        SystemWCML(
+            name="PCC",
+            experimental=[c.total_memory_latency for c in pcc_stats.cores],
+            analytical=[b.wcml for b in pcc_bounds(profiles, latencies)],
+        )
+    )
+
+    # --- PENDULUM -------------------------------------------------------------
+    pend_cfg = pendulum_config(critical, theta=pendulum_theta, **base_kwargs)
+    pend_stats = run_simulation(pend_cfg, traces)
+    experiment.systems.append(
+        SystemWCML(
+            name="PENDULUM",
+            experimental=[c.total_memory_latency for c in pend_stats.cores],
+            analytical=[
+                b.wcml
+                for b in pendulum_bounds(
+                    critical, pendulum_theta, profiles, latencies
+                )
+            ],
+            thetas=pend_cfg.thetas,
+        )
+    )
+    return experiment
+
+
+#: The three criticality configurations of Figure 5.
+FIG5_CONFIGS: Dict[str, List[bool]] = {
+    "all_cr": [True, True, True, True],
+    "2cr_2ncr": [True, True, False, False],
+    "1cr_3ncr": [True, False, False, False],
+}

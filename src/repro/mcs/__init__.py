@@ -1,0 +1,26 @@
+"""Mixed-criticality system model: tasks, modes and the switch controller."""
+
+from repro.mcs.controller import (
+    ModeDecision,
+    ModeSwitchController,
+    UnschedulableError,
+)
+from repro.mcs.schedule import (
+    CoreSchedule,
+    TaskBound,
+    per_task_bounds,
+    schedule_traces,
+)
+from repro.mcs.task import Task, TaskSet
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "ModeDecision",
+    "ModeSwitchController",
+    "UnschedulableError",
+    "CoreSchedule",
+    "TaskBound",
+    "per_task_bounds",
+    "schedule_traces",
+]

@@ -1,0 +1,139 @@
+"""Run-time mode switching (Section VI).
+
+The controller is the hardware/software co-design piece of the paper:
+when a high-criticality core's WCML bound no longer fits its (tightened)
+requirement, the system escalates to a higher mode — degrading
+lower-criticality cores to MSI by reprogramming their timer registers
+from the Mode-Switch LUT — *without suspending them*.
+
+:class:`ModeSwitchController` owns the per-mode analytical bounds and
+implements the escalation policy of the Figure 7 experiment: pick the
+lowest mode at which every still-guaranteed core meets its requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.params import LatencyParams
+from repro.analysis.cache_analysis import IsolationProfile
+from repro.analysis.wcml import CoreBound, cohort_bounds
+from repro.mcs.task import TaskSet
+from repro.opt.engine import ModeTable
+from repro.sim.system import System
+
+
+class UnschedulableError(RuntimeError):
+    """No mode satisfies the current requirement vector."""
+
+
+@dataclass(frozen=True)
+class ModeDecision:
+    """Outcome of one controller evaluation."""
+
+    mode: int
+    bounds: List[CoreBound]
+    #: Cores degraded to MSI at this mode.
+    degraded: List[int]
+
+
+class ModeSwitchController:
+    """Chooses operating modes and programs the timer LUTs."""
+
+    def __init__(
+        self,
+        tasks: TaskSet,
+        mode_table: ModeTable,
+        profiles: Sequence[IsolationProfile],
+        latencies: LatencyParams,
+    ) -> None:
+        if len(profiles) != len(tasks):
+            raise ValueError("one isolation profile per task/core required")
+        self.tasks = tasks
+        self.mode_table = mode_table
+        self.profiles = list(profiles)
+        self.latencies = latencies
+        self._bounds_cache: Dict[int, List[CoreBound]] = {}
+        self.current_mode = min(mode_table.modes) if mode_table.modes else 1
+
+    # -- analysis --------------------------------------------------------------
+
+    def bounds_at(self, mode: int) -> List[CoreBound]:
+        """Per-core analytical WCML bounds under the mode's timer vector."""
+        if mode not in self.mode_table.thetas:
+            raise KeyError(f"mode {mode} is not in the mode table")
+        if mode not in self._bounds_cache:
+            self._bounds_cache[mode] = cohort_bounds(
+                self.mode_table.thetas[mode], self.profiles, self.latencies
+            )
+        return self._bounds_cache[mode]
+
+    def satisfied_at(
+        self, mode: int, requirements: Sequence[Optional[float]]
+    ) -> bool:
+        """Do all still-guaranteed cores meet ``requirements`` at ``mode``?
+
+        Degraded cores (criticality < mode) lose their hit guarantees and
+        are not held to a requirement — the whole point of the scheme is
+        that they keep running rather than being suspended.
+        """
+        bounds = self.bounds_at(mode)
+        for core_id, gamma in enumerate(requirements):
+            if gamma is None:
+                continue
+            if not self.tasks[core_id].guaranteed_at(mode):
+                continue
+            if bounds[core_id].wcml > gamma:
+                return False
+        return True
+
+    def required_mode(
+        self, requirements: Sequence[Optional[float]]
+    ) -> ModeDecision:
+        """The lowest mode satisfying the requirement vector.
+
+        Raises :class:`UnschedulableError` when even the highest mode
+        (every lower-criticality core degraded) does not fit.
+        """
+        if len(requirements) != len(self.tasks):
+            raise ValueError("one requirement slot per core required")
+        for mode in self.mode_table.modes:
+            if self.satisfied_at(mode, requirements):
+                degraded = [
+                    i
+                    for i, task in enumerate(self.tasks)
+                    if not task.guaranteed_at(mode)
+                ]
+                return ModeDecision(
+                    mode=mode, bounds=self.bounds_at(mode), degraded=degraded
+                )
+        raise UnschedulableError(
+            f"no mode in {self.mode_table.modes} satisfies {requirements}"
+        )
+
+    # -- actuation ----------------------------------------------------------------
+
+    def program_luts(self, system: System) -> None:
+        """Write every mode's timer into the per-core Mode-Switch LUTs."""
+        for core_id, cache in enumerate(system.caches):
+            for mode, theta in self.mode_table.lut_entries(core_id).items():
+                cache.lut.program(mode, theta)
+
+    def apply(self, system: System, mode: int) -> None:
+        """Switch the running system to ``mode`` (reprograms θ registers)."""
+        if mode not in self.mode_table.thetas:
+            raise KeyError(f"mode {mode} is not in the mode table")
+        system.switch_mode(mode)
+        self.current_mode = mode
+
+    def react(
+        self,
+        system: System,
+        requirements: Sequence[Optional[float]],
+    ) -> ModeDecision:
+        """Controller main loop step: evaluate, escalate/relax, actuate."""
+        decision = self.required_mode(requirements)
+        if decision.mode != self.current_mode:
+            self.apply(system, decision.mode)
+        return decision

@@ -1,0 +1,140 @@
+"""Task-to-core schedules: cores inherit the running task's criticality.
+
+Section II: "At any time instance, the core inherits the criticality of
+the task running on the core in this instance" — tasks of different
+criticality may time-share a core.  This module models per-core task
+*sequences* and provides per-task WCML bounds, so requirements can be
+checked for each task individually rather than per core.
+
+Per-task analysis is conservative: each task's trace is analysed from a
+cold cache (warm-up state left by the previous task is ignored), so the
+guaranteed-hit count can only under-approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.params import MSI_THETA, CacheGeometry, LatencyParams
+from repro.analysis.cache_analysis import IsolationProfile
+from repro.analysis.wcl import wcl_miss
+from repro.analysis.wcml import CoreBound, wcml_snoop, wcml_timed
+from repro.mcs.task import Task
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class CoreSchedule:
+    """An ordered sequence of tasks executed back-to-back on one core."""
+
+    tasks: Sequence[Task]
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a core schedule needs at least one task")
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    @property
+    def trace(self) -> Trace:
+        """The concatenated trace the core replays."""
+        trace = self.tasks[0].trace
+        for task in self.tasks[1:]:
+            trace = trace.concat(task.trace)
+        return trace
+
+    @property
+    def boundaries(self) -> List[int]:
+        """Access-index start of each task within the concatenated trace."""
+        starts, pos = [], 0
+        for task in self.tasks:
+            starts.append(pos)
+            pos += task.num_accesses
+        return starts
+
+    def active_task(self, access_index: int) -> Task:
+        """The task executing the given access index."""
+        if access_index < 0:
+            raise IndexError("access index must be non-negative")
+        pos = 0
+        for task in self.tasks:
+            if access_index < pos + task.num_accesses:
+                return task
+            pos += task.num_accesses
+        raise IndexError(
+            f"access index {access_index} beyond the schedule "
+            f"({pos} accesses)"
+        )
+
+    def criticality_at(self, access_index: int) -> int:
+        """The criticality the core inherits at this point of execution."""
+        return self.active_task(access_index).criticality
+
+    @property
+    def max_criticality(self) -> int:
+        return max(task.criticality for task in self.tasks)
+
+
+@dataclass(frozen=True)
+class TaskBound:
+    """Analytical WCML bound of one scheduled task."""
+
+    core_id: int
+    task: Task
+    bound: CoreBound
+
+    def meets(self, mode: int) -> Optional[bool]:
+        """Whether the task's Γ at ``mode`` is met (None = no requirement)."""
+        gamma = self.task.requirement(mode)
+        if gamma is None:
+            return None
+        return self.bound.wcml <= gamma
+
+
+def per_task_bounds(
+    schedules: Sequence[CoreSchedule],
+    thetas: Sequence[int],
+    geometry: CacheGeometry,
+    latencies: LatencyParams,
+) -> List[TaskBound]:
+    """WCML bounds for every task of every core schedule.
+
+    Each task is analysed on its own trace (cold start — conservative);
+    the per-request WCL comes from Equation 1 with the given co-runner
+    timer vector, which is assumed constant across the hyper-period.
+    """
+    if len(schedules) != len(thetas):
+        raise ValueError("one schedule and one theta per core required")
+    sw = latencies.slot_width
+    bounds: List[TaskBound] = []
+    for core_id, (schedule, theta) in enumerate(zip(schedules, thetas)):
+        wcl = wcl_miss(list(thetas), core_id, sw)
+        for task in schedule:
+            lam = task.num_accesses
+            if theta == MSI_THETA:
+                core_bound = CoreBound(
+                    core_id, wcml_snoop(lam, wcl), wcl, 0, lam
+                )
+            else:
+                profile = IsolationProfile(task.trace, geometry, latencies.hit)
+                counts = profile.analyze(theta, wcl)
+                core_bound = CoreBound(
+                    core_id,
+                    wcml_timed(counts.m_hit, counts.m_miss, wcl, latencies.hit),
+                    wcl,
+                    counts.m_hit,
+                    counts.m_miss,
+                )
+            bounds.append(TaskBound(core_id=core_id, task=task,
+                                    bound=core_bound))
+    return bounds
+
+
+def schedule_traces(schedules: Sequence[CoreSchedule]) -> List[Trace]:
+    """The concatenated per-core traces ready for the simulator."""
+    return [s.trace for s in schedules]

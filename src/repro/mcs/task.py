@@ -1,0 +1,96 @@
+"""The mixed-criticality task model of Section II.
+
+A task τ_j is the tuple ⟨l_j, Λ_j, Γ_j^m⟩: its criticality level, its
+total number of memory accesses, and its WCML requirement at each
+operating mode.  A core inherits the criticality of the task it runs;
+in the evaluation (and here) tasks are pinned one-per-core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class Task:
+    """One mixed-criticality task."""
+
+    name: str
+    criticality: int
+    trace: Trace
+    #: Γ_j^m: WCML requirement per mode (cycles); missing modes = no
+    #: requirement at that mode.
+    requirements: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.criticality < 1:
+            raise ValueError("criticality levels start at 1")
+        for mode, gamma in self.requirements.items():
+            if mode < 1:
+                raise ValueError("modes are numbered from 1")
+            if gamma <= 0:
+                raise ValueError("WCML requirements must be positive")
+
+    @property
+    def num_accesses(self) -> int:
+        """Λ_j: the task's total number of memory accesses."""
+        return len(self.trace)
+
+    def requirement(self, mode: int) -> Optional[float]:
+        """Γ_j^m, or None if the task has no requirement at this mode."""
+        return self.requirements.get(mode)
+
+    def guaranteed_at(self, mode: int) -> bool:
+        """Whether the task still runs time-based coherence at ``mode``.
+
+        At mode *m*, cores with criticality below *m* degrade to MSI
+        (Section II's mode-switching model).
+        """
+        return self.criticality >= mode
+
+
+@dataclass(frozen=True)
+class TaskSet:
+    """Tasks pinned one-per-core (index = core id)."""
+
+    tasks: Sequence[Task]
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a task set needs at least one task")
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __getitem__(self, core_id: int) -> Task:
+        return self.tasks[core_id]
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    @property
+    def criticalities(self) -> List[int]:
+        return [t.criticality for t in self.tasks]
+
+    @property
+    def traces(self) -> List[Trace]:
+        return [t.trace for t in self.tasks]
+
+    @property
+    def num_levels(self) -> int:
+        """L: the highest criticality level in the set."""
+        return max(t.criticality for t in self.tasks)
+
+    def requirements_at(self, mode: int) -> List[Optional[float]]:
+        """Per-core Γ^m vector at ``mode`` (None where degraded/absent)."""
+        return [
+            t.requirement(mode) if t.guaranteed_at(mode) else None
+            for t in self.tasks
+        ]
+
+    def timed_at(self, mode: int) -> List[bool]:
+        """Which cores run time-based coherence at ``mode``."""
+        return [t.guaranteed_at(mode) for t in self.tasks]

@@ -1,0 +1,193 @@
+"""A genetic algorithm over bounded integer gene vectors.
+
+The paper solves the timer-optimization problem of Section V with a GA
+(Matlab's, with default parameters); this is a self-contained equivalent:
+tournament selection, uniform + arithmetic crossover, log-scale mutation
+(timer values span 1..2¹⁶, so mutation must be multiplicative to explore
+the range), and elitism.  It *minimises* the fitness function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+FitnessFn = Callable[[Sequence[int]], float]
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Hyper-parameters of :class:`GeneticAlgorithm`."""
+
+    population_size: int = 32
+    generations: int = 40
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.2
+    tournament_size: int = 3
+    elitism: int = 2
+    #: Stop early after this many generations without improvement (0 = off).
+    stall_generations: int = 12
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population must have at least two individuals")
+        if self.generations < 1:
+            raise ValueError("need at least one generation")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if self.tournament_size < 1:
+            raise ValueError("tournament_size must be positive")
+        if not 0 <= self.elitism < self.population_size:
+            raise ValueError("elitism must be smaller than the population")
+
+
+@dataclass
+class GAResult:
+    """Outcome of one GA run."""
+
+    best_genes: List[int]
+    best_fitness: float
+    generations_run: int
+    evaluations: int
+    #: Best fitness after each generation (monotone non-increasing).
+    history: List[float] = field(default_factory=list)
+
+
+class GeneticAlgorithm:
+    """Integer GA minimising ``fitness_fn`` within per-gene bounds."""
+
+    def __init__(
+        self,
+        bounds: Sequence[Tuple[int, int]],
+        fitness_fn: FitnessFn,
+        config: Optional[GAConfig] = None,
+    ) -> None:
+        if not bounds:
+            raise ValueError("need at least one gene")
+        for lo, hi in bounds:
+            if lo > hi:
+                raise ValueError(f"invalid gene bounds ({lo}, {hi})")
+        self.bounds = [(int(lo), int(hi)) for lo, hi in bounds]
+        self.fitness_fn = fitness_fn
+        self.config = config or GAConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._evaluations = 0
+
+    # -- gene helpers ---------------------------------------------------------
+
+    def _random_gene(self, i: int) -> int:
+        """Log-uniform sample within the gene's bounds."""
+        lo, hi = self.bounds[i]
+        if lo == hi:
+            return lo
+        if lo >= 1:
+            u = self._rng.uniform(np.log(lo), np.log(hi + 1))
+            return int(np.clip(int(np.exp(u)), lo, hi))
+        return int(self._rng.integers(lo, hi + 1))
+
+    def _random_individual(self) -> List[int]:
+        return [self._random_gene(i) for i in range(len(self.bounds))]
+
+    def _clip(self, genes: List[int]) -> List[int]:
+        return [
+            int(np.clip(g, lo, hi)) for g, (lo, hi) in zip(genes, self.bounds)
+        ]
+
+    def _mutate(self, genes: List[int]) -> List[int]:
+        out = list(genes)
+        for i in range(len(out)):
+            if self._rng.random() >= self.config.mutation_rate:
+                continue
+            lo, hi = self.bounds[i]
+            if lo == hi:
+                continue
+            if self._rng.random() < 0.3:
+                out[i] = self._random_gene(i)  # global jump
+            else:
+                factor = float(np.exp(self._rng.normal(0.0, 0.4)))
+                out[i] = int(np.clip(round(out[i] * factor), lo, hi))
+        return out
+
+    def _crossover(self, a: List[int], b: List[int]) -> List[int]:
+        child: List[int] = []
+        for i in range(len(a)):
+            r = self._rng.random()
+            if r < 0.5:
+                child.append(a[i] if self._rng.random() < 0.5 else b[i])
+            else:
+                w = self._rng.random()
+                child.append(int(round(w * a[i] + (1 - w) * b[i])))
+        return self._clip(child)
+
+    def _tournament(
+        self, population: List[List[int]], fitness: List[float]
+    ) -> List[int]:
+        k = min(self.config.tournament_size, len(population))
+        idx = self._rng.integers(0, len(population), size=k)
+        best = min(idx, key=lambda j: fitness[j])
+        return population[best]
+
+    def _evaluate(self, genes: Sequence[int]) -> float:
+        self._evaluations += 1
+        return float(self.fitness_fn(genes))
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self, initial: Optional[Sequence[Sequence[int]]] = None) -> GAResult:
+        """Run the GA; ``initial`` seeds part of the first population."""
+        cfg = self.config
+        population: List[List[int]] = []
+        if initial:
+            population.extend(self._clip(list(ind)) for ind in initial)
+        while len(population) < cfg.population_size:
+            population.append(self._random_individual())
+        population = population[: cfg.population_size]
+        fitness = [self._evaluate(ind) for ind in population]
+
+        history: List[float] = []
+        best_idx = int(np.argmin(fitness))
+        best_genes = list(population[best_idx])
+        best_fitness = fitness[best_idx]
+        stall = 0
+        generations_run = 0
+
+        for _gen in range(cfg.generations):
+            generations_run += 1
+            ranked = sorted(range(len(population)), key=lambda j: fitness[j])
+            next_pop: List[List[int]] = [
+                list(population[j]) for j in ranked[: cfg.elitism]
+            ]
+            while len(next_pop) < cfg.population_size:
+                parent_a = self._tournament(population, fitness)
+                if self._rng.random() < cfg.crossover_rate:
+                    parent_b = self._tournament(population, fitness)
+                    child = self._crossover(parent_a, parent_b)
+                else:
+                    child = list(parent_a)
+                child = self._mutate(child)
+                next_pop.append(child)
+            population = next_pop
+            fitness = [self._evaluate(ind) for ind in population]
+            gen_best = int(np.argmin(fitness))
+            if fitness[gen_best] < best_fitness:
+                best_fitness = fitness[gen_best]
+                best_genes = list(population[gen_best])
+                stall = 0
+            else:
+                stall += 1
+            history.append(best_fitness)
+            if cfg.stall_generations and stall >= cfg.stall_generations:
+                break
+
+        return GAResult(
+            best_genes=best_genes,
+            best_fitness=best_fitness,
+            generations_run=generations_run,
+            evaluations=self._evaluations,
+            history=history,
+        )

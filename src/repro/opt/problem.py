@@ -1,0 +1,193 @@
+"""The timer-optimization problem of Section V.
+
+Variables: the timer vector Θ (one gene per *timed* core; MSI cores are
+fixed at ``θ = -1``).  Objective: the total average worst-case memory
+latency per access across cores.  Constraint C1: every timed core's task
+meets its WCML requirement Γ.  The Θ→M_hit relationship is captured by
+the static cache analysis (:class:`repro.analysis.IsolationProfile`)
+used as a black box, exactly as Figure 2a describes.
+
+Constraints are handled with a penalty method: infeasible points pay a
+multiplicative penalty proportional to their relative violation, so the
+GA is drawn towards the feasible region while still exploring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.params import MSI_THETA, LatencyParams
+from repro.analysis.cache_analysis import IsolationProfile
+from repro.analysis.wcl import wcl_miss
+from repro.analysis.wcml import CoreBound, wcml_snoop, wcml_timed
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Objective/constraint breakdown of one candidate Θ."""
+
+    thetas: List[int]
+    objective: float
+    violation: float
+    bounds: List[CoreBound]
+
+    @property
+    def feasible(self) -> bool:
+        return self.violation == 0.0
+
+
+class TimerProblem:
+    """One optimization instance: which cores are timed, and their Γs."""
+
+    #: Multiplier applied to relative constraint violations.
+    PENALTY_WEIGHT = 10.0
+
+    def __init__(
+        self,
+        profiles: Sequence[IsolationProfile],
+        latencies: LatencyParams,
+        timed: Sequence[bool],
+        requirements: Optional[Sequence[Optional[float]]] = None,
+        wcl_bucket: Optional[int] = None,
+        objective_cores: Optional[Sequence[int]] = None,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        """``objective_cores`` selects whose average WCML is minimised.
+
+        ``weights`` (one non-negative value per core, default uniform)
+        skews the objective towards specific cores — e.g. weighting a
+        throughput-oriented task higher buys it a larger timer at the
+        co-runners' expense, without touching the hard constraint C1.
+
+        Section V's objective sums over *all* cores (the default): MSI
+        co-runners contribute through Equation 3, which keeps timers
+        moderate when non-critical cores share the bus.  Section VI's
+        per-mode flow instead "takes all τ_j with l_j ≥ l as inputs" —
+        degraded tasks are not optimisation inputs at all — which
+        :meth:`repro.opt.engine.OptimizationEngine.optimize_modes`
+        selects by passing the timed cores here.
+        """
+        n = len(profiles)
+        if len(timed) != n:
+            raise ValueError("one timed flag per core required")
+        if requirements is None:
+            requirements = [None] * n
+        if len(requirements) != n:
+            raise ValueError("one requirement slot per core required")
+        if not any(timed):
+            raise ValueError("at least one core must be timed to optimize")
+        self.profiles = list(profiles)
+        self.latencies = latencies
+        self.timed = list(timed)
+        self.requirements = list(requirements)
+        if objective_cores is None:
+            objective_cores = list(range(n))
+        objective_cores = sorted(set(int(c) for c in objective_cores))
+        if not objective_cores or not all(0 <= c < n for c in objective_cores):
+            raise ValueError("objective_cores must be a non-empty core subset")
+        self.objective_cores = objective_cores
+        self._objective_set = set(objective_cores)
+        if weights is None:
+            weights = [1.0] * n
+        if len(weights) != n:
+            raise ValueError("one weight per core required")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total_weight = sum(weights[c] for c in objective_cores)
+        if total_weight <= 0:
+            raise ValueError(
+                "at least one objective core must have positive weight"
+            )
+        self.weights = [float(w) for w in weights]
+        self._weight_norm = total_weight
+        #: Analysis results are memoised per (θ, WCL); bucketing the WCL
+        #: *upwards* keeps the analysis sound while making the memo hit.
+        self.wcl_bucket = (
+            latencies.slot_width if wcl_bucket is None else wcl_bucket
+        )
+        if self.wcl_bucket < 1:
+            raise ValueError("wcl_bucket must be positive")
+
+    # -- geometry of the search space ----------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.profiles)
+
+    @property
+    def timed_cores(self) -> List[int]:
+        return [i for i, t in enumerate(self.timed) if t]
+
+    def gene_bounds(self) -> List[tuple]:
+        """(1, θ_sat) per timed core — the variable bounds of Section V.
+
+        θ_sat is computed against the *largest possible* co-runner WCL
+        (every other timed core at its own saturation would be circular;
+        a single pass with the all-MSI lower-bound WCL is used instead,
+        which only widens the search space upwards — harmless).
+        """
+        sw = self.latencies.slot_width
+        base_wcl = self.num_cores * sw
+        return [
+            (1, max(1, self.profiles[i].theta_sat(self._bucket(base_wcl))))
+            for i in self.timed_cores
+        ]
+
+    def _bucket(self, wcl: float) -> int:
+        b = self.wcl_bucket
+        return int(-(-wcl // b) * b)  # ceil to the bucket grid
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def expand(self, genes: Sequence[int]) -> List[int]:
+        """Genes (timed cores only) → full per-core timer vector."""
+        timed_cores = self.timed_cores
+        if len(genes) != len(timed_cores):
+            raise ValueError(
+                f"expected {len(timed_cores)} genes, got {len(genes)}"
+            )
+        thetas = [MSI_THETA] * self.num_cores
+        for core, gene in zip(timed_cores, genes):
+            gene = int(gene)
+            if gene < 1:
+                raise ValueError("timer genes must be >= 1")
+            thetas[core] = gene
+        return thetas
+
+    def evaluate(self, genes: Sequence[int]) -> Evaluation:
+        """Objective + constraint C1 for one candidate gene vector."""
+        thetas = self.expand(genes)
+        sw = self.latencies.slot_width
+        hit_latency = self.latencies.hit
+        bounds: List[CoreBound] = []
+        objective = 0.0
+        violation = 0.0
+        for i, profile in enumerate(self.profiles):
+            wcl = wcl_miss(thetas, i, sw)
+            lam = profile.num_accesses
+            if thetas[i] == MSI_THETA:
+                wcml = wcml_snoop(lam, wcl)
+                bound = CoreBound(i, wcml, wcl, 0, lam)
+            else:
+                counts = profile.analyze(thetas[i], self._bucket(wcl))
+                wcml = wcml_timed(counts.m_hit, counts.m_miss, wcl, hit_latency)
+                bound = CoreBound(i, wcml, wcl, counts.m_hit, counts.m_miss)
+            bounds.append(bound)
+            if i in self._objective_set:
+                objective += self.weights[i] * bound.average_per_access
+            gamma = self.requirements[i]
+            if gamma is not None and thetas[i] != MSI_THETA and wcml > gamma:
+                violation += (wcml - gamma) / gamma
+        objective /= self._weight_norm
+        return Evaluation(
+            thetas=thetas,
+            objective=objective,
+            violation=violation,
+            bounds=bounds,
+        )
+
+    def fitness(self, genes: Sequence[int]) -> float:
+        """Penalised scalar fitness for the GA (lower is better)."""
+        ev = self.evaluate(genes)
+        return ev.objective * (1.0 + self.PENALTY_WEIGHT * ev.violation)

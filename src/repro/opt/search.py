@@ -1,0 +1,102 @@
+"""Ablation baselines for the optimization engine: random search and
+hill climbing over the same :class:`~repro.opt.problem.TimerProblem`.
+
+These exist to quantify what the GA buys (see the ablation benchmark in
+``benchmarks/test_ablation_optimizer.py``); they share the fitness
+function and gene bounds so comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+FitnessFn = Callable[[Sequence[int]], float]
+
+
+@dataclass
+class SearchResult:
+    best_genes: List[int]
+    best_fitness: float
+    evaluations: int
+
+
+def _log_uniform(rng: np.random.Generator, lo: int, hi: int) -> int:
+    if lo == hi:
+        return lo
+    if lo >= 1:
+        u = rng.uniform(np.log(lo), np.log(hi + 1))
+        return int(np.clip(int(np.exp(u)), lo, hi))
+    return int(rng.integers(lo, hi + 1))
+
+
+def random_search(
+    bounds: Sequence[Tuple[int, int]],
+    fitness_fn: FitnessFn,
+    budget: int = 500,
+    seed: int = 0,
+) -> SearchResult:
+    """Pure log-uniform random sampling within the gene bounds."""
+    if budget < 1:
+        raise ValueError("budget must be positive")
+    rng = np.random.default_rng(seed)
+    best_genes: Optional[List[int]] = None
+    best_fitness = float("inf")
+    for _ in range(budget):
+        genes = [_log_uniform(rng, lo, hi) for lo, hi in bounds]
+        f = float(fitness_fn(genes))
+        if f < best_fitness:
+            best_fitness = f
+            best_genes = genes
+    assert best_genes is not None
+    return SearchResult(best_genes, best_fitness, budget)
+
+
+def hill_climb(
+    bounds: Sequence[Tuple[int, int]],
+    fitness_fn: FitnessFn,
+    budget: int = 500,
+    restarts: int = 4,
+    seed: int = 0,
+) -> SearchResult:
+    """Multiplicative-step hill climbing with random restarts."""
+    if budget < 1:
+        raise ValueError("budget must be positive")
+    rng = np.random.default_rng(seed)
+    evaluations = 0
+    best_genes: Optional[List[int]] = None
+    best_fitness = float("inf")
+    per_restart = max(1, budget // max(1, restarts))
+    for _r in range(max(1, restarts)):
+        current = [_log_uniform(rng, lo, hi) for lo, hi in bounds]
+        current_fit = float(fitness_fn(current))
+        evaluations += 1
+        step = 2.0
+        while evaluations < (_r + 1) * per_restart and step > 1.01:
+            improved = False
+            for i, (lo, hi) in enumerate(bounds):
+                if lo == hi:
+                    continue
+                for factor in (step, 1.0 / step):
+                    cand = list(current)
+                    cand[i] = int(np.clip(round(cand[i] * factor), lo, hi))
+                    if cand[i] == current[i]:
+                        continue
+                    f = float(fitness_fn(cand))
+                    evaluations += 1
+                    if f < current_fit:
+                        current, current_fit = cand, f
+                        improved = True
+                    if evaluations >= (_r + 1) * per_restart:
+                        break
+                if evaluations >= (_r + 1) * per_restart:
+                    break
+            if not improved:
+                step = step ** 0.5  # refine the step size
+        if current_fit < best_fitness:
+            best_fitness = current_fit
+            best_genes = current
+    assert best_genes is not None
+    return SearchResult(best_genes, best_fitness, evaluations)

@@ -1,0 +1,21 @@
+"""Cycle-accurate multi-core cache system simulator (the Octopus substrate).
+
+Public entry points:
+
+* :class:`repro.sim.system.System` / :func:`repro.sim.system.run_simulation`
+  — build and run a simulated multi-core.
+* :class:`repro.sim.trace.Trace` — the memory-access trace format.
+* :class:`repro.sim.timer.CountdownCounter` / ``ModeSwitchLUT`` — the
+  CoHoRT timer hardware models.
+"""
+
+from repro.sim.system import CoherenceViolationError, System, run_simulation
+from repro.sim.trace import Trace, TraceAccess
+
+__all__ = [
+    "System",
+    "run_simulation",
+    "CoherenceViolationError",
+    "Trace",
+    "TraceAccess",
+]

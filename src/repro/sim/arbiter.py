@@ -1,0 +1,215 @@
+"""Shared-bus arbitration policies.
+
+Four policies cover every system evaluated in the paper:
+
+* :class:`RROFArbiter` — Round-Robin Oldest-First [18], used by CoHoRT and
+  the PCC baseline.  Cores are granted in a cyclic sequence, but a core
+  keeps its position until its *oldest outstanding request* is served, so
+  a core stalled on a remote timer is skipped without being punished.
+* :class:`RoundRobinArbiter` — plain RR (rotates on every grant).
+* :class:`FCFSArbiter` — COTS first-come first-serve, the normalisation
+  baseline of Figure 6.
+* :class:`TDMArbiter` — PENDULUM's time-division multiplexing: fixed
+  slots cycle over the *critical* cores only; non-critical cores are
+  served exclusively when no critical core has an outstanding request.
+
+Arbiters choose among :class:`~repro.sim.messages.BusJob` candidates
+whenever the bus goes idle.  A decision either grants a job now or asks to
+be woken at a later cycle (TDM slot boundaries).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.params import ArbiterKind, SimConfig
+from repro.sim.messages import BusJob, JobKind
+
+
+@dataclass(frozen=True)
+class ArbitrationDecision:
+    """Outcome of one arbitration round."""
+
+    job: Optional[BusJob] = None
+    #: If no job is granted, re-arbitrate at this cycle (TDM boundaries).
+    wake_at: Optional[int] = None
+
+
+def _best_job(jobs: List[BusJob]) -> BusJob:
+    """A core's highest-priority job: DATA > BROADCAST > WRITEBACK, oldest first."""
+    return min(jobs, key=lambda j: (int(j.kind), j.seq))
+
+
+def _jobs_by_core(jobs: Sequence[BusJob]) -> Dict[int, List[BusJob]]:
+    by_core: Dict[int, List[BusJob]] = {}
+    for job in jobs:
+        by_core.setdefault(job.core_id, []).append(job)
+    return by_core
+
+
+class Arbiter(ABC):
+    """Base class of all arbitration policies."""
+
+    def __init__(self, num_cores: int) -> None:
+        self.num_cores = num_cores
+
+    @abstractmethod
+    def decide(
+        self,
+        cycle: int,
+        jobs: Sequence[BusJob],
+        busy_cores: Set[int],
+    ) -> ArbitrationDecision:
+        """Pick a job to grant at ``cycle`` among grantable ``jobs``.
+
+        ``busy_cores`` is the set of cores with *any* outstanding request,
+        including requests that are waiting on remote timers and therefore
+        have no grantable job right now (the TDM policy needs this to
+        decide whether non-critical cores may use the slack).
+        """
+
+    def on_request_completed(self, core_id: int) -> None:
+        """Notification that ``core_id``'s oldest request finished."""
+
+
+class RROFArbiter(Arbiter):
+    """Round-Robin Oldest-First: rotate only when the oldest request is served."""
+
+    def __init__(self, num_cores: int) -> None:
+        super().__init__(num_cores)
+        self._order = deque(range(num_cores))
+
+    @property
+    def order(self) -> List[int]:
+        return list(self._order)
+
+    def decide(self, cycle, jobs, busy_cores):
+        """Grant the first core in RROF order with a grantable job."""
+        by_core = _jobs_by_core(jobs)
+        for core_id in self._order:
+            if core_id in by_core:
+                return ArbitrationDecision(job=_best_job(by_core[core_id]))
+        return ArbitrationDecision()
+
+    def on_request_completed(self, core_id: int) -> None:
+        """The served core rotates to the back of the sequence."""
+        self._order.remove(core_id)
+        self._order.append(core_id)
+
+
+class RoundRobinArbiter(Arbiter):
+    """Plain round-robin: the sequence rotates past every granted core."""
+
+    def __init__(self, num_cores: int) -> None:
+        super().__init__(num_cores)
+        self._order = deque(range(num_cores))
+
+    def decide(self, cycle, jobs, busy_cores):
+        """Grant the first core in order with a job; rotate past it."""
+        by_core = _jobs_by_core(jobs)
+        for core_id in list(self._order):
+            if core_id in by_core:
+                self._order.remove(core_id)
+                self._order.append(core_id)
+                return ArbitrationDecision(job=_best_job(by_core[core_id]))
+        return ArbitrationDecision()
+
+
+class FCFSArbiter(Arbiter):
+    """COTS first-come first-serve over all grantable jobs."""
+
+    def decide(self, cycle, jobs, busy_cores):
+        """Grant the oldest grantable job, regardless of core."""
+        if not jobs:
+            return ArbitrationDecision()
+        return ArbitrationDecision(job=min(jobs, key=lambda j: (j.seq,)))
+
+
+class TDMArbiter(Arbiter):
+    """PENDULUM's arbitration: TDM over critical cores, slack for the rest.
+
+    Grants happen only at slot boundaries (every ``slot_width`` cycles).
+    The slot owner runs its best job; if the owner has nothing grantable,
+    the slot is *idle* unless no critical core has any outstanding request,
+    in which case a non-critical core is served (round-robin among them).
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        critical_cores: Sequence[int],
+        slot_width: int,
+    ) -> None:
+        super().__init__(num_cores)
+        if not critical_cores:
+            raise ValueError("TDM arbitration needs at least one critical core")
+        if slot_width < 1:
+            raise ValueError("slot width must be positive")
+        self.critical_cores = list(critical_cores)
+        self.slot_width = slot_width
+        self._ncr_order = deque(
+            c for c in range(num_cores) if c not in set(critical_cores)
+        )
+
+    def slot_owner(self, cycle: int) -> int:
+        """The critical core owning the slot containing ``cycle``."""
+        slot = cycle // self.slot_width
+        return self.critical_cores[slot % len(self.critical_cores)]
+
+    def next_boundary(self, cycle: int) -> int:
+        """First slot boundary strictly after ``cycle``."""
+        return (cycle // self.slot_width + 1) * self.slot_width
+
+    def decide(self, cycle, jobs, busy_cores):
+        """Grant at slot boundaries only; see the class docstring."""
+        if not jobs:
+            return ArbitrationDecision()
+        if cycle % self.slot_width != 0:
+            return ArbitrationDecision(wake_at=self.next_boundary(cycle))
+        by_core = _jobs_by_core(jobs)
+        owner = self.slot_owner(cycle)
+        if owner in by_core:
+            return ArbitrationDecision(job=_best_job(by_core[owner]))
+        cr_busy = any(c in busy_cores for c in self.critical_cores)
+        for core_id in list(self._ncr_order):
+            if core_id not in by_core:
+                continue
+            candidates = by_core[core_id]
+            if cr_busy:
+                # Non-critical *requests* are gated while any critical core
+                # has an outstanding request, but in-flight transactions
+                # (data responses, write-backs) must complete in idle slots
+                # — otherwise a critical core waiting on a handover to a
+                # non-critical requester would deadlock the bus.
+                candidates = [
+                    j for j in candidates if j.kind != JobKind.BROADCAST
+                ]
+            if candidates:
+                self._ncr_order.remove(core_id)
+                self._ncr_order.append(core_id)
+                return ArbitrationDecision(job=_best_job(candidates))
+        return ArbitrationDecision(wake_at=self.next_boundary(cycle))
+
+
+def build_arbiter(config: SimConfig) -> Arbiter:
+    """Instantiate the arbiter selected by ``config.arbiter``."""
+    kind = config.arbiter
+    if kind == ArbiterKind.RROF:
+        return RROFArbiter(config.num_cores)
+    if kind == ArbiterKind.ROUND_ROBIN:
+        return RoundRobinArbiter(config.num_cores)
+    if kind == ArbiterKind.FCFS:
+        return FCFSArbiter(config.num_cores)
+    if kind == ArbiterKind.TDM:
+        critical = [
+            i for i in range(config.num_cores) if config.core_config(i).critical
+        ]
+        if not critical:
+            critical = list(range(config.num_cores))
+        return TDMArbiter(
+            config.num_cores, critical, config.latencies.slot_width
+        )
+    raise ValueError(f"unknown arbiter kind: {kind}")

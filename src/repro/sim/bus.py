@@ -1,0 +1,55 @@
+"""The shared snooping bus.
+
+A thin occupancy model: at most one job (request broadcast or data
+transfer) holds the bus at a time; the protocol engine grants jobs chosen
+by the arbiter and schedules their completion.  Write-backs drain through
+a dedicated write-back port to the LLC by default (``wb_on_bus=False``)
+so that eviction traffic does not interfere with the latency bound of
+Equation 1; setting ``wb_on_bus=True`` serialises them on the main bus
+instead (with a correspondingly extended analytical bound, see
+:func:`repro.analysis.wcl.wcl_miss_shared_wb`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.messages import BusJob
+
+
+class SharedBus:
+    """Single-occupancy bus with a busy-until clock."""
+
+    def __init__(self) -> None:
+        self._busy_until = 0
+        self._current: Optional[BusJob] = None
+
+    def idle(self, now: int) -> bool:
+        """Whether the bus can accept a grant at ``now``."""
+        return now >= self._busy_until
+
+    @property
+    def current_job(self) -> Optional[BusJob]:
+        return self._current
+
+    @property
+    def busy_until(self) -> int:
+        return self._busy_until
+
+    def grant(self, job: BusJob, now: int, duration: int) -> int:
+        """Occupy the bus with ``job``; returns the completion cycle."""
+        if not self.idle(now):
+            raise RuntimeError(
+                f"bus grant at cycle {now} while busy until {self._busy_until}"
+            )
+        if duration < 1:
+            raise ValueError("bus occupancy must be at least one cycle")
+        self._busy_until = now + duration
+        self._current = job
+        return self._busy_until
+
+    def release(self, now: int) -> None:
+        """Called by the engine when the current job completes."""
+        if now < self._busy_until:
+            raise RuntimeError("bus released before the job completed")
+        self._current = None

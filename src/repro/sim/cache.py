@@ -1,0 +1,179 @@
+"""Generic cache storage structures shared by the L1s and the LLC.
+
+These classes model *storage and replacement* only; the coherence state
+machine that manipulates them lives in :mod:`repro.sim.private_cache` and
+:mod:`repro.sim.system`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.params import CacheGeometry
+
+
+class LineState(enum.IntEnum):
+    """MSI stable states of a private cache line."""
+
+    I = 0  # noqa: E741 - the canonical protocol name
+    S = 1
+    M = 2
+
+
+@dataclass
+class CacheLine:
+    """One private cache line with its CoHoRT coherence metadata.
+
+    ``fill_cycle`` and ``generation`` drive the lazy timer model: the
+    countdown counter conceptually loaded θ at ``fill_cycle`` and the
+    generation counter disambiguates stale timer-expiry events after a
+    line has been invalidated and refetched.
+    """
+
+    line_addr: int = -1
+    state: LineState = LineState.I
+    fill_cycle: int = 0
+    #: Version of the data held (golden-value oracle; see tests).
+    version: int = 0
+    dirty: bool = False
+    #: Cycle at which a remote conflicting request was observed, or None.
+    pending_inv_since: Optional[int] = None
+    #: True when the pending remote request is a GetS (downgrade), not a GetM.
+    pending_is_downgrade: bool = False
+    #: Earliest cycle at which the pending invalidation/handover may be
+    #: actioned (the lazy countdown-counter expiry), or None.
+    inv_at: Optional[int] = None
+    #: The countdown counter reached zero with the remote request pending:
+    #: the line is conceded and only awaits the bus transfer.
+    handover_ready: bool = False
+    generation: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.state != LineState.I
+
+    @property
+    def frozen(self) -> bool:
+        """Conceded to a remote *writer*: the line serves no further hits.
+
+        A line conceded to a remote *reader* (downgrade) keeps serving local
+        accesses until the data transfer actually completes.
+        """
+        return self.handover_ready and not self.pending_is_downgrade
+
+    def can_serve(self, store: bool) -> bool:
+        """Whether a local access hits on this line right now."""
+        if not self.valid or self.frozen:
+            return False
+        if store:
+            return self.state == LineState.M
+        return True
+
+    def clear_pending(self) -> None:
+        """Clear all pending-invalidation state (after a handover)."""
+        self.pending_inv_since = None
+        self.pending_is_downgrade = False
+        self.inv_at = None
+        self.handover_ready = False
+
+    def invalidate(self) -> None:
+        """Drop the line to I, clearing metadata and bumping the generation."""
+        self.state = LineState.I
+        self.dirty = False
+        self.clear_pending()
+        self.generation += 1
+
+
+class DirectMappedArray:
+    """Storage of a direct-mapped private cache (one line per set)."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        if geometry.ways != 1:
+            raise ValueError("DirectMappedArray models ways == 1 only")
+        self.geometry = geometry
+        self._lines: List[CacheLine] = [CacheLine() for _ in range(geometry.num_sets)]
+
+    def slot(self, line_addr: int) -> CacheLine:
+        """The (single) slot a line address maps to."""
+        return self._lines[self.geometry.set_index(line_addr)]
+
+    def lookup(self, line_addr: int) -> Optional[CacheLine]:
+        """The resident line for this address, or ``None``."""
+        line = self.slot(line_addr)
+        if line.valid and line.line_addr == line_addr:
+            return line
+        return None
+
+    def victim(self, line_addr: int) -> Optional[CacheLine]:
+        """The line a fill of ``line_addr`` would evict, or ``None``."""
+        line = self.slot(line_addr)
+        if line.valid and line.line_addr != line_addr:
+            return line
+        return None
+
+    def valid_lines(self) -> Iterator[CacheLine]:
+        """Iterate over the currently valid lines."""
+        return (line for line in self._lines if line.valid)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.valid_lines())
+
+
+@dataclass
+class LLCLine:
+    """One LLC line: data version plus LRU bookkeeping."""
+
+    line_addr: int
+    version: int = 0
+    last_touch: int = 0
+
+
+class SetAssociativeArray:
+    """Storage of the set-associative, LRU-replaced shared LLC."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._sets: List[Dict[int, LLCLine]] = [
+            {} for _ in range(geometry.num_sets)
+        ]
+
+    def _set(self, line_addr: int) -> Dict[int, LLCLine]:
+        return self._sets[self.geometry.set_index(line_addr)]
+
+    def lookup(self, line_addr: int, cycle: int = 0, touch: bool = True) -> Optional[LLCLine]:
+        """The resident LLC line, optionally touching LRU state."""
+        line = self._set(line_addr).get(line_addr)
+        if line is not None and touch:
+            line.last_touch = cycle
+        return line
+
+    def peek_victim(self, line_addr: int) -> Optional[int]:
+        """Line address that inserting ``line_addr`` would evict, or None."""
+        cache_set = self._set(line_addr)
+        if line_addr in cache_set or len(cache_set) < self.geometry.ways:
+            return None
+        return min(cache_set, key=lambda a: (cache_set[a].last_touch, a))
+
+    def insert(self, line_addr: int, cycle: int, version: int = 0) -> Optional[LLCLine]:
+        """Insert a line; return the evicted LRU victim if the set was full."""
+        cache_set = self._set(line_addr)
+        if line_addr in cache_set:
+            line = cache_set[line_addr]
+            line.last_touch = cycle
+            return None
+        victim: Optional[LLCLine] = None
+        if len(cache_set) >= self.geometry.ways:
+            lru_addr = min(cache_set, key=lambda a: (cache_set[a].last_touch, a))
+            victim = cache_set.pop(lru_addr)
+        cache_set[line_addr] = LLCLine(line_addr=line_addr, version=version, last_touch=cycle)
+        return victim
+
+    def remove(self, line_addr: int) -> Optional[LLCLine]:
+        """Remove and return a line (None if absent)."""
+        return self._set(line_addr).pop(line_addr, None)
+
+    def occupancy(self) -> int:
+        """Total valid lines across all sets."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,188 @@
+"""The trace-replay core model.
+
+Each core replays a :class:`~repro.sim.trace.Trace`: it computes for the
+access's ``gap`` cycles, then issues the access to its private cache.
+Hits retire after the hit latency; a miss hands a coherence request to
+the protocol engine and the core waits for the fill.
+
+The paper's cores are out-of-order with non-blocking private caches
+"allowing hits-over-misses"; this is modelled as a bounded *run-ahead*
+window: while one miss is outstanding, the core keeps executing
+subsequent trace entries **as long as they hit**, up to
+``runahead_window`` entries, stopping early at the first further miss.
+Run-ahead hits overlap with the miss latency, which is exactly the
+performance effect the timer-protected lines of CoHoRT amplify.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.sim.trace import Trace
+
+
+class CoreState(enum.Enum):
+    """Execution state of a replay core."""
+
+    RUNNING = "running"
+    WAITING = "waiting"   #: one miss outstanding (run-ahead may continue).
+    DONE = "done"
+
+
+class Core:
+    """Replays one trace against the memory system."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Trace,
+        system: "object",
+        line_bytes: int,
+        hit_latency: int,
+        runahead_window: int,
+    ) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.system = system
+        self.hit_latency = hit_latency
+        self.runahead_window = runahead_window
+        self._line_addrs = trace.line_addrs(line_bytes)
+        self._gaps = trace.gaps
+        self._ops = trace.ops
+
+        self.state = CoreState.RUNNING
+        self.pos = 0
+        self._epoch = 0
+        self._miss_index: Optional[int] = None
+        # Run-ahead bookkeeping (valid only while WAITING):
+        self._ra_next: Optional[Tuple[int, int]] = None       # (index, due cycle)
+        self._ra_blocked: Optional[Tuple[int, int]] = None    # (index, cycle)
+        self._ra_exhausted: Optional[Tuple[int, int]] = None  # (next index, cycle)
+        self.finish_cycle: Optional[int] = None
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _entry(self, i: int) -> Tuple[int, int, int]:
+        """(gap, op, line_addr) of entry ``i``."""
+        return int(self._gaps[i]), int(self._ops[i]), int(self._line_addrs[i])
+
+    @property
+    def done(self) -> bool:
+        return self.state == CoreState.DONE
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.trace)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first access (called once by the system)."""
+        if self.num_entries == 0:
+            self._finish(0)
+            return
+        gap, _op, _line = self._entry(0)
+        self._schedule_issue(0, at=gap)
+
+    def _schedule_issue(self, index: int, at: int) -> None:
+        epoch = self._epoch
+        self.system.kernel.schedule(
+            at, self.system.PHASE_CORE, lambda: self._issue(epoch, index)
+        )
+
+    def _finish(self, cycle: int) -> None:
+        self.state = CoreState.DONE
+        self.finish_cycle = cycle
+        self.system.on_core_done(self.core_id, cycle)
+
+    def _advance(self, next_index: int, retire_cycle: int) -> None:
+        """Move on after retiring everything before ``next_index``."""
+        self.pos = next_index
+        if next_index >= self.num_entries:
+            self._finish(retire_cycle)
+            return
+        gap, _op, _line = self._entry(next_index)
+        self._schedule_issue(next_index, at=retire_cycle + gap)
+
+    # -- normal issue -------------------------------------------------------------
+
+    def _issue(self, epoch: int, index: int) -> None:
+        if epoch != self._epoch or self.state == CoreState.DONE:
+            return
+        now = self.system.kernel.now
+        _gap, op, line = self._entry(index)
+        hit = self.system.try_access(self.core_id, op, line, runahead=False)
+        if hit:
+            self._advance(index + 1, now + self.hit_latency)
+            return
+        # Miss: the system created and enqueued the coherence request.
+        self.state = CoreState.WAITING
+        self._miss_index = index
+        self._ra_next = None
+        self._ra_blocked = None
+        self._ra_exhausted = None
+        nxt = index + 1
+        if self.runahead_window > 0 and nxt < self.num_entries:
+            gap, _o, _l = self._entry(nxt)
+            self._schedule_ra(nxt, at=now + gap)
+        else:
+            self._ra_exhausted = (nxt, now)
+
+    # -- run-ahead ----------------------------------------------------------------
+
+    def _schedule_ra(self, index: int, at: int) -> None:
+        epoch = self._epoch
+        self._ra_next = (index, at)
+        self.system.kernel.schedule(
+            at, self.system.PHASE_CORE, lambda: self._ra_step(epoch, index)
+        )
+
+    def _ra_step(self, epoch: int, index: int) -> None:
+        if epoch != self._epoch or self.state != CoreState.WAITING:
+            return
+        now = self.system.kernel.now
+        _gap, op, line = self._entry(index)
+        hit = self.system.try_access(self.core_id, op, line, runahead=True)
+        if not hit:
+            self._ra_next = None
+            self._ra_blocked = (index, now)
+            return
+        retire = now + self.hit_latency
+        nxt = index + 1
+        assert self._miss_index is not None
+        within_window = (nxt - self._miss_index) <= self.runahead_window
+        if nxt < self.num_entries and within_window:
+            gap, _o, _l = self._entry(nxt)
+            self._schedule_ra(nxt, at=retire + gap)
+        else:
+            self._ra_next = None
+            self._ra_exhausted = (nxt, retire)
+
+    # -- fill ---------------------------------------------------------------------
+
+    def on_fill(self, fill_cycle: int) -> None:
+        """The outstanding miss completed; resume execution."""
+        if self.state != CoreState.WAITING:
+            raise RuntimeError(f"core {self.core_id} got a fill while not waiting")
+        self._epoch += 1  # cancels any in-flight run-ahead event
+        self.state = CoreState.RUNNING
+        self._miss_index = None
+        if self._ra_next is not None:
+            index, due = self._ra_next
+            # The run-ahead check for `index` was due at `due`; its gap has
+            # already been consumed, so issue it as soon as both the gap and
+            # the fill allow.
+            self.pos = index
+            self._schedule_issue(index, at=max(fill_cycle, due))
+        elif self._ra_blocked is not None:
+            index, since = self._ra_blocked
+            self.pos = index
+            self._schedule_issue(index, at=max(fill_cycle, since))
+        else:
+            assert self._ra_exhausted is not None
+            index, at = self._ra_exhausted
+            self._advance(index, retire_cycle=max(fill_cycle, at))
+        self._ra_next = None
+        self._ra_blocked = None
+        self._ra_exhausted = None

@@ -1,0 +1,168 @@
+"""Protocol-level tracing and timeline rendering.
+
+Attach a :class:`ProtocolTracer` to a :class:`~repro.sim.system.System`
+before running it to capture every protocol event (accesses, misses,
+bus grants, timer expiries, fills, mode switches) and render them as a
+human-readable timeline — the tool you want when a latency looks wrong.
+
+Example::
+
+    system = System(config, traces)
+    tracer = ProtocolTracer.attach(system)
+    system.run()
+    print(tracer.render(line=1))          # one line's full history
+    print(tracer.render(core=0))          # one core's view
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.sim.system import System
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One captured protocol event."""
+
+    cycle: int
+    kind: str
+    payload: Dict[str, Any]
+
+    @property
+    def core(self) -> Optional[int]:
+        return self.payload.get("core")
+
+    @property
+    def line(self) -> Optional[int]:
+        return self.payload.get("line")
+
+    def describe(self) -> str:
+        """One-line human-readable rendering of the event."""
+        parts = ", ".join(
+            f"{k}={v}" for k, v in self.payload.items() if k not in ("core",)
+        )
+        who = f"c{self.core}" if self.core is not None else "sys"
+        return f"{self.cycle:>8} {who:>4} {self.kind:<12} {parts}"
+
+
+@dataclass
+class ProtocolTracer:
+    """Captures protocol events; optionally bounded to the last N."""
+
+    max_events: Optional[int] = None
+    events: List[ProtocolEvent] = field(default_factory=list)
+
+    @classmethod
+    def attach(
+        cls, system: System, max_events: Optional[int] = None
+    ) -> "ProtocolTracer":
+        """Create a tracer and register it on ``system``."""
+        tracer = cls(max_events=max_events)
+        system.listeners.append(tracer)
+        return tracer
+
+    def __call__(self, cycle: int, kind: str, payload: Dict[str, Any]) -> None:
+        self.events.append(ProtocolEvent(cycle, kind, dict(payload)))
+        if self.max_events is not None and len(self.events) > self.max_events:
+            del self.events[0]
+
+    # -- queries --------------------------------------------------------------
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        core: Optional[int] = None,
+        line: Optional[int] = None,
+        since: int = 0,
+        until: Optional[int] = None,
+    ) -> List[ProtocolEvent]:
+        """Events matching every given criterion."""
+        out = []
+        for ev in self.events:
+            if kind is not None and ev.kind != kind:
+                continue
+            if core is not None and ev.core != core:
+                continue
+            if line is not None and ev.line != line:
+                continue
+            if ev.cycle < since:
+                continue
+            if until is not None and ev.cycle > until:
+                continue
+            out.append(ev)
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts per kind."""
+        out: Dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def fills(self, core: Optional[int] = None) -> List[ProtocolEvent]:
+        """All request-completion events (optionally for one core)."""
+        return self.filter(kind="fill", core=core)
+
+    def worst_fill(self, core: Optional[int] = None) -> Optional[ProtocolEvent]:
+        """The highest-latency request completion captured."""
+        fills = self.fills(core)
+        if not fills:
+            return None
+        return max(fills, key=lambda ev: ev.payload.get("latency", 0))
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(
+        self,
+        kind: Optional[str] = None,
+        core: Optional[int] = None,
+        line: Optional[int] = None,
+        since: int = 0,
+        until: Optional[int] = None,
+        limit: int = 200,
+    ) -> str:
+        """A timeline of matching events (most recent ``limit``)."""
+        events = self.filter(kind=kind, core=core, line=line,
+                             since=since, until=until)
+        shown = events[-limit:]
+        header = f"{len(events)} events"
+        if len(events) > len(shown):
+            header += f" (showing last {len(shown)})"
+        return "\n".join([header] + [ev.describe() for ev in shown])
+
+    def explain_latency(self, core: int, min_latency: int = 0) -> str:
+        """For each slow fill of ``core``, the line's preceding history.
+
+        The go-to question — "why did this request take so long?" —
+        answered by interleaving the fill with every event that touched
+        its line during the request's lifetime.
+        """
+        blocks: List[str] = []
+        for fill in self.fills(core):
+            latency = fill.payload.get("latency", 0)
+            if latency < min_latency:
+                continue
+            start = fill.cycle - latency
+            history = self.filter(
+                line=fill.line, since=start, until=fill.cycle
+            )
+            blocks.append(
+                f"fill of line {fill.line} at {fill.cycle} "
+                f"(latency {latency}):\n"
+                + "\n".join("  " + ev.describe() for ev in history)
+            )
+        return "\n\n".join(blocks) if blocks else "(no matching fills)"
+
+
+def trace_run(system: System, **filter_kwargs) -> ProtocolTracer:
+    """Convenience: attach a tracer, run the system, return the tracer."""
+    tracer = ProtocolTracer.attach(system)
+    system.run()
+    return tracer
+
+
+def event_kinds() -> Iterable[str]:
+    """The event kinds the engine emits."""
+    return ("hit", "miss", "grant", "timer_expiry", "fill", "mode_switch")

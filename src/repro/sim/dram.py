@@ -1,0 +1,39 @@
+"""Fixed-latency main-memory model (non-perfect LLC configuration).
+
+The paper's footnote 1 reports that a non-perfect LLC backed by a
+fixed-latency main memory shows the same observations as the perfect-LLC
+experiments; this model provides that backing store.  It also acts as the
+version-of-record for the golden-value coherence oracle: LLC evictions
+write versions back here and LLC fills read them, so no write is ever
+lost regardless of cache churn.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class FixedLatencyDRAM:
+    """A flat memory with a fixed access latency and per-line versions."""
+
+    def __init__(self, latency: int) -> None:
+        if latency < 0:
+            raise ValueError("DRAM latency must be non-negative")
+        self.latency = latency
+        self._versions: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read_version(self, line_addr: int) -> int:
+        """Version of the line stored in memory (0 if never written)."""
+        self.reads += 1
+        return self._versions.get(line_addr, 0)
+
+    def write_version(self, line_addr: int, version: int) -> None:
+        """Store a written-back line version."""
+        self.writes += 1
+        self._versions[line_addr] = version
+
+    def peek_version(self, line_addr: int) -> int:
+        """Read without counting an access (oracle/debug use)."""
+        return self._versions.get(line_addr, 0)

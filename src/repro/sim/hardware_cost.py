@@ -1,0 +1,80 @@
+"""Hardware cost model of the CoHoRT architecture additions.
+
+Section III-B argues the architecture is *low-cost*: one 16-bit counter
+per private cache line (~3% of a 64-byte line), one 16-bit timer
+threshold register per core, a Mode-Switch LUT with one 16-bit field per
+mode (80 bits for the five avionics assurance levels), a comparator
+against the special value, and a demultiplexer.  This module makes those
+claims computable for any configuration so they can be asserted in tests
+and reported alongside experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import CacheGeometry, SimConfig
+from repro.sim.timer import TIMER_BITS
+
+
+@dataclass(frozen=True)
+class CacheControllerCost:
+    """Per-core storage added by CoHoRT to one cache controller (bits)."""
+
+    counter_bits: int
+    threshold_register_bits: int
+    lut_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.counter_bits + self.threshold_register_bits + self.lut_bits
+
+
+@dataclass(frozen=True)
+class SystemCost:
+    """Whole-system CoHoRT storage overhead."""
+
+    per_core: CacheControllerCost
+    num_cores: int
+    data_bits_per_core: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.per_core.total_bits * self.num_cores
+
+    @property
+    def relative_overhead(self) -> float:
+        """Added bits relative to the private caches' data storage."""
+        return self.per_core.total_bits / self.data_bits_per_core
+
+
+def per_line_overhead(geometry: CacheGeometry) -> float:
+    """Counter bits relative to one line's data bits (paper: ~3%)."""
+    return TIMER_BITS / (geometry.line_bytes * 8)
+
+
+def controller_cost(
+    geometry: CacheGeometry, num_modes: int
+) -> CacheControllerCost:
+    """Storage one CoHoRT cache controller adds (Section III-B).
+
+    One countdown counter per line, one timer threshold register, and a
+    ``num_modes``-entry Mode-Switch LUT of 16-bit fields.
+    """
+    if num_modes < 1:
+        raise ValueError("at least one operating mode is required")
+    return CacheControllerCost(
+        counter_bits=TIMER_BITS * geometry.num_lines,
+        threshold_register_bits=TIMER_BITS,
+        lut_bits=TIMER_BITS * num_modes,
+    )
+
+
+def system_cost(config: SimConfig, num_modes: int) -> SystemCost:
+    """Whole-system CoHoRT overhead for a simulator configuration."""
+    per_core = controller_cost(config.l1, num_modes)
+    return SystemCost(
+        per_core=per_core,
+        num_cores=config.num_cores,
+        data_bits_per_core=config.l1.size_bytes * 8,
+    )

@@ -1,0 +1,70 @@
+"""A minimal deterministic discrete-event kernel.
+
+The simulator is *cycle-accurate* in the sense that every event happens at
+an integer cycle and same-cycle events are ordered by an explicit phase:
+
+* :data:`PHASE_EFFECT` — hardware state updates (bus transaction
+  completion, timer expiry, DRAM fill).
+* :data:`PHASE_CORE` — core-side activity (issuing accesses, run-ahead).
+* :data:`PHASE_ARBITRATE` — bus arbitration, which must observe every
+  state change of the cycle.
+
+Ties within a phase break on scheduling order, which makes runs fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+PHASE_EFFECT = 0
+PHASE_CORE = 1
+PHASE_ARBITRATE = 2
+
+
+class SimulationLimitError(RuntimeError):
+    """Raised when a run exceeds its ``max_cycles`` safety valve."""
+
+
+class EventKernel:
+    """Priority-queue event loop with integer cycles and phases."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, int, Callable[[], None]]] = []
+        self._now = 0
+        self._seq = 0
+
+    @property
+    def now(self) -> int:
+        """The current cycle."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, cycle: int, phase: int, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at ``cycle`` in ``phase``."""
+        if cycle < self._now:
+            raise ValueError(
+                f"cannot schedule in the past (now={self._now}, cycle={cycle})"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (cycle, phase, self._seq, fn))
+
+    def run(self, max_cycles: int, until: Callable[[], bool]) -> int:
+        """Process events until ``until()`` holds or the heap drains.
+
+        Returns the final cycle.  Raises :class:`SimulationLimitError` when
+        the clock passes ``max_cycles``.
+        """
+        while self._heap and not until():
+            cycle, phase, _seq, fn = heapq.heappop(self._heap)
+            if cycle > max_cycles:
+                raise SimulationLimitError(
+                    f"simulation exceeded max_cycles={max_cycles}"
+                )
+            self._now = cycle
+            fn()
+        return self._now

@@ -1,0 +1,114 @@
+"""The shared, inclusive last-level cache.
+
+Two operating modes mirror the paper's evaluation:
+
+* **perfect** (default, Section VIII): every access hits; the LLC is a
+  plain version store and never evicts.  This isolates coherence
+  interference from main-memory interference, as the paper does.
+* **non-perfect** (footnote 1): an 8-way set-associative LRU array backed
+  by :class:`~repro.sim.dram.FixedLatencyDRAM`.  Misses cost the DRAM
+  latency before the data transfer can start, and insertions may evict a
+  line, triggering back-invalidation of the L1 copies (inclusion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.params import CacheGeometry
+from repro.sim.cache import LLCLine, SetAssociativeArray
+from repro.sim.dram import FixedLatencyDRAM
+
+
+class SharedLLC:
+    """Version-tracking shared LLC with perfect and non-perfect modes."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        perfect: bool,
+        dram: FixedLatencyDRAM,
+    ) -> None:
+        self.geometry = geometry
+        self.perfect = perfect
+        self.dram = dram
+        self._versions: Dict[int, int] = {}
+        self._array: Optional[SetAssociativeArray] = (
+            None if perfect else SetAssociativeArray(geometry)
+        )
+        self.hits = 0
+        self.misses = 0
+
+    # -- presence ----------------------------------------------------------
+
+    def present(self, line_addr: int, cycle: int = 0) -> bool:
+        """Whether the line can be served without a DRAM fetch."""
+        if self.perfect:
+            return True
+        return self._array.lookup(line_addr, cycle, touch=False) is not None
+
+    def record_access(self, line_addr: int, cycle: int) -> bool:
+        """Account one LLC access; returns hit/miss and touches LRU."""
+        if self.perfect:
+            self.hits += 1
+            return True
+        line = self._array.lookup(line_addr, cycle, touch=True)
+        if line is None:
+            self.misses += 1
+            return False
+        self.hits += 1
+        return True
+
+    # -- data versions -----------------------------------------------------
+
+    def version(self, line_addr: int) -> int:
+        """Current version of the line as held by the LLC."""
+        if self.perfect:
+            return self._versions.get(line_addr, 0)
+        line = self._array.lookup(line_addr, 0, touch=False)
+        if line is None:
+            raise KeyError(f"line {line_addr} not resident in the LLC")
+        return line.version
+
+    def write_version(self, line_addr: int, version: int, cycle: int = 0) -> None:
+        """Accept a write-back / snarfed data version."""
+        if self.perfect:
+            self._versions[line_addr] = version
+            return
+        line = self._array.lookup(line_addr, cycle, touch=True)
+        if line is None:
+            # Write-back to a line the LLC has meanwhile evicted: the data
+            # continues straight to main memory.
+            self.dram.write_version(line_addr, version)
+            return
+        line.version = version
+
+    # -- fills / evictions (non-perfect mode) --------------------------------
+
+    def peek_victim(self, line_addr: int) -> Optional[int]:
+        """Line a fill of ``line_addr`` would evict (non-perfect mode)."""
+        if self.perfect:
+            return None
+        return self._array.peek_victim(line_addr)
+
+    def fill_from_memory(self, line_addr: int, cycle: int) -> Optional[LLCLine]:
+        """Insert a line fetched from DRAM; return the evicted victim, if any.
+
+        The caller is responsible for back-invalidating L1 copies of the
+        victim and merging any dirty L1 data before calling
+        :meth:`evict_to_memory`.
+        """
+        if self.perfect:
+            return None
+        version = self.dram.read_version(line_addr)
+        return self._array.insert(line_addr, cycle, version=version)
+
+    def evict_to_memory(self, victim: LLCLine) -> None:
+        """Write an evicted LLC line's version to main memory."""
+        self.dram.write_version(victim.line_addr, victim.version)
+
+    def occupancy(self) -> int:
+        """Number of resident (or version-tracked) lines."""
+        if self.perfect:
+            return len(self._versions)
+        return self._array.occupancy()

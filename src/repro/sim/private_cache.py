@@ -1,0 +1,204 @@
+"""The per-core private cache controller.
+
+Each controller owns a direct-mapped storage array, the CoHoRT timer
+threshold register θ (``MSI_THETA`` selects plain snooping MSI, Section
+III-B) and the Mode-Switch LUT of Section VI.  The controller decides
+hit/miss classification and the lazy countdown-counter arithmetic; the
+snooping protocol engine that coordinates controllers lives in
+:mod:`repro.sim.system`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.params import MSI_THETA, CacheGeometry, MemOp
+from repro.sim.cache import CacheLine, DirectMappedArray, LineState
+from repro.sim.messages import ReqKind
+from repro.sim.timer import ModeSwitchLUT, invalidation_cycle, validate_theta
+
+
+class AccessOutcome(enum.Enum):
+    """Classification of a local access against the private cache."""
+
+    HIT = "hit"
+    MISS_GETS = "gets"
+    MISS_GETM = "getm"
+    UPGRADE = "upg"
+
+    @property
+    def req_kind(self) -> ReqKind:
+        if self is AccessOutcome.MISS_GETS:
+            return ReqKind.GETS
+        if self is AccessOutcome.MISS_GETM:
+            return ReqKind.GETM
+        if self is AccessOutcome.UPGRADE:
+            return ReqKind.UPG
+        raise ValueError("hits carry no request kind")
+
+
+@dataclass
+class EvictedLine:
+    """Snapshot of a line displaced by a fill."""
+
+    line_addr: int
+    dirty: bool
+    version: int
+
+
+class PrivateCache:
+    """One core's L1 cache controller with CoHoRT timer hardware."""
+
+    def __init__(
+        self,
+        core_id: int,
+        geometry: CacheGeometry,
+        theta: int,
+        lut: Optional[ModeSwitchLUT] = None,
+    ) -> None:
+        validate_theta(theta)
+        self.core_id = core_id
+        self.geometry = geometry
+        self._theta = theta
+        self.lut = lut if lut is not None else ModeSwitchLUT()
+        self.array = DirectMappedArray(geometry)
+        self.fills = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.back_invalidations = 0
+
+    # -- timer register ------------------------------------------------------
+
+    @property
+    def theta(self) -> int:
+        """The timer threshold register of this core (current mode)."""
+        return self._theta
+
+    def set_theta(self, theta: int) -> None:
+        """Reprogram the timer threshold register (run-time protocol switch)."""
+        validate_theta(theta)
+        self._theta = theta
+
+    @property
+    def is_msi(self) -> bool:
+        return self._theta == MSI_THETA
+
+    def apply_mode(self, mode: int) -> int:
+        """Switch operating mode: load θ for ``mode`` from the LUT."""
+        theta = self.lut.lookup(mode)
+        self.set_theta(theta)
+        return theta
+
+    # -- lookups ---------------------------------------------------------------
+
+    def lookup(self, line_addr: int) -> Optional[CacheLine]:
+        """The resident line for this address, or None."""
+        return self.array.lookup(line_addr)
+
+    def classify(self, op: MemOp, line_addr: int) -> AccessOutcome:
+        """Hit/miss classification of a local access, right now."""
+        line = self.lookup(line_addr)
+        store = op == MemOp.STORE
+        if line is not None and line.can_serve(store):
+            return AccessOutcome.HIT
+        if store:
+            if (
+                line is not None
+                and line.state == LineState.S
+                and not line.frozen
+            ):
+                return AccessOutcome.UPGRADE
+            return AccessOutcome.MISS_GETM
+        return AccessOutcome.MISS_GETS
+
+    # -- pending-invalidation timer arithmetic ----------------------------------
+
+    def mark_pending(
+        self, line: CacheLine, now: int, downgrade: bool
+    ) -> int:
+        """Record a remote conflicting request against a resident line.
+
+        Returns the cycle at which the countdown counter will allow the
+        invalidation/handover (``now`` itself for an MSI core).  Idempotent:
+        an already-pending line keeps its earlier deadline; a pending
+        *downgrade* escalates to a pending *invalidation* when a writer
+        arrives, keeping the same deadline.
+        """
+        if not line.valid:
+            raise ValueError("cannot mark an invalid line pending")
+        if line.pending_inv_since is None:
+            line.pending_inv_since = now
+            line.pending_is_downgrade = downgrade
+            line.inv_at = invalidation_cycle(
+                line.fill_cycle, self._theta, now
+            )
+        elif line.pending_is_downgrade and not downgrade:
+            line.pending_is_downgrade = False
+        return line.inv_at
+
+    # -- fills / evictions -------------------------------------------------------
+
+    def fill(
+        self,
+        line_addr: int,
+        state: LineState,
+        cycle: int,
+        version: int,
+    ) -> Optional[EvictedLine]:
+        """Install a line; return the displaced victim, if any.
+
+        The caller (the protocol engine) is responsible for writing back a
+        dirty victim and for re-evaluating requests that were waiting on
+        either line.
+        """
+        if state == LineState.I:
+            raise ValueError("cannot fill to the invalid state")
+        slot = self.array.slot(line_addr)
+        victim: Optional[EvictedLine] = None
+        if slot.valid and slot.line_addr != line_addr:
+            victim = EvictedLine(
+                line_addr=slot.line_addr,
+                dirty=slot.dirty,
+                version=slot.version,
+            )
+            self.evictions += 1
+            if slot.dirty:
+                self.dirty_evictions += 1
+            slot.invalidate()
+        slot.line_addr = line_addr
+        slot.state = state
+        slot.fill_cycle = cycle
+        slot.version = version
+        slot.dirty = False
+        slot.clear_pending()
+        slot.generation += 1
+        self.fills += 1
+        return victim
+
+    def back_invalidate(self, line_addr: int) -> Optional[EvictedLine]:
+        """Inclusion-driven invalidation from the LLC (non-perfect mode).
+
+        Overrides any running timer.  Returns the dropped copy so a dirty
+        version can be merged into the LLC/memory.
+        """
+        line = self.lookup(line_addr)
+        if line is None:
+            return None
+        snapshot = EvictedLine(
+            line_addr=line.line_addr, dirty=line.dirty, version=line.version
+        )
+        line.invalidate()
+        self.back_invalidations += 1
+        return snapshot
+
+    # -- introspection -------------------------------------------------------------
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently held."""
+        return len(self.array)
+
+    def __repr__(self) -> str:
+        proto = "MSI" if self.is_msi else f"timed(θ={self._theta})"
+        return f"PrivateCache(c{self.core_id}, {proto}, {self.resident_lines()} lines)"

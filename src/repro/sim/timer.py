@@ -1,0 +1,199 @@
+"""The coherence timer hardware of CoHoRT (Figure 3 and the Mode-Switch LUT).
+
+Two models of the same semantics live here:
+
+* :class:`CountdownCounter` — a literal cycle-by-cycle model of the circuit
+  in Figure 3 of the paper (Load / Enable / PendingInv signals, comparator
+  against the special value, demultiplexer choosing invalidate vs.
+  replenish).  It is used by the unit tests and as executable
+  documentation.
+
+* :func:`invalidation_cycle` — the closed-form ("lazy") equivalent used by
+  the event-driven simulator: given the fill cycle, the timer threshold and
+  the cycle at which a remote request set ``PendingInv``, it returns the
+  cycle at which the counter reaches zero with the invalidation pending.
+  A property-based test cross-validates the two models.
+
+The :class:`ModeSwitchLUT` is the per-cache-controller look-up table of
+Section VI: one 16-bit timer threshold per operating mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.params import MSI_THETA
+
+#: Width of the timer threshold registers and countdown counters (paper: 16).
+TIMER_BITS = 16
+#: Largest representable timer threshold.
+MAX_THETA = (1 << TIMER_BITS) - 1
+
+
+class TimerAction(enum.Enum):
+    """What the demultiplexer of Figure 3 decides on a counter tick."""
+
+    NONE = "none"            #: counter still running (or disabled).
+    INVALIDATE = "invalidate"  #: count hit zero with ``PendingInv`` high.
+    REPLENISH = "replenish"    #: count hit zero with no pending request.
+
+
+class CountdownCounter:
+    """Literal model of the per-cache-line countdown counter of Figure 3.
+
+    The counter is driven one cycle at a time through :meth:`tick`.  The
+    ``Load`` signal (:meth:`load`) is raised when the core receives the
+    cache line or replenishes the counter; it (re)loads the timer threshold
+    register.  ``Enable`` is derived from the comparator: it is low exactly
+    when the threshold register holds the special value ``-1``, in which
+    case the counter never decrements and the line behaves as under MSI.
+    """
+
+    __slots__ = ("_theta", "_count", "_loaded")
+
+    def __init__(self, theta: int) -> None:
+        validate_theta(theta)
+        self._theta = theta
+        self._count = 0
+        self._loaded = False
+
+    @property
+    def theta(self) -> int:
+        """The timer threshold register value."""
+        return self._theta
+
+    @property
+    def count(self) -> int:
+        """The current counter output (``Count`` in Figure 3)."""
+        return self._count
+
+    @property
+    def enabled(self) -> bool:
+        """The ``Enable`` signal: high unless the register holds ``-1``."""
+        return self._theta != MSI_THETA
+
+    def set_theta(self, theta: int) -> None:
+        """Reprogram the threshold register (used on a mode switch)."""
+        validate_theta(theta)
+        self._theta = theta
+
+    def load(self) -> None:
+        """Raise ``Load``: latch the threshold into the counter."""
+        if self.enabled:
+            self._count = self._theta
+        self._loaded = True
+
+    def tick(self, pending_inv: bool) -> TimerAction:
+        """Advance one cycle and return the demultiplexer's decision.
+
+        With ``Enable`` low (MSI mode) the counter is frozen and the line
+        must be invalidated exactly when ``PendingInv`` is high.
+        """
+        if not self._loaded:
+            raise RuntimeError("counter ticked before the line was filled")
+        if not self.enabled:
+            return TimerAction.INVALIDATE if pending_inv else TimerAction.NONE
+        if self._count > 0:
+            self._count -= 1
+        if self._count > 0:
+            return TimerAction.NONE
+        if pending_inv:
+            return TimerAction.INVALIDATE
+        self.load()
+        return TimerAction.REPLENISH
+
+
+def validate_theta(theta: int) -> None:
+    """Check that ``theta`` fits the 16-bit register or is the MSI value."""
+    if theta == MSI_THETA:
+        return
+    if not isinstance(theta, (int,)) or isinstance(theta, bool):
+        raise TypeError(f"theta must be an int, got {type(theta).__name__}")
+    if theta < 1:
+        raise ValueError(f"theta must be >= 1 or MSI_THETA, got {theta}")
+    if theta > MAX_THETA:
+        raise ValueError(
+            f"theta={theta} does not fit the {TIMER_BITS}-bit register"
+        )
+
+
+def invalidation_cycle(fill_cycle: int, theta: int, pending_since: int) -> int:
+    """Cycle at which a timed line invalidates, in closed form.
+
+    The counter loads ``theta`` at ``fill_cycle`` and reaches zero at
+    ``fill_cycle + k * theta`` for ``k = 1, 2, ...`` (replenishing whenever
+    no invalidation is pending).  Given that a remote request raised
+    ``PendingInv`` at ``pending_since`` (at or after the fill), the line is
+    invalidated at the first zero-crossing at or after ``pending_since``.
+
+    For ``theta == MSI_THETA`` the invalidation is immediate:
+    ``max(fill_cycle, pending_since)``.
+    """
+    if pending_since < fill_cycle:
+        pending_since = fill_cycle
+    if theta == MSI_THETA:
+        return pending_since
+    validate_theta(theta)
+    elapsed = pending_since - fill_cycle
+    periods = -(-elapsed // theta)  # ceil division
+    if periods < 1:
+        periods = 1
+    return fill_cycle + periods * theta
+
+
+class ModeSwitchLUT:
+    """The Mode-Switch look-up table of one cache controller (Section VI).
+
+    One 16-bit timer-threshold field per operating mode, indexed by the
+    mode number (modes are ``1..L`` as in the paper).  For five criticality
+    levels this is the "negligible 80 bits" the paper quotes
+    (:meth:`storage_bits`).
+    """
+
+    def __init__(self, entries: Optional[Mapping[int, int]] = None) -> None:
+        self._entries: Dict[int, int] = {}
+        if entries:
+            for mode, theta in entries.items():
+                self.program(mode, theta)
+
+    def program(self, mode: int, theta: int) -> None:
+        """Write the timer threshold for ``mode``."""
+        if mode < 1:
+            raise ValueError("modes are numbered from 1")
+        validate_theta(theta)
+        self._entries[mode] = theta
+
+    def lookup(self, mode: int) -> int:
+        """Read the timer threshold for ``mode``."""
+        try:
+            return self._entries[mode]
+        except KeyError:
+            raise KeyError(f"mode {mode} is not programmed in the LUT") from None
+
+    def __contains__(self, mode: int) -> bool:
+        return mode in self._entries
+
+    @property
+    def modes(self) -> Iterable[int]:
+        return sorted(self._entries)
+
+    @property
+    def num_modes(self) -> int:
+        return len(self._entries)
+
+    def storage_bits(self) -> int:
+        """Hardware cost of the LUT: 16 bits per programmed mode."""
+        return TIMER_BITS * len(self._entries)
+
+    def __repr__(self) -> str:
+        entries = ", ".join(f"m{m}={self._entries[m]}" for m in self.modes)
+        return f"ModeSwitchLUT({entries})"
+
+
+def per_line_counter_overhead(line_bytes: int = 64) -> float:
+    """Relative storage overhead of one 16-bit counter per cache line.
+
+    The paper quotes "around 3% overhead for a 64B cache line".
+    """
+    return TIMER_BITS / (line_bytes * 8)

@@ -1,0 +1,37 @@
+"""Workload generators: SPLASH-2-like benchmarks and synthetic mixes."""
+
+from repro.workloads.characterize import (
+    WorkloadProfile,
+    characterize,
+    characterize_suite,
+    suite_table,
+)
+from repro.workloads.splash import (
+    SPLASH_BENCHMARKS,
+    benchmark_names,
+    splash_traces,
+)
+from repro.workloads.synthetic import (
+    LINE,
+    PRIVATE_BASE,
+    SHARED_BASE,
+    TraceBuilder,
+    private_base,
+    uniform_shared_mix,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "characterize",
+    "characterize_suite",
+    "suite_table",
+    "SPLASH_BENCHMARKS",
+    "benchmark_names",
+    "splash_traces",
+    "LINE",
+    "PRIVATE_BASE",
+    "SHARED_BASE",
+    "TraceBuilder",
+    "private_base",
+    "uniform_shared_mix",
+]

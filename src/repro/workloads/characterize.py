@@ -1,0 +1,127 @@
+"""Workload characterisation: the sharing/locality numbers behind the
+synthetic SPLASH-2 substitution.
+
+DESIGN.md argues the synthetic generators preserve what the coherence
+layer observes; this module makes that argument quantitative — per
+benchmark: request counts, read/write mix, footprint, sharing degree
+(lines touched by 2+ threads), write-shared lines (the coherence
+traffic drivers), and spatial locality (accesses per distinct line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.params import MemOp
+from repro.sim.trace import Trace
+from repro.workloads.splash import benchmark_names, splash_traces
+from repro.workloads.synthetic import LINE
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Coherence-visible characteristics of one multi-threaded workload."""
+
+    name: str
+    total_accesses: int
+    write_ratio: float
+    distinct_lines: int
+    shared_lines: int
+    write_shared_lines: int
+    accesses_per_line: float
+    shared_access_fraction: float
+
+    @property
+    def sharing_fraction(self) -> float:
+        if self.distinct_lines == 0:
+            return 0.0
+        return self.shared_lines / self.distinct_lines
+
+
+def characterize(
+    traces: Sequence[Trace], name: str = "", line_bytes: int = LINE
+) -> WorkloadProfile:
+    """Compute the coherence-visible profile of a set of per-core traces."""
+    total = sum(len(t) for t in traces)
+    stores = sum(t.num_stores for t in traces)
+
+    readers: Dict[int, set] = {}
+    writers: Dict[int, set] = {}
+    per_line_accesses: Dict[int, int] = {}
+    for tid, trace in enumerate(traces):
+        lines = trace.line_addrs(line_bytes)
+        is_store = trace.ops == int(MemOp.STORE)
+        for line, st in zip(lines, is_store):
+            line = int(line)
+            per_line_accesses[line] = per_line_accesses.get(line, 0) + 1
+            readers.setdefault(line, set()).add(tid)
+            if st:
+                writers.setdefault(line, set()).add(tid)
+
+    shared = {
+        line for line, tids in readers.items() if len(tids) >= 2
+    }
+    write_shared = {
+        line
+        for line in shared
+        if line in writers
+        and (len(writers[line]) >= 2 or readers[line] - writers[line])
+    }
+    shared_accesses = sum(per_line_accesses[line] for line in shared)
+    distinct = len(per_line_accesses)
+    return WorkloadProfile(
+        name=name,
+        total_accesses=total,
+        write_ratio=stores / total if total else 0.0,
+        distinct_lines=distinct,
+        shared_lines=len(shared),
+        write_shared_lines=len(write_shared),
+        accesses_per_line=total / distinct if distinct else 0.0,
+        shared_access_fraction=shared_accesses / total if total else 0.0,
+    )
+
+
+def characterize_suite(
+    num_cores: int = 4, scale: float = 1.0, seed: int = 0
+) -> List[WorkloadProfile]:
+    """Profiles for every benchmark in the registry."""
+    return [
+        characterize(
+            splash_traces(name, num_cores, scale=scale, seed=seed), name
+        )
+        for name in benchmark_names()
+    ]
+
+
+def suite_table(profiles: Sequence[WorkloadProfile]) -> str:
+    """Render the suite characterisation as an aligned table."""
+    from repro.experiments.report import format_table
+
+    rows = [
+        [
+            p.name,
+            p.total_accesses,
+            f"{p.write_ratio:.2f}",
+            p.distinct_lines,
+            p.shared_lines,
+            p.write_shared_lines,
+            f"{p.accesses_per_line:.1f}",
+            f"{p.shared_access_fraction:.0%}",
+        ]
+        for p in profiles
+    ]
+    return format_table(
+        [
+            "benchmark",
+            "accesses",
+            "write ratio",
+            "lines",
+            "shared",
+            "write-shared",
+            "acc/line",
+            "shared acc",
+        ],
+        rows,
+        title="Workload characterisation (coherence-visible structure)",
+    )

@@ -1,0 +1,364 @@
+"""SPLASH-2-like multi-threaded workload generators.
+
+The paper evaluates CoHoRT on SPLASH-2 [26] with one thread per core.
+Real SPLASH-2 traces are not redistributable, so each benchmark here is
+a deterministic synthetic generator reproducing the *sharing and
+locality structure* the coherence layer observes (the substitution is
+recorded in DESIGN.md):
+
+=========  =====================================================
+fft        private butterfly stages + all-to-all transpose phases
+lu         blocked factorisation: shared read-mostly pivot blocks,
+           private block updates
+radix      private key scans + heavily write-shared histogram,
+           then scattered permutation writes
+ocean      2-D stencil bands with halo-row sharing at thread
+           boundaries
+barnes     read-mostly octree walks (Zipf reuse) + private particle
+           updates
+fmm        fast-multipole tree walks + private expansions + multipole
+           publications to neighbour sections
+volrend    shared work-queue ticket + read-only volume marches +
+           private image tiles
+cholesky   sparse blocked factorisation (randomised block schedule)
+water      private molecule updates + neighbour-section force reads
+raytrace   read-only BVH walks + private framebuffer writes
+=========  =====================================================
+
+Accesses are word-granular (8 bytes), so sequential sweeps exhibit the
+spatial locality — eight touches per 64-byte line — that CoHoRT's timer
+windows protect.  Every generator returns one
+:class:`~repro.sim.trace.Trace` per core and is deterministic in
+``(num_cores, scale, seed)``.  ``scale`` grows the request count roughly
+linearly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.sim.trace import Trace
+from repro.workloads.synthetic import (
+    LINE,
+    SHARED_BASE,
+    WORD,
+    TraceBuilder,
+    private_base,
+)
+
+GeneratorFn = Callable[[int, float, int], List[Trace]]
+
+
+def _scaled(n: int, scale: float) -> int:
+    return max(1, int(round(n * scale)))
+
+
+# --------------------------------------------------------------------- fft
+
+
+def fft(num_cores: int = 4, scale: float = 1.0, seed: int = 0) -> List[Trace]:
+    """Butterfly stages on private data, then all-to-all transposes."""
+    stages = 3
+    points = _scaled(96, scale)  # words per thread
+    traces = []
+    matrix = SHARED_BASE  # the shared matrix, written in thread stripes
+    for tid in range(num_cores):
+        b = TraceBuilder(seed * 7919 + tid)
+        mine = private_base(tid)
+        stripe = matrix + tid * points * WORD
+        for stage in range(stages):
+            # Butterfly: paired strided reads + writes within the stripe.
+            half = max(1, points >> 1)
+            for i in range(half):
+                twiddle = int(b.rng.integers(1, 4))  # per-pair compute time
+                b.access(mine + i * WORD, gap=twiddle)
+                b.access(mine + (i + half) * WORD, gap=1)
+                b.access(mine + i * WORD, store=True, gap=2)
+                b.access(mine + (i + half) * WORD, store=True, gap=1)
+            # Transpose: write own stripe, read the other threads' stripes.
+            b.sequential(stripe, points, store=True, gap=1)
+            for other in range(num_cores):
+                if other == tid:
+                    continue
+                other_stripe = matrix + other * points * WORD
+                chunk = max(1, points // num_cores)
+                b.sequential(
+                    other_stripe + ((stage + tid) % num_cores) * chunk * WORD,
+                    chunk,
+                    gap=2,
+                )
+        traces.append(b.build())
+    return traces
+
+
+# ---------------------------------------------------------------------- lu
+
+
+def lu(num_cores: int = 4, scale: float = 1.0, seed: int = 0) -> List[Trace]:
+    """Blocked LU: shared pivot block read by all, private block updates."""
+    block_words = _scaled(48, min(scale, 4.0))
+    steps = _scaled(6, scale)
+    traces = []
+    for tid in range(num_cores):
+        b = TraceBuilder(seed * 104729 + tid)
+        mine = private_base(tid)
+        for step in range(steps):
+            pivot = SHARED_BASE + step * block_words * WORD
+            owner = step % num_cores
+            if tid == owner:
+                # Factorise the pivot block in place.
+                b.blocked_reuse(pivot, block_words, repeats=2, write_ratio=0.5)
+            # Everyone reads the pivot block...
+            b.sequential(pivot, block_words, gap=2)
+            # ...and updates their own trailing blocks with reuse.
+            b.blocked_reuse(
+                mine + step * block_words * WORD,
+                block_words,
+                repeats=2,
+                write_ratio=0.4,
+            )
+        traces.append(b.build())
+    return traces
+
+
+# -------------------------------------------------------------------- radix
+
+
+def radix(num_cores: int = 4, scale: float = 1.0, seed: int = 0) -> List[Trace]:
+    """Histogram build (write-shared bins) + scattered permutation."""
+    keys = _scaled(160, scale)
+    bins_bytes = 8 * LINE
+    traces = []
+    for tid in range(num_cores):
+        b = TraceBuilder(seed * 15485863 + tid)
+        mine = private_base(tid)
+        # Scan private keys sequentially (word-granular: strong locality).
+        b.sequential(mine, _scaled(256, scale), gap=1)
+        # Scatter increments into the shared histogram (heavy write sharing).
+        idx = b.rng.integers(0, bins_bytes // WORD, size=keys // 4)
+        b.scatter(SHARED_BASE, bins_bytes, idx, gap=3)
+        # Permutation: scattered writes into the shared output array.
+        out = SHARED_BASE + (1 << 20)
+        b.random_region(out, 64 * LINE, keys // 4, write_ratio=0.9, gap_max=3)
+        traces.append(b.build())
+    return traces
+
+
+# -------------------------------------------------------------------- ocean
+
+
+def ocean(num_cores: int = 4, scale: float = 1.0, seed: int = 0) -> List[Trace]:
+    """Stencil over row bands; halo rows shared with neighbour threads."""
+    rows_per_thread = _scaled(4, scale)
+    cols = 32  # words per row: four lines
+    iters = _scaled(3, scale)
+    row_bytes = cols * WORD
+    grid = SHARED_BASE
+    traces = []
+    for tid in range(num_cores):
+        b = TraceBuilder(seed * 6700417 + tid)
+        band = grid + tid * rows_per_thread * row_bytes
+        for _ in range(iters):
+            for r in range(rows_per_thread):
+                row = band + r * row_bytes
+                b.stencil_sweep(row, cols, row_bytes,
+                                gap=int(b.rng.integers(1, 4)))
+        traces.append(b.build())
+    return traces
+
+
+# ------------------------------------------------------------------- barnes
+
+
+def barnes(num_cores: int = 4, scale: float = 1.0, seed: int = 0) -> List[Trace]:
+    """Octree force walks: Zipf-reused shared tree + private bodies."""
+    walks = _scaled(60, scale)
+    tree_bytes = 256 * LINE
+    body_words = 8
+    traces = []
+    for tid in range(num_cores):
+        b = TraceBuilder(seed * 32452843 + tid)
+        mine = private_base(tid)
+        for w in range(walks):
+            # Walk the shared tree: upper levels are re-read constantly.
+            b.zipf_region(SHARED_BASE, tree_bytes, 6, a=1.4, write_ratio=0.02)
+            # Update own body: read-modify-write its fields.
+            body = mine + (w % 32) * body_words * WORD
+            for f in range(body_words // 2):
+                b.access(body + f * WORD, gap=1)
+            for f in range(body_words // 2):
+                b.access(body + f * WORD, store=True, gap=1)
+        traces.append(b.build())
+    return traces
+
+
+# ---------------------------------------------------------------------- fmm
+
+
+def fmm(num_cores: int = 4, scale: float = 1.0, seed: int = 0) -> List[Trace]:
+    """Fast multipole: local expansions private, tree + interaction lists
+    shared read-mostly, with periodic multipole publications."""
+    cells = _scaled(40, scale)
+    tree_bytes = 128 * LINE
+    expansion_words = 8
+    traces = []
+    for tid in range(num_cores):
+        b = TraceBuilder(seed * 179424673 + tid)
+        mine = private_base(tid)
+        publish = SHARED_BASE + (1 << 21) + tid * 32 * LINE
+        for c in range(cells):
+            # Walk the shared interaction tree (hot upper levels).
+            b.zipf_region(SHARED_BASE, tree_bytes, 4, a=1.3, write_ratio=0.0)
+            # Accumulate into the private local expansion.
+            exp = mine + (c % 16) * expansion_words * WORD
+            for f in range(expansion_words // 2):
+                b.access(exp + f * WORD, gap=1)
+                b.access(exp + f * WORD, store=True, gap=1)
+            # Publish the cell's multipole every few cells.
+            if c % 4 == 0:
+                b.sequential(publish + (c % 32) * WORD, 4, store=True, gap=1)
+                # And read a neighbour's published multipoles.
+                other = SHARED_BASE + (1 << 21) + \
+                    ((tid + 1) % num_cores) * 32 * LINE
+                b.sequential(other + (c % 32) * WORD, 4, gap=2)
+        traces.append(b.build())
+    return traces
+
+
+# ------------------------------------------------------------------- volrend
+
+
+def volrend(num_cores: int = 4, scale: float = 1.0, seed: int = 0) -> List[Trace]:
+    """Volume rendering: read-only shared volume rays + private image tiles,
+    with a shared work-queue counter (contended read-modify-write)."""
+    rays = _scaled(56, scale)
+    volume_bytes = 512 * LINE
+    queue = SHARED_BASE + (1 << 22)
+    traces = []
+    for tid in range(num_cores):
+        b = TraceBuilder(seed * 15487469 + tid)
+        tile = private_base(tid)
+        for r in range(rays):
+            # Grab work from the shared queue (ticket counter).
+            b.access(queue, gap=2)
+            b.access(queue, store=True, gap=0)
+            # March the ray through the shared volume (strided samples).
+            start = int(b.rng.integers(0, volume_bytes // LINE)) * LINE
+            for step in range(4):
+                b.access(SHARED_BASE + (start + step * 4 * LINE) % volume_bytes,
+                         gap=2)
+            # Composite into the private tile.
+            pixel = tile + (r % 64) * 2 * WORD
+            b.access(pixel, gap=1)
+            b.access(pixel, store=True, gap=1)
+        traces.append(b.build())
+    return traces
+
+
+# ----------------------------------------------------------------- cholesky
+
+
+def cholesky(num_cores: int = 4, scale: float = 1.0, seed: int = 0) -> List[Trace]:
+    """Sparse blocked factorisation with a randomised block schedule."""
+    block_words = _scaled(40, min(scale, 4.0))
+    tasks = _scaled(8, scale)
+    traces = []
+    for tid in range(num_cores):
+        b = TraceBuilder(seed * 49979687 + tid)
+        mine = private_base(tid)
+        order = b.rng.permutation(tasks)
+        for t in order:
+            src = SHARED_BASE + int(t) * block_words * WORD
+            b.sequential(src, block_words, gap=2)  # read the source block
+            b.blocked_reuse(
+                mine + int(t) * block_words * WORD,
+                block_words,
+                repeats=2,
+                write_ratio=0.45,
+            )
+        traces.append(b.build())
+    return traces
+
+
+# -------------------------------------------------------------------- water
+
+
+def water(num_cores: int = 4, scale: float = 1.0, seed: int = 0) -> List[Trace]:
+    """Molecule updates + pairwise force reads of neighbour sections."""
+    molecules = _scaled(48, scale)
+    fields = 6  # words per molecule record
+    traces = []
+    section_bytes = 64 * LINE
+    for tid in range(num_cores):
+        b = TraceBuilder(seed * 86028121 + tid)
+        mine = private_base(tid)
+        shared_section = SHARED_BASE + tid * section_bytes
+        neigh = SHARED_BASE + ((tid + 1) % num_cores) * section_bytes
+        for m in range(molecules):
+            own = mine + m * fields * WORD
+            b.compute(int(b.rng.integers(0, 5)))  # force-evaluation time
+            for f in range(fields):
+                b.access(own + f * WORD, gap=1)
+            for f in range(fields // 2):
+                b.access(own + f * WORD, store=True, gap=1)
+            # Publish position to own shared section.
+            b.access(shared_section + (m % (section_bytes // WORD)) * WORD,
+                     store=True, gap=1)
+            # Read a window of the next thread's section (pairwise forces).
+            b.sequential(neigh + (m % 32) * WORD, 4, gap=1)
+        traces.append(b.build())
+    return traces
+
+
+# ----------------------------------------------------------------- raytrace
+
+
+def raytrace(num_cores: int = 4, scale: float = 1.0, seed: int = 0) -> List[Trace]:
+    """Read-only BVH walks + private framebuffer tile writes."""
+    rays = _scaled(64, scale)
+    bvh_bytes = 256 * LINE
+    traces = []
+    for tid in range(num_cores):
+        b = TraceBuilder(seed * 122949829 + tid)
+        tile = private_base(tid)
+        for r in range(rays):
+            b.zipf_region(SHARED_BASE, bvh_bytes, 5, a=1.5, write_ratio=0.0)
+            # Shade and store the pixel: a short word burst in the tile.
+            pixel = tile + (r % 64) * 4 * WORD
+            b.sequential(pixel, 4, store=True, gap=1)
+        traces.append(b.build())
+    return traces
+
+
+#: Name → generator registry (the paper's benchmark suite).
+SPLASH_BENCHMARKS: Dict[str, GeneratorFn] = {
+    "fft": fft,
+    "lu": lu,
+    "radix": radix,
+    "ocean": ocean,
+    "barnes": barnes,
+    "fmm": fmm,
+    "volrend": volrend,
+    "cholesky": cholesky,
+    "water": water,
+    "raytrace": raytrace,
+}
+
+
+def splash_traces(
+    name: str, num_cores: int = 4, scale: float = 1.0, seed: int = 0
+) -> List[Trace]:
+    """Generate the named benchmark's per-core traces."""
+    try:
+        generator = SPLASH_BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from "
+            f"{sorted(SPLASH_BENCHMARKS)}"
+        ) from None
+    return generator(num_cores, scale, seed)
+
+
+def benchmark_names() -> List[str]:
+    """Sorted names of the available benchmarks."""
+    return sorted(SPLASH_BENCHMARKS)

@@ -1,0 +1,66 @@
+"""Shared helpers for the test-suite."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence, Tuple
+
+import pytest
+
+from repro.params import (
+    CacheGeometry,
+    LatencyParams,
+    MemOp,
+    SimConfig,
+    cohort_config,
+)
+from repro.sim.system import System
+from repro.sim.trace import Trace
+
+LINE = 64
+
+
+def t(entries: Sequence[Tuple[int, str, int]]) -> Trace:
+    """Build a trace from ``(gap, 'R'|'W', line_index)`` tuples.
+
+    Addresses are given as *line indices* and scaled by the line size.
+    """
+    gaps = [e[0] for e in entries]
+    ops = [int(MemOp.STORE) if e[1] == "W" else int(MemOp.LOAD) for e in entries]
+    addrs = [e[2] * LINE for e in entries]
+    return Trace.from_arrays(gaps, ops, addrs)
+
+
+def empty_trace() -> Trace:
+    return Trace.from_arrays([], [], [])
+
+
+def run_checked(
+    config: SimConfig,
+    traces: Sequence[Trace],
+    record_latencies: bool = True,
+):
+    """Run a simulation with the coherence oracle enabled."""
+    config = replace(config, check_coherence=True)
+    system = System(config, traces, record_latencies=record_latencies)
+    stats = system.run()
+    return system, stats
+
+
+def quad_config(
+    thetas: Sequence[int],
+    runahead: int = 8,
+    **kwargs,
+) -> SimConfig:
+    """Four-core CoHoRT config with paper-default parameters."""
+    return cohort_config(list(thetas), runahead_window=runahead, **kwargs)
+
+
+@pytest.fixture
+def latencies() -> LatencyParams:
+    return LatencyParams()
+
+
+@pytest.fixture
+def l1_geometry() -> CacheGeometry:
+    return CacheGeometry()

@@ -1,0 +1,262 @@
+"""Unit + property tests for the timing analysis (repro.analysis)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.params import MSI_THETA, CacheGeometry
+from repro.analysis.cache_analysis import IsolationProfile, build_profiles
+from repro.analysis.wcl import (
+    wcl_miss,
+    wcl_miss_all,
+    wcl_miss_msi_rrof,
+    wcl_miss_pcc,
+    wcl_miss_pendulum,
+    wcl_miss_shared_wb,
+)
+from repro.sim.timer import MAX_THETA
+
+from conftest import t
+
+SW = 54
+
+
+class TestEquation1:
+    def test_all_msi_reduces_to_n_slots(self):
+        thetas = [MSI_THETA] * 4
+        assert wcl_miss(thetas, 0, SW) == 4 * SW
+
+    def test_all_timed_matches_formula(self):
+        thetas = [100, 200, 300, 400]
+        # SW + 3*SW + sum over others of (theta_j + SW)
+        expected = SW + 3 * SW + (200 + SW) + (300 + SW) + (400 + SW)
+        assert wcl_miss(thetas, 0, SW) == expected
+
+    def test_own_timer_excluded(self):
+        a = wcl_miss([10, 50], 0, SW)
+        b = wcl_miss([99999 % MAX_THETA, 50], 0, SW)
+        assert a == b  # core 0's own theta does not matter
+
+    def test_mixed_heterogeneous(self):
+        thetas = [100, MSI_THETA, 50, MSI_THETA]
+        # Both timed co-runners contribute; the MSI one contributes nothing.
+        expected = SW + 3 * SW + (100 + SW) + (50 + SW)
+        assert wcl_miss(thetas, 1, SW) == expected
+
+    def test_wcl_miss_all_matches_individual(self):
+        thetas = [10, MSI_THETA, 30]
+        assert wcl_miss_all(thetas, SW) == [wcl_miss(thetas, i, SW) for i in range(3)]
+
+    def test_invalid_core_id(self):
+        with pytest.raises(IndexError):
+            wcl_miss([10, 20], 5, SW)
+
+    def test_invalid_slot_width(self):
+        with pytest.raises(ValueError):
+            wcl_miss([10], 0, 0)
+
+    def test_shared_wb_adds_one_slot_per_core(self):
+        thetas = [10, 20, 30]
+        assert wcl_miss_shared_wb(thetas, 0, SW) == wcl_miss(thetas, 0, SW) + 3 * SW
+
+    @given(
+        thetas=st.lists(
+            st.sampled_from([MSI_THETA, 1, 7, 100, 5000]), min_size=2, max_size=6
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_other_timers(self, thetas):
+        """Raising any co-runner's timer never tightens my bound."""
+        base = wcl_miss(thetas, 0, SW)
+        for j in range(1, len(thetas)):
+            bumped = list(thetas)
+            bumped[j] = 6000 if bumped[j] == MSI_THETA else bumped[j] + 100
+            assert wcl_miss(bumped, 0, SW) >= base
+
+
+class TestNonPerfectBound:
+    def test_extends_equation_1(self):
+        from repro.analysis.wcl import wcl_miss_nonperfect
+
+        thetas = [100, 50, MSI_THETA, 20]
+        base = wcl_miss(thetas, 0, SW)
+        extended = wcl_miss_nonperfect(thetas, 0, SW, dram_latency=100)
+        assert extended == base + 4 * (100 + SW + SW)
+
+    def test_zero_dram_latency_still_adds_llc_margin(self):
+        from repro.analysis.wcl import wcl_miss_nonperfect
+
+        thetas = [10, 10]
+        assert wcl_miss_nonperfect(thetas, 0, SW, 0) > wcl_miss(thetas, 0, SW)
+
+    def test_validates_dram_latency(self):
+        from repro.analysis.wcl import wcl_miss_nonperfect
+
+        with pytest.raises(ValueError):
+            wcl_miss_nonperfect([10, 10], 0, SW, -1)
+
+
+class TestBaselineBounds:
+    def test_pcc_bound(self):
+        assert wcl_miss_pcc(4, SW) == 8 * SW
+
+    def test_msi_rrof_bound(self):
+        assert wcl_miss_msi_rrof(4, SW) == 4 * SW
+
+    def test_pendulum_cr_bound(self):
+        # 4 cores, 2 critical: all three co-runners hold the global timer;
+        # one TDM period each for the broadcast and the final data slot.
+        period = 2 * SW
+        expected = 2 * period + 3 * (300 + period + SW) + SW
+        assert wcl_miss_pendulum(4, 2, 300, SW, critical=True) == expected
+
+    def test_pendulum_ncr_unbounded(self):
+        assert math.isinf(wcl_miss_pendulum(4, 2, 300, SW, critical=False))
+
+    def test_pendulum_validates(self):
+        with pytest.raises(ValueError):
+            wcl_miss_pendulum(2, 0, 300, SW)
+        with pytest.raises(ValueError):
+            wcl_miss_pendulum(2, 2, 0, SW)
+        with pytest.raises(ValueError):
+            wcl_miss_pendulum(1, 2, 300, SW)
+
+    def test_pendulum_worse_than_cohort_for_same_timer(self):
+        """PENDULUM's pessimism: TDM re-alignment around every handover."""
+        thetas = [300] * 4
+        assert wcl_miss_pendulum(4, 4, 300, SW) > wcl_miss(thetas, 0, SW)
+
+
+def profile_of(trace, sets=4):
+    geom = CacheGeometry(size_bytes=sets * 64, line_bytes=64, ways=1)
+    return IsolationProfile(trace, geom, hit_latency=1)
+
+
+class TestIsolationProfile:
+    def test_msi_guarantees_nothing(self):
+        p = profile_of(t([(0, "R", 1), (0, "R", 1)]))
+        counts = p.analyze(MSI_THETA, 100)
+        assert counts.m_hit == 0
+        assert counts.m_miss == 2
+
+    def test_immediate_reuse_guaranteed_with_small_timer(self):
+        p = profile_of(t([(0, "R", 1), (0, "R", 1), (0, "R", 1)]))
+        counts = p.analyze(theta=5, wcl=100)
+        assert counts.m_hit == 2
+
+    def test_reuse_outside_window_not_guaranteed(self):
+        p = profile_of(t([(0, "R", 1), (500, "R", 1)]))
+        counts = p.analyze(theta=100, wcl=54)
+        assert counts.m_hit == 0
+
+    def test_store_to_shared_counts_as_miss(self):
+        p = profile_of(t([(0, "R", 1), (0, "W", 1), (0, "W", 1)]))
+        counts = p.analyze(theta=50, wcl=54)
+        # load miss, store upgrade (miss), then a guaranteed store hit.
+        assert counts.m_hit == 1
+        assert counts.m_miss == 2
+
+    def test_conflicting_lines_never_guaranteed(self):
+        p = profile_of(t([(0, "R", 1), (0, "R", 5), (0, "R", 1)]), sets=4)
+        counts = p.analyze(theta=10_000, wcl=54)
+        assert counts.m_hit == 0  # lines 1 and 5 conflict in a 4-set cache
+
+    def test_pessimistic_time_charging(self):
+        """A miss between fill and reuse is charged the WCL, shrinking the
+        effective window."""
+        trace = t([(0, "R", 1), (0, "R", 2), (0, "R", 1)])
+        p = profile_of(trace)
+        # With wcl=54 the intervening miss costs 54: reuse at ~55 < 60.
+        assert p.analyze(theta=60, wcl=54).m_hit == 1
+        # With wcl=500 the same reuse lands outside the 60-cycle window.
+        assert p.analyze(theta=60, wcl=500).m_hit == 0
+
+    def test_flags_match_counts(self):
+        trace = t([(0, "R", 1), (1, "R", 1), (3, "W", 1), (0, "W", 1)])
+        p = profile_of(trace)
+        counts = p.analyze(theta=40, wcl=54)
+        flags = p.analyze_flags(theta=40, wcl=54)
+        assert int(flags.sum()) == counts.m_hit
+
+    def test_analyze_validates(self):
+        p = profile_of(t([(0, "R", 1)]))
+        with pytest.raises(ValueError):
+            p.analyze(theta=0, wcl=54)
+        with pytest.raises(ValueError):
+            p.analyze(theta=10, wcl=0)
+
+    def test_rejects_set_associative_geometry(self):
+        geom = CacheGeometry(size_bytes=8 * 64, line_bytes=64, ways=2)
+        with pytest.raises(ValueError):
+            IsolationProfile(t([(0, "R", 1)]), geom)
+
+    def test_build_profiles(self):
+        traces = [t([(0, "R", 1)]), t([(0, "W", 2)])]
+        profiles = build_profiles(traces, CacheGeometry())
+        assert len(profiles) == 2
+        assert profiles[0].num_accesses == 1
+
+
+class TestThetaSat:
+    def test_covers_all_isolation_hits(self):
+        trace = t([(0, "R", 1), (10, "R", 1), (100, "R", 1)])
+        p = profile_of(trace)
+        sat = p.theta_sat(wcl=54)
+        counts = p.analyze(theta=sat, wcl=54)
+        assert counts.m_hit == 2  # both reuses guaranteed at saturation
+
+    def test_no_hits_gives_minimum(self):
+        p = profile_of(t([(0, "R", 1), (0, "R", 2)]))
+        assert p.theta_sat(54) >= 1
+
+    def test_clamped_to_register_width(self):
+        trace = t([(0, "R", 1), (100_000, "R", 1)])
+        p = profile_of(trace)
+        assert p.theta_sat(54) <= MAX_THETA
+
+    def test_saturation_is_a_fixed_point(self):
+        trace = t([(0, "R", 1), (5, "W", 1), (9, "R", 1), (30, "R", 2), (2, "R", 1)])
+        p = profile_of(trace)
+        sat = p.theta_sat(54)
+        at_sat = p.analyze(sat, 54).m_hit
+        assert p.analyze(min(sat * 2, MAX_THETA), 54).m_hit == at_sat
+
+
+@st.composite
+def analysis_case(draw):
+    n = draw(st.integers(1, 40))
+    entries = []
+    for _ in range(n):
+        gap = draw(st.integers(0, 30))
+        op = draw(st.sampled_from(["R", "W"]))
+        line = draw(st.integers(0, 9))
+        entries.append((gap, op, line))
+    return t(entries)
+
+
+class TestAnalysisProperties:
+    @given(trace=analysis_case(), wcl=st.sampled_from([54, 216, 700]))
+    @settings(max_examples=60, deadline=None)
+    def test_hit_curve_monotone_in_theta(self, trace, wcl):
+        p = profile_of(trace, sets=4)
+        thetas = [1, 3, 10, 40, 150, 600, 3000]
+        hits = [p.analyze(th, wcl).m_hit for th in thetas]
+        assert hits == sorted(hits)
+
+    @given(trace=analysis_case(), theta=st.sampled_from([5, 50, 400]))
+    @settings(max_examples=60, deadline=None)
+    def test_hits_antitone_in_wcl(self, trace, theta):
+        """A larger per-miss charge can only lose guaranteed hits."""
+        p = profile_of(trace, sets=4)
+        hits = [p.analyze(theta, w).m_hit for w in [10, 100, 1000]]
+        assert hits == sorted(hits, reverse=True)
+
+    @given(trace=analysis_case())
+    @settings(max_examples=40, deadline=None)
+    def test_counts_partition_accesses(self, trace):
+        p = profile_of(trace, sets=4)
+        counts = p.analyze(25, 54)
+        assert counts.m_hit + counts.m_miss == len(trace)
+        assert 0.0 <= counts.hit_rate <= 1.0

@@ -1,0 +1,173 @@
+"""Unit tests for the bus arbitration policies (repro.sim.arbiter)."""
+
+import pytest
+
+from repro.params import ArbiterKind, MemOp, SimConfig, cohort_config, pendulum_config
+from repro.sim.arbiter import (
+    FCFSArbiter,
+    RoundRobinArbiter,
+    RROFArbiter,
+    TDMArbiter,
+    build_arbiter,
+)
+from repro.sim.messages import (
+    BusJob,
+    CoherenceRequest,
+    JobKind,
+    ReqKind,
+    Writeback,
+)
+
+
+def req(core, seq, line=0):
+    return CoherenceRequest(
+        req_id=seq,
+        core_id=core,
+        line_addr=line,
+        kind=ReqKind.GETM,
+        op=MemOp.STORE,
+        issue_cycle=0,
+    )
+
+
+def bjob(kind, core, seq):
+    if kind == JobKind.WRITEBACK:
+        wb = Writeback(core_id=core, line_addr=0, version=0, created_cycle=0, seq=seq)
+        return BusJob(kind, core, seq, wb=wb)
+    return BusJob(kind, core, seq, req=req(core, seq))
+
+
+class TestRROF:
+    def test_grants_in_cyclic_order(self):
+        arb = RROFArbiter(3)
+        jobs = [bjob(JobKind.BROADCAST, c, c + 1) for c in range(3)]
+        decision = arb.decide(0, jobs, set())
+        assert decision.job.core_id == 0
+
+    def test_skips_cores_without_jobs_but_keeps_position(self):
+        arb = RROFArbiter(3)
+        jobs = [bjob(JobKind.BROADCAST, 2, 1)]
+        assert arb.decide(0, jobs, set()).job.core_id == 2
+        # Core 0 did not lose its place: it is still first when it has work.
+        jobs = [bjob(JobKind.BROADCAST, 0, 2), bjob(JobKind.BROADCAST, 2, 3)]
+        assert arb.decide(1, jobs, set()).job.core_id == 0
+
+    def test_rotates_only_on_request_completion(self):
+        arb = RROFArbiter(2)
+        jobs = [bjob(JobKind.BROADCAST, 0, 1), bjob(JobKind.BROADCAST, 1, 2)]
+        assert arb.decide(0, jobs, set()).job.core_id == 0
+        # No completion: core 0 still leads.
+        assert arb.decide(1, jobs, set()).job.core_id == 0
+        arb.on_request_completed(0)
+        assert arb.decide(2, jobs, set()).job.core_id == 1
+        assert arb.order == [1, 0]
+
+    def test_per_core_priority_data_over_broadcast_over_wb(self):
+        arb = RROFArbiter(1)
+        jobs = [
+            bjob(JobKind.WRITEBACK, 0, 1),
+            bjob(JobKind.BROADCAST, 0, 2),
+            bjob(JobKind.DATA, 0, 3),
+        ]
+        assert arb.decide(0, jobs, set()).job.kind == JobKind.DATA
+
+    def test_empty_jobs(self):
+        arb = RROFArbiter(2)
+        decision = arb.decide(0, [], set())
+        assert decision.job is None and decision.wake_at is None
+
+
+class TestRoundRobin:
+    def test_rotates_on_every_grant(self):
+        arb = RoundRobinArbiter(2)
+        jobs = [bjob(JobKind.BROADCAST, 0, 1), bjob(JobKind.BROADCAST, 1, 2)]
+        assert arb.decide(0, jobs, set()).job.core_id == 0
+        assert arb.decide(1, jobs, set()).job.core_id == 1
+        assert arb.decide(2, jobs, set()).job.core_id == 0
+
+
+class TestFCFS:
+    def test_grants_lowest_seq(self):
+        arb = FCFSArbiter(3)
+        jobs = [bjob(JobKind.BROADCAST, 2, 7), bjob(JobKind.DATA, 0, 9),
+                bjob(JobKind.BROADCAST, 1, 3)]
+        assert arb.decide(0, jobs, set()).job.seq == 3
+
+
+class TestTDM:
+    def make(self):
+        # Critical cores 0 and 1, slot width 10.
+        return TDMArbiter(4, critical_cores=[0, 1], slot_width=10)
+
+    def test_rejects_empty_critical_set(self):
+        with pytest.raises(ValueError):
+            TDMArbiter(2, critical_cores=[], slot_width=10)
+
+    def test_slot_ownership_cycles(self):
+        arb = self.make()
+        assert arb.slot_owner(0) == 0
+        assert arb.slot_owner(10) == 1
+        assert arb.slot_owner(20) == 0
+        assert arb.slot_owner(15) == 1
+
+    def test_waits_for_slot_boundary(self):
+        arb = self.make()
+        jobs = [bjob(JobKind.BROADCAST, 0, 1)]
+        decision = arb.decide(3, jobs, {0})
+        assert decision.job is None
+        assert decision.wake_at == 10
+
+    def test_grants_slot_owner_at_boundary(self):
+        arb = self.make()
+        jobs = [bjob(JobKind.BROADCAST, 0, 1), bjob(JobKind.BROADCAST, 1, 2)]
+        assert arb.decide(0, jobs, {0, 1}).job.core_id == 0
+        assert arb.decide(10, jobs, {0, 1}).job.core_id == 1
+
+    def test_idle_slot_when_owner_not_ready_but_cr_busy(self):
+        """PENDULUM's wasted slots: owner has nothing, another Cr core waits."""
+        arb = self.make()
+        jobs = [bjob(JobKind.BROADCAST, 1, 2), bjob(JobKind.BROADCAST, 2, 3)]
+        decision = arb.decide(0, jobs, {1})  # slot owner 0 idle, core 1 busy
+        assert decision.job is None
+        assert decision.wake_at == 10
+
+    def test_ncr_served_only_when_no_cr_outstanding(self):
+        arb = self.make()
+        ncr_jobs = [bjob(JobKind.BROADCAST, 2, 5), bjob(JobKind.BROADCAST, 3, 6)]
+        # Some critical core still has an outstanding request: starve nCr.
+        assert arb.decide(0, ncr_jobs, {1}).job is None
+        # No critical requests at all: nCr gets the slack, round-robin.
+        assert arb.decide(10, ncr_jobs, set()).job.core_id == 2
+        assert arb.decide(20, ncr_jobs, set()).job.core_id == 3
+
+    def test_next_boundary(self):
+        arb = self.make()
+        assert arb.next_boundary(0) == 10
+        assert arb.next_boundary(9) == 10
+        assert arb.next_boundary(10) == 20
+
+
+class TestBuildArbiter:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            (ArbiterKind.RROF, RROFArbiter),
+            (ArbiterKind.ROUND_ROBIN, RoundRobinArbiter),
+            (ArbiterKind.FCFS, FCFSArbiter),
+        ],
+    )
+    def test_builds_kind(self, kind, cls):
+        cfg = cohort_config([10, 10], arbiter=kind)
+        assert isinstance(build_arbiter(cfg), cls)
+
+    def test_builds_tdm_with_critical_cores(self):
+        cfg = pendulum_config([True, False, True, False])
+        arb = build_arbiter(cfg)
+        assert isinstance(arb, TDMArbiter)
+        assert arb.critical_cores == [0, 2]
+        assert arb.slot_width == cfg.latencies.slot_width
+
+    def test_tdm_all_ncr_falls_back_to_all_cores(self):
+        cfg = SimConfig(num_cores=2, arbiter=ArbiterKind.TDM)
+        arb = build_arbiter(cfg)
+        assert arb.critical_cores == [0, 1]

@@ -1,0 +1,148 @@
+"""Unit tests for cache storage structures (repro.sim.cache)."""
+
+import pytest
+
+from repro.params import CacheGeometry
+from repro.sim.cache import (
+    CacheLine,
+    DirectMappedArray,
+    LineState,
+    SetAssociativeArray,
+)
+
+
+class TestCacheLine:
+    def test_invalid_by_default(self):
+        line = CacheLine()
+        assert not line.valid
+        assert not line.can_serve(store=False)
+
+    def test_can_serve_loads_in_s_and_m(self):
+        line = CacheLine(line_addr=1, state=LineState.S)
+        assert line.can_serve(store=False)
+        assert not line.can_serve(store=True)
+        line.state = LineState.M
+        assert line.can_serve(store=True)
+
+    def test_frozen_line_serves_nothing(self):
+        line = CacheLine(line_addr=1, state=LineState.M)
+        line.pending_inv_since = 10
+        line.handover_ready = True
+        assert line.frozen
+        assert not line.can_serve(store=False)
+        assert not line.can_serve(store=True)
+
+    def test_downgrade_handover_still_serves(self):
+        """A line conceded to a *reader* keeps serving until the transfer."""
+        line = CacheLine(line_addr=1, state=LineState.M)
+        line.pending_inv_since = 10
+        line.pending_is_downgrade = True
+        line.handover_ready = True
+        assert not line.frozen
+        assert line.can_serve(store=False)
+        assert line.can_serve(store=True)
+
+    def test_invalidate_clears_everything_and_bumps_generation(self):
+        line = CacheLine(line_addr=1, state=LineState.M, dirty=True)
+        line.pending_inv_since = 5
+        gen = line.generation
+        line.invalidate()
+        assert line.state == LineState.I
+        assert not line.dirty
+        assert line.pending_inv_since is None
+        assert line.generation == gen + 1
+
+
+class TestDirectMappedArray:
+    def geom(self):
+        return CacheGeometry(size_bytes=4 * 64, line_bytes=64, ways=1)
+
+    def test_rejects_set_associative(self):
+        with pytest.raises(ValueError):
+            DirectMappedArray(CacheGeometry(size_bytes=8 * 64, ways=2, line_bytes=64))
+
+    def test_lookup_miss_on_empty(self):
+        arr = DirectMappedArray(self.geom())
+        assert arr.lookup(0) is None
+
+    def test_fill_then_lookup(self):
+        arr = DirectMappedArray(self.geom())
+        slot = arr.slot(5)
+        slot.line_addr = 5
+        slot.state = LineState.S
+        assert arr.lookup(5) is slot
+
+    def test_conflicting_lines_share_slot(self):
+        arr = DirectMappedArray(self.geom())
+        slot = arr.slot(1)
+        assert arr.slot(5) is slot  # 1 and 5 map to set 1 of 4
+
+    def test_victim_detection(self):
+        arr = DirectMappedArray(self.geom())
+        slot = arr.slot(1)
+        slot.line_addr = 1
+        slot.state = LineState.M
+        assert arr.victim(5) is slot
+        assert arr.victim(1) is None  # same line: no victim
+
+    def test_valid_lines_count(self):
+        arr = DirectMappedArray(self.geom())
+        assert len(arr) == 0
+        slot = arr.slot(2)
+        slot.line_addr = 2
+        slot.state = LineState.S
+        assert len(arr) == 1
+
+
+class TestSetAssociativeArray:
+    def geom(self):
+        return CacheGeometry(size_bytes=2 * 2 * 64, line_bytes=64, ways=2)
+
+    def test_insert_and_lookup(self):
+        arr = SetAssociativeArray(self.geom())
+        assert arr.insert(0, cycle=1) is None
+        assert arr.lookup(0, cycle=2) is not None
+
+    def test_insert_same_line_touches_not_evicts(self):
+        arr = SetAssociativeArray(self.geom())
+        arr.insert(0, cycle=1)
+        assert arr.insert(0, cycle=5) is None
+        assert arr.occupancy() == 1
+
+    def test_lru_eviction(self):
+        arr = SetAssociativeArray(self.geom())
+        arr.insert(0, cycle=1)   # set 0
+        arr.insert(2, cycle=2)   # set 0 (2 % 2 == 0)
+        arr.lookup(0, cycle=3)   # touch 0: 2 becomes LRU
+        victim = arr.insert(4, cycle=4)
+        assert victim is not None and victim.line_addr == 2
+
+    def test_peek_victim_matches_insert(self):
+        arr = SetAssociativeArray(self.geom())
+        arr.insert(0, cycle=1)
+        arr.insert(2, cycle=2)
+        assert arr.peek_victim(4) == 0
+        victim = arr.insert(4, cycle=3)
+        assert victim.line_addr == 0
+
+    def test_peek_victim_none_when_space(self):
+        arr = SetAssociativeArray(self.geom())
+        arr.insert(0, cycle=1)
+        assert arr.peek_victim(2) is None
+        assert arr.peek_victim(0) is None  # already resident
+
+    def test_remove(self):
+        arr = SetAssociativeArray(self.geom())
+        arr.insert(0, cycle=1)
+        removed = arr.remove(0)
+        assert removed is not None
+        assert arr.lookup(0, 2) is None
+        assert arr.remove(0) is None
+
+    def test_untouch_lookup_does_not_update_lru(self):
+        arr = SetAssociativeArray(self.geom())
+        arr.insert(0, cycle=1)
+        arr.insert(2, cycle=2)
+        arr.lookup(0, cycle=9, touch=False)
+        victim = arr.insert(4, cycle=10)
+        assert victim.line_addr == 0  # still the LRU despite the peek

@@ -1,0 +1,83 @@
+"""Unit tests for workload characterisation (repro.workloads.characterize)."""
+
+import pytest
+
+from repro.workloads import (
+    benchmark_names,
+    characterize,
+    characterize_suite,
+    suite_table,
+)
+
+from conftest import t
+
+
+class TestCharacterize:
+    def test_private_only(self):
+        traces = [t([(0, "R", 1), (0, "W", 1)]), t([(0, "R", 2)])]
+        profile = characterize(traces, "x")
+        assert profile.total_accesses == 3
+        assert profile.shared_lines == 0
+        assert profile.sharing_fraction == 0.0
+
+    def test_read_sharing_not_write_shared(self):
+        traces = [t([(0, "R", 1)]), t([(0, "R", 1)])]
+        profile = characterize(traces)
+        assert profile.shared_lines == 1
+        assert profile.write_shared_lines == 0
+
+    def test_producer_consumer_is_write_shared(self):
+        traces = [t([(0, "W", 1)]), t([(0, "R", 1)])]
+        profile = characterize(traces)
+        assert profile.write_shared_lines == 1
+
+    def test_write_write_sharing(self):
+        traces = [t([(0, "W", 1)]), t([(0, "W", 1)])]
+        profile = characterize(traces)
+        assert profile.write_shared_lines == 1
+
+    def test_single_writer_no_readers_not_write_shared(self):
+        # Both threads touch the line, but only one ever writes AND reads it.
+        traces = [t([(0, "W", 1), (0, "R", 1)]), t([(0, "W", 2)])]
+        profile = characterize(traces)
+        assert profile.shared_lines == 0
+
+    def test_accesses_per_line(self):
+        traces = [t([(0, "R", 1), (0, "R", 1), (0, "R", 2)])]
+        profile = characterize(traces)
+        assert profile.accesses_per_line == pytest.approx(1.5)
+
+    def test_empty(self):
+        from repro.sim.trace import Trace
+
+        profile = characterize([Trace()])
+        assert profile.total_accesses == 0
+        assert profile.accesses_per_line == 0.0
+
+
+class TestSuite:
+    def test_profiles_every_benchmark(self):
+        profiles = characterize_suite(scale=0.4)
+        assert [p.name for p in profiles] == benchmark_names()
+        for p in profiles:
+            assert p.total_accesses > 0
+            assert p.shared_lines > 0, p.name  # every benchmark shares
+
+    def test_table_renders(self):
+        profiles = characterize_suite(scale=0.4)
+        out = suite_table(profiles)
+        assert "write-shared" in out
+        for name in benchmark_names():
+            assert name in out
+
+    def test_known_structure_properties(self):
+        """Spot-check benchmark-specific structure claims."""
+        profiles = {p.name: p for p in characterize_suite(scale=1.0)}
+        # raytrace's BVH is read-only: no write-shared lines.
+        assert profiles["raytrace"].write_shared_lines == 0
+        # fft's transpose writes stripes read by everyone.
+        assert profiles["fft"].write_shared_lines > 0
+        # ocean's stencil has the strongest spatial locality.
+        assert profiles["ocean"].accesses_per_line == max(
+            p.accesses_per_line for p in profiles.values()
+        )

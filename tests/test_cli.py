@@ -1,0 +1,114 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "-b", "nope"])
+
+    def test_fig5_config_choices(self):
+        args = build_parser().parse_args(["fig5", "--config", "2cr_2ncr"])
+        assert args.config == "2cr_2ncr"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--config", "bogus"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "CoHoRT" in out and "Challenge" not in out
+
+    def test_simulate_small(self, capsys):
+        rc = main(
+            ["simulate", "-b", "water", "-t", "50", "20", "20", "-1",
+             "--scale", "0.3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "WCML (bound)" in out
+
+    def test_optimize_small(self, capsys):
+        rc = main(
+            ["optimize", "-b", "water", "--scale", "0.3",
+             "--population", "6", "--generations", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "optimized thetas" in out
+
+    def test_table2_small(self, capsys):
+        rc = main(
+            ["table2", "-b", "water", "--scale", "0.3",
+             "--population", "6", "--generations", "3"]
+        )
+        assert rc == 0
+        assert "per-mode timers" in capsys.readouterr().out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "write-shared" in out
+
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "-b", "water", "--scale", "0.3",
+                   "--sweep", "1", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "guaranteed hits" in out and "co-runner WCL" in out
+
+    def test_headroom(self, capsys):
+        rc = main(["headroom", "-b", "water", "--scale", "0.3",
+                   "--population", "6", "--generations", "2"])
+        assert rc == 0
+        assert "max tightening" in capsys.readouterr().out
+
+    def test_trace_generate_and_inspect(self, capsys, tmp_path):
+        out = str(tmp_path / "traces")
+        assert main(["trace", "generate", "-b", "water", "-o", out,
+                     "--scale", "0.3"]) == 0
+        files = sorted(str(p) for p in (tmp_path / "traces").glob("*.npz"))
+        assert len(files) == 4
+        assert main(["trace", "inspect"] + files) == 0
+        assert "write ratio" in capsys.readouterr().out
+
+    def test_trace_generate_csv(self, tmp_path):
+        out = str(tmp_path / "csv")
+        assert main(["trace", "generate", "-b", "water", "-o", out,
+                     "--format", "csv", "--scale", "0.3", "--cores", "2"]) == 0
+        assert len(list((tmp_path / "csv").glob("*.csv"))) == 2
+
+    def test_simulate_from_trace_files(self, capsys, tmp_path):
+        out = str(tmp_path / "t")
+        main(["trace", "generate", "-b", "water", "-o", out, "--cores", "2",
+              "--scale", "0.3"])
+        files = sorted(str(p) for p in (tmp_path / "t").glob("*.npz"))
+        assert main(["simulate", "--trace-files"] + files +
+                    ["-t", "50", "-1"]) == 0
+        assert "trace files" in capsys.readouterr().out
+
+    def test_simulate_trace_file_count_mismatch(self, tmp_path):
+        out = str(tmp_path / "t")
+        main(["trace", "generate", "-b", "water", "-o", out, "--cores", "2",
+              "--scale", "0.3"])
+        files = sorted(str(p) for p in (tmp_path / "t").glob("*.npz"))
+        with pytest.raises(SystemExit):
+            main(["simulate", "--trace-files"] + files + ["-t", "50"])
+
+    def test_fig5_single_benchmark(self, capsys):
+        rc = main(
+            ["fig5", "-b", "water", "--scale", "0.3",
+             "--population", "6", "--generations", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PENDULUM" in out and "bound ratios" in out

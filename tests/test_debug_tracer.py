@@ -1,0 +1,115 @@
+"""Tests for the protocol tracer (repro.sim.debug)."""
+
+from repro.params import MSI_THETA, cohort_config
+from repro.sim.debug import ProtocolTracer, event_kinds, trace_run
+from repro.sim.system import System
+
+from conftest import t
+
+
+def traced_system():
+    traces = [
+        t([(0, "W", 1), (5, "R", 1), (10, "R", 2)]),
+        t([(30, "W", 1)]),
+    ]
+    system = System(cohort_config([40, 40]), traces)
+    tracer = ProtocolTracer.attach(system)
+    return system, tracer
+
+
+class TestProtocolTracer:
+    def test_captures_all_kinds(self):
+        system, tracer = traced_system()
+        system.run()
+        counts = tracer.counts()
+        assert counts["miss"] >= 3
+        assert counts["fill"] == counts["miss"]
+        assert counts["hit"] >= 1
+        assert counts["grant"] > 0
+        assert counts["timer_expiry"] >= 1
+
+    def test_filter_by_core_and_line(self):
+        system, tracer = traced_system()
+        system.run()
+        core1 = tracer.filter(core=1)
+        assert core1 and all(ev.core == 1 for ev in core1)
+        line1 = tracer.filter(line=1)
+        assert line1 and all(ev.line == 1 for ev in line1)
+        assert tracer.filter(kind="fill", core=1, line=1)
+
+    def test_filter_by_time_window(self):
+        system, tracer = traced_system()
+        system.run()
+        early = tracer.filter(until=10)
+        late = tracer.filter(since=11)
+        assert len(early) + len(late) == len(tracer.events)
+
+    def test_worst_fill(self):
+        system, tracer = traced_system()
+        system.run()
+        worst = tracer.worst_fill(core=1)
+        assert worst is not None
+        # c1's store waited for c0's 40-cycle timer.
+        assert worst.payload["latency"] > 40
+
+    def test_render_contains_events(self):
+        system, tracer = traced_system()
+        system.run()
+        out = tracer.render(kind="fill")
+        assert "fill" in out and "latency" in out
+
+    def test_render_limit(self):
+        system, tracer = traced_system()
+        system.run()
+        out = tracer.render(limit=2)
+        assert "showing last 2" in out
+
+    def test_explain_latency(self):
+        system, tracer = traced_system()
+        system.run()
+        out = tracer.explain_latency(core=1, min_latency=40)
+        assert "fill of line 1" in out
+        assert "timer_expiry" in out
+
+    def test_explain_latency_no_match(self):
+        system, tracer = traced_system()
+        system.run()
+        assert "no matching fills" in tracer.explain_latency(0, 10**9)
+
+    def test_max_events_bounds_memory(self):
+        traces = [t([(0, "R", i) for i in range(20)])]
+        system = System(cohort_config([10]), traces)
+        tracer = ProtocolTracer.attach(system, max_events=5)
+        system.run()
+        assert len(tracer.events) == 5
+
+    def test_trace_run_helper(self):
+        traces = [t([(0, "W", 1)])]
+        system = System(cohort_config([MSI_THETA]), traces)
+        tracer = trace_run(system)
+        assert tracer.counts()["fill"] == 1
+
+    def test_no_listeners_no_overhead(self):
+        traces = [t([(0, "W", 1)])]
+        system = System(cohort_config([10]), traces)
+        system.run()  # simply must not fail without listeners
+
+    def test_event_kinds_documented(self):
+        system, tracer = traced_system()
+        system.run()
+        for kind in tracer.counts():
+            assert kind in event_kinds()
+
+    def test_mode_switch_event(self):
+        traces = [t([(0, "W", 1), (500, "W", 1)])]
+        system = System(cohort_config([50]), traces)
+        tracer = ProtocolTracer.attach(system)
+        system.caches[0].lut.program(2, MSI_THETA)
+        system.kernel.schedule(
+            100, system.PHASE_EFFECT, lambda: system.switch_mode(2)
+        )
+        system.run()
+        events = tracer.filter(kind="mode_switch")
+        assert len(events) == 1
+        assert events[0].payload["mode"] == 2
+        assert events[0].payload["thetas"] == [MSI_THETA]

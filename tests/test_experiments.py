@@ -1,0 +1,157 @@
+"""Integration tests for the experiment drivers (repro.experiments).
+
+Small-scale versions of the paper's experiments, asserting the *shape*
+of the results the evaluation section reports.
+"""
+
+import math
+
+import pytest
+
+from repro.opt import GAConfig
+from repro.experiments import (
+    FIG5_CONFIGS,
+    cohort_addresses_all,
+    format_table,
+    geomean,
+    ratio_summary,
+    render_table_i,
+    run_mode_switch_experiment,
+    run_performance_benchmark,
+    run_wcml_experiment,
+)
+
+FAST_GA = GAConfig(population_size=10, generations=6, seed=1)
+
+
+@pytest.fixture(scope="module")
+def fig5_all_cr():
+    return run_wcml_experiment(
+        "fft", FIG5_CONFIGS["all_cr"], scale=0.5, seed=0, ga_config=FAST_GA
+    )
+
+
+class TestFig5:
+    def test_three_systems_reported(self, fig5_all_cr):
+        assert [s.name for s in fig5_all_cr.systems] == [
+            "CoHoRT",
+            "PCC",
+            "PENDULUM",
+        ]
+
+    def test_experimental_within_analytical(self, fig5_all_cr):
+        """The predictability claim: solid bars under the T bars."""
+        for system in fig5_all_cr.systems:
+            assert system.within_bounds(), system.name
+
+    def test_cohort_bounds_tightest(self, fig5_all_cr):
+        assert fig5_all_cr.bound_ratio("PCC", "CoHoRT") > 1.0
+        assert fig5_all_cr.bound_ratio("PENDULUM", "CoHoRT") > \
+            fig5_all_cr.bound_ratio("PCC", "CoHoRT")
+
+    def test_table_renders(self, fig5_all_cr):
+        text = fig5_all_cr.to_table()
+        assert "CoHoRT" in text and "PENDULUM" in text
+
+    def test_ncr_cores_unbounded_under_pendulum(self):
+        exp = run_wcml_experiment(
+            "lu", FIG5_CONFIGS["2cr_2ncr"], scale=0.4, seed=0,
+            ga_config=FAST_GA,
+        )
+        pend = exp.system("PENDULUM")
+        assert math.isinf(pend.analytical[2])
+        assert math.isinf(pend.analytical[3])
+        assert math.isfinite(pend.analytical[0])
+
+    def test_lone_cr_core_gets_very_tight_bound(self):
+        """Figure 5c: with MSI co-runners, c0's bound collapses to
+        arbitration latency plus its (large-timer) guaranteed hits."""
+        exp = run_wcml_experiment(
+            "cholesky", FIG5_CONFIGS["1cr_3ncr"], scale=0.4, seed=0,
+            ga_config=FAST_GA,
+        )
+        cohort = exp.system("CoHoRT")
+        pend = exp.system("PENDULUM")
+        assert cohort.analytical[0] < pend.analytical[0] / 4
+
+
+class TestFig6:
+    def test_ordering_cohort_fastest_pendulum_slowest(self):
+        result = run_performance_benchmark(
+            "lu", [True] * 4, scale=0.5, seed=0, ga_config=FAST_GA
+        )
+        norm = result.normalised()
+        assert norm["MSI-FCFS"] == 1.0
+        assert norm["CoHoRT"] < norm["PENDULUM"]
+        assert norm["PCC"] < norm["PENDULUM"]
+        # CoHoRT stays close to the COTS baseline (paper: ~1.03x).
+        assert norm["CoHoRT"] < 1.35
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return run_mode_switch_experiment(
+            benchmark="fft",
+            scale=0.4,
+            seed=0,
+            ga_config=FAST_GA,
+            run_measured=False,
+        )
+
+    def test_four_modes_in_table(self, experiment):
+        assert experiment.mode_table.modes == [1, 2, 3, 4]
+
+    def test_mode1_timers_all_timed(self, experiment):
+        assert all(th != -1 for th in experiment.mode_table.thetas[1])
+
+    def test_mode4_only_c0_timed(self, experiment):
+        thetas = experiment.mode_table.thetas[4]
+        assert thetas[0] != -1
+        assert all(th == -1 for th in thetas[1:])
+
+    def test_stage1_schedulable_without_switching(self, experiment):
+        assert experiment.stages[0].ok_without
+
+    def test_later_stages_unschedulable_without_switching(self, experiment):
+        assert not experiment.stages[1].ok_without
+        assert not experiment.stages[2].ok_without
+
+    def test_switching_restores_schedulability(self, experiment):
+        for stage in experiment.stages[1:]:
+            assert stage.ok_with
+            assert stage.mode_with > 1
+            assert stage.degraded  # degraded, not suspended
+
+    def test_modes_escalate_monotonically(self, experiment):
+        modes = [s.mode_with for s in experiment.stages]
+        assert modes == sorted(modes)
+
+    def test_table_renders(self, experiment):
+        assert "stage" in experiment.to_table()
+
+
+class TestTableI:
+    def test_render(self):
+        text = render_table_i()
+        assert "CoHoRT" in text and "PENDULUM" in text
+
+    def test_cohort_is_the_only_full_row(self):
+        assert cohort_addresses_all()
+
+
+class TestReportHelpers:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [None, True]])
+        assert "a" in out and "2.50" in out and "-" in out and "yes" in out
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([math.inf]) == math.inf
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([0.0, 1.0])
+
+    def test_ratio_summary_skips_unbounded(self):
+        assert ratio_summary([2.0, math.inf], [1.0, 1.0]) == pytest.approx(2.0)

@@ -1,0 +1,157 @@
+"""Failure injection: the library must fail loudly, not wrongly.
+
+Exercises the defensive paths: the coherence oracle catching injected
+corruption, configuration validation, simulation safety valves, and
+misuse of the run-time APIs.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.params import MSI_THETA, CacheGeometry, SimConfig, cohort_config
+from repro.sim.cache import LineState
+from repro.sim.kernel import SimulationLimitError
+from repro.sim.system import CoherenceViolationError, System
+
+from conftest import t
+
+
+class TestOracleCatchesInjectedBugs:
+    def test_corrupted_version_detected_on_read(self):
+        """Flip a cached line's data version behind the protocol's back."""
+        traces = [t([(0, "W", 1), (100, "R", 1)])]
+        config = replace(cohort_config([100]), check_coherence=True)
+        system = System(config, traces)
+
+        def corrupt():
+            line = system.caches[0].lookup(1)
+            if line is not None:
+                line.version += 40  # bit-flip / stale-data injection
+
+        # The write fills at cycle 54; the re-read issues at cycle 100.
+        system.kernel.schedule(60, system.PHASE_EFFECT, corrupt)
+        with pytest.raises(CoherenceViolationError):
+            system.run()
+
+    def test_illegal_second_copy_detected_on_write(self):
+        """Force a phantom copy into another cache: single-writer breaks."""
+        traces = [t([(0, "W", 1), (30, "W", 1)]), t([(100, "R", 5)])]
+        config = replace(cohort_config([100, 100]), check_coherence=True)
+        system = System(config, traces)
+
+        def inject():
+            slot = system.caches[1].array.slot(1)
+            slot.line_addr = 1
+            slot.state = LineState.S
+            slot.fill_cycle = system.kernel.now
+
+        system.kernel.schedule(20, system.PHASE_EFFECT, inject)
+        with pytest.raises(CoherenceViolationError):
+            system.run()
+
+    def test_store_in_shared_state_detected(self):
+        traces = [t([(0, "R", 1), (10, "R", 1)])]
+        config = replace(cohort_config([100]), check_coherence=True)
+        system = System(config, traces)
+
+        def inject():
+            # Pretend the controller mistakenly performs a write in S.
+            line = system.caches[0].lookup(1)
+            if line is not None:
+                with pytest.raises(CoherenceViolationError):
+                    system._perform_write(0, line)
+
+        system.kernel.schedule(60, system.PHASE_EFFECT, inject)
+        system.run()
+
+
+class TestConfigurationValidation:
+    def test_trace_count_mismatch(self):
+        with pytest.raises(ValueError):
+            System(cohort_config([10, 10]), [t([(0, "R", 1)])])
+
+    def test_system_single_use(self):
+        system = System(cohort_config([10]), [t([(0, "R", 1)])])
+        system.run()
+        with pytest.raises(RuntimeError):
+            system.run()
+
+    def test_set_theta_validation_at_runtime(self):
+        system = System(cohort_config([10]), [t([(0, "R", 1)])])
+        with pytest.raises(ValueError):
+            system.set_theta(0, 0)
+
+    def test_switch_to_unprogrammed_mode_is_noop_per_core(self):
+        """Cores without a LUT entry keep their θ (partial deployments)."""
+        system = System(cohort_config([10, 20]), [t([]), t([])])
+        system.caches[0].lut.program(2, MSI_THETA)
+        system.switch_mode(2)
+        assert system.caches[0].theta == MSI_THETA
+        assert system.caches[1].theta == 20  # untouched
+
+
+class TestSafetyValves:
+    def test_max_cycles_aborts_runaway(self):
+        # A one-cycle budget cannot complete a 54-cycle miss.
+        config = replace(cohort_config([10]), max_cycles=10)
+        system = System(config, [t([(0, "R", 1)])])
+        with pytest.raises(SimulationLimitError):
+            system.run()
+
+    def test_zero_runahead_window_is_valid(self):
+        config = replace(cohort_config([10]), runahead_window=0)
+        stats = System(config, [t([(0, "R", 1), (0, "R", 1)])]).run()
+        assert stats.core(0).hits == 1
+
+    def test_negative_runahead_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(runahead_window=-1)
+
+    def test_negative_dram_latency_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(dram_latency=-1)
+
+
+class TestOracleOffByDefault:
+    def test_injection_unnoticed_without_oracle(self):
+        """check_coherence=False really does disable the checks."""
+        traces = [t([(0, "W", 1), (5, "R", 1)])]
+        system = System(cohort_config([100]), traces)  # oracle off
+
+        def corrupt():
+            line = system.caches[0].lookup(1)
+            if line is not None:
+                line.version += 40
+
+        system.kernel.schedule(60, system.PHASE_EFFECT, corrupt)
+        system.run()  # silently completes: benchmarking mode
+
+
+class TestDegenerateWorkloads:
+    def test_all_cores_empty(self):
+        stats = System(cohort_config([10, 10]), [t([]), t([])]).run()
+        assert stats.final_cycle == 0
+
+    def test_single_access_every_core_same_line(self):
+        traces = [t([(0, "W", 1)]) for _ in range(4)]
+        config = replace(cohort_config([1, 1, 1, 1]), check_coherence=True)
+        stats = System(config, traces).run()
+        assert sum(c.misses for c in stats.cores) == 4
+
+    def test_huge_gap(self):
+        traces = [t([(1_000_000, "R", 1)])]
+        stats = System(cohort_config([10]), traces).run()
+        assert stats.core(0).finish_cycle >= 1_000_000
+
+    def test_tiny_l1(self):
+        tiny = CacheGeometry(size_bytes=2 * 64, line_bytes=64, ways=1)
+        config = replace(
+            cohort_config([10, 10]), l1=tiny, check_coherence=True
+        )
+        traces = [
+            t([(0, "W", i % 5) for i in range(30)]),
+            t([(0, "R", i % 5) for i in range(30)]),
+        ]
+        stats = System(config, traces).run()
+        assert stats.core(0).accesses == 30

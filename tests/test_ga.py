@@ -1,0 +1,116 @@
+"""Unit tests for the genetic algorithm (repro.opt.ga)."""
+
+import pytest
+
+from repro.opt.ga import GAConfig, GeneticAlgorithm
+
+
+class TestGAConfig:
+    def test_defaults_valid(self):
+        GAConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 1},
+            {"generations": 0},
+            {"crossover_rate": 1.5},
+            {"mutation_rate": -0.1},
+            {"tournament_size": 0},
+            {"elitism": 99},
+        ],
+    )
+    def test_rejects_bad_hyperparameters(self, kwargs):
+        with pytest.raises(ValueError):
+            GAConfig(**kwargs)
+
+
+def sphere(target):
+    def fitness(genes):
+        return sum((g - t) ** 2 for g, t in zip(genes, target))
+
+    return fitness
+
+
+class TestGeneticAlgorithm:
+    def test_requires_genes(self):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm([], lambda g: 0.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm([(5, 1)], lambda g: 0.0)
+
+    def test_finds_optimum_of_simple_quadratic(self):
+        ga = GeneticAlgorithm(
+            [(1, 1000)] * 2,
+            sphere([400, 30]),
+            GAConfig(population_size=40, generations=60, seed=2,
+                     stall_generations=0),
+        )
+        result = ga.run()
+        assert abs(result.best_genes[0] - 400) <= 40
+        assert abs(result.best_genes[1] - 30) <= 10
+
+    def test_genes_stay_within_bounds(self):
+        seen = []
+
+        def fitness(genes):
+            seen.append(list(genes))
+            return -sum(genes)  # push towards the upper bound
+
+        ga = GeneticAlgorithm(
+            [(3, 17), (100, 100)], fitness,
+            GAConfig(population_size=10, generations=10, seed=0),
+        )
+        ga.run()
+        for genes in seen:
+            assert 3 <= genes[0] <= 17
+            assert genes[1] == 100
+
+    def test_history_is_monotone_non_increasing(self):
+        ga = GeneticAlgorithm(
+            [(1, 500)] * 3, sphere([100, 200, 300]),
+            GAConfig(population_size=16, generations=25, seed=1),
+        )
+        result = ga.run()
+        assert all(a >= b for a, b in zip(result.history, result.history[1:]))
+        assert result.best_fitness == result.history[-1]
+
+    def test_initial_seeds_are_used(self):
+        target = [123, 456]
+        ga = GeneticAlgorithm(
+            [(1, 1000)] * 2, sphere(target),
+            GAConfig(population_size=8, generations=1, seed=0),
+        )
+        result = ga.run(initial=[target])
+        assert result.best_fitness == 0.0
+        assert result.best_genes == target
+
+    def test_deterministic_for_same_seed(self):
+        def run_once():
+            ga = GeneticAlgorithm(
+                [(1, 300)] * 2, sphere([50, 60]),
+                GAConfig(population_size=12, generations=8, seed=42),
+            )
+            return ga.run()
+
+        a, b = run_once(), run_once()
+        assert a.best_genes == b.best_genes
+        assert a.best_fitness == b.best_fitness
+
+    def test_stall_stops_early(self):
+        ga = GeneticAlgorithm(
+            [(7, 7)], lambda g: 0.0,
+            GAConfig(population_size=4, generations=100, stall_generations=3,
+                     seed=0),
+        )
+        result = ga.run()
+        assert result.generations_run <= 10
+
+    def test_counts_evaluations(self):
+        cfg = GAConfig(population_size=6, generations=3, stall_generations=0,
+                       seed=0)
+        ga = GeneticAlgorithm([(1, 9)], lambda g: g[0], cfg)
+        result = ga.run()
+        assert result.evaluations == 6 * 4  # initial + 3 generations

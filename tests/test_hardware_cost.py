@@ -1,0 +1,47 @@
+"""Unit tests for the hardware cost model (Section III-B claims)."""
+
+import pytest
+
+from repro.params import CacheGeometry, SimConfig
+from repro.sim.hardware_cost import (
+    controller_cost,
+    per_line_overhead,
+    system_cost,
+)
+
+
+class TestPaperClaims:
+    def test_three_percent_per_line(self):
+        """16 bits per 64-byte line is ~3% (the paper's number)."""
+        assert per_line_overhead(CacheGeometry()) == pytest.approx(0.03125)
+
+    def test_eighty_bit_lut_for_five_levels(self):
+        cost = controller_cost(CacheGeometry(), num_modes=5)
+        assert cost.lut_bits == 80
+
+    def test_counter_per_line(self):
+        geom = CacheGeometry()  # 256 lines
+        cost = controller_cost(geom, num_modes=5)
+        assert cost.counter_bits == 16 * 256
+
+    def test_total_relative_overhead_is_small(self):
+        """Whole-controller overhead stays in the low single digits."""
+        cost = system_cost(SimConfig(), num_modes=5)
+        assert cost.relative_overhead < 0.04
+        assert cost.relative_overhead > 0.03
+
+    def test_total_bits_scale_with_cores(self):
+        small = system_cost(SimConfig(num_cores=2), num_modes=5)
+        large = system_cost(SimConfig(num_cores=4), num_modes=5)
+        assert large.total_bits == 2 * small.total_bits
+
+    def test_validates_mode_count(self):
+        with pytest.raises(ValueError):
+            controller_cost(CacheGeometry(), num_modes=0)
+
+    def test_bigger_lines_lower_relative_cost(self):
+        small = per_line_overhead(CacheGeometry(line_bytes=32,
+                                                size_bytes=8192))
+        large = per_line_overhead(CacheGeometry(line_bytes=128,
+                                                size_bytes=32768))
+        assert large < small

@@ -1,0 +1,84 @@
+"""Unit tests for the event kernel (repro.sim.kernel)."""
+
+import pytest
+
+from repro.sim.kernel import (
+    PHASE_ARBITRATE,
+    PHASE_CORE,
+    PHASE_EFFECT,
+    EventKernel,
+    SimulationLimitError,
+)
+
+
+class TestEventKernel:
+    def test_runs_in_cycle_order(self):
+        k = EventKernel()
+        log = []
+        k.schedule(5, PHASE_EFFECT, lambda: log.append(5))
+        k.schedule(1, PHASE_EFFECT, lambda: log.append(1))
+        k.schedule(3, PHASE_EFFECT, lambda: log.append(3))
+        k.run(100, until=lambda: False)
+        assert log == [1, 3, 5]
+
+    def test_phase_order_within_cycle(self):
+        k = EventKernel()
+        log = []
+        k.schedule(2, PHASE_ARBITRATE, lambda: log.append("arb"))
+        k.schedule(2, PHASE_CORE, lambda: log.append("core"))
+        k.schedule(2, PHASE_EFFECT, lambda: log.append("effect"))
+        k.run(100, until=lambda: False)
+        assert log == ["effect", "core", "arb"]
+
+    def test_fifo_within_same_cycle_and_phase(self):
+        k = EventKernel()
+        log = []
+        for i in range(5):
+            k.schedule(1, PHASE_CORE, lambda i=i: log.append(i))
+        k.run(100, until=lambda: False)
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_events_can_schedule_events(self):
+        k = EventKernel()
+        log = []
+
+        def first():
+            log.append("first")
+            k.schedule(k.now + 2, PHASE_EFFECT, lambda: log.append("second"))
+
+        k.schedule(1, PHASE_EFFECT, first)
+        final = k.run(100, until=lambda: False)
+        assert log == ["first", "second"]
+        assert final == 3
+
+    def test_cannot_schedule_in_the_past(self):
+        k = EventKernel()
+        k.schedule(5, PHASE_EFFECT, lambda: None)
+        k.run(100, until=lambda: False)
+        with pytest.raises(ValueError):
+            k.schedule(2, PHASE_EFFECT, lambda: None)
+
+    def test_until_predicate_stops_processing(self):
+        k = EventKernel()
+        log = []
+        k.schedule(1, PHASE_EFFECT, lambda: log.append(1))
+        k.schedule(2, PHASE_EFFECT, lambda: log.append(2))
+        k.run(100, until=lambda: len(log) >= 1)
+        assert log == [1]
+
+    def test_max_cycles_guard(self):
+        k = EventKernel()
+
+        def forever():
+            k.schedule(k.now + 10, PHASE_EFFECT, forever)
+
+        k.schedule(0, PHASE_EFFECT, forever)
+        with pytest.raises(SimulationLimitError):
+            k.run(50, until=lambda: False)
+
+    def test_now_tracks_current_cycle(self):
+        k = EventKernel()
+        seen = []
+        k.schedule(7, PHASE_EFFECT, lambda: seen.append(k.now))
+        k.run(100, until=lambda: False)
+        assert seen == [7]

@@ -1,0 +1,116 @@
+"""Unit tests for the shared LLC and the DRAM model."""
+
+import pytest
+
+from repro.params import CacheGeometry
+from repro.sim.dram import FixedLatencyDRAM
+from repro.sim.llc import SharedLLC
+
+
+def small_geom(ways=2, sets=2):
+    return CacheGeometry(size_bytes=sets * ways * 64, line_bytes=64, ways=ways)
+
+
+class TestDRAM:
+    def test_default_version_is_zero(self):
+        dram = FixedLatencyDRAM(100)
+        assert dram.read_version(5) == 0
+
+    def test_write_then_read(self):
+        dram = FixedLatencyDRAM(100)
+        dram.write_version(5, 3)
+        assert dram.read_version(5) == 3
+        assert dram.reads == 1 and dram.writes == 1
+
+    def test_peek_does_not_count(self):
+        dram = FixedLatencyDRAM(100)
+        dram.write_version(5, 3)
+        assert dram.peek_version(5) == 3
+        assert dram.reads == 0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            FixedLatencyDRAM(-1)
+
+
+class TestPerfectLLC:
+    def make(self):
+        return SharedLLC(small_geom(), perfect=True, dram=FixedLatencyDRAM(100))
+
+    def test_everything_is_present(self):
+        llc = self.make()
+        assert llc.present(12345)
+
+    def test_every_access_hits(self):
+        llc = self.make()
+        assert llc.record_access(7, cycle=1)
+        assert llc.hits == 1 and llc.misses == 0
+
+    def test_versions_default_zero_and_update(self):
+        llc = self.make()
+        assert llc.version(9) == 0
+        llc.write_version(9, 4)
+        assert llc.version(9) == 4
+
+    def test_no_victims(self):
+        llc = self.make()
+        assert llc.peek_victim(1) is None
+        assert llc.fill_from_memory(1, 0) is None
+
+
+class TestNonPerfectLLC:
+    def make(self):
+        return SharedLLC(small_geom(ways=2, sets=1), perfect=False,
+                         dram=FixedLatencyDRAM(100))
+
+    def test_absent_until_filled(self):
+        llc = self.make()
+        assert not llc.present(0)
+        llc.fill_from_memory(0, cycle=1)
+        assert llc.present(0)
+
+    def test_record_access_counts_miss_then_hit(self):
+        llc = self.make()
+        assert not llc.record_access(0, cycle=1)
+        llc.fill_from_memory(0, cycle=1)
+        assert llc.record_access(0, cycle=2)
+        assert llc.misses == 1 and llc.hits == 1
+
+    def test_fill_reads_version_from_dram(self):
+        dram = FixedLatencyDRAM(100)
+        dram.write_version(0, 8)
+        llc = SharedLLC(small_geom(ways=2, sets=1), perfect=False, dram=dram)
+        llc.fill_from_memory(0, cycle=1)
+        assert llc.version(0) == 8
+
+    def test_eviction_on_full_set(self):
+        llc = self.make()
+        llc.fill_from_memory(0, cycle=1)
+        llc.fill_from_memory(1, cycle=2)
+        victim = llc.fill_from_memory(2, cycle=3)
+        assert victim is not None and victim.line_addr == 0
+
+    def test_evict_to_memory_persists_version(self):
+        llc = self.make()
+        llc.fill_from_memory(0, cycle=1)
+        llc.write_version(0, 5, cycle=2)
+        llc.fill_from_memory(1, cycle=3)
+        victim = llc.fill_from_memory(2, cycle=4)
+        llc.evict_to_memory(victim)
+        assert llc.dram.peek_version(0) == 5
+
+    def test_writeback_to_evicted_line_goes_to_memory(self):
+        llc = self.make()
+        llc.write_version(42, 9, cycle=1)  # line not resident
+        assert llc.dram.peek_version(42) == 9
+
+    def test_version_of_absent_line_raises(self):
+        llc = self.make()
+        with pytest.raises(KeyError):
+            llc.version(3)
+
+    def test_occupancy(self):
+        llc = self.make()
+        assert llc.occupancy() == 0
+        llc.fill_from_memory(0, 1)
+        assert llc.occupancy() == 1

@@ -1,0 +1,151 @@
+"""Unit tests for the MCS model and mode-switch controller (repro.mcs)."""
+
+import pytest
+
+from repro.params import MSI_THETA, CacheGeometry, LatencyParams, cohort_config
+from repro.analysis.cache_analysis import build_profiles
+from repro.mcs import (
+    ModeSwitchController,
+    Task,
+    TaskSet,
+    UnschedulableError,
+)
+from repro.opt.engine import ModeTable
+from repro.sim.system import System
+
+from conftest import t
+
+
+def make_tasks():
+    traces = [
+        t([(0, "R", 1), (1, "R", 1), (5, "W", 2)]),
+        t([(0, "W", 3), (1, "W", 3)]),
+        t([(0, "R", 4), (2, "R", 4)]),
+    ]
+    tasks = TaskSet(
+        (
+            Task("tau_hi", criticality=3, trace=traces[0],
+                 requirements={1: 50_000.0}),
+            Task("tau_mid", criticality=2, trace=traces[1]),
+            Task("tau_lo", criticality=1, trace=traces[2]),
+        )
+    )
+    return tasks, traces
+
+
+def make_table():
+    return ModeTable(
+        thetas={
+            1: [100, 50, 20],
+            2: [120, 60, MSI_THETA],
+            3: [300, MSI_THETA, MSI_THETA],
+        }
+    )
+
+
+@pytest.fixture
+def controller():
+    tasks, traces = make_tasks()
+    profiles = build_profiles(traces, CacheGeometry())
+    return ModeSwitchController(
+        tasks, make_table(), profiles, LatencyParams()
+    )
+
+
+class TestTask:
+    def test_tuple_fields(self):
+        task = Task("x", criticality=2, trace=t([(0, "R", 1)]),
+                    requirements={1: 100.0})
+        assert task.num_accesses == 1
+        assert task.requirement(1) == 100.0
+        assert task.requirement(2) is None
+
+    def test_guaranteed_at(self):
+        task = Task("x", criticality=2, trace=t([(0, "R", 1)]))
+        assert task.guaranteed_at(1)
+        assert task.guaranteed_at(2)
+        assert not task.guaranteed_at(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Task("x", criticality=0, trace=t([]))
+        with pytest.raises(ValueError):
+            Task("x", criticality=1, trace=t([]), requirements={0: 1.0})
+        with pytest.raises(ValueError):
+            Task("x", criticality=1, trace=t([]), requirements={1: -5.0})
+
+
+class TestTaskSet:
+    def test_vectors(self):
+        tasks, _ = make_tasks()
+        assert tasks.criticalities == [3, 2, 1]
+        assert tasks.num_levels == 3
+        assert tasks.timed_at(2) == [True, True, False]
+        assert tasks.requirements_at(1) == [50_000.0, None, None]
+
+    def test_requirements_masked_for_degraded_cores(self):
+        tasks, _ = make_tasks()
+        # At mode 3 only the level-3 task keeps a guarantee slot.
+        reqs = tasks.requirements_at(3)
+        assert reqs[1] is None and reqs[2] is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSet(())
+
+
+class TestController:
+    def test_bounds_tighten_with_mode(self, controller):
+        b1 = controller.bounds_at(1)[0].wcml
+        b3 = controller.bounds_at(3)[0].wcml
+        assert b3 < b1  # degrading co-runners tightens c0's bound
+
+    def test_unknown_mode_raises(self, controller):
+        with pytest.raises(KeyError):
+            controller.bounds_at(9)
+
+    def test_required_mode_picks_lowest_satisfying(self, controller):
+        loose = controller.bounds_at(1)[0].wcml * 2
+        decision = controller.required_mode([loose, None, None])
+        assert decision.mode == 1
+        assert decision.degraded == []
+
+    def test_required_mode_escalates(self, controller):
+        b1 = controller.bounds_at(1)[0].wcml
+        b3 = controller.bounds_at(3)[0].wcml
+        tight = (b1 + b3) / 2
+        decision = controller.required_mode([tight, None, None])
+        assert decision.mode > 1
+        assert decision.degraded  # someone got degraded, not suspended
+
+    def test_unschedulable_raises(self, controller):
+        with pytest.raises(UnschedulableError):
+            controller.required_mode([1.0, None, None])
+
+    def test_requirement_vector_length_checked(self, controller):
+        with pytest.raises(ValueError):
+            controller.required_mode([None])
+
+    def test_program_luts_and_react(self, controller):
+        tasks, traces = make_tasks()
+        config = cohort_config([100, 50, 20], criticalities=[3, 2, 1])
+        system = System(config, traces)
+        controller.program_luts(system)
+        assert system.caches[0].lut.lookup(3) == 300
+        b1 = controller.bounds_at(1)[0].wcml
+        b3 = controller.bounds_at(3)[0].wcml
+        decision = controller.react(system, [(b1 + b3) / 2, None, None])
+        assert controller.current_mode == decision.mode
+        assert system.caches[2].theta == MSI_THETA  # degraded at runtime
+
+    def test_apply_unknown_mode_raises(self, controller):
+        tasks, traces = make_tasks()
+        system = System(cohort_config([100, 50, 20]), traces)
+        with pytest.raises(KeyError):
+            controller.apply(system, 42)
+
+    def test_profile_count_validated(self):
+        tasks, traces = make_tasks()
+        profiles = build_profiles(traces[:2], CacheGeometry())
+        with pytest.raises(ValueError):
+            ModeSwitchController(tasks, make_table(), profiles, LatencyParams())

@@ -1,0 +1,104 @@
+"""Unit tests for task-to-core schedules (repro.mcs.schedule)."""
+
+import pytest
+
+from repro.params import MSI_THETA, CacheGeometry, LatencyParams
+from repro.mcs import CoreSchedule, Task, per_task_bounds, schedule_traces
+from repro.sim.system import run_simulation
+from repro.params import cohort_config
+
+from conftest import t
+
+
+def make_schedule():
+    hot = Task("hot", 3, t([(0, "R", 1), (1, "R", 1), (1, "R", 1)]),
+               requirements={1: 10_000.0})
+    cold = Task("cold", 1, t([(0, "W", 2), (5, "W", 3)]))
+    return CoreSchedule((hot, cold))
+
+
+class TestCoreSchedule:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CoreSchedule(())
+
+    def test_trace_concatenation(self):
+        schedule = make_schedule()
+        assert len(schedule.trace) == 5
+        assert schedule.boundaries == [0, 3]
+
+    def test_active_task_by_index(self):
+        schedule = make_schedule()
+        assert schedule.active_task(0).name == "hot"
+        assert schedule.active_task(2).name == "hot"
+        assert schedule.active_task(3).name == "cold"
+        assert schedule.active_task(4).name == "cold"
+
+    def test_active_task_out_of_range(self):
+        schedule = make_schedule()
+        with pytest.raises(IndexError):
+            schedule.active_task(5)
+        with pytest.raises(IndexError):
+            schedule.active_task(-1)
+
+    def test_criticality_inheritance(self):
+        """Section II: the core inherits the running task's criticality."""
+        schedule = make_schedule()
+        assert schedule.criticality_at(1) == 3
+        assert schedule.criticality_at(4) == 1
+        assert schedule.max_criticality == 3
+
+
+class TestPerTaskBounds:
+    def geometry(self):
+        return CacheGeometry()
+
+    def test_one_bound_per_task(self):
+        schedules = [make_schedule(), CoreSchedule((Task("x", 2, t([(0, "R", 9)])),))]
+        bounds = per_task_bounds(
+            schedules, [50, 50], self.geometry(), LatencyParams()
+        )
+        assert len(bounds) == 3
+        assert [b.task.name for b in bounds] == ["hot", "cold", "x"]
+        assert bounds[0].core_id == 0 and bounds[2].core_id == 1
+
+    def test_msi_core_all_misses(self):
+        schedules = [make_schedule()]
+        bounds = per_task_bounds(
+            schedules, [MSI_THETA], self.geometry(), LatencyParams()
+        )
+        for tb in bounds:
+            assert tb.bound.m_hit == 0
+
+    def test_requirement_check_per_task(self):
+        schedules = [make_schedule()]
+        bounds = per_task_bounds(
+            schedules, [50], self.geometry(), LatencyParams()
+        )
+        hot = bounds[0]
+        assert hot.meets(1) is True     # generous requirement
+        assert hot.meets(2) is None     # no requirement at mode 2
+        assert bounds[1].meets(1) is None
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            per_task_bounds([make_schedule()], [50, 60],
+                            self.geometry(), LatencyParams())
+
+    def test_bounds_are_sound_against_simulation(self):
+        """The whole-schedule measured latency stays under the per-task sum."""
+        schedules = [
+            make_schedule(),
+            CoreSchedule((Task("y", 2, t([(2, "W", 1), (3, "R", 4)])),)),
+        ]
+        thetas = [40, 40]
+        bounds = per_task_bounds(
+            schedules, thetas, self.geometry(), LatencyParams()
+        )
+        traces = schedule_traces(schedules)
+        stats = run_simulation(cohort_config(thetas), traces)
+        for core_id in range(2):
+            per_core_sum = sum(
+                tb.bound.wcml for tb in bounds if tb.core_id == core_id
+            )
+            assert stats.core(core_id).total_memory_latency <= per_core_sum

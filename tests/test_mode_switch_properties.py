@@ -1,0 +1,106 @@
+"""Property tests for run-time protocol switching (Section VI).
+
+Mode switches reprogram timer registers while traffic is in flight; the
+protocol must stay coherent and live through arbitrary switch times and
+directions (timed→MSI and MSI→timed).
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.params import MSI_THETA, cohort_config
+from repro.sim.system import System
+
+from test_system_properties import random_traces
+
+theta_values = st.sampled_from([MSI_THETA, 1, 10, 80, 300])
+
+
+@st.composite
+def switching_case(draw):
+    seed = draw(st.integers(0, 5000))
+    num_cores = draw(st.integers(2, 4))
+    n = draw(st.integers(20, 60))
+    initial = [draw(theta_values) for _ in range(num_cores)]
+    switches = []
+    for _ in range(draw(st.integers(1, 3))):
+        at = draw(st.integers(1, 5000))
+        thetas = [draw(theta_values) for _ in range(num_cores)]
+        switches.append((at, thetas))
+    return seed, num_cores, n, initial, switches
+
+
+@given(case=switching_case())
+@settings(max_examples=40, deadline=None)
+def test_runtime_theta_switches_stay_coherent(case):
+    seed, num_cores, n, initial, switches = case
+    traces = random_traces(seed, num_cores, n, 3, 8, 0.5, 4)
+    config = replace(cohort_config(initial), check_coherence=True)
+    system = System(config, traces)
+    for at, thetas in switches:
+        def apply(thetas=thetas):
+            for core_id, theta in enumerate(thetas):
+                system.set_theta(core_id, theta)
+        system.kernel.schedule(at, system.PHASE_EFFECT, apply)
+    stats = system.run()  # oracle raises on any coherence violation
+    for i in range(num_cores):
+        assert stats.core(i).accesses == len(traces[i])
+
+
+@given(case=switching_case())
+@settings(max_examples=25, deadline=None)
+def test_degrading_everyone_to_msi_mid_run_is_safe(case):
+    """The paper's degraded mode: all cores fall back to MSI mid-flight."""
+    seed, num_cores, n, initial, switches = case
+    traces = random_traces(seed, num_cores, n, 3, 8, 0.5, 4)
+    config = replace(cohort_config(initial), check_coherence=True)
+    system = System(config, traces)
+    at = switches[0][0]
+    system.kernel.schedule(
+        at,
+        system.PHASE_EFFECT,
+        lambda: [system.set_theta(c, MSI_THETA) for c in range(num_cores)],
+    )
+    stats = system.run()
+    for i in range(num_cores):
+        assert stats.core(i).accesses == len(traces[i])
+
+
+@given(case=switching_case())
+@settings(max_examples=25, deadline=None)
+def test_mode_switch_via_luts_matches_set_theta(case):
+    """switch_mode through the LUTs equals programming θ directly."""
+    seed, num_cores, n, initial, switches = case
+    traces = random_traces(seed, num_cores, n, 3, 8, 0.5, 4)
+    at, target = switches[0]
+
+    def run_with_lut():
+        system = System(cohort_config(initial), traces)
+        for core_id, cache in enumerate(system.caches):
+            cache.lut.program(1, initial[core_id])
+            cache.lut.program(2, target[core_id])
+        system.kernel.schedule(
+            at, system.PHASE_EFFECT, lambda: system.switch_mode(2)
+        )
+        return system.run()
+
+    def run_with_set_theta():
+        system = System(cohort_config(initial), traces)
+        system.kernel.schedule(
+            at,
+            system.PHASE_EFFECT,
+            lambda: [
+                system.set_theta(c, target[c]) for c in range(num_cores)
+            ],
+        )
+        return system.run()
+
+    a = run_with_lut()
+    b = run_with_set_theta()
+    assert a.final_cycle == b.final_cycle
+    for x, y in zip(a.cores, b.cores):
+        assert (x.hits, x.misses, x.total_memory_latency) == (
+            y.hits, y.misses, y.total_memory_latency,
+        )

@@ -1,0 +1,263 @@
+"""Unit tests for the timer optimization problem and engine (repro.opt)."""
+
+import pytest
+
+from repro.params import MSI_THETA, CacheGeometry, LatencyParams
+from repro.analysis.cache_analysis import build_profiles
+from repro.opt import (
+    GAConfig,
+    OptimizationEngine,
+    TimerProblem,
+    hill_climb,
+    random_search,
+)
+
+from conftest import t
+
+
+@pytest.fixture
+def profiles():
+    traces = [
+        t([(0, "R", 1), (1, "R", 1), (2, "R", 1), (0, "W", 2), (1, "W", 2)]),
+        t([(0, "W", 3), (1, "W", 3), (2, "R", 3)]),
+        t([(0, "R", 4), (50, "R", 4)]),
+    ]
+    return build_profiles(traces, CacheGeometry())
+
+
+@pytest.fixture
+def latencies():
+    return LatencyParams()
+
+
+class TestTimerProblem:
+    def test_requires_a_timed_core(self, profiles, latencies):
+        with pytest.raises(ValueError):
+            TimerProblem(profiles, latencies, timed=[False] * 3)
+
+    def test_expand_places_genes_on_timed_cores(self, profiles, latencies):
+        problem = TimerProblem(profiles, latencies, timed=[True, False, True])
+        thetas = problem.expand([11, 22])
+        assert thetas == [11, MSI_THETA, 22]
+
+    def test_expand_validates_gene_count(self, profiles, latencies):
+        problem = TimerProblem(profiles, latencies, timed=[True, False, True])
+        with pytest.raises(ValueError):
+            problem.expand([11])
+
+    def test_gene_bounds_one_per_timed_core(self, profiles, latencies):
+        problem = TimerProblem(profiles, latencies, timed=[True, True, False])
+        bounds = problem.gene_bounds()
+        assert len(bounds) == 2
+        for lo, hi in bounds:
+            assert lo == 1 and hi >= 1
+
+    def test_evaluate_reports_bounds_for_all_cores(self, profiles, latencies):
+        problem = TimerProblem(profiles, latencies, timed=[True, False, True])
+        ev = problem.evaluate([10, 10])
+        assert len(ev.bounds) == 3
+        assert ev.bounds[1].m_hit == 0  # the MSI core has no guarantees
+        assert ev.feasible  # no requirements set
+
+    def test_constraint_violation_detected(self, profiles, latencies):
+        problem = TimerProblem(
+            profiles,
+            latencies,
+            timed=[True, True, True],
+            requirements=[1.0, None, None],  # impossible requirement
+        )
+        ev = problem.evaluate([10, 10, 10])
+        assert not ev.feasible
+        assert ev.violation > 0
+
+    def test_penalty_increases_fitness(self, profiles, latencies):
+        relaxed = TimerProblem(profiles, latencies, timed=[True, True, True])
+        strict = TimerProblem(
+            profiles, latencies, timed=[True, True, True],
+            requirements=[1.0, None, None],
+        )
+        genes = [10, 10, 10]
+        assert strict.fitness(genes) > relaxed.fitness(genes)
+
+    def test_msi_corunners_reduce_objective(self, profiles, latencies):
+        """Fewer timed co-runners → tighter WCL → smaller objective."""
+        all_timed = TimerProblem(profiles, latencies, timed=[True, True, True])
+        one_timed = TimerProblem(profiles, latencies, timed=[True, False, False])
+        assert one_timed.evaluate([50]).bounds[0].wcl < \
+            all_timed.evaluate([50, 50, 50]).bounds[0].wcl
+
+    def test_wcl_bucket_validation(self, profiles, latencies):
+        with pytest.raises(ValueError):
+            TimerProblem(profiles, latencies, timed=[True] * 3, wcl_bucket=0)
+
+    def test_weights_skew_objective(self, profiles, latencies):
+        uniform = TimerProblem(profiles, latencies, timed=[True] * 3)
+        skewed = TimerProblem(
+            profiles, latencies, timed=[True] * 3, weights=[10.0, 1.0, 1.0]
+        )
+        genes = [20, 20, 20]
+        u = uniform.evaluate(genes)
+        s = skewed.evaluate(genes)
+        # Same bounds, different scalarisation.
+        assert [b.wcml for b in u.bounds] == [b.wcml for b in s.bounds]
+        expected = (
+            10 * s.bounds[0].average_per_access
+            + s.bounds[1].average_per_access
+            + s.bounds[2].average_per_access
+        ) / 12
+        assert s.objective == pytest.approx(expected)
+
+    def test_weights_validation(self, profiles, latencies):
+        with pytest.raises(ValueError):
+            TimerProblem(profiles, latencies, timed=[True] * 3,
+                         weights=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            TimerProblem(profiles, latencies, timed=[True] * 3,
+                         weights=[-1.0, 1.0, 1.0])
+        with pytest.raises(ValueError):
+            TimerProblem(profiles, latencies, timed=[True, False, False],
+                         objective_cores=[0], weights=[0.0, 1.0, 1.0])
+
+    def test_objective_cores_validation(self, profiles, latencies):
+        with pytest.raises(ValueError):
+            TimerProblem(profiles, latencies, timed=[True] * 3,
+                         objective_cores=[7])
+        with pytest.raises(ValueError):
+            TimerProblem(profiles, latencies, timed=[True] * 3,
+                         objective_cores=[])
+
+
+class TestOptimizationEngine:
+    def test_optimize_returns_full_theta_vector(self, profiles, latencies):
+        engine = OptimizationEngine(
+            profiles, latencies,
+            GAConfig(population_size=8, generations=5, seed=0),
+        )
+        result = engine.optimize(timed=[True, False, True])
+        assert len(result.thetas) == 3
+        assert result.thetas[1] == MSI_THETA
+        assert result.thetas[0] >= 1
+        assert result.feasible
+        assert result.wall_seconds > 0
+
+    def test_optimize_meets_satisfiable_requirement(self, profiles, latencies):
+        engine = OptimizationEngine(
+            profiles, latencies,
+            GAConfig(population_size=16, generations=12, seed=1),
+        )
+        unconstrained = engine.optimize(timed=[True, True, True])
+        gamma = unconstrained.bounds[0].wcml * 1.2
+        constrained = engine.optimize(
+            timed=[True, True, True], requirements=[gamma, None, None]
+        )
+        assert constrained.feasible
+        assert constrained.bounds[0].wcml <= gamma
+
+    def test_optimize_modes_produces_table(self, profiles, latencies):
+        engine = OptimizationEngine(
+            profiles, latencies,
+            GAConfig(population_size=8, generations=4, seed=0),
+        )
+        table = engine.optimize_modes(
+            criticalities=[3, 2, 1],
+            requirements_per_mode={m: [None] * 3 for m in (1, 2, 3)},
+        )
+        assert table.modes == [1, 2, 3]
+        # Mode 1: everyone timed; mode 3: only the level-3 core.
+        assert all(th != MSI_THETA for th in table.thetas[1])
+        assert table.thetas[3][1] == MSI_THETA
+        assert table.thetas[3][2] == MSI_THETA
+        assert table.thetas[3][0] != MSI_THETA
+        # LUT view matches the table rows.
+        assert table.lut_entries(0)[3] == table.thetas[3][0]
+        rows = table.as_rows()
+        assert rows[0][0] == 1 and len(rows[0]) == 4
+        assert "θ_0" in str(table)
+
+    def test_optimize_modes_validates_lengths(self, profiles, latencies):
+        engine = OptimizationEngine(profiles, latencies)
+        with pytest.raises(ValueError):
+            engine.optimize_modes([1, 2], {1: [None, None]})
+        with pytest.raises(ValueError):
+            engine.optimize_modes([1, 2, 3], {1: [None]})
+
+
+class TestProblemProperties:
+    """Hypothesis checks on the optimization landscape."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        genes=st.lists(st.integers(1, 5000), min_size=3, max_size=3),
+        gamma_scale=st.floats(0.1, 3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tighter_requirements_never_reduce_violation(
+        self, genes, gamma_scale
+    ):
+        from repro.params import CacheGeometry, LatencyParams
+        from repro.analysis.cache_analysis import build_profiles
+        from conftest import t
+
+        traces = [
+            t([(0, "R", 1), (1, "R", 1), (2, "W", 2)]),
+            t([(0, "W", 3), (1, "W", 3)]),
+            t([(0, "R", 4), (50, "R", 4)]),
+        ]
+        profiles = build_profiles(traces, CacheGeometry())
+        latencies = LatencyParams()
+        base = TimerProblem(profiles, latencies, timed=[True] * 3)
+        loose_gamma = base.evaluate(genes).bounds[0].wcml * gamma_scale
+        loose = TimerProblem(
+            profiles, latencies, timed=[True] * 3,
+            requirements=[loose_gamma, None, None],
+        )
+        tight = TimerProblem(
+            profiles, latencies, timed=[True] * 3,
+            requirements=[loose_gamma / 2, None, None],
+        )
+        assert tight.evaluate(genes).violation >= \
+            loose.evaluate(genes).violation
+
+    @given(genes=st.lists(st.integers(1, 5000), min_size=3, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_objective_is_positive_and_finite(self, genes):
+        from repro.params import CacheGeometry, LatencyParams
+        from repro.analysis.cache_analysis import build_profiles
+        from conftest import t
+        import math
+
+        traces = [
+            t([(0, "R", 1), (1, "R", 1)]),
+            t([(0, "W", 3)]),
+            t([(0, "R", 4)]),
+        ]
+        profiles = build_profiles(traces, CacheGeometry())
+        ev = TimerProblem(
+            profiles, LatencyParams(), timed=[True] * 3
+        ).evaluate(genes)
+        assert math.isfinite(ev.objective) and ev.objective > 0
+        assert ev.feasible
+
+
+class TestSearchBaselines:
+    def fitness(self, genes):
+        return abs(genes[0] - 77) + abs(genes[1] - 5)
+
+    def test_random_search_improves(self):
+        result = random_search([(1, 1000), (1, 1000)], self.fitness,
+                               budget=300, seed=0)
+        assert result.best_fitness < 200
+        assert result.evaluations == 300
+
+    def test_hill_climb_improves(self):
+        result = hill_climb([(1, 1000), (1, 1000)], self.fitness,
+                            budget=300, seed=0)
+        assert result.best_fitness < 100
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            random_search([(1, 2)], self.fitness, budget=0)
+        with pytest.raises(ValueError):
+            hill_climb([(1, 2)], self.fitness, budget=0)

@@ -1,0 +1,203 @@
+"""Unit tests for the configuration layer (repro.params)."""
+
+import pytest
+
+from repro.params import (
+    MSI_THETA,
+    ArbiterKind,
+    CacheGeometry,
+    CoreConfig,
+    LatencyParams,
+    SimConfig,
+    cohort_config,
+    msi_fcfs_config,
+    pcc_config,
+    pendulum_config,
+    pendulum_star_config,
+)
+
+
+class TestLatencyParams:
+    def test_paper_defaults(self):
+        lat = LatencyParams()
+        assert (lat.hit, lat.request, lat.data) == (1, 4, 50)
+
+    def test_slot_width_is_request_plus_data(self):
+        assert LatencyParams().slot_width == 54
+        assert LatencyParams(request=10, data=40).slot_width == 50
+
+    @pytest.mark.parametrize("field", ["hit", "request", "data"])
+    def test_rejects_non_positive_latency(self, field):
+        with pytest.raises(ValueError):
+            LatencyParams(**{field: 0})
+
+
+class TestCacheGeometry:
+    def test_paper_l1_geometry(self):
+        geom = CacheGeometry()
+        assert geom.size_bytes == 16 * 1024
+        assert geom.line_bytes == 64
+        assert geom.ways == 1
+        assert geom.num_sets == 256
+        assert geom.num_lines == 256
+
+    def test_llc_geometry(self):
+        geom = CacheGeometry(size_bytes=1024 * 1024, line_bytes=64, ways=8)
+        assert geom.num_sets == 2048
+
+    def test_set_index_wraps(self):
+        geom = CacheGeometry()
+        assert geom.set_index(0) == 0
+        assert geom.set_index(256) == 0
+        assert geom.set_index(257) == 1
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=3 * 64, line_bytes=64, ways=1)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1000, line_bytes=64, ways=1)
+
+    def test_rejects_zero_fields(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=0)
+
+
+class TestCoreConfig:
+    def test_msi_flags(self):
+        cfg = CoreConfig(theta=MSI_THETA)
+        assert cfg.is_msi and not cfg.is_timed
+
+    def test_timed_flags(self):
+        cfg = CoreConfig(theta=42)
+        assert cfg.is_timed and not cfg.is_msi
+
+    @pytest.mark.parametrize("theta", [0, -2, -100])
+    def test_rejects_invalid_theta(self, theta):
+        with pytest.raises(ValueError):
+            CoreConfig(theta=theta)
+
+    def test_rejects_zero_criticality(self):
+        with pytest.raises(ValueError):
+            CoreConfig(criticality=0)
+
+
+class TestSimConfig:
+    def test_defaults_are_papers_setup(self):
+        cfg = SimConfig()
+        assert cfg.num_cores == 4
+        assert cfg.perfect_llc is True
+        assert cfg.arbiter == ArbiterKind.RROF
+
+    def test_core_config_defaults_to_msi(self):
+        assert SimConfig().core_config(2).is_msi
+
+    def test_cores_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SimConfig(num_cores=2, cores=(CoreConfig(),))
+
+    def test_line_size_mismatch(self):
+        with pytest.raises(ValueError):
+            SimConfig(
+                l1=CacheGeometry(line_bytes=64),
+                llc=CacheGeometry(size_bytes=1024 * 128, line_bytes=32, ways=8),
+            )
+
+    def test_thetas_roundtrip(self):
+        cfg = cohort_config([10, 20, MSI_THETA, 40])
+        assert cfg.thetas == [10, 20, MSI_THETA, 40]
+
+    def test_with_thetas_replaces_only_timers(self):
+        cfg = cohort_config([10, 20, 30, 40], criticalities=[4, 3, 2, 1])
+        new = cfg.with_thetas([1, 2, 3, MSI_THETA])
+        assert new.thetas == [1, 2, 3, MSI_THETA]
+        assert [new.core_config(i).criticality for i in range(4)] == [4, 3, 2, 1]
+
+    def test_with_thetas_wrong_length(self):
+        with pytest.raises(ValueError):
+            cohort_config([10, 20]).with_thetas([1])
+
+
+class TestConfigSerialisation:
+    def test_roundtrip_default(self, tmp_path):
+        from repro.params import load_config, save_config
+
+        cfg = SimConfig()
+        path = str(tmp_path / "cfg.json")
+        save_config(cfg, path)
+        loaded = load_config(path)
+        assert loaded.thetas == cfg.thetas
+        assert loaded.arbiter == cfg.arbiter
+        assert loaded.l1 == cfg.l1 and loaded.llc == cfg.llc
+
+    def test_roundtrip_custom(self, tmp_path):
+        from repro.params import load_config, save_config
+
+        cfg = pendulum_config([True, False], theta=77)
+        cfg = cfg.with_thetas([77, 88])
+        path = str(tmp_path / "cfg.json")
+        save_config(cfg, path)
+        loaded = load_config(path)
+        assert loaded.thetas == [77, 88]
+        assert loaded.arbiter == ArbiterKind.TDM
+        assert loaded.core_config(0).critical
+        assert not loaded.core_config(1).critical
+
+    def test_dict_roundtrip_preserves_flags(self):
+        from repro.params import config_from_dict, config_to_dict
+
+        cfg = pcc_config(3, wb_on_bus=True, perfect_llc=False,
+                         dram_latency=42)
+        back = config_from_dict(config_to_dict(cfg))
+        assert back.via_llc_transfers
+        assert back.wb_on_bus
+        assert not back.perfect_llc
+        assert back.dram_latency == 42
+
+    def test_loaded_config_runs(self, tmp_path):
+        from repro.params import load_config, save_config
+        from repro.sim.system import run_simulation
+        from repro.sim.trace import Trace
+
+        cfg = cohort_config([10, 20])
+        path = str(tmp_path / "cfg.json")
+        save_config(cfg, path)
+        traces = [Trace.from_arrays([0], [1], [64])] * 2
+        stats = run_simulation(load_config(path), traces)
+        assert stats.execution_time > 0
+
+
+class TestPresetConfigs:
+    def test_cohort_config_marks_msi_cores_non_critical(self):
+        cfg = cohort_config([100, MSI_THETA])
+        assert cfg.core_config(0).critical
+        assert not cfg.core_config(1).critical
+
+    def test_msi_fcfs_baseline(self):
+        cfg = msi_fcfs_config(4)
+        assert cfg.arbiter == ArbiterKind.FCFS
+        assert all(cfg.core_config(i).is_msi for i in range(4))
+
+    def test_pcc_baseline_routes_via_llc(self):
+        cfg = pcc_config(4)
+        assert cfg.via_llc_transfers
+        assert cfg.arbiter == ArbiterKind.RROF
+
+    def test_pendulum_star_all_timed(self):
+        cfg = pendulum_star_config([10, 20, 30])
+        assert cfg.arbiter == ArbiterKind.RROF
+        assert cfg.thetas == [10, 20, 30]
+
+    def test_pendulum_star_rejects_msi_cores(self):
+        with pytest.raises(ValueError):
+            pendulum_star_config([10, MSI_THETA])
+
+    def test_pendulum_baseline(self):
+        cfg = pendulum_config([True, True, False, False], theta=123)
+        assert cfg.arbiter == ArbiterKind.TDM
+        # PENDULUM's global timer runs on every core; criticality only
+        # affects arbitration.
+        assert cfg.thetas == [123, 123, 123, 123]
+        assert cfg.core_config(0).critical
+        assert not cfg.core_config(3).critical

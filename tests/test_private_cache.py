@@ -1,0 +1,186 @@
+"""Unit tests for the private cache controller (repro.sim.private_cache)."""
+
+import pytest
+
+from repro.params import MSI_THETA, CacheGeometry, MemOp
+from repro.sim.cache import LineState
+from repro.sim.private_cache import AccessOutcome, PrivateCache
+from repro.sim.timer import ModeSwitchLUT
+
+
+def make_cache(theta=10, sets=4, lut=None):
+    geom = CacheGeometry(size_bytes=sets * 64, line_bytes=64, ways=1)
+    return PrivateCache(0, geom, theta, lut=lut)
+
+
+class TestClassification:
+    def test_cold_load_is_gets(self):
+        c = make_cache()
+        assert c.classify(MemOp.LOAD, 0) == AccessOutcome.MISS_GETS
+
+    def test_cold_store_is_getm(self):
+        c = make_cache()
+        assert c.classify(MemOp.STORE, 0) == AccessOutcome.MISS_GETM
+
+    def test_hit_after_fill(self):
+        c = make_cache()
+        c.fill(3, LineState.S, cycle=0, version=0)
+        assert c.classify(MemOp.LOAD, 3) == AccessOutcome.HIT
+
+    def test_store_to_shared_is_upgrade(self):
+        c = make_cache()
+        c.fill(3, LineState.S, cycle=0, version=0)
+        assert c.classify(MemOp.STORE, 3) == AccessOutcome.UPGRADE
+
+    def test_store_to_modified_hits(self):
+        c = make_cache()
+        c.fill(3, LineState.M, cycle=0, version=0)
+        assert c.classify(MemOp.STORE, 3) == AccessOutcome.HIT
+
+    def test_frozen_line_misses(self):
+        c = make_cache()
+        c.fill(3, LineState.M, cycle=0, version=0)
+        line = c.lookup(3)
+        line.pending_inv_since = 1
+        line.handover_ready = True
+        assert c.classify(MemOp.LOAD, 3) == AccessOutcome.MISS_GETS
+        assert c.classify(MemOp.STORE, 3) == AccessOutcome.MISS_GETM
+
+    def test_frozen_shared_store_is_getm_not_upgrade(self):
+        c = make_cache()
+        c.fill(3, LineState.S, cycle=0, version=0)
+        line = c.lookup(3)
+        line.pending_inv_since = 1
+        line.handover_ready = True
+        assert c.classify(MemOp.STORE, 3) == AccessOutcome.MISS_GETM
+
+    def test_req_kind_mapping(self):
+        assert AccessOutcome.MISS_GETS.req_kind.name == "GETS"
+        assert AccessOutcome.MISS_GETM.req_kind.name == "GETM"
+        assert AccessOutcome.UPGRADE.req_kind.name == "UPG"
+        with pytest.raises(ValueError):
+            AccessOutcome.HIT.req_kind
+
+
+class TestFillAndEvict:
+    def test_fill_returns_no_victim_on_empty_slot(self):
+        c = make_cache()
+        assert c.fill(0, LineState.S, 0, 0) is None
+
+    def test_fill_evicts_conflicting_line(self):
+        c = make_cache(sets=4)
+        c.fill(1, LineState.M, 0, 7)
+        c.lookup(1).dirty = True
+        victim = c.fill(5, LineState.S, 10, 0)  # 5 maps to the same set
+        assert victim is not None
+        assert victim.line_addr == 1
+        assert victim.dirty and victim.version == 7
+        assert c.lookup(1) is None
+        assert c.lookup(5) is not None
+
+    def test_fill_same_line_no_victim(self):
+        c = make_cache()
+        c.fill(2, LineState.S, 0, 0)
+        assert c.fill(2, LineState.M, 5, 1) is None
+
+    def test_fill_resets_pending_state_and_timer(self):
+        c = make_cache()
+        c.fill(2, LineState.S, 0, 0)
+        line = c.lookup(2)
+        line.pending_inv_since = 3
+        c.fill(2, LineState.M, 9, 1)
+        line = c.lookup(2)
+        assert line.pending_inv_since is None
+        assert line.fill_cycle == 9
+
+    def test_fill_rejects_invalid_state(self):
+        with pytest.raises(ValueError):
+            make_cache().fill(0, LineState.I, 0, 0)
+
+    def test_eviction_counters(self):
+        c = make_cache(sets=4)
+        c.fill(1, LineState.M, 0, 0)
+        c.lookup(1).dirty = True
+        c.fill(5, LineState.S, 1, 0)
+        assert c.evictions == 1
+        assert c.dirty_evictions == 1
+
+
+class TestMarkPending:
+    def test_timed_deadline_uses_timer(self):
+        c = make_cache(theta=10)
+        c.fill(2, LineState.M, cycle=100, version=0)
+        inv_at = c.mark_pending(c.lookup(2), now=103, downgrade=False)
+        assert inv_at == 110
+
+    def test_msi_deadline_is_immediate(self):
+        c = make_cache(theta=MSI_THETA)
+        c.fill(2, LineState.M, cycle=100, version=0)
+        assert c.mark_pending(c.lookup(2), now=103, downgrade=False) == 103
+
+    def test_idempotent_keeps_first_deadline(self):
+        c = make_cache(theta=10)
+        c.fill(2, LineState.M, cycle=100, version=0)
+        line = c.lookup(2)
+        first = c.mark_pending(line, now=101, downgrade=False)
+        second = c.mark_pending(line, now=108, downgrade=False)
+        assert first == second == 110
+
+    def test_downgrade_escalates_to_invalidation(self):
+        c = make_cache(theta=10)
+        c.fill(2, LineState.M, cycle=100, version=0)
+        line = c.lookup(2)
+        c.mark_pending(line, now=101, downgrade=True)
+        assert line.pending_is_downgrade
+        c.mark_pending(line, now=102, downgrade=False)
+        assert not line.pending_is_downgrade
+
+    def test_invalid_line_rejected(self):
+        c = make_cache()
+        from repro.sim.cache import CacheLine
+
+        with pytest.raises(ValueError):
+            c.mark_pending(CacheLine(), now=0, downgrade=False)
+
+
+class TestModeSwitching:
+    def test_apply_mode_reads_lut(self):
+        lut = ModeSwitchLUT({1: 300, 2: MSI_THETA})
+        c = make_cache(theta=300, lut=lut)
+        assert c.apply_mode(2) == MSI_THETA
+        assert c.is_msi
+        assert c.apply_mode(1) == 300
+        assert not c.is_msi
+
+    def test_apply_unprogrammed_mode_raises(self):
+        c = make_cache()
+        with pytest.raises(KeyError):
+            c.apply_mode(3)
+
+    def test_set_theta_validates(self):
+        c = make_cache()
+        with pytest.raises(ValueError):
+            c.set_theta(0)
+
+
+class TestBackInvalidation:
+    def test_back_invalidate_returns_snapshot(self):
+        c = make_cache()
+        c.fill(2, LineState.M, 0, 9)
+        c.lookup(2).dirty = True
+        snap = c.back_invalidate(2)
+        assert snap.dirty and snap.version == 9
+        assert c.lookup(2) is None
+        assert c.back_invalidations == 1
+
+    def test_back_invalidate_absent_line(self):
+        c = make_cache()
+        assert c.back_invalidate(2) is None
+        assert c.back_invalidations == 0
+
+    def test_resident_lines(self):
+        c = make_cache()
+        assert c.resident_lines() == 0
+        c.fill(0, LineState.S, 0, 0)
+        c.fill(1, LineState.S, 0, 0)
+        assert c.resident_lines() == 2

@@ -1,0 +1,89 @@
+"""Unit tests for the reporting helpers (repro.experiments.report)."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.report import (
+    bar_chart,
+    dump_json,
+    format_table,
+    geomean,
+)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "value"], [["x", 1], ["long", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # all rows equal width
+
+    def test_title_prepended(self):
+        out = format_table(["a"], [[1]], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_infinity_renders_unbounded(self):
+        out = format_table(["v"], [[math.inf]])
+        assert "unbounded" in out
+
+    def test_large_floats_get_thousands_separators(self):
+        out = format_table(["v"], [[1234567.0]])
+        assert "1,234,567" in out
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        out = bar_chart([("a", 10.0), ("bb", 1000.0)])
+        assert "a" in out and "bb" in out
+        assert "█" in out
+
+    def test_log_scale_compresses(self):
+        out = bar_chart([("small", 10.0), ("big", 1_000_000.0)], width=40)
+        lines = out.splitlines()
+        small_bar = lines[0].count("█")
+        big_bar = lines[1].count("█")
+        assert big_bar > small_bar
+        assert small_bar >= 1
+
+    def test_infinite_values_marked(self):
+        out = bar_chart([("x", math.inf), ("y", 5.0)])
+        assert "unbounded" in out
+
+    def test_all_infinite(self):
+        out = bar_chart([("x", math.inf)], title="t")
+        assert "no finite values" in out
+
+    def test_linear_scale(self):
+        out = bar_chart([("a", 25.0), ("b", 50.0)], log_scale=False, width=40)
+        lines = out.splitlines()
+        assert lines[1].count("█") == 40
+        assert abs(lines[0].count("█") - 20) <= 1
+
+    def test_bar_never_exceeds_width(self):
+        out = bar_chart([("a", 1e12), ("b", 1.0)], width=30)
+        for line in out.splitlines():
+            assert line.count("█") <= 30
+
+
+class TestDumpJson:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "x.json")
+        dump_json(path, {"a": 1, "b": [1.5, 2.5]})
+        with open(path) as fh:
+            assert json.load(fh) == {"a": 1, "b": [1.5, 2.5]}
+
+    def test_infinity_serialised_as_string(self, tmp_path):
+        path = str(tmp_path / "x.json")
+        dump_json(path, {"v": math.inf})
+        with open(path) as fh:
+            assert json.load(fh)["v"] == "inf"
+
+
+class TestGeomeanEdge:
+    def test_empty_is_inf(self):
+        assert geomean([]) == math.inf
+
+    def test_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)

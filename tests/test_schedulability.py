@@ -1,0 +1,140 @@
+"""Unit tests for the schedulability analysis (repro.analysis.schedulability)."""
+
+import math
+
+import pytest
+
+from repro.params import MSI_THETA, CacheGeometry, LatencyParams
+from repro.analysis import (
+    build_profiles,
+    cohort_bounds,
+    first_feasible_mode,
+    schedulability_report,
+    tightening_headroom,
+)
+from repro.mcs import Task, TaskSet
+from repro.opt.engine import ModeTable
+
+from conftest import t
+
+
+@pytest.fixture
+def setup():
+    traces = [
+        t([(0, "R", 1), (1, "R", 1), (2, "W", 2), (1, "W", 2)]),
+        t([(0, "W", 3), (1, "W", 3)]),
+        t([(0, "R", 4), (1, "R", 4)]),
+    ]
+    profiles = build_profiles(traces, CacheGeometry())
+    tasks = TaskSet(
+        (
+            Task("hi", 3, traces[0]),
+            Task("mid", 2, traces[1]),
+            Task("lo", 1, traces[2]),
+        )
+    )
+    table = ModeTable(
+        thetas={
+            1: [60, 40, 20],
+            2: [80, 40, MSI_THETA],
+            3: [200, MSI_THETA, MSI_THETA],
+        }
+    )
+    return tasks, table, profiles, LatencyParams()
+
+
+class TestSchedulabilityReport:
+    def test_loose_requirement_feasible_at_mode_1(self, setup):
+        tasks, table, profiles, lat = setup
+        bound1 = cohort_bounds(table.thetas[1], profiles, lat)[0].wcml
+        report = schedulability_report(
+            tasks, table, profiles, lat, [bound1 * 2, None, None]
+        )
+        assert report.schedulable
+        assert report.first_feasible == 1
+        assert report.modes[0].min_slack > 0
+
+    def test_tight_requirement_needs_escalation(self, setup):
+        tasks, table, profiles, lat = setup
+        bound1 = cohort_bounds(table.thetas[1], profiles, lat)[0].wcml
+        bound3 = cohort_bounds(table.thetas[3], profiles, lat)[0].wcml
+        gamma = (bound1 + bound3) / 2
+        report = schedulability_report(
+            tasks, table, profiles, lat, [gamma, None, None]
+        )
+        assert report.schedulable
+        assert report.first_feasible > 1
+        assert not report.modes[0].feasible
+
+    def test_impossible_requirement_unschedulable(self, setup):
+        tasks, table, profiles, lat = setup
+        report = schedulability_report(
+            tasks, table, profiles, lat, [1.0, None, None]
+        )
+        assert not report.schedulable
+        assert report.first_feasible is None
+
+    def test_degraded_cores_exempt(self, setup):
+        tasks, table, profiles, lat = setup
+        # An impossible requirement on the *low*-criticality core: modes
+        # that degrade it must still be feasible.
+        report = schedulability_report(
+            tasks, table, profiles, lat, [None, None, 1.0]
+        )
+        assert 2 in report.feasible_modes
+        assert 3 in report.feasible_modes
+        assert not report.modes[0].feasible
+
+    def test_slack_sign_matches_feasibility(self, setup):
+        tasks, table, profiles, lat = setup
+        bound1 = cohort_bounds(table.thetas[1], profiles, lat)[0].wcml
+        report = schedulability_report(
+            tasks, table, profiles, lat, [bound1, None, None]
+        )
+        assert report.modes[0].slack[0] == pytest.approx(0.0)
+        assert report.modes[0].feasible
+
+    def test_requirement_length_validated(self, setup):
+        tasks, table, profiles, lat = setup
+        with pytest.raises(ValueError):
+            schedulability_report(tasks, table, profiles, lat, [None])
+
+
+class TestFirstFeasibleMode:
+    def test_matches_report(self, setup):
+        tasks, table, profiles, lat = setup
+        bound1 = cohort_bounds(table.thetas[1], profiles, lat)[0].wcml
+        assert first_feasible_mode(
+            tasks, table, profiles, lat, [bound1 * 1.5, None, None]
+        ) == 1
+
+
+class TestTighteningHeadroom:
+    def test_lowest_mode_is_unity(self, setup):
+        tasks, table, profiles, lat = setup
+        headroom = tightening_headroom(tasks, table, profiles, lat, core_id=0)
+        assert headroom[1] == pytest.approx(1.0)
+
+    def test_headroom_grows_with_mode(self, setup):
+        tasks, table, profiles, lat = setup
+        headroom = tightening_headroom(tasks, table, profiles, lat, core_id=0)
+        assert headroom[3] > headroom[1]
+
+    def test_degraded_modes_excluded(self, setup):
+        tasks, table, profiles, lat = setup
+        headroom = tightening_headroom(tasks, table, profiles, lat, core_id=2)
+        assert set(headroom) == {1}  # the level-1 core degrades at mode 2+
+
+    def test_explicit_base(self, setup):
+        tasks, table, profiles, lat = setup
+        headroom = tightening_headroom(
+            tasks, table, profiles, lat, core_id=0, base_requirement=1e9
+        )
+        assert all(math.isfinite(v) and v > 1 for v in headroom.values())
+
+    def test_invalid_base_rejected(self, setup):
+        tasks, table, profiles, lat = setup
+        with pytest.raises(ValueError):
+            tightening_headroom(
+                tasks, table, profiles, lat, core_id=0, base_requirement=0
+            )

@@ -1,0 +1,49 @@
+"""Unit tests for the bound-tightness experiment (repro.experiments.tightness)."""
+
+import pytest
+
+from repro.params import MSI_THETA
+from repro.experiments.tightness import (
+    TightnessResult,
+    adversarial_traces,
+    measure_tightness,
+)
+
+
+class TestAdversarialTraces:
+    def test_everyone_stores_the_same_line(self):
+        traces = adversarial_traces(4, target_core=2, line_index=9)
+        assert len(traces) == 4
+        for tr in traces:
+            assert len(tr) == 1
+            assert tr[0].addr == 9 * 64
+            assert tr[0].op.name == "STORE"
+
+    def test_target_issues_last(self):
+        traces = adversarial_traces(4, target_core=2)
+        gaps = [tr[0].gap for tr in traces]
+        assert gaps[2] == max(gaps)
+        assert all(g == 0 for i, g in enumerate(gaps) if i != 2)
+
+
+class TestMeasureTightness:
+    def test_never_exceeds_bound(self):
+        for thetas in ([50, 50, 50], [200, MSI_THETA, 30], [MSI_THETA] * 3):
+            for target in range(3):
+                r = measure_tightness(thetas, target)
+                assert r.measured <= r.bound
+                assert 0.0 < r.tightness <= 1.0
+
+    def test_last_core_in_chain_is_tightest(self):
+        results = [measure_tightness([100] * 4, t) for t in range(4)]
+        assert results[3].tightness == max(r.tightness for r in results)
+
+    def test_substantial_fraction_exercised(self):
+        r = measure_tightness([100] * 4, target_core=3)
+        assert r.tightness > 0.5
+
+    def test_result_fields(self):
+        r = measure_tightness([10, 10], 1)
+        assert isinstance(r, TightnessResult)
+        assert r.target_core == 1
+        assert r.thetas == [10, 10]

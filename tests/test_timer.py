@@ -1,0 +1,184 @@
+"""Unit + property tests for the CoHoRT timer hardware (Figure 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.params import MSI_THETA
+from repro.sim.timer import (
+    MAX_THETA,
+    TIMER_BITS,
+    CountdownCounter,
+    ModeSwitchLUT,
+    TimerAction,
+    invalidation_cycle,
+    per_line_counter_overhead,
+    validate_theta,
+)
+
+
+class TestValidateTheta:
+    @pytest.mark.parametrize("theta", [1, 5, MAX_THETA, MSI_THETA])
+    def test_accepts_valid(self, theta):
+        validate_theta(theta)
+
+    @pytest.mark.parametrize("theta", [0, -2, MAX_THETA + 1])
+    def test_rejects_invalid(self, theta):
+        with pytest.raises(ValueError):
+            validate_theta(theta)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            validate_theta(True)
+
+
+class TestCountdownCounter:
+    def test_loads_threshold(self):
+        c = CountdownCounter(5)
+        c.load()
+        assert c.count == 5
+
+    def test_tick_before_load_raises(self):
+        with pytest.raises(RuntimeError):
+            CountdownCounter(5).tick(False)
+
+    def test_counts_down_and_replenishes(self):
+        c = CountdownCounter(3)
+        c.load()
+        assert c.tick(False) == TimerAction.NONE        # 2
+        assert c.tick(False) == TimerAction.NONE        # 1
+        assert c.tick(False) == TimerAction.REPLENISH   # 0 -> reload
+        assert c.count == 3
+
+    def test_invalidates_on_pending_at_zero(self):
+        c = CountdownCounter(2)
+        c.load()
+        assert c.tick(True) == TimerAction.NONE
+        assert c.tick(True) == TimerAction.INVALIDATE
+
+    def test_pending_before_expiry_does_nothing(self):
+        c = CountdownCounter(3)
+        c.load()
+        assert c.tick(True) == TimerAction.NONE
+
+    def test_msi_special_value_disables_enable(self):
+        c = CountdownCounter(MSI_THETA)
+        assert not c.enabled
+        c.load()
+        assert c.tick(False) == TimerAction.NONE
+        assert c.tick(True) == TimerAction.INVALIDATE
+
+    def test_msi_invalidates_exactly_on_pending(self):
+        c = CountdownCounter(MSI_THETA)
+        c.load()
+        for _ in range(10):
+            assert c.tick(False) == TimerAction.NONE
+        assert c.tick(True) == TimerAction.INVALIDATE
+
+    def test_theta_one_invalidates_first_pending_tick(self):
+        c = CountdownCounter(1)
+        c.load()
+        assert c.tick(True) == TimerAction.INVALIDATE
+
+    def test_set_theta_reprograms(self):
+        c = CountdownCounter(4)
+        c.set_theta(MSI_THETA)
+        assert not c.enabled
+
+
+class TestInvalidationCycle:
+    def test_pending_at_fill(self):
+        assert invalidation_cycle(100, 10, 100) == 110
+
+    def test_pending_mid_window(self):
+        assert invalidation_cycle(100, 10, 105) == 110
+
+    def test_pending_after_replenishes(self):
+        assert invalidation_cycle(100, 10, 125) == 130
+
+    def test_pending_exactly_on_expiry(self):
+        assert invalidation_cycle(100, 10, 110) == 110
+
+    def test_pending_before_fill_clamps(self):
+        assert invalidation_cycle(100, 10, 50) == 110
+
+    def test_msi_is_immediate(self):
+        assert invalidation_cycle(100, MSI_THETA, 105) == 105
+        assert invalidation_cycle(100, MSI_THETA, 50) == 100
+
+    @given(
+        fill=st.integers(0, 10_000),
+        theta=st.integers(1, 200),
+        delay=st.integers(0, 2_000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_circuit_model(self, fill, theta, delay):
+        """The closed form equals the cycle-by-cycle Figure-3 circuit."""
+        pending_at = fill + delay
+        expected = invalidation_cycle(fill, theta, pending_at)
+
+        counter = CountdownCounter(theta)
+        counter.load()  # the line fills at `fill`
+        cycle = fill
+        while True:
+            cycle += 1
+            action = counter.tick(pending_inv=cycle >= pending_at)
+            if action == TimerAction.INVALIDATE:
+                break
+            assert cycle < fill + delay + 2 * theta + 2, "circuit never fired"
+        assert cycle == expected
+
+    @given(
+        fill=st.integers(0, 1000),
+        theta=st.integers(1, 300),
+        delay=st.integers(0, 1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_invalidation_is_after_pending_and_within_one_period(
+        self, fill, theta, delay
+    ):
+        pending = fill + delay
+        inv = invalidation_cycle(fill, theta, pending)
+        assert inv >= pending
+        assert inv > fill
+        assert inv - pending < theta + 1
+        assert (inv - fill) % theta == 0
+
+
+class TestModeSwitchLUT:
+    def test_program_and_lookup(self):
+        lut = ModeSwitchLUT({1: 300, 2: MSI_THETA})
+        assert lut.lookup(1) == 300
+        assert lut.lookup(2) == MSI_THETA
+
+    def test_missing_mode_raises(self):
+        with pytest.raises(KeyError):
+            ModeSwitchLUT().lookup(1)
+
+    def test_rejects_mode_zero(self):
+        with pytest.raises(ValueError):
+            ModeSwitchLUT().program(0, 10)
+
+    def test_rejects_invalid_theta(self):
+        with pytest.raises(ValueError):
+            ModeSwitchLUT().program(1, 0)
+
+    def test_contains_and_modes(self):
+        lut = ModeSwitchLUT({2: 10, 1: 20})
+        assert 1 in lut and 3 not in lut
+        assert list(lut.modes) == [1, 2]
+
+    def test_storage_cost_matches_paper(self):
+        """Five criticality levels cost 80 bits (paper, Section III-B)."""
+        lut = ModeSwitchLUT({m: 10 for m in range(1, 6)})
+        assert lut.storage_bits() == 80
+
+
+class TestOverheads:
+    def test_counter_overhead_is_about_three_percent(self):
+        """16 bits per 64-byte line ≈ 3% (paper, Section III-B)."""
+        assert per_line_counter_overhead(64) == pytest.approx(0.03125)
+
+    def test_timer_bits(self):
+        assert TIMER_BITS == 16
+        assert MAX_THETA == 65535

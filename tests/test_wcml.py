@@ -1,0 +1,129 @@
+"""Unit tests for the WCML bounds (Equations 2 and 3) and bound builders."""
+
+import math
+
+import pytest
+
+from repro.params import MSI_THETA, CacheGeometry, LatencyParams
+from repro.analysis.cache_analysis import build_profiles
+from repro.analysis.wcml import (
+    CoreBound,
+    average_wcml,
+    cohort_bounds,
+    meets_requirements,
+    pcc_bounds,
+    pendulum_bounds,
+    wcml_snoop,
+    wcml_timed,
+)
+
+from conftest import t
+
+SW = 54
+
+
+@pytest.fixture
+def profiles():
+    traces = [
+        t([(0, "R", 1), (0, "R", 1), (5, "W", 2)]),
+        t([(0, "W", 3), (0, "W", 3)]),
+    ]
+    return build_profiles(traces, CacheGeometry())
+
+
+class TestEquations:
+    def test_equation_2(self):
+        assert wcml_timed(m_hit=10, m_miss=5, wcl=100, hit_latency=1) == 510
+
+    def test_equation_3(self):
+        assert wcml_snoop(num_accesses=7, wcl=100) == 700
+
+    def test_equation_2_validates(self):
+        with pytest.raises(ValueError):
+            wcml_timed(-1, 0, 100)
+
+    def test_equation_3_validates(self):
+        with pytest.raises(ValueError):
+            wcml_snoop(-1, 100)
+
+
+class TestCoreBound:
+    def test_average_per_access(self):
+        b = CoreBound(core_id=0, wcml=100.0, wcl=50.0, m_hit=1, m_miss=1)
+        assert b.accesses == 2
+        assert b.average_per_access == 50.0
+
+    def test_unbounded_detection(self):
+        b = CoreBound(core_id=0, wcml=math.inf, wcl=math.inf, m_hit=0, m_miss=3)
+        assert not b.bounded
+
+    def test_empty_task(self):
+        b = CoreBound(core_id=0, wcml=0.0, wcl=10.0, m_hit=0, m_miss=0)
+        assert b.average_per_access == 0.0
+
+
+class TestCohortBounds(object):
+    def test_timed_core_uses_equation_2(self, profiles):
+        lat = LatencyParams()
+        bounds = cohort_bounds([1000, 1000], profiles, lat)
+        b0 = bounds[0]
+        # The back-to-back reuse of line 1 is a guaranteed hit.
+        assert b0.m_hit >= 1
+        assert b0.wcml == b0.m_hit * lat.hit + b0.m_miss * b0.wcl
+
+    def test_msi_core_uses_equation_3(self, profiles):
+        lat = LatencyParams()
+        bounds = cohort_bounds([1000, MSI_THETA], profiles, lat)
+        b1 = bounds[1]
+        assert b1.m_hit == 0
+        assert b1.wcml == 2 * b1.wcl
+
+    def test_requires_matching_lengths(self, profiles):
+        with pytest.raises(ValueError):
+            cohort_bounds([10], profiles, LatencyParams())
+
+    def test_fewer_timed_corunners_tightens_bounds(self, profiles):
+        lat = LatencyParams()
+        both_timed = cohort_bounds([200, 200], profiles, lat)
+        one_timed = cohort_bounds([200, MSI_THETA], profiles, lat)
+        assert one_timed[0].wcl < both_timed[0].wcl
+
+
+class TestBaselineBounds:
+    def test_pcc_all_misses(self, profiles):
+        bounds = pcc_bounds(profiles, LatencyParams())
+        for b, p in zip(bounds, profiles):
+            assert b.m_hit == 0
+            assert b.wcml == p.num_accesses * 4 * SW  # 2*N*SW with N=2
+
+    def test_pendulum_ncr_unbounded(self, profiles):
+        bounds = pendulum_bounds([True, False], 300, profiles, LatencyParams())
+        assert bounds[0].bounded
+        assert not bounds[1].bounded
+
+    def test_pendulum_requires_matching_lengths(self, profiles):
+        with pytest.raises(ValueError):
+            pendulum_bounds([True], 300, profiles, LatencyParams())
+
+
+class TestAggregation:
+    def test_average_wcml(self):
+        bounds = [
+            CoreBound(0, 100.0, 50.0, 1, 1),
+            CoreBound(1, 300.0, 50.0, 0, 3),
+        ]
+        assert average_wcml(bounds) == pytest.approx((50.0 + 100.0) / 2)
+
+    def test_average_wcml_empty(self):
+        with pytest.raises(ValueError):
+            average_wcml([])
+
+    def test_meets_requirements(self):
+        bounds = [CoreBound(0, 100.0, 50.0, 1, 1)]
+        assert meets_requirements(bounds, [150.0])
+        assert meets_requirements(bounds, [None])
+        assert not meets_requirements(bounds, [99.0])
+
+    def test_meets_requirements_length_check(self):
+        with pytest.raises(ValueError):
+            meets_requirements([], [1.0])

@@ -1,0 +1,141 @@
+"""Unit tests for the workload generators (repro.workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import merge_stats
+from repro.workloads import (
+    SPLASH_BENCHMARKS,
+    TraceBuilder,
+    benchmark_names,
+    splash_traces,
+    uniform_shared_mix,
+)
+from repro.workloads.synthetic import LINE, SHARED_BASE, private_base
+
+
+class TestTraceBuilder:
+    def test_access_accumulates(self):
+        b = TraceBuilder()
+        b.access(64, store=True, gap=3).access(128)
+        trace = b.build()
+        assert len(trace) == 2
+        assert trace[0].gap == 3 and trace[0].addr == 64
+
+    def test_compute_folds_into_next_gap(self):
+        b = TraceBuilder()
+        b.compute(100).access(0, gap=5)
+        assert b.build()[0].gap == 105
+
+    def test_compute_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TraceBuilder().compute(-1)
+
+    def test_sequential_word_stride_touches_lines_eight_times(self):
+        b = TraceBuilder()
+        b.sequential(0, 16, gap=0)  # 16 words = 2 lines
+        trace = b.build()
+        assert trace.unique_lines(LINE) == 2
+        assert len(trace) == 16
+
+    def test_scatter_is_read_modify_write(self):
+        b = TraceBuilder()
+        b.scatter(0, 4 * LINE, [1, 2])
+        trace = b.build()
+        assert len(trace) == 4
+        assert trace[0].addr == trace[1].addr
+        assert trace[1].op.name == "STORE"
+
+    def test_zipf_region_prefers_the_head(self):
+        b = TraceBuilder(seed=1)
+        b.zipf_region(0, 64 * LINE, 500, a=1.5)
+        trace = b.build()
+        lines = trace.line_addrs(LINE)
+        head_fraction = float(np.mean(lines == lines.min()))
+        assert head_fraction > 0.3
+
+    def test_random_region_respects_bounds(self):
+        b = TraceBuilder(seed=2)
+        b.random_region(SHARED_BASE, 8 * LINE, 200, write_ratio=0.5)
+        trace = b.build()
+        assert trace.addrs.min() >= SHARED_BASE
+        assert trace.addrs.max() < SHARED_BASE + 8 * LINE
+        assert 0.3 < trace.write_ratio < 0.7
+
+
+class TestSplashGenerators:
+    def test_registry_contains_the_paper_suite(self):
+        for name in ("fft", "lu", "radix", "ocean", "barnes", "cholesky",
+                     "water", "raytrace"):
+            assert name in SPLASH_BENCHMARKS
+        assert benchmark_names() == sorted(SPLASH_BENCHMARKS)
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            splash_traces("nonexistent")
+
+    @pytest.mark.parametrize("name", sorted(SPLASH_BENCHMARKS))
+    def test_one_trace_per_core(self, name):
+        traces = splash_traces(name, num_cores=4, scale=0.5, seed=3)
+        assert len(traces) == 4
+        assert all(len(tr) > 0 for tr in traces)
+
+    @pytest.mark.parametrize("name", sorted(SPLASH_BENCHMARKS))
+    def test_deterministic_in_seed(self, name):
+        a = splash_traces(name, num_cores=2, scale=0.5, seed=7)
+        b = splash_traces(name, num_cores=2, scale=0.5, seed=7)
+        assert all(x == y for x, y in zip(a, b))
+
+    @pytest.mark.parametrize("name", sorted(SPLASH_BENCHMARKS))
+    def test_different_seeds_differ(self, name):
+        a = splash_traces(name, num_cores=2, scale=0.5, seed=1)
+        b = splash_traces(name, num_cores=2, scale=0.5, seed=2)
+        assert any(x != y for x, y in zip(a, b))
+
+    @pytest.mark.parametrize("name", sorted(SPLASH_BENCHMARKS))
+    def test_threads_share_data(self, name):
+        """Every benchmark exhibits true sharing — the point of the paper."""
+        traces = splash_traces(name, num_cores=4, scale=1.0, seed=5)
+        _total, shared = merge_stats(traces, LINE)
+        assert shared > 0, f"{name} has no shared lines"
+
+    @pytest.mark.parametrize("name", sorted(SPLASH_BENCHMARKS))
+    def test_scale_grows_request_count(self, name):
+        small = splash_traces(name, num_cores=2, scale=0.5, seed=1)
+        large = splash_traces(name, num_cores=2, scale=2.0, seed=1)
+        assert len(large[0]) > len(small[0])
+
+    @pytest.mark.parametrize("name", sorted(SPLASH_BENCHMARKS))
+    def test_spatial_locality_present(self, name):
+        """Word-granular accesses: several accesses per distinct line."""
+        traces = splash_traces(name, num_cores=4, scale=1.0, seed=5)
+        tr = traces[0]
+        assert len(tr) / tr.unique_lines(LINE) > 1.5
+
+    def test_private_regions_are_disjoint(self):
+        assert private_base(0) + (1 << 22) <= private_base(1) + 1
+        assert private_base(3) < SHARED_BASE
+
+
+class TestUniformSharedMix:
+    def test_shapes_and_determinism(self):
+        a = uniform_shared_mix(3, 50, seed=4)
+        b = uniform_shared_mix(3, 50, seed=4)
+        assert len(a) == 3
+        assert all(len(tr) == 50 for tr in a)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_shared_fraction_zero_isolates_cores(self):
+        traces = uniform_shared_mix(2, 100, shared_fraction=0.0, seed=1)
+        _total, shared = merge_stats(traces, LINE)
+        assert shared == 0
+
+    def test_shared_fraction_one_everything_shared(self):
+        traces = uniform_shared_mix(2, 100, shared_fraction=1.0,
+                                    shared_lines=4, seed=1)
+        _total, shared = merge_stats(traces, LINE)
+        assert shared >= 1
+
+    def test_write_ratio_respected(self):
+        traces = uniform_shared_mix(1, 2000, write_ratio=0.25, seed=2)
+        assert 0.18 < traces[0].write_ratio < 0.32
