@@ -1,6 +1,6 @@
 # Convenience targets for the CoHoRT reproduction.
 
-.PHONY: install test bench examples all-experiments lint clean
+.PHONY: install test bench bench-throughput examples all-experiments lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Simulator throughput only; writes benchmarks/out/BENCH_throughput.json
+# so the perf trajectory is tracked across PRs.
+bench-throughput:
+	pytest benchmarks/test_sim_throughput.py --benchmark-only -s
 
 examples:
 	@for ex in examples/*.py; do \

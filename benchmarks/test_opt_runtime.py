@@ -28,7 +28,8 @@ def test_optimization_engine_runtime(benchmark, name):
         f"opt_runtime_{name}",
         f"{name}: {sum(p.num_accesses for p in profiles)} requests, "
         f"optimized thetas {result.thetas} in {result.wall_seconds:.2f}s "
-        f"({result.ga.evaluations} GA evaluations)",
+        f"({result.ga.evaluations} GA evaluations, "
+        f"{result.ga.cache_hits} memoized)",
     )
     assert result.feasible
     # Paper: 50 min - 20 h in Matlab; the memoised engine is ~10^3 faster.

@@ -21,9 +21,14 @@ def test_simulator_throughput(benchmark):
 
     def run():
         rows = []
-        for name, cfg in (
-            ("CoHoRT θ=60", cohort_config([60] * 4)),
-            ("MSI-FCFS", msi_fcfs_config(4)),
+        payload = {
+            "workload": "ocean x4",
+            "total_accesses": total_accesses,
+            "systems": {},
+        }
+        for name, key, cfg in (
+            ("CoHoRT θ=60", "cohort", cohort_config([60] * 4)),
+            ("MSI-FCFS", "msi_fcfs", msi_fcfs_config(4)),
         ):
             started = time.perf_counter()
             stats = run_simulation(cfg, traces)
@@ -37,9 +42,15 @@ def test_simulator_throughput(benchmark):
                     f"{total_accesses / wall:,.0f}",
                 ]
             )
-        return rows
+            payload["systems"][key] = {
+                "cycles": stats.final_cycle,
+                "wall_seconds": wall,
+                "cycles_per_second": stats.final_cycle / wall,
+                "accesses_per_second": total_accesses / wall,
+            }
+        return rows, payload
 
-    rows = run_once(benchmark, run)
+    rows, payload = run_once(benchmark, run)
     emit(
         "sim_throughput",
         format_table(
@@ -47,6 +58,11 @@ def test_simulator_throughput(benchmark):
             rows,
             title=f"Simulator throughput (ocean x4, {total_accesses:,} accesses)",
         ),
+    )
+    emit(
+        "BENCH_throughput",
+        "machine-readable copy of sim_throughput.txt in BENCH_throughput.json",
+        payload=payload,
     )
     for row in rows:
         # Guard: at least 10^4 simulated cycles per second.

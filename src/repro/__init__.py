@@ -26,6 +26,7 @@ from repro.params import (
     pendulum_star_config,
     save_config,
 )
+from repro.runner import SweepJob, SweepRunner
 from repro.sim import (
     CoherenceViolationError,
     System,
@@ -53,6 +54,8 @@ __all__ = [
     "pcc_config",
     "pendulum_config",
     "pendulum_star_config",
+    "SweepJob",
+    "SweepRunner",
     "System",
     "Trace",
     "TraceAccess",

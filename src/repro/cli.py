@@ -43,6 +43,13 @@ def _ga_config(args: argparse.Namespace) -> GAConfig:
     )
 
 
+def _positive_int(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return jobs
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload size multiplier")
@@ -51,6 +58,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="GA population size")
     parser.add_argument("--generations", type=int, default=20,
                         help="GA generations")
+    parser.add_argument("-j", "--jobs", type=_positive_int, default=1,
+                        help="worker processes for independent simulations "
+                             "and GA fitness evaluation (1 = serial)")
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -75,11 +85,15 @@ def cmd_table2(args: argparse.Namespace) -> int:
 
 def cmd_fig5(args: argparse.Namespace) -> int:
     """``cohort fig5``: one WCML comparison panel per benchmark."""
+    from repro.runner import SweepRunner
+
     critical = FIG5_CONFIGS[args.config]
+    runner = SweepRunner(jobs=args.jobs)
     for benchmark in args.benchmarks:
         exp = run_wcml_experiment(
             benchmark, critical, scale=args.scale, seed=args.seed,
             ga_config=_ga_config(args), perfect_llc=not args.non_perfect_llc,
+            runner=runner,
         )
         print(exp.to_table())
         print(
@@ -93,10 +107,13 @@ def cmd_fig5(args: argparse.Namespace) -> int:
 
 def cmd_fig6(args: argparse.Namespace) -> int:
     """``cohort fig6``: execution time normalised to MSI-FCFS."""
+    from repro.runner import SweepRunner
+
     critical = FIG5_CONFIGS[args.config]
     exp = run_performance_experiment(
         args.benchmarks, critical, scale=args.scale, seed=args.seed,
         ga_config=_ga_config(args), perfect_llc=not args.non_perfect_llc,
+        runner=SweepRunner(jobs=args.jobs),
     )
     print(exp.to_table())
     return 0
@@ -218,7 +235,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     config = cohort_config([1] * 4)
     profiles = build_profiles(traces, config.l1)
     engine = OptimizationEngine(profiles, LatencyParams(), _ga_config(args))
-    result = engine.optimize(timed=[True] * 4)
+    result = engine.optimize(timed=[True] * 4, jobs=args.jobs)
     print(f"optimized thetas for {args.benchmark}: {result.thetas}")
     print(f"objective (avg per-access WCML): {result.objective:.2f}")
     print(f"feasible: {result.feasible}, GA evaluations: "

@@ -40,6 +40,7 @@ from repro.experiments.wcml import (
     WCMLExperiment,
     optimize_cohort_thetas,
     run_wcml_experiment,
+    run_wcml_sweep,
 )
 
 __all__ = [
@@ -70,4 +71,5 @@ __all__ = [
     "WCMLExperiment",
     "optimize_cohort_thetas",
     "run_wcml_experiment",
+    "run_wcml_sweep",
 ]

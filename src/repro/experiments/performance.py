@@ -22,7 +22,7 @@ from repro.analysis import build_profiles
 from repro.experiments.report import format_table, geomean
 from repro.experiments.wcml import PENDULUM_THETA
 from repro.opt import GAConfig, OptimizationEngine
-from repro.sim.system import run_simulation
+from repro.runner import SweepRunner
 from repro.workloads import splash_traces
 
 
@@ -111,38 +111,44 @@ def run_performance_benchmark(
     ga_config: Optional[GAConfig] = None,
     perfect_llc: bool = True,
     pendulum_theta: int = PENDULUM_THETA,
+    runner: Optional[SweepRunner] = None,
+    jobs: int = 1,
 ) -> PerformanceResult:
-    """Execution time of all four systems on one benchmark."""
+    """Execution time of all four systems on one benchmark.
+
+    The four simulations are independent and run as one
+    :class:`~repro.runner.SweepRunner` batch (the GA supplying CoHoRT's
+    timers runs first, since its result shapes the batch).
+    """
     critical = list(critical)
     num_cores = len(critical)
     traces = splash_traces(benchmark, num_cores, scale=scale, seed=seed)
     result = PerformanceResult(benchmark=benchmark, critical=critical)
     kwargs = dict(perfect_llc=perfect_llc)
-
-    def record(name: str, stats) -> None:
-        result.execution_time[name] = stats.execution_time
-        result.bus_utilization[name] = stats.bus_utilization()
+    if runner is None:
+        runner = SweepRunner(jobs=jobs, cache_dir=None)
 
     base_cfg = msi_fcfs_config(num_cores, **kwargs)
-    record("MSI-FCFS", run_simulation(base_cfg, traces))
-
     profiles = build_profiles(traces, base_cfg.l1)
     engine = OptimizationEngine(
         profiles, base_cfg.latencies, ga_config or GAConfig(seed=1)
     )
     thetas = engine.optimize(timed=critical).thetas
-    record(
-        "CoHoRT",
-        run_simulation(cohort_config(thetas, critical=critical, **kwargs),
-                       traces),
+
+    sims = runner.run_systems(
+        {
+            "MSI-FCFS": base_cfg,
+            "CoHoRT": cohort_config(thetas, critical=critical, **kwargs),
+            "PCC": pcc_config(num_cores, **kwargs),
+            "PENDULUM": pendulum_config(
+                critical, theta=pendulum_theta, **kwargs
+            ),
+        },
+        traces,
     )
-    record("PCC", run_simulation(pcc_config(num_cores, **kwargs), traces))
-    record(
-        "PENDULUM",
-        run_simulation(
-            pendulum_config(critical, theta=pendulum_theta, **kwargs), traces
-        ),
-    )
+    for name, sim in sims.items():
+        result.execution_time[name] = sim["execution_time"]
+        result.bus_utilization[name] = sim["bus_utilization"]
     return result
 
 
@@ -153,8 +159,12 @@ def run_performance_experiment(
     seed: int = 0,
     ga_config: Optional[GAConfig] = None,
     perfect_llc: bool = True,
+    runner: Optional[SweepRunner] = None,
+    jobs: int = 1,
 ) -> PerformanceExperiment:
-    """One Figure-6 panel across a benchmark list."""
+    """One Figure-6 panel across a benchmark list (one shared runner)."""
+    if runner is None:
+        runner = SweepRunner(jobs=jobs, cache_dir=None)
     experiment = PerformanceExperiment(critical=list(critical))
     for name in benchmarks:
         experiment.results.append(
@@ -165,6 +175,7 @@ def run_performance_experiment(
                 seed=seed,
                 ga_config=ga_config,
                 perfect_llc=perfect_llc,
+                runner=runner,
             )
         )
     return experiment

@@ -35,7 +35,7 @@ from repro.analysis import (
 )
 from repro.experiments.report import bar_chart, format_table, ratio_summary
 from repro.opt import GAConfig, OptimizationEngine
-from repro.sim.system import run_simulation
+from repro.runner import SweepRunner
 from repro.sim.trace import Trace
 from repro.workloads import splash_traces
 
@@ -163,8 +163,15 @@ def run_wcml_experiment(
     ga_config: Optional[GAConfig] = None,
     perfect_llc: bool = True,
     pendulum_theta: int = PENDULUM_THETA,
+    runner: Optional[SweepRunner] = None,
+    jobs: int = 1,
 ) -> WCMLExperiment:
-    """Run one Figure-5 panel for one benchmark."""
+    """Run one Figure-5 panel for one benchmark.
+
+    The three system simulations are independent, so they go through a
+    :class:`~repro.runner.SweepRunner` (pass ``runner`` to share its
+    result cache across panels, or just ``jobs`` for a private one).
+    """
     critical = list(critical)
     num_cores = len(critical)
     traces = splash_traces(benchmark, num_cores, scale=scale, seed=seed)
@@ -172,20 +179,35 @@ def run_wcml_experiment(
     latencies = LatencyParams()
     profiles = build_profiles(traces, cohort_config([1] * num_cores).l1)
     experiment = WCMLExperiment(benchmark=benchmark, critical=critical)
+    if runner is None:
+        runner = SweepRunner(jobs=jobs, cache_dir=None)
 
-    # --- CoHoRT -----------------------------------------------------------
+    # The GA (serial, memoized) must run first: its timers define the
+    # CoHoRT configuration of the batch.
     engine = OptimizationEngine(
         profiles, latencies, ga_config or GAConfig(seed=1)
     )
     opt = engine.optimize(timed=critical)
-    cohort_cfg = cohort_config(opt.thetas, critical=critical, **base_kwargs)
-    cohort_stats = run_simulation(cohort_cfg, traces)
+
+    pend_cfg = pendulum_config(critical, theta=pendulum_theta, **base_kwargs)
+    sims = runner.run_systems(
+        {
+            "CoHoRT": cohort_config(
+                opt.thetas, critical=critical, **base_kwargs
+            ),
+            "PCC": pcc_config(num_cores, **base_kwargs),
+            "PENDULUM": pend_cfg,
+        },
+        traces,
+    )
+
+    def measured(name: str) -> List[int]:
+        return [c["total_memory_latency"] for c in sims[name]["cores"]]
+
     experiment.systems.append(
         SystemWCML(
             name="CoHoRT",
-            experimental=[
-                c.total_memory_latency for c in cohort_stats.cores
-            ],
+            experimental=measured("CoHoRT"),
             analytical=[
                 b.wcml
                 for b in cohort_bounds(opt.thetas, profiles, latencies)
@@ -193,25 +215,17 @@ def run_wcml_experiment(
             thetas=opt.thetas,
         )
     )
-
-    # --- PCC ---------------------------------------------------------------
-    pcc_cfg = pcc_config(num_cores, **base_kwargs)
-    pcc_stats = run_simulation(pcc_cfg, traces)
     experiment.systems.append(
         SystemWCML(
             name="PCC",
-            experimental=[c.total_memory_latency for c in pcc_stats.cores],
+            experimental=measured("PCC"),
             analytical=[b.wcml for b in pcc_bounds(profiles, latencies)],
         )
     )
-
-    # --- PENDULUM -------------------------------------------------------------
-    pend_cfg = pendulum_config(critical, theta=pendulum_theta, **base_kwargs)
-    pend_stats = run_simulation(pend_cfg, traces)
     experiment.systems.append(
         SystemWCML(
             name="PENDULUM",
-            experimental=[c.total_memory_latency for c in pend_stats.cores],
+            experimental=measured("PENDULUM"),
             analytical=[
                 b.wcml
                 for b in pendulum_bounds(
@@ -222,6 +236,35 @@ def run_wcml_experiment(
         )
     )
     return experiment
+
+
+def run_wcml_sweep(
+    benchmarks: Sequence[str],
+    critical: Sequence[bool],
+    scale: float = 1.0,
+    seed: int = 0,
+    ga_config: Optional[GAConfig] = None,
+    perfect_llc: bool = True,
+    pendulum_theta: int = PENDULUM_THETA,
+    runner: Optional[SweepRunner] = None,
+    jobs: int = 1,
+) -> List[WCMLExperiment]:
+    """Figure-5 panels for several benchmarks, sharing one runner/cache."""
+    if runner is None:
+        runner = SweepRunner(jobs=jobs, cache_dir=None)
+    return [
+        run_wcml_experiment(
+            name,
+            critical,
+            scale=scale,
+            seed=seed,
+            ga_config=ga_config,
+            perfect_llc=perfect_llc,
+            pendulum_theta=pendulum_theta,
+            runner=runner,
+        )
+        for name in benchmarks
+    ]
 
 
 #: The three criticality configurations of Figure 5.

@@ -17,6 +17,7 @@ offline flow the paper describes:
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -25,6 +26,20 @@ from repro.analysis.cache_analysis import IsolationProfile
 from repro.analysis.wcml import CoreBound
 from repro.opt.ga import GAConfig, GAResult, GeneticAlgorithm
 from repro.opt.problem import TimerProblem
+
+#: Per-worker problem instance, installed once by the pool initializer so
+#: each GA fitness task ships only the gene vector, not the problem.
+_WORKER_PROBLEM: Optional[TimerProblem] = None
+
+
+def _init_fitness_worker(problem: TimerProblem) -> None:
+    global _WORKER_PROBLEM
+    _WORKER_PROBLEM = problem
+
+
+def _fitness_worker(genes: List[int]) -> float:
+    assert _WORKER_PROBLEM is not None, "pool initializer did not run"
+    return _WORKER_PROBLEM.fitness(genes)
 
 
 @dataclass
@@ -96,17 +111,40 @@ class OptimizationEngine:
         requirements: Optional[Sequence[Optional[float]]] = None,
         seed_thetas: Optional[Sequence[Sequence[int]]] = None,
         objective_cores: Optional[Sequence[int]] = None,
+        jobs: int = 1,
     ) -> OptimizationResult:
-        """Optimize the timers of the ``timed`` cores under constraint C1."""
+        """Optimize the timers of the ``timed`` cores under constraint C1.
+
+        ``jobs > 1`` evaluates each generation's *unmemoized* gene vectors
+        across that many worker processes; the GA trajectory is identical
+        to the serial run (the problem is deterministic and evaluation
+        consumes no GA randomness).
+        """
         started = time.perf_counter()
         problem = TimerProblem(
             self.profiles, self.latencies, timed, requirements,
             objective_cores=objective_cores,
         )
-        ga = GeneticAlgorithm(
-            problem.gene_bounds(), problem.fitness, self.ga_config
-        )
-        result = ga.run(initial=seed_thetas)
+        if jobs > 1:
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_init_fitness_worker,
+                initargs=(problem,),
+            ) as pool:
+                ga = GeneticAlgorithm(
+                    problem.gene_bounds(),
+                    problem.fitness,
+                    self.ga_config,
+                    map_fn=lambda batch: list(
+                        pool.map(_fitness_worker, batch)
+                    ),
+                )
+                result = ga.run(initial=seed_thetas)
+        else:
+            ga = GeneticAlgorithm(
+                problem.gene_bounds(), problem.fitness, self.ga_config
+            )
+            result = ga.run(initial=seed_thetas)
         evaluation = problem.evaluate(result.best_genes)
         return OptimizationResult(
             thetas=evaluation.thetas,
@@ -123,6 +161,7 @@ class OptimizationEngine:
         self,
         criticalities: Sequence[int],
         requirements_per_mode: Dict[int, Sequence[Optional[float]]],
+        jobs: int = 1,
     ) -> ModeTable:
         """Run the engine once per mode to fill the Mode-Switch LUTs.
 
@@ -151,6 +190,7 @@ class OptimizationEngine:
                 timed,
                 reqs,
                 objective_cores=[i for i, t in enumerate(timed) if t],
+                jobs=jobs,
             )
             table.thetas[mode] = result.thetas
             table.results[mode] = result

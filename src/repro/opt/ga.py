@@ -15,6 +15,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 FitnessFn = Callable[[Sequence[int]], float]
+#: Batch evaluator: list of gene vectors in, fitness values out (in order).
+MapFn = Callable[[List[List[int]]], Sequence[float]]
 
 
 @dataclass(frozen=True)
@@ -53,9 +55,12 @@ class GAResult:
     best_genes: List[int]
     best_fitness: float
     generations_run: int
+    #: Logical fitness evaluations requested (memo hits included).
     evaluations: int
     #: Best fitness after each generation (monotone non-increasing).
     history: List[float] = field(default_factory=list)
+    #: Evaluations answered from the gene-vector memo (no fitness call).
+    cache_hits: int = 0
 
 
 class GeneticAlgorithm:
@@ -66,7 +71,11 @@ class GeneticAlgorithm:
         bounds: Sequence[Tuple[int, int]],
         fitness_fn: FitnessFn,
         config: Optional[GAConfig] = None,
+        map_fn: Optional[MapFn] = None,
     ) -> None:
+        """``map_fn``, when given, batch-evaluates a list of gene vectors
+        (e.g. across worker processes) and returns their fitness values in
+        order; it is only called for vectors not already memoized."""
         if not bounds:
             raise ValueError("need at least one gene")
         for lo, hi in bounds:
@@ -75,8 +84,14 @@ class GeneticAlgorithm:
         self.bounds = [(int(lo), int(hi)) for lo, hi in bounds]
         self.fitness_fn = fitness_fn
         self.config = config or GAConfig()
+        self.map_fn = map_fn
         self._rng = np.random.default_rng(self.config.seed)
         self._evaluations = 0
+        self._cache_hits = 0
+        #: Fitness memo keyed by the (hashable) gene tuple: the GA
+        #: re-visits elites and converged individuals constantly, and the
+        #: fitness of a deterministic problem never changes.
+        self._memo: dict = {}
 
     # -- gene helpers ---------------------------------------------------------
 
@@ -132,9 +147,29 @@ class GeneticAlgorithm:
         best = min(idx, key=lambda j: fitness[j])
         return population[best]
 
-    def _evaluate(self, genes: Sequence[int]) -> float:
-        self._evaluations += 1
-        return float(self.fitness_fn(genes))
+    def _evaluate_population(self, population: List[List[int]]) -> List[float]:
+        """Fitness of every individual, through the memo (and ``map_fn``).
+
+        ``evaluations`` counts every *logical* evaluation — memo hits
+        included — so the counter stays comparable across configurations.
+        """
+        self._evaluations += len(population)
+        memo = self._memo
+        keys = [tuple(ind) for ind in population]
+        fresh = []
+        for key in keys:
+            if key in memo:
+                self._cache_hits += 1
+            elif key not in fresh:
+                fresh.append(key)
+        if fresh:
+            if self.map_fn is not None:
+                values = self.map_fn([list(k) for k in fresh])
+            else:
+                values = [self.fitness_fn(list(k)) for k in fresh]
+            for key, value in zip(fresh, values):
+                memo[key] = float(value)
+        return [memo[key] for key in keys]
 
     # -- main loop ---------------------------------------------------------------
 
@@ -147,7 +182,7 @@ class GeneticAlgorithm:
         while len(population) < cfg.population_size:
             population.append(self._random_individual())
         population = population[: cfg.population_size]
-        fitness = [self._evaluate(ind) for ind in population]
+        fitness = self._evaluate_population(population)
 
         history: List[float] = []
         best_idx = int(np.argmin(fitness))
@@ -172,7 +207,7 @@ class GeneticAlgorithm:
                 child = self._mutate(child)
                 next_pop.append(child)
             population = next_pop
-            fitness = [self._evaluate(ind) for ind in population]
+            fitness = self._evaluate_population(population)
             gen_best = int(np.argmin(fitness))
             if fitness[gen_best] < best_fitness:
                 best_fitness = fitness[gen_best]
@@ -190,4 +225,5 @@ class GeneticAlgorithm:
             generations_run=generations_run,
             evaluations=self._evaluations,
             history=history,
+            cache_hits=self._cache_hits,
         )

@@ -1,0 +1,249 @@
+"""Parallel experiment runner with content-addressed result caching.
+
+The paper's figures are sweeps of *independent* simulations: the same
+trace set replayed under many ``(protocol, θ-vector)`` configurations.
+:class:`SweepRunner` executes such batches through a
+``ProcessPoolExecutor`` (``jobs > 1``) and memoizes every result in an
+on-disk cache keyed by a content hash of the full simulation input —
+the serialised :class:`~repro.params.SimConfig` (including
+``check_coherence`` and ``max_cycles``, which ``config_to_dict`` omits)
+plus the raw bytes of every trace array.  Re-running an experiment with
+unchanged inputs is a cache lookup, not a simulation.
+
+Results cross process and cache boundaries as plain JSON dicts (see
+:func:`stats_to_dict`), and *fresh* results are normalised through a
+JSON round-trip so that a dict served from the cache is byte-identical
+to one computed in-process — the determinism suite relies on this.
+
+Usage::
+
+    runner = SweepRunner(jobs=4)
+    results = runner.run_systems({"cohort": cfg_a, "msi": cfg_b}, traces)
+    results["cohort"]["final_cycle"]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.params import SimConfig, config_from_dict, config_to_dict
+from repro.sim.stats import SystemStats
+from repro.sim.system import run_simulation
+from repro.sim.trace import Trace
+
+#: Bump when the result schema or the simulation semantics change in a
+#: way that invalidates previously cached results.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = os.path.join(".cohort_cache", "sweeps")
+
+
+def stats_to_dict(stats: SystemStats) -> dict:
+    """Serialise a :class:`SystemStats` to a JSON-compatible dict."""
+    return {
+        "final_cycle": stats.final_cycle,
+        "execution_time": stats.execution_time,
+        "bus_busy_cycles": stats.bus_busy_cycles,
+        "bus_utilization": stats.bus_utilization(),
+        "bus_grants": dict(stats.bus_grants),
+        "timer_expiries": stats.timer_expiries,
+        "replenishes_skipped": stats.replenishes_skipped,
+        "writebacks": stats.writebacks,
+        "dram_fetches": stats.dram_fetches,
+        "back_invalidations": stats.back_invalidations,
+        "mode_switches": stats.mode_switches,
+        "cores": [
+            {
+                "core_id": c.core_id,
+                "hits": c.hits,
+                "misses": c.misses,
+                "upgrades": c.upgrades,
+                "runahead_hits": c.runahead_hits,
+                "total_memory_latency": c.total_memory_latency,
+                "max_request_latency": c.max_request_latency,
+                "finish_cycle": c.finish_cycle,
+                "request_latencies": c.request_latencies,
+            }
+            for c in stats.cores
+        ],
+    }
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One independent simulation of a sweep."""
+
+    config: SimConfig
+    traces: Tuple[Trace, ...]
+    record_latencies: bool = False
+
+    def digest(self) -> str:
+        """Content hash of everything that determines the result."""
+        h = hashlib.sha256()
+        h.update(f"v{CACHE_VERSION}".encode())
+        payload = config_to_dict(self.config)
+        # config_to_dict intentionally omits run-control fields; they
+        # change the result (or whether the oracle runs), so hash them.
+        payload["check_coherence"] = self.config.check_coherence
+        payload["max_cycles"] = self.config.max_cycles
+        payload["record_latencies"] = self.record_latencies
+        h.update(json.dumps(payload, sort_keys=True).encode())
+        for trace in self.traces:
+            h.update(b"|trace|")
+            h.update(trace.gaps.tobytes())
+            h.update(trace.ops.tobytes())
+            h.update(trace.addrs.tobytes())
+        return h.hexdigest()
+
+
+def _execute(payload: Tuple[dict, bool, int, bool, List[Tuple[list, list, list]]]) -> dict:
+    """Worker entry point: rebuild the job from primitives and simulate.
+
+    Takes plain lists/dicts rather than live objects so the pickled task
+    stays small and version-independent.
+    """
+    cfg_dict, check, max_cycles, record, raw_traces = payload
+    from dataclasses import replace
+
+    config = replace(
+        config_from_dict(cfg_dict),
+        check_coherence=check,
+        max_cycles=max_cycles,
+    )
+    traces = [Trace.from_arrays(g, o, a) for g, o, a in raw_traces]
+    stats = run_simulation(config, traces, record_latencies=record)
+    return stats_to_dict(stats)
+
+
+def _job_payload(job: SweepJob) -> tuple:
+    return (
+        config_to_dict(job.config),
+        job.config.check_coherence,
+        job.config.max_cycles,
+        job.record_latencies,
+        [
+            (t.gaps.tolist(), t.ops.tolist(), t.addrs.tolist())
+            for t in job.traces
+        ],
+    )
+
+
+@dataclass
+class SweepRunner:
+    """Runs batches of independent simulations, with caching.
+
+    ``jobs == 1`` executes inline (no process pool, no pickling); any
+    higher value fans the *uncached* jobs out to worker processes.  The
+    on-disk cache is shared between both modes and across runs; set
+    ``cache_dir=None`` to disable persistence entirely.
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR
+    cache_hits: int = 0
+    cache_misses: int = 0
+    _memory: Dict[str, dict] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+
+    # -- cache ---------------------------------------------------------------
+
+    def _cache_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _cache_load(self, key: str) -> Optional[dict]:
+        if key in self._memory:
+            return self._memory[key]
+        path = self._cache_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path) as fh:
+                result = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        self._memory[key] = result
+        return result
+
+    def _cache_store(self, key: str, result: dict) -> None:
+        self._memory[key] = result
+        path = self._cache_path(key)
+        if path is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        # Atomic write: concurrent runners may race on the same key.
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(result, fh)
+            os.replace(tmp, path)
+        except OSError:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, jobs: Sequence[SweepJob]) -> List[dict]:
+        """Run a batch; returns one result dict per job, in order."""
+        keys = [job.digest() for job in jobs]
+        results: List[Optional[dict]] = [None] * len(jobs)
+        pending: List[int] = []
+        for i, key in enumerate(keys):
+            cached = self._cache_load(key)
+            if cached is not None:
+                self.cache_hits += 1
+                results[i] = cached
+            else:
+                self.cache_misses += 1
+                pending.append(i)
+
+        if pending:
+            payloads = [_job_payload(jobs[i]) for i in pending]
+            if self.jobs == 1 or len(pending) == 1:
+                fresh = [_execute(p) for p in payloads]
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    fresh = list(pool.map(_execute, payloads))
+            for i, result in zip(pending, fresh):
+                # Normalise through JSON so fresh and cached results are
+                # indistinguishable (e.g. tuples become lists).
+                result = json.loads(json.dumps(result))
+                self._cache_store(keys[i], result)
+                results[i] = result
+        return results  # type: ignore[return-value]
+
+    def run_one(
+        self,
+        config: SimConfig,
+        traces: Sequence[Trace],
+        record_latencies: bool = False,
+    ) -> dict:
+        """Run (or look up) a single simulation."""
+        return self.run(
+            [SweepJob(config, tuple(traces), record_latencies)]
+        )[0]
+
+    def run_systems(
+        self,
+        named_configs: Mapping[str, SimConfig],
+        traces: Sequence[Trace],
+        record_latencies: bool = False,
+    ) -> Dict[str, dict]:
+        """Run one simulation per named configuration over shared traces."""
+        names = list(named_configs)
+        batch = [
+            SweepJob(named_configs[name], tuple(traces), record_latencies)
+            for name in names
+        ]
+        return dict(zip(names, self.run(batch)))

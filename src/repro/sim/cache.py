@@ -3,12 +3,19 @@
 These classes model *storage and replacement* only; the coherence state
 machine that manipulates them lives in :mod:`repro.sim.private_cache` and
 :mod:`repro.sim.system`.
+
+Both arrays maintain their valid-line counts incrementally (``__len__``
+and :meth:`SetAssociativeArray.occupancy` are O(1)): every sanctioned
+mutation path — :meth:`CacheLine.invalidate`, :meth:`DirectMappedArray.
+install`, :meth:`repro.sim.private_cache.PrivateCache.fill`, and the
+set-associative insert/remove — keeps the counter in sync.  Poking a
+line's fields directly bypasses the bookkeeping; use ``install``.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.params import CacheGeometry
@@ -22,7 +29,7 @@ class LineState(enum.IntEnum):
     M = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One private cache line with its CoHoRT coherence metadata.
 
@@ -49,6 +56,11 @@ class CacheLine:
     #: the line is conceded and only awaits the bus transfer.
     handover_ready: bool = False
     generation: int = 0
+    #: Back-reference to the owning :class:`DirectMappedArray` (if any),
+    #: used to maintain its valid-line counter across invalidations.
+    owner: Optional["DirectMappedArray"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def valid(self) -> bool:
@@ -80,6 +92,8 @@ class CacheLine:
 
     def invalidate(self) -> None:
         """Drop the line to I, clearing metadata and bumping the generation."""
+        if self.state != LineState.I and self.owner is not None:
+            self.owner._valid_count -= 1
         self.state = LineState.I
         self.dirty = False
         self.clear_pending()
@@ -89,39 +103,62 @@ class CacheLine:
 class DirectMappedArray:
     """Storage of a direct-mapped private cache (one line per set)."""
 
+    __slots__ = ("geometry", "_lines", "_set_mask", "_valid_count")
+
     def __init__(self, geometry: CacheGeometry) -> None:
         if geometry.ways != 1:
             raise ValueError("DirectMappedArray models ways == 1 only")
         self.geometry = geometry
-        self._lines: List[CacheLine] = [CacheLine() for _ in range(geometry.num_sets)]
+        self._lines: List[CacheLine] = [
+            CacheLine(owner=self) for _ in range(geometry.num_sets)
+        ]
+        #: num_sets is validated to be a power of two, so indexing reduces
+        #: to a mask — the hot paths use it instead of ``set_index``.
+        self._set_mask = geometry.num_sets - 1
+        self._valid_count = 0
 
     def slot(self, line_addr: int) -> CacheLine:
         """The (single) slot a line address maps to."""
-        return self._lines[self.geometry.set_index(line_addr)]
+        return self._lines[line_addr & self._set_mask]
 
     def lookup(self, line_addr: int) -> Optional[CacheLine]:
         """The resident line for this address, or ``None``."""
-        line = self.slot(line_addr)
-        if line.valid and line.line_addr == line_addr:
+        line = self._lines[line_addr & self._set_mask]
+        if line.state and line.line_addr == line_addr:
             return line
         return None
 
     def victim(self, line_addr: int) -> Optional[CacheLine]:
         """The line a fill of ``line_addr`` would evict, or ``None``."""
-        line = self.slot(line_addr)
-        if line.valid and line.line_addr != line_addr:
+        line = self._lines[line_addr & self._set_mask]
+        if line.state and line.line_addr != line_addr:
             return line
         return None
+
+    def install(self, line_addr: int, state: LineState = LineState.S) -> CacheLine:
+        """Place a line directly into its slot (tests / setup helper).
+
+        Maintains the valid-line counter; any resident line in the slot is
+        invalidated first.
+        """
+        slot = self._lines[line_addr & self._set_mask]
+        if slot.valid:
+            slot.invalidate()
+        if state != LineState.I:
+            self._valid_count += 1
+        slot.line_addr = line_addr
+        slot.state = state
+        return slot
 
     def valid_lines(self) -> Iterator[CacheLine]:
         """Iterate over the currently valid lines."""
         return (line for line in self._lines if line.valid)
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.valid_lines())
+        return self._valid_count
 
 
-@dataclass
+@dataclass(slots=True)
 class LLCLine:
     """One LLC line: data version plus LRU bookkeeping."""
 
@@ -133,18 +170,22 @@ class LLCLine:
 class SetAssociativeArray:
     """Storage of the set-associative, LRU-replaced shared LLC."""
 
+    __slots__ = ("geometry", "_sets", "_set_mask", "_occupancy")
+
     def __init__(self, geometry: CacheGeometry) -> None:
         self.geometry = geometry
         self._sets: List[Dict[int, LLCLine]] = [
             {} for _ in range(geometry.num_sets)
         ]
+        self._set_mask = geometry.num_sets - 1
+        self._occupancy = 0
 
     def _set(self, line_addr: int) -> Dict[int, LLCLine]:
-        return self._sets[self.geometry.set_index(line_addr)]
+        return self._sets[line_addr & self._set_mask]
 
     def lookup(self, line_addr: int, cycle: int = 0, touch: bool = True) -> Optional[LLCLine]:
         """The resident LLC line, optionally touching LRU state."""
-        line = self._set(line_addr).get(line_addr)
+        line = self._sets[line_addr & self._set_mask].get(line_addr)
         if line is not None and touch:
             line.last_touch = cycle
         return line
@@ -167,13 +208,18 @@ class SetAssociativeArray:
         if len(cache_set) >= self.geometry.ways:
             lru_addr = min(cache_set, key=lambda a: (cache_set[a].last_touch, a))
             victim = cache_set.pop(lru_addr)
+            self._occupancy -= 1
         cache_set[line_addr] = LLCLine(line_addr=line_addr, version=version, last_touch=cycle)
+        self._occupancy += 1
         return victim
 
     def remove(self, line_addr: int) -> Optional[LLCLine]:
         """Remove and return a line (None if absent)."""
-        return self._set(line_addr).pop(line_addr, None)
+        line = self._set(line_addr).pop(line_addr, None)
+        if line is not None:
+            self._occupancy -= 1
+        return line
 
     def occupancy(self) -> int:
         """Total valid lines across all sets."""
-        return sum(len(s) for s in self._sets)
+        return self._occupancy

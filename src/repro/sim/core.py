@@ -12,6 +12,14 @@ subsequent trace entries **as long as they hit**, up to
 ``runahead_window`` entries, stopping early at the first further miss.
 Run-ahead hits overlap with the miss latency, which is exactly the
 performance effect the timer-protected lines of CoHoRT amplify.
+
+Performance: consecutive hits are retired *inline* whenever
+:meth:`~repro.sim.kernel.EventKernel.advance_if_next` proves that the
+issue event the core would schedule is the next event to run anyway —
+no other core, timer or bus event can observe or change state in
+between, so skipping the heap round-trip is cycle-identical to the
+event-per-access path (``fast_path=False`` restores the latter; the
+regression suite asserts equivalence on random workloads).
 """
 
 from __future__ import annotations
@@ -33,6 +41,26 @@ class CoreState(enum.Enum):
 class Core:
     """Replays one trace against the memory system."""
 
+    __slots__ = (
+        "core_id",
+        "trace",
+        "system",
+        "hit_latency",
+        "runahead_window",
+        "fast_path",
+        "_line_addrs",
+        "_gaps",
+        "_ops",
+        "state",
+        "pos",
+        "_epoch",
+        "_miss_index",
+        "_ra_next",
+        "_ra_blocked",
+        "_ra_exhausted",
+        "finish_cycle",
+    )
+
     def __init__(
         self,
         core_id: int,
@@ -41,15 +69,19 @@ class Core:
         line_bytes: int,
         hit_latency: int,
         runahead_window: int,
+        fast_path: bool = True,
     ) -> None:
         self.core_id = core_id
         self.trace = trace
         self.system = system
         self.hit_latency = hit_latency
         self.runahead_window = runahead_window
-        self._line_addrs = trace.line_addrs(line_bytes)
-        self._gaps = trace.gaps
-        self._ops = trace.ops
+        self.fast_path = fast_path
+        # Plain Python lists: per-entry indexing of numpy arrays allocates
+        # a numpy scalar per access, which dominates the replay loop.
+        self._line_addrs = trace.line_addrs(line_bytes).tolist()
+        self._gaps = trace.gaps.tolist()
+        self._ops = trace.ops.tolist()
 
         self.state = CoreState.RUNNING
         self.pos = 0
@@ -65,7 +97,7 @@ class Core:
 
     def _entry(self, i: int) -> Tuple[int, int, int]:
         """(gap, op, line_addr) of entry ``i``."""
-        return int(self._gaps[i]), int(self._ops[i]), int(self._line_addrs[i])
+        return self._gaps[i], self._ops[i], self._line_addrs[i]
 
     @property
     def done(self) -> bool:
@@ -73,7 +105,7 @@ class Core:
 
     @property
     def num_entries(self) -> int:
-        return len(self.trace)
+        return len(self._gaps)
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -82,13 +114,11 @@ class Core:
         if self.num_entries == 0:
             self._finish(0)
             return
-        gap, _op, _line = self._entry(0)
-        self._schedule_issue(0, at=gap)
+        self._schedule_issue(0, at=self._gaps[0])
 
     def _schedule_issue(self, index: int, at: int) -> None:
-        epoch = self._epoch
         self.system.kernel.schedule(
-            at, self.system.PHASE_CORE, lambda: self._issue(epoch, index)
+            at, self.system.PHASE_CORE, self._issue, self._epoch, index
         )
 
     def _finish(self, cycle: int) -> None:
@@ -102,62 +132,100 @@ class Core:
         if next_index >= self.num_entries:
             self._finish(retire_cycle)
             return
-        gap, _op, _line = self._entry(next_index)
-        self._schedule_issue(next_index, at=retire_cycle + gap)
+        self._schedule_issue(next_index, at=retire_cycle + self._gaps[next_index])
 
     # -- normal issue -------------------------------------------------------------
 
     def _issue(self, epoch: int, index: int) -> None:
         if epoch != self._epoch or self.state == CoreState.DONE:
             return
-        now = self.system.kernel.now
-        _gap, op, line = self._entry(index)
-        hit = self.system.try_access(self.core_id, op, line, runahead=False)
-        if hit:
-            self._advance(index + 1, now + self.hit_latency)
+        system = self.system
+        kernel = system.kernel
+        try_access = system.try_access
+        advance_if_next = kernel.advance_if_next
+        gaps = self._gaps
+        ops = self._ops
+        lines = self._line_addrs
+        core_id = self.core_id
+        hit_latency = self.hit_latency
+        n = len(gaps)
+        phase_core = system.PHASE_CORE
+        fast = self.fast_path
+        while True:
+            if not try_access(core_id, ops[index], lines[index], False):
+                break
+            retire = kernel._now + hit_latency
+            nxt = index + 1
+            if nxt >= n:
+                self.pos = nxt
+                self._finish(retire)
+                return
+            due = retire + gaps[nxt]
+            self.pos = nxt
+            if fast and advance_if_next(due, phase_core):
+                # The issue event for `nxt` would be the next event popped:
+                # retire it inline without touching the heap.
+                index = nxt
+                continue
+            self._schedule_issue(nxt, at=due)
             return
         # Miss: the system created and enqueued the coherence request.
+        now = kernel._now
         self.state = CoreState.WAITING
         self._miss_index = index
         self._ra_next = None
         self._ra_blocked = None
         self._ra_exhausted = None
         nxt = index + 1
-        if self.runahead_window > 0 and nxt < self.num_entries:
-            gap, _o, _l = self._entry(nxt)
-            self._schedule_ra(nxt, at=now + gap)
+        if self.runahead_window > 0 and nxt < n:
+            self._schedule_ra(nxt, at=now + gaps[nxt])
         else:
             self._ra_exhausted = (nxt, now)
 
     # -- run-ahead ----------------------------------------------------------------
 
     def _schedule_ra(self, index: int, at: int) -> None:
-        epoch = self._epoch
         self._ra_next = (index, at)
         self.system.kernel.schedule(
-            at, self.system.PHASE_CORE, lambda: self._ra_step(epoch, index)
+            at, self.system.PHASE_CORE, self._ra_step, self._epoch, index
         )
 
     def _ra_step(self, epoch: int, index: int) -> None:
         if epoch != self._epoch or self.state != CoreState.WAITING:
             return
-        now = self.system.kernel.now
-        _gap, op, line = self._entry(index)
-        hit = self.system.try_access(self.core_id, op, line, runahead=True)
-        if not hit:
-            self._ra_next = None
-            self._ra_blocked = (index, now)
+        system = self.system
+        kernel = system.kernel
+        try_access = system.try_access
+        advance_if_next = kernel.advance_if_next
+        gaps = self._gaps
+        ops = self._ops
+        lines = self._line_addrs
+        core_id = self.core_id
+        hit_latency = self.hit_latency
+        window = self.runahead_window
+        n = len(gaps)
+        phase_core = system.PHASE_CORE
+        fast = self.fast_path
+        miss_index = self._miss_index
+        assert miss_index is not None
+        while True:
+            if not try_access(core_id, ops[index], lines[index], True):
+                self._ra_next = None
+                self._ra_blocked = (index, kernel._now)
+                return
+            retire = kernel._now + hit_latency
+            nxt = index + 1
+            if nxt >= n or (nxt - miss_index) > window:
+                self._ra_next = None
+                self._ra_exhausted = (nxt, retire)
+                return
+            due = retire + gaps[nxt]
+            if fast and advance_if_next(due, phase_core):
+                self._ra_next = (nxt, due)
+                index = nxt
+                continue
+            self._schedule_ra(nxt, at=due)
             return
-        retire = now + self.hit_latency
-        nxt = index + 1
-        assert self._miss_index is not None
-        within_window = (nxt - self._miss_index) <= self.runahead_window
-        if nxt < self.num_entries and within_window:
-            gap, _o, _l = self._entry(nxt)
-            self._schedule_ra(nxt, at=retire + gap)
-        else:
-            self._ra_next = None
-            self._ra_exhausted = (nxt, retire)
 
     # -- fill ---------------------------------------------------------------------
 

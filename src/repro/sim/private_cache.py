@@ -51,6 +51,18 @@ class EvictedLine:
 class PrivateCache:
     """One core's L1 cache controller with CoHoRT timer hardware."""
 
+    __slots__ = (
+        "core_id",
+        "geometry",
+        "_theta",
+        "lut",
+        "array",
+        "fills",
+        "evictions",
+        "dirty_evictions",
+        "back_invalidations",
+    )
+
     def __init__(
         self,
         core_id: int,
@@ -167,6 +179,8 @@ class PrivateCache:
             if slot.dirty:
                 self.dirty_evictions += 1
             slot.invalidate()
+        if not slot.valid:
+            self.array._valid_count += 1
         slot.line_addr = line_addr
         slot.state = state
         slot.fill_cycle = cycle

@@ -66,7 +66,12 @@ class System:
         config: SimConfig,
         traces: Sequence[Trace],
         record_latencies: bool = False,
+        fast_path: bool = True,
     ) -> None:
+        """``fast_path=False`` disables inline hit batching (one heap
+        event per access, the seed engine's behaviour); results are
+        cycle-identical either way — the flag exists so the regression
+        suite can assert exactly that."""
         if len(traces) != config.num_cores:
             raise ValueError(
                 f"{config.num_cores} cores but {len(traces)} traces supplied"
@@ -90,6 +95,7 @@ class System:
                 line_bytes=config.l1.line_bytes,
                 hit_latency=lat.hit,
                 runahead_window=config.runahead_window,
+                fast_path=fast_path,
             )
             for i in range(config.num_cores)
         ]
@@ -102,6 +108,10 @@ class System:
                 for i in range(config.num_cores)
             ]
         )
+        # Hot-path shortcuts (avoid per-access attribute chains).
+        self._core_stats: List[CoreStats] = self.stats.cores
+        self._hit_latency = lat.hit
+        self._check = config.check_coherence
 
         #: Observers called as ``listener(cycle, event, payload)`` on every
         #: protocol event (see :mod:`repro.sim.debug`).  Empty by default;
@@ -158,27 +168,40 @@ class System:
         """Attempt a local access; True on hit (performed), False on miss.
 
         Run-ahead probes never create coherence requests: the core model
-        allows only one outstanding miss.
+        allows only one outstanding miss.  ``op`` is a plain int
+        (:class:`MemOp` value); the hit path is inlined — it is the
+        single hottest function of the simulator.
         """
-        cache = self.caches[core_id]
-        op = MemOp(op)
-        outcome = cache.classify(op, line_addr)
-        if outcome == AccessOutcome.HIT:
-            line = cache.lookup(line_addr)
-            if op == MemOp.STORE:
+        array = self.caches[core_id].array
+        line = array._lines[line_addr & array._set_mask]
+        state = line.state
+        if (
+            state
+            and line.line_addr == line_addr
+            and not (line.handover_ready and not line.pending_is_downgrade)
+            and (op == 0 or state == 2)
+        ):
+            # Hit (same predicate as AccessOutcome.HIT via can_serve).
+            if op:
                 self._perform_write(core_id, line)
-            else:
+            elif self._check:
                 self._check_read(core_id, line)
-            self.stats.core(core_id).record_hit(
-                self.config.latencies.hit, runahead=runahead
-            )
-            self._emit(
-                "hit", core=core_id, line=line_addr, op=op.name,
-                runahead=runahead,
-            )
+            stats = self._core_stats[core_id]
+            stats.hits += 1
+            if runahead:
+                stats.runahead_hits += 1
+            stats.total_memory_latency += self._hit_latency
+            if self.listeners:
+                self._emit(
+                    "hit", core=core_id, line=line_addr, op=MemOp(op).name,
+                    runahead=runahead,
+                )
             return True
         if runahead:
             return False
+        op = MemOp(op)
+        outcome = self.caches[core_id].classify(op, line_addr)
+        assert outcome != AccessOutcome.HIT
         if core_id in self._requests:
             raise RuntimeError(f"core {core_id} already has an outstanding request")
         self._seq += 1
@@ -289,7 +312,7 @@ class System:
             assert req.state == ReqState.QUEUED
             req.state = ReqState.BROADCASTING
             duration = lat.request
-            handler = lambda: self._on_broadcast_done(req)  # noqa: E731
+            handler, payload = self._on_broadcast_done, req
         elif job.kind == JobKind.DATA:
             req = job.req
             assert req.state == ReqState.WAITING and req.ready, req
@@ -298,28 +321,31 @@ class System:
             if req.source is not None and req.source >= 0:
                 self._transfer_source = (req.source, req.line_addr)
             duration = lat.data
-            handler = lambda: self._on_data_done(req)  # noqa: E731
+            handler, payload = self._on_data_done, req
             # Hold back other waiters on this line while the transfer runs.
             self._update_line(req.line_addr)
         else:  # WRITEBACK on the shared bus
             wb = job.wb
             self._wb_inflight.add(wb.line_addr)
             duration = lat.data
-            handler = lambda: self._on_wb_done(wb)  # noqa: E731
+            handler, payload = self._on_wb_done, wb
         done_at = self.bus.grant(job, now, duration)
         self.stats.record_grant(job.kind.name, duration)
-        self._emit(
-            "grant", job=job.kind.name, core=job.core_id,
-            line=(job.req.line_addr if job.req else job.wb.line_addr),
-            until=done_at,
+        if self.listeners:
+            self._emit(
+                "grant", job=job.kind.name, core=job.core_id,
+                line=(job.req.line_addr if job.req else job.wb.line_addr),
+                until=done_at,
+            )
+        self.kernel.schedule(
+            done_at, PHASE_EFFECT, self._complete_grant, handler, payload
         )
 
-        def complete() -> None:
-            self.bus.release(self.kernel.now)
-            handler()
-            self.request_arbitration()
-
-        self.kernel.schedule(done_at, PHASE_EFFECT, complete)
+    def _complete_grant(self, handler, payload) -> None:
+        """Bus transaction finished: release the bus and run its handler."""
+        self.bus.release(self.kernel.now)
+        handler(payload)
+        self.request_arbitration()
 
     # --------------------------------------------------------------- snooping
 
@@ -393,12 +419,13 @@ class System:
 
     def _schedule_expiry(self, cache: PrivateCache, copy: CacheLine) -> None:
         assert copy.inv_at is not None
-        generation = copy.generation
-        line_addr = copy.line_addr
         self.kernel.schedule(
             copy.inv_at,
             PHASE_EFFECT,
-            lambda: self._on_timer_expiry(cache.core_id, line_addr, generation),
+            self._on_timer_expiry,
+            cache.core_id,
+            copy.line_addr,
+            copy.generation,
         )
 
     def _on_timer_expiry(
@@ -418,7 +445,10 @@ class System:
             self.kernel.schedule(
                 self.bus.busy_until,
                 PHASE_EFFECT,
-                lambda: self._on_timer_expiry(core_id, line_addr, generation),
+                self._on_timer_expiry,
+                core_id,
+                line_addr,
+                generation,
             )
             return
         self.stats.timer_expiries += 1
@@ -716,7 +746,8 @@ class System:
             self.kernel.schedule(
                 self.kernel.now + self.config.latencies.data,
                 PHASE_EFFECT,
-                lambda: self._on_wb_done(wb),
+                self._on_wb_done,
+                wb,
             )
 
     def _on_wb_done(self, wb: Writeback) -> None:
@@ -735,7 +766,8 @@ class System:
         self.kernel.schedule(
             self.kernel.now + self.dram.latency,
             PHASE_EFFECT,
-            lambda: self._on_dram_fill(line_addr),
+            self._on_dram_fill,
+            line_addr,
         )
 
     def _on_dram_fill(self, line_addr: int) -> None:
@@ -749,7 +781,8 @@ class System:
             self.kernel.schedule(
                 max(now + 1, self.bus.busy_until),
                 PHASE_EFFECT,
-                lambda: self._on_dram_fill(line_addr),
+                self._on_dram_fill,
+                line_addr,
             )
             return
         self._dram_fetches.discard(line_addr)
@@ -796,6 +829,9 @@ def run_simulation(
     config: SimConfig,
     traces: Sequence[Trace],
     record_latencies: bool = False,
+    fast_path: bool = True,
 ) -> SystemStats:
     """Convenience wrapper: build a :class:`System`, run it, return stats."""
-    return System(config, traces, record_latencies=record_latencies).run()
+    return System(
+        config, traces, record_latencies=record_latencies, fast_path=fast_path
+    ).run()

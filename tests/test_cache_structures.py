@@ -67,9 +67,7 @@ class TestDirectMappedArray:
 
     def test_fill_then_lookup(self):
         arr = DirectMappedArray(self.geom())
-        slot = arr.slot(5)
-        slot.line_addr = 5
-        slot.state = LineState.S
+        slot = arr.install(5, LineState.S)
         assert arr.lookup(5) is slot
 
     def test_conflicting_lines_share_slot(self):
@@ -79,19 +77,51 @@ class TestDirectMappedArray:
 
     def test_victim_detection(self):
         arr = DirectMappedArray(self.geom())
-        slot = arr.slot(1)
-        slot.line_addr = 1
-        slot.state = LineState.M
+        slot = arr.install(1, LineState.M)
         assert arr.victim(5) is slot
         assert arr.victim(1) is None  # same line: no victim
 
     def test_valid_lines_count(self):
         arr = DirectMappedArray(self.geom())
         assert len(arr) == 0
-        slot = arr.slot(2)
-        slot.line_addr = 2
-        slot.state = LineState.S
+        arr.install(2, LineState.S)
         assert len(arr) == 1
+
+    def test_len_is_maintained_not_scanned(self):
+        """__len__ is an O(1) maintained counter, kept in sync by every
+        sanctioned mutation path (install / invalidate / re-install)."""
+        arr = DirectMappedArray(self.geom())
+        arr.install(0, LineState.S)
+        arr.install(1, LineState.M)
+        assert len(arr) == 2
+        assert len(arr) == sum(1 for _ in arr.valid_lines())
+        # Invalidation through the line decrements via the owner backref.
+        arr.slot(0).invalidate()
+        assert len(arr) == 1
+        # Double-invalidate must not double-decrement.
+        arr.slot(0).invalidate()
+        assert len(arr) == 1
+        # Conflict install replaces the resident line: net count unchanged.
+        arr.install(5, LineState.S)  # 5 maps to set 1, displacing line 1
+        assert len(arr) == 1
+        assert arr.lookup(1) is None and arr.lookup(5) is not None
+        # Re-install of the same address keeps the count stable.
+        arr.install(5, LineState.M)
+        assert len(arr) == 1
+        assert len(arr) == sum(1 for _ in arr.valid_lines())
+
+    def test_install_to_invalid_state(self):
+        arr = DirectMappedArray(self.geom())
+        arr.install(3, LineState.M)
+        assert len(arr) == 1
+        arr.install(3, LineState.I)
+        assert len(arr) == 0
+        assert arr.lookup(3) is None
+
+    def test_unowned_line_invalidate_is_safe(self):
+        line = CacheLine(line_addr=7, state=LineState.S)
+        line.invalidate()  # no owner array: must not raise
+        assert not line.valid
 
 
 class TestSetAssociativeArray:
@@ -138,6 +168,22 @@ class TestSetAssociativeArray:
         assert removed is not None
         assert arr.lookup(0, 2) is None
         assert arr.remove(0) is None
+
+    def test_occupancy_is_maintained_counter(self):
+        """occupancy() is O(1): insert/evict/remove keep it in sync."""
+        arr = SetAssociativeArray(self.geom())
+        arr.insert(0, cycle=1)
+        arr.insert(2, cycle=2)
+        assert arr.occupancy() == 2
+        arr.insert(4, cycle=3)  # evicts LRU of set 0: net unchanged
+        assert arr.occupancy() == 2
+        arr.insert(1, cycle=4)  # set 1 had space
+        assert arr.occupancy() == 3
+        arr.remove(4)
+        assert arr.occupancy() == 2
+        arr.remove(4)  # absent: no change
+        assert arr.occupancy() == 2
+        assert arr.occupancy() == sum(len(s) for s in arr._sets)
 
     def test_untouch_lookup_does_not_update_lru(self):
         arr = SetAssociativeArray(self.geom())

@@ -1,0 +1,146 @@
+"""Tests for the parallel sweep runner and its result cache."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.params import cohort_config, msi_fcfs_config, pcc_config
+from repro.runner import SweepJob, SweepRunner, stats_to_dict
+from repro.sim.system import run_simulation
+from repro.workloads import splash_traces
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return splash_traces("fft", 4, scale=0.3, seed=0)
+
+
+def named_configs():
+    return {
+        "cohort": cohort_config([60, 20, 5, 120]),
+        "msi": msi_fcfs_config(4),
+        "pcc": pcc_config(4),
+    }
+
+
+class TestResultFidelity:
+    def test_matches_direct_simulation(self, traces):
+        cfg = cohort_config([60] * 4)
+        runner = SweepRunner(jobs=1, cache_dir=None)
+        result = runner.run_one(cfg, traces)
+        stats = run_simulation(cfg, traces)
+        assert result["final_cycle"] == stats.final_cycle
+        assert result["execution_time"] == stats.execution_time
+        for got, core in zip(result["cores"], stats.cores):
+            assert got["hits"] == core.hits
+            assert got["misses"] == core.misses
+            assert got["total_memory_latency"] == core.total_memory_latency
+
+    def test_stats_to_dict_is_json_native(self, traces):
+        import json
+
+        stats = run_simulation(cohort_config([60] * 4), traces)
+        d = stats_to_dict(stats)
+        assert json.loads(json.dumps(d)) == d
+
+
+class TestParallelDeterminism:
+    def test_jobs4_equals_jobs1(self, traces):
+        serial = SweepRunner(jobs=1, cache_dir=None)
+        parallel = SweepRunner(jobs=4, cache_dir=None)
+        a = serial.run_systems(named_configs(), traces)
+        b = parallel.run_systems(named_configs(), traces)
+        assert a == b
+        assert serial.cache_misses == parallel.cache_misses == 3
+
+    def test_record_latencies_cross_process(self, traces):
+        cfg = replace(cohort_config([60] * 4), check_coherence=True)
+        a = SweepRunner(jobs=1, cache_dir=None).run_one(
+            cfg, traces, record_latencies=True
+        )
+        b = SweepRunner(jobs=2, cache_dir=None).run_one(
+            cfg, traces, record_latencies=True
+        )
+        assert a == b
+        assert any(c["request_latencies"] for c in a["cores"])
+
+
+class TestCache:
+    def test_second_run_is_served_from_cache(self, traces, tmp_path):
+        cache = str(tmp_path / "sweeps")
+        first = SweepRunner(jobs=1, cache_dir=cache)
+        a = first.run_systems(named_configs(), traces)
+        assert (first.cache_hits, first.cache_misses) == (0, 3)
+        second = SweepRunner(jobs=1, cache_dir=cache)
+        b = second.run_systems(named_configs(), traces)
+        assert (second.cache_hits, second.cache_misses) == (3, 0)
+        assert a == b
+
+    def test_in_memory_memo_within_one_runner(self, traces):
+        runner = SweepRunner(jobs=1, cache_dir=None)
+        cfg = cohort_config([60] * 4)
+        a = runner.run_one(cfg, traces)
+        b = runner.run_one(cfg, traces)
+        assert a == b
+        assert (runner.cache_hits, runner.cache_misses) == (1, 1)
+
+    def test_key_depends_on_config_and_traces(self, traces):
+        cfg = cohort_config([60] * 4)
+        base = SweepJob(cfg, tuple(traces)).digest()
+        assert SweepJob(cohort_config([61] + [60] * 3), tuple(traces)).digest() != base
+        assert SweepJob(cfg, tuple(traces[:3]) + (traces[0],)).digest() != base
+        assert (
+            SweepJob(replace(cfg, check_coherence=True), tuple(traces)).digest()
+            != base
+        )
+        assert SweepJob(cfg, tuple(traces), record_latencies=True).digest() != base
+        assert SweepJob(cfg, tuple(traces)).digest() == base
+
+    def test_corrupt_cache_entry_is_recomputed(self, traces, tmp_path):
+        cache = str(tmp_path / "sweeps")
+        cfg = cohort_config([60] * 4)
+        first = SweepRunner(jobs=1, cache_dir=cache)
+        a = first.run_one(cfg, traces)
+        key = SweepJob(cfg, tuple(traces)).digest()
+        path = tmp_path / "sweeps" / f"{key}.json"
+        path.write_text("{not json")
+        second = SweepRunner(jobs=1, cache_dir=cache)
+        b = second.run_one(cfg, traces)
+        assert a == b
+        assert second.cache_misses == 1
+
+    def test_rejects_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+
+class TestExperimentIntegration:
+    def test_wcml_experiment_parallel_equals_serial(self, traces):
+        from repro.experiments.wcml import run_wcml_experiment
+        from repro.opt import GAConfig
+
+        ga = GAConfig(population_size=6, generations=3, seed=1)
+        kwargs = dict(critical=[True, True, False, False], scale=0.3,
+                      ga_config=ga)
+        serial = run_wcml_experiment(
+            "fft", runner=SweepRunner(jobs=1, cache_dir=None), **kwargs
+        )
+        parallel = run_wcml_experiment(
+            "fft", runner=SweepRunner(jobs=4, cache_dir=None), **kwargs
+        )
+        assert serial.to_dict() == parallel.to_dict()
+
+    def test_performance_benchmark_parallel_equals_serial(self, traces):
+        from repro.experiments.performance import run_performance_benchmark
+        from repro.opt import GAConfig
+
+        ga = GAConfig(population_size=6, generations=3, seed=1)
+        kwargs = dict(critical=[True] * 4, scale=0.3, ga_config=ga)
+        serial = run_performance_benchmark(
+            "fft", runner=SweepRunner(jobs=1, cache_dir=None), **kwargs
+        )
+        parallel = run_performance_benchmark(
+            "fft", runner=SweepRunner(jobs=4, cache_dir=None), **kwargs
+        )
+        assert serial.execution_time == parallel.execution_time
+        assert serial.bus_utilization == parallel.bus_utilization

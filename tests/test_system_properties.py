@@ -271,6 +271,52 @@ def test_determinism_same_seed_same_result(w):
         )
 
 
+@given(
+    w=workload(),
+    protocol=st.sampled_from(["cohort", "msi_fcfs"]),
+    runahead=st.sampled_from([0, 4, 16]),
+)
+@settings(max_examples=80, deadline=None)
+def test_fast_path_is_cycle_identical_to_event_per_access(w, protocol, runahead):
+    """The batched-hit fast path must be indistinguishable from the seed
+    engine (one heap event per access): identical final cycle and
+    per-core statistics, with the coherence oracle enabled on both."""
+    seed, num_cores, n, shared, private, wr, gap_max, thetas = w
+    traces = random_traces(seed, num_cores, n, shared, private, wr, gap_max)
+    if protocol == "cohort":
+        config = replace(cohort_config(thetas), check_coherence=True)
+    else:
+        config = replace(msi_fcfs_config(num_cores), check_coherence=True)
+    config = replace(config, runahead_window=runahead)
+    fast = System(config, traces, record_latencies=True, fast_path=True).run()
+    slow = System(config, traces, record_latencies=True, fast_path=False).run()
+    assert fast.final_cycle == slow.final_cycle, (
+        f"fast {fast.final_cycle} != slow {slow.final_cycle} "
+        f"(protocol={protocol}, ra={runahead}, thetas={thetas}, seed={seed})"
+    )
+    for i in range(num_cores):
+        f, s = fast.core(i), slow.core(i)
+        assert (
+            f.accesses,
+            f.hits,
+            f.misses,
+            f.upgrades,
+            f.runahead_hits,
+            f.total_memory_latency,
+            f.max_request_latency,
+            f.finish_cycle,
+        ) == (
+            s.accesses,
+            s.hits,
+            s.misses,
+            s.upgrades,
+            s.runahead_hits,
+            s.total_memory_latency,
+            s.max_request_latency,
+            s.finish_cycle,
+        ), f"core {i} diverged (protocol={protocol}, ra={runahead}, seed={seed})"
+
+
 @given(w=workload())
 @settings(max_examples=30, deadline=None)
 def test_runahead_never_changes_correctness_only_timing(w):
