@@ -1,0 +1,97 @@
+"""CI throughput gate: no silent slowdowns, no silent timing changes.
+
+Re-runs the two reference systems of ``BENCH_throughput.json`` (the
+checked-in artifact produced by ``benchmarks/test_sim_throughput.py``)
+and fails when
+
+* the simulated cycle counts differ from the artifact at all — that is
+  a protocol-timing change, which must come with a deliberate artifact
+  (and ``tests/data/cycle_reference_ocean4.json``) update; or
+* accesses/second fall below ``1 - TOLERANCE`` (default 20%) of the
+  artifact's recorded rate — a real performance regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_throughput_gate.py
+    PYTHONPATH=src python benchmarks/check_throughput_gate.py --tolerance 0.5
+
+Exit status 0 on pass, 1 on any gate failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.params import cohort_config, msi_fcfs_config
+from repro.sim.system import run_simulation
+from repro.workloads import splash_traces
+
+ARTIFACT = Path(__file__).parent / "out" / "BENCH_throughput.json"
+
+SYSTEMS = {
+    "cohort": lambda: cohort_config([60] * 4),
+    "msi_fcfs": lambda: msi_fcfs_config(4),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional accesses/s regression (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--artifact", type=Path, default=ARTIFACT, help="reference JSON"
+    )
+    args = parser.parse_args(argv)
+
+    reference = json.loads(args.artifact.read_text())
+    traces = splash_traces("ocean", 4, scale=4.0, seed=0)
+    total = sum(len(t) for t in traces)
+    if total != reference["total_accesses"]:
+        print(
+            f"FAIL workload drifted: {total} accesses generated, "
+            f"artifact recorded {reference['total_accesses']}"
+        )
+        return 1
+
+    failures = []
+    for key, make_config in SYSTEMS.items():
+        ref = reference["systems"][key]
+        started = time.perf_counter()
+        stats = run_simulation(make_config(), traces)
+        wall = time.perf_counter() - started
+        rate = total / wall
+        floor = (1.0 - args.tolerance) * ref["accesses_per_second"]
+        cycles_ok = stats.final_cycle == ref["cycles"]
+        rate_ok = rate >= floor
+        verdict = "ok" if cycles_ok and rate_ok else "FAIL"
+        print(
+            f"{verdict} {key}: {stats.final_cycle} cycles "
+            f"(artifact {ref['cycles']}), {rate:,.0f} accesses/s "
+            f"(floor {floor:,.0f} = {1 - args.tolerance:.0%} of artifact)"
+        )
+        if not cycles_ok:
+            failures.append(
+                f"{key}: cycle count changed {ref['cycles']} -> "
+                f"{stats.final_cycle}; timing changes need a deliberate "
+                f"artifact update"
+            )
+        if not rate_ok:
+            failures.append(
+                f"{key}: throughput {rate:,.0f}/s below floor {floor:,.0f}/s"
+            )
+
+    for failure in failures:
+        print(f"FAIL {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,23 @@ def _positive_int(value: str) -> int:
     return jobs
 
 
+def _protocol_name(value: str) -> str:
+    """Argparse type for ``--protocol``: any *registered* protocol name.
+
+    Validated against the live registry (not a static choices list) so
+    third-party protocols registered via ``repro.sim.protocols.register``
+    are selectable; the error enumerates what exists.
+    """
+    from repro.sim.protocols import available_protocols
+
+    if value not in available_protocols():
+        raise argparse.ArgumentTypeError(
+            f"unknown coherence protocol {value!r}; "
+            f"available: {', '.join(available_protocols())}"
+        )
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload size multiplier")
@@ -113,7 +130,7 @@ def cmd_fig6(args: argparse.Namespace) -> int:
     exp = run_performance_experiment(
         args.benchmarks, critical, scale=args.scale, seed=args.seed,
         ga_config=_ga_config(args), perfect_llc=not args.non_perfect_llc,
-        runner=SweepRunner(jobs=args.jobs),
+        runner=SweepRunner(jobs=args.jobs), include_pmsi=args.pmsi,
     )
     print(exp.to_table())
     return 0
@@ -318,6 +335,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         config = load_config(args.config)
     else:
         config = cohort_config(args.thetas)
+    if args.protocol is not None:
+        from dataclasses import replace
+
+        config = replace(config, protocol=args.protocol)
     stats = run_simulation(config, traces)
     profiles = build_profiles(traces, config.l1)
     bounds = cohort_bounds(args.thetas, profiles, config.latencies)
@@ -370,6 +391,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-b", "--benchmarks", nargs="+",
                    default=["fft", "lu", "radix"], choices=benchmark_names())
     p.add_argument("--non-perfect-llc", action="store_true")
+    p.add_argument("--pmsi", action="store_true",
+                   help="add the PMSI-style predictable baseline "
+                        "(protocol registry plugin) as a fifth column")
     _add_common(p)
     p.set_defaults(fn=cmd_fig6)
 
@@ -406,6 +430,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="load the full system configuration from a JSON "
                         "file (see repro.params.save_config); overrides "
                         "--thetas")
+    p.add_argument("--protocol", type=_protocol_name, default=None,
+                   help="coherence protocol to simulate (any registered "
+                        "name, e.g. timed_msi, msi, pmsi); overrides the "
+                        "configuration's protocol field")
     _add_common(p)
     p.set_defaults(fn=cmd_simulate)
 

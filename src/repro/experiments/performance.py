@@ -17,6 +17,7 @@ from repro.params import (
     msi_fcfs_config,
     pcc_config,
     pendulum_config,
+    pmsi_config,
 )
 from repro.analysis import build_profiles
 from repro.experiments.report import format_table, geomean
@@ -113,12 +114,15 @@ def run_performance_benchmark(
     pendulum_theta: int = PENDULUM_THETA,
     runner: Optional[SweepRunner] = None,
     jobs: int = 1,
+    include_pmsi: bool = False,
 ) -> PerformanceResult:
     """Execution time of all four systems on one benchmark.
 
-    The four simulations are independent and run as one
+    The simulations are independent and run as one
     :class:`~repro.runner.SweepRunner` batch (the GA supplying CoHoRT's
     timers runs first, since its result shapes the batch).
+    ``include_pmsi`` adds a fifth column: the registry-selected
+    PMSI-style predictable baseline (``protocol="pmsi"``).
     """
     critical = list(critical)
     num_cores = len(critical)
@@ -135,17 +139,17 @@ def run_performance_benchmark(
     )
     thetas = engine.optimize(timed=critical).thetas
 
-    sims = runner.run_systems(
-        {
-            "MSI-FCFS": base_cfg,
-            "CoHoRT": cohort_config(thetas, critical=critical, **kwargs),
-            "PCC": pcc_config(num_cores, **kwargs),
-            "PENDULUM": pendulum_config(
-                critical, theta=pendulum_theta, **kwargs
-            ),
-        },
-        traces,
-    )
+    systems = {
+        "MSI-FCFS": base_cfg,
+        "CoHoRT": cohort_config(thetas, critical=critical, **kwargs),
+        "PCC": pcc_config(num_cores, **kwargs),
+        "PENDULUM": pendulum_config(
+            critical, theta=pendulum_theta, **kwargs
+        ),
+    }
+    if include_pmsi:
+        systems["PMSI"] = pmsi_config(num_cores, **kwargs)
+    sims = runner.run_systems(systems, traces)
     for name, sim in sims.items():
         result.execution_time[name] = sim["execution_time"]
         result.bus_utilization[name] = sim["bus_utilization"]
@@ -161,6 +165,7 @@ def run_performance_experiment(
     perfect_llc: bool = True,
     runner: Optional[SweepRunner] = None,
     jobs: int = 1,
+    include_pmsi: bool = False,
 ) -> PerformanceExperiment:
     """One Figure-6 panel across a benchmark list (one shared runner)."""
     if runner is None:
@@ -176,6 +181,7 @@ def run_performance_experiment(
                 ga_config=ga_config,
                 perfect_llc=perfect_llc,
                 runner=runner,
+                include_pmsi=include_pmsi,
             )
         )
     return experiment

@@ -154,6 +154,14 @@ class SimConfig:
     )
     latencies: LatencyParams = field(default_factory=LatencyParams)
     arbiter: ArbiterKind = ArbiterKind.RROF
+    #: Name of the coherence protocol, resolved through
+    #: :func:`repro.sim.protocols.get_protocol` at system-build time.
+    #: ``"timed_msi"`` is CoHoRT's heterogeneous timed/MSI protocol;
+    #: ``"msi"`` forces plain snooping MSI on every core and ``"pmsi"``
+    #: selects the PMSI-style predictable baseline.  Third-party
+    #: protocols registered via :func:`repro.sim.protocols.register` are
+    #: selectable here by name.
+    protocol: str = "timed_msi"
     #: Perfect LLC (paper's main configuration): every access hits in the LLC.
     perfect_llc: bool = True
     #: Fixed main-memory latency for the non-perfect LLC model (footnote 1).
@@ -237,6 +245,7 @@ def config_to_dict(config: SimConfig) -> dict:
             "data": config.latencies.data,
         },
         "arbiter": config.arbiter.value,
+        "protocol": config.protocol,
         "perfect_llc": config.perfect_llc,
         "dram_latency": config.dram_latency,
         "via_llc_transfers": config.via_llc_transfers,
@@ -262,6 +271,7 @@ def config_from_dict(data: dict) -> SimConfig:
         llc=CacheGeometry(**data["llc"]),
         latencies=LatencyParams(**data["latencies"]),
         arbiter=ArbiterKind(data["arbiter"]),
+        protocol=str(data.get("protocol", "timed_msi")),
         perfect_llc=bool(data.get("perfect_llc", True)),
         dram_latency=int(data.get("dram_latency", 100)),
         via_llc_transfers=bool(data.get("via_llc_transfers", False)),
@@ -322,6 +332,17 @@ def pcc_config(num_cores: int = 4, **kwargs) -> SimConfig:
     cores = tuple(CoreConfig(theta=MSI_THETA) for _ in range(num_cores))
     kwargs.setdefault("arbiter", ArbiterKind.RROF)
     kwargs.setdefault("via_llc_transfers", True)
+    return SimConfig(num_cores=num_cores, cores=cores, **kwargs)
+
+
+def pmsi_config(num_cores: int = 4, **kwargs) -> SimConfig:
+    """A PMSI-style predictable-MSI baseline [Hassan et al.]: snooping
+    MSI timing with invalidate-on-share handovers, dirty transfers routed
+    through the LLC, and RROF arbitration.  Selected purely through the
+    protocol registry (``protocol="pmsi"``) — the engine is unchanged."""
+    cores = tuple(CoreConfig(theta=MSI_THETA) for _ in range(num_cores))
+    kwargs.setdefault("arbiter", ArbiterKind.RROF)
+    kwargs.setdefault("protocol", "pmsi")
     return SimConfig(num_cores=num_cores, cores=cores, **kwargs)
 
 

@@ -7,15 +7,25 @@ Public entry points:
 * :class:`repro.sim.trace.Trace` — the memory-access trace format.
 * :class:`repro.sim.timer.CountdownCounter` / ``ModeSwitchLUT`` — the
   CoHoRT timer hardware models.
+* :mod:`repro.sim.protocols` — the pluggable coherence-protocol registry
+  (``timed_msi``, ``msi``, ``pmsi`` built in).
+* :class:`repro.sim.events.EventBus` — the unified observability stream.
 """
 
-from repro.sim.system import CoherenceViolationError, System, run_simulation
+from repro.sim.events import EventBus
+from repro.sim.oracle import CoherenceViolationError
+from repro.sim.protocols import available_protocols, get_protocol, register
+from repro.sim.system import System, run_simulation
 from repro.sim.trace import Trace, TraceAccess
 
 __all__ = [
     "System",
     "run_simulation",
     "CoherenceViolationError",
+    "EventBus",
     "Trace",
     "TraceAccess",
+    "available_protocols",
+    "get_protocol",
+    "register",
 ]

@@ -154,6 +154,14 @@ class DirectMappedArray:
         """Iterate over the currently valid lines."""
         return (line for line in self._lines if line.valid)
 
+    def recount(self) -> int:
+        """Recompute the valid-line count by scanning (O(num_sets)).
+
+        Diagnostic only: must always equal ``len(self)``.  The test-suite
+        asserts this after protocol activity to catch any mutation path
+        that bypasses the incremental counter."""
+        return sum(1 for line in self._lines if line.valid)
+
     def __len__(self) -> int:
         return self._valid_count
 
@@ -219,6 +227,10 @@ class SetAssociativeArray:
         if line is not None:
             self._occupancy -= 1
         return line
+
+    def recount(self) -> int:
+        """Recompute the occupancy by scanning (diagnostic; O(lines))."""
+        return sum(len(cache_set) for cache_set in self._sets)
 
     def occupancy(self) -> int:
         """Total valid lines across all sets."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.sim.events import EVENT_KINDS
 from repro.sim.system import System
 
 
@@ -58,9 +59,9 @@ class ProtocolTracer:
     def attach(
         cls, system: System, max_events: Optional[int] = None
     ) -> "ProtocolTracer":
-        """Create a tracer and register it on ``system``."""
+        """Create a tracer and subscribe it to the system's event bus."""
         tracer = cls(max_events=max_events)
-        system.listeners.append(tracer)
+        system.events.subscribe(tracer)
         return tracer
 
     def __call__(self, cycle: int, kind: str, payload: Dict[str, Any]) -> None:
@@ -164,5 +165,6 @@ def trace_run(system: System, **filter_kwargs) -> ProtocolTracer:
 
 
 def event_kinds() -> Iterable[str]:
-    """The event kinds the engine emits."""
-    return ("hit", "miss", "grant", "timer_expiry", "fill", "mode_switch")
+    """The event kinds the stock engine layers emit (see
+    :mod:`repro.sim.events` for the per-layer breakdown)."""
+    return EVENT_KINDS

@@ -1,0 +1,72 @@
+"""The golden-value coherence oracle.
+
+Every store bumps a per-line *golden version* and stamps it on the
+written cache line; loads (when checking is enabled) must observe the
+latest golden version.  The version plumbing is always on — write-backs
+and the LLC/DRAM version stores rely on it — while the single-writer /
+read-latest *checks* are enabled by ``SimConfig.check_coherence`` (the
+property-based test-suite runs with them on).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.sim.cache import CacheLine, LineState
+from repro.sim.private_cache import PrivateCache
+
+
+class CoherenceViolationError(RuntimeError):
+    """The golden-value oracle observed a protocol violation."""
+
+
+class CoherenceOracle:
+    """Tracks golden versions and (optionally) checks every access."""
+
+    __slots__ = ("check", "_caches", "_golden", "_now")
+
+    def __init__(
+        self,
+        check: bool,
+        caches: Sequence[PrivateCache],
+        now: Callable[[], int],
+    ) -> None:
+        self.check = check
+        self._caches = caches
+        self._golden: Dict[int, int] = {}
+        self._now = now
+
+    def perform_write(self, core_id: int, line: CacheLine) -> None:
+        """Perform a store: bump the golden version of the line."""
+        addr = line.line_addr
+        if self.check:
+            if line.state != LineState.M:
+                raise CoherenceViolationError(
+                    f"c{core_id} stores to line {addr} in state {line.state.name}"
+                )
+            for cache in self._caches:
+                if cache.core_id == core_id:
+                    continue
+                other = cache.lookup(addr)
+                if other is not None and other.valid:
+                    raise CoherenceViolationError(
+                        f"c{core_id} writes line {addr} while c{cache.core_id} "
+                        f"holds it in {other.state.name} "
+                        f"(cycle {self._now()})"
+                    )
+        version = self._golden.get(addr, 0) + 1
+        self._golden[addr] = version
+        line.version = version
+        line.dirty = True
+
+    def check_read(self, core_id: int, line: CacheLine) -> None:
+        """Check a load observes the latest performed write."""
+        if not self.check:
+            return
+        addr = line.line_addr
+        expected = self._golden.get(addr, 0)
+        if line.version != expected:
+            raise CoherenceViolationError(
+                f"c{core_id} reads line {addr} version {line.version}, "
+                f"expected {expected} (cycle {self._now()})"
+            )

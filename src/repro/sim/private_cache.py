@@ -2,41 +2,27 @@
 
 Each controller owns a direct-mapped storage array, the CoHoRT timer
 threshold register θ (``MSI_THETA`` selects plain snooping MSI, Section
-III-B) and the Mode-Switch LUT of Section VI.  The controller decides
-hit/miss classification and the lazy countdown-counter arithmetic; the
-snooping protocol engine that coordinates controllers lives in
-:mod:`repro.sim.system`.
+III-B) and the Mode-Switch LUT of Section VI.  The controller performs
+the lazy countdown-counter arithmetic; hit/miss *classification* is
+delegated to the configured :class:`~repro.sim.protocols.base.
+CoherenceProtocol`'s classify table, and the snooping engine that
+coordinates controllers lives in :mod:`repro.sim.engine`.
+
+``AccessOutcome`` historically lived here and is re-exported for
+compatibility; its home is :mod:`repro.sim.protocols.base`.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.params import MSI_THETA, CacheGeometry, MemOp
 from repro.sim.cache import CacheLine, DirectMappedArray, LineState
-from repro.sim.messages import ReqKind
+from repro.sim.protocols.base import AccessOutcome, CoherenceProtocol
 from repro.sim.timer import ModeSwitchLUT, invalidation_cycle, validate_theta
 
-
-class AccessOutcome(enum.Enum):
-    """Classification of a local access against the private cache."""
-
-    HIT = "hit"
-    MISS_GETS = "gets"
-    MISS_GETM = "getm"
-    UPGRADE = "upg"
-
-    @property
-    def req_kind(self) -> ReqKind:
-        if self is AccessOutcome.MISS_GETS:
-            return ReqKind.GETS
-        if self is AccessOutcome.MISS_GETM:
-            return ReqKind.GETM
-        if self is AccessOutcome.UPGRADE:
-            return ReqKind.UPG
-        raise ValueError("hits carry no request kind")
+__all__ = ["AccessOutcome", "EvictedLine", "PrivateCache"]
 
 
 @dataclass
@@ -54,6 +40,7 @@ class PrivateCache:
     __slots__ = (
         "core_id",
         "geometry",
+        "protocol",
         "_theta",
         "lut",
         "array",
@@ -69,10 +56,17 @@ class PrivateCache:
         geometry: CacheGeometry,
         theta: int,
         lut: Optional[ModeSwitchLUT] = None,
+        protocol: Optional[CoherenceProtocol] = None,
     ) -> None:
         validate_theta(theta)
+        if protocol is None:
+            # Imported lazily: builtin tables import this module's types.
+            from repro.sim.protocols.builtin import TIMED_MSI
+
+            protocol = TIMED_MSI
         self.core_id = core_id
         self.geometry = geometry
+        self.protocol = protocol
         self._theta = theta
         self.lut = lut if lut is not None else ModeSwitchLUT()
         self.array = DirectMappedArray(geometry)
@@ -110,20 +104,12 @@ class PrivateCache:
         return self.array.lookup(line_addr)
 
     def classify(self, op: MemOp, line_addr: int) -> AccessOutcome:
-        """Hit/miss classification of a local access, right now."""
-        line = self.lookup(line_addr)
-        store = op == MemOp.STORE
-        if line is not None and line.can_serve(store):
-            return AccessOutcome.HIT
-        if store:
-            if (
-                line is not None
-                and line.state == LineState.S
-                and not line.frozen
-            ):
-                return AccessOutcome.UPGRADE
-            return AccessOutcome.MISS_GETM
-        return AccessOutcome.MISS_GETS
+        """Hit/miss classification of a local access, right now.
+
+        Delegates to the protocol's classify table against the line's
+        *effective* state (frozen copies classify as invalid).
+        """
+        return self.protocol.classify(self, op, line_addr)
 
     # -- pending-invalidation timer arithmetic ----------------------------------
 
@@ -210,9 +196,19 @@ class PrivateCache:
     # -- introspection -------------------------------------------------------------
 
     def resident_lines(self) -> int:
-        """Number of valid lines currently held."""
+        """Number of valid lines currently held.
+
+        O(1): reads the array's incrementally-maintained valid-line
+        counter (``DirectMappedArray.__len__``), never scanning the
+        storage.  :meth:`repro.sim.cache.DirectMappedArray.recount`
+        recomputes the same quantity by scanning — the consistency tests
+        assert the two always agree.
+        """
         return len(self.array)
 
     def __repr__(self) -> str:
         proto = "MSI" if self.is_msi else f"timed(θ={self._theta})"
-        return f"PrivateCache(c{self.core_id}, {proto}, {self.resident_lines()} lines)"
+        return (
+            f"PrivateCache(c{self.core_id}, {self.protocol.name}/{proto}, "
+            f"{self.resident_lines()}/{self.geometry.num_sets} lines)"
+        )

@@ -1,0 +1,101 @@
+"""The coherence-protocol registry.
+
+Protocols are named singletons; the simulator resolves
+``SimConfig.protocol`` through :func:`get_protocol` at system-build
+time, so a new protocol is selectable purely by registering it — no
+engine edits::
+
+    from repro.sim.protocols import register
+    from repro.sim.protocols.base import CoherenceProtocol, TransitionTables
+
+    register(CoherenceProtocol("mesi_like", TransitionTables(...)))
+
+and then ``SimConfig(protocol="mesi_like")`` or
+``cohort simulate --protocol mesi_like``.
+
+See ``docs/protocol.md`` for the full third-party-protocol walkthrough.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.protocols.base import (
+    AccessOutcome,
+    CoherenceProtocol,
+    HandoverAction,
+    SnoopAction,
+    TransitionTables,
+)
+from repro.sim.protocols.builtin import (
+    BUILTIN_PROTOCOLS,
+    MSI,
+    MSI_CLASSIFY,
+    PMSI,
+    TIMED_MSI,
+    TIMED_MSI_SNOOP,
+)
+
+__all__ = [
+    "AccessOutcome",
+    "CoherenceProtocol",
+    "HandoverAction",
+    "SnoopAction",
+    "TransitionTables",
+    "TIMED_MSI",
+    "MSI",
+    "PMSI",
+    "MSI_CLASSIFY",
+    "TIMED_MSI_SNOOP",
+    "register",
+    "get_protocol",
+    "available_protocols",
+    "unregister",
+]
+
+#: The default protocol name (the paper's CoHoRT configuration).
+DEFAULT_PROTOCOL = TIMED_MSI.name
+
+_REGISTRY: Dict[str, CoherenceProtocol] = {}
+
+
+def register(protocol: CoherenceProtocol, replace: bool = False) -> CoherenceProtocol:
+    """Add a protocol to the registry under ``protocol.name``.
+
+    Returns the protocol for chaining.  Re-registering an existing name
+    raises unless ``replace=True`` (useful in tests).
+    """
+    if not replace and protocol.name in _REGISTRY:
+        raise ValueError(
+            f"protocol {protocol.name!r} is already registered; "
+            f"pass replace=True to override"
+        )
+    _REGISTRY[protocol.name] = protocol
+    return protocol
+
+
+def unregister(name: str) -> None:
+    """Remove a protocol (no-op when absent).  Built-ins may be removed
+    too — tests use this to restore a pristine registry."""
+    _REGISTRY.pop(name, None)
+
+
+def get_protocol(name: str) -> CoherenceProtocol:
+    """Resolve a protocol by name; the error enumerates what exists."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown coherence protocol {name!r}; "
+            f"available: {', '.join(available_protocols())}"
+        ) from None
+
+
+def available_protocols() -> List[str]:
+    """The registered protocol names, sorted."""
+    return sorted(_REGISTRY)
+
+
+for _protocol in BUILTIN_PROTOCOLS:
+    register(_protocol)
+del _protocol

@@ -1,0 +1,104 @@
+"""The built-in protocols: heterogeneous timed/MSI, plain MSI, and PMSI.
+
+Each protocol is *pure data* — the same engine executes all three; only
+the transition tables (and two routing flags) differ:
+
+* ``timed_msi`` — the paper's CoHoRT protocol.  Per-core θ registers
+  select timed or MSI behaviour; timed copies arm the countdown counter
+  on a conflicting snoop and invalidate on reader handovers (Figure 3).
+* ``msi`` — every core behaves as a plain snooping MSI core regardless
+  of its θ register: shared copies invalidate immediately on a remote
+  writer, owners concede immediately and downgrade M→S on a reader
+  handover.  The COTS baseline of Figure 6 is this protocol plus FCFS
+  arbitration.
+* ``pmsi`` — a PMSI-style predictable-MSI baseline: MSI timing for
+  every core, but *invalidate-on-share* reader handovers and dirty
+  transfers routed through the LLC (write-back then re-fetch), the
+  transfer discipline of the PMSI/PCC family of predictable protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.params import MemOp
+from repro.sim.cache import LineState
+from repro.sim.protocols.base import (
+    AccessOutcome,
+    CoherenceProtocol,
+    HandoverAction,
+    SnoopAction,
+    TransitionTables,
+)
+
+_I, _S, _M = LineState.I, LineState.S, LineState.M
+_LOAD, _STORE = MemOp.LOAD, MemOp.STORE
+
+#: The MSI-family classification table (shared by all three built-ins):
+#: S/M serve loads, only M serves stores, a store to a live S copy is an
+#: ownership upgrade, everything else is a data miss.
+MSI_CLASSIFY: Dict[Tuple[LineState, MemOp], AccessOutcome] = {
+    (_I, _LOAD): AccessOutcome.MISS_GETS,
+    (_I, _STORE): AccessOutcome.MISS_GETM,
+    (_S, _LOAD): AccessOutcome.HIT,
+    (_S, _STORE): AccessOutcome.UPGRADE,
+    (_M, _LOAD): AccessOutcome.HIT,
+    (_M, _STORE): AccessOutcome.HIT,
+}
+
+#: Snoop reactions keyed by (timed_core, state).  MSI rows: S copies
+#: invalidate at once, owners concede at once.  Timed rows: both states
+#: arm the countdown counter.
+TIMED_MSI_SNOOP: Dict[Tuple[bool, LineState], SnoopAction] = {
+    (False, _S): SnoopAction.INVALIDATE,
+    (False, _M): SnoopAction.CONCEDE,
+    (True, _S): SnoopAction.TIMER,
+    (True, _M): SnoopAction.TIMER,
+}
+
+TIMED_MSI = CoherenceProtocol(
+    name="timed_msi",
+    heterogeneous=True,
+    tables=TransitionTables(
+        classify=MSI_CLASSIFY,
+        snoop=TIMED_MSI_SNOOP,
+        reader_handover={
+            False: HandoverAction.KEEP_SHARED,
+            True: HandoverAction.INVALIDATE,
+        },
+    ),
+    description="CoHoRT heterogeneous timed/MSI coherence (per-core θ)",
+)
+
+MSI = CoherenceProtocol(
+    name="msi",
+    heterogeneous=False,
+    tables=TransitionTables(
+        classify=MSI_CLASSIFY,
+        snoop=TIMED_MSI_SNOOP,
+        reader_handover={
+            False: HandoverAction.KEEP_SHARED,
+            True: HandoverAction.INVALIDATE,
+        },
+    ),
+    description="plain snooping MSI on every core (ignores θ registers)",
+)
+
+PMSI = CoherenceProtocol(
+    name="pmsi",
+    heterogeneous=False,
+    force_via_llc=True,
+    tables=TransitionTables(
+        classify=MSI_CLASSIFY,
+        snoop=TIMED_MSI_SNOOP,
+        reader_handover={
+            False: HandoverAction.INVALIDATE,
+            True: HandoverAction.INVALIDATE,
+        },
+    ),
+    description=(
+        "PMSI-style predictable MSI: invalidate-on-share, transfers via LLC"
+    ),
+)
+
+BUILTIN_PROTOCOLS = (TIMED_MSI, MSI, PMSI)

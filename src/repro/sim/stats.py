@@ -3,12 +3,23 @@
 The quantities the paper's evaluation reports are all derived from these
 counters: experimental WCML (total memory latency of a task), per-request
 worst-case latency, hit/miss counts, and overall execution time.
+
+Protocol-level counters (grants, fills, timer expiries, write-backs,
+DRAM fetches, back-invalidations, mode switches) are fed by
+:class:`StatsCollector`, an ordinary subscriber of the system's
+:class:`~repro.sim.events.EventBus` — the engine layers never update
+them directly.  Only the per-*hit* counters stay inline in the access
+fast path (hits are ~99% of accesses; see the event-bus module
+docstring for the hot-path contract).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.events import EventBus
 
 
 @dataclass
@@ -77,6 +88,9 @@ class SystemStats:
     back_invalidations: int = 0
     mode_switches: int = 0
     final_cycle: int = 0
+    #: The event bus feeding the protocol-level counters (set when a
+    #: :class:`StatsCollector` attaches); source of :meth:`layer_counts`.
+    _event_bus: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def record_grant(self, kind: str, duration: int) -> None:
         """Account one bus grant and its occupancy."""
@@ -99,6 +113,15 @@ class SystemStats:
         """The per-core counters for ``core_id``."""
         return self.cores[core_id]
 
+    def layer_counts(self) -> Dict[str, int]:
+        """Per-layer event totals of the run (core/bus/protocol/backend).
+
+        Read from the event bus's per-kind tally once a
+        :class:`StatsCollector` is attached; empty before that."""
+        if self._event_bus is None:
+            return {}
+        return self._event_bus.layer_counts()
+
     def summary(self) -> str:
         """Compact multi-line textual summary of the run."""
         lines = [
@@ -112,3 +135,69 @@ class SystemStats:
                 f"maxlat={c.max_request_latency} finish={c.finish_cycle}"
             )
         return "\n".join(lines)
+
+
+class StatsCollector:
+    """Feeds a :class:`SystemStats` from the simulator event bus.
+
+    One instance subscribes, by kind, to exactly the (rare) protocol
+    events the legacy counters need; per-hit statistics remain inline in
+    the access fast path and are *not* routed through the bus.
+    """
+
+    #: Event kinds this collector consumes.
+    KINDS = (
+        "grant",
+        "fill",
+        "timer_expiry",
+        "writeback",
+        "dram_fetch",
+        "back_invalidate",
+        "mode_switch",
+    )
+
+    def __init__(self, stats: SystemStats) -> None:
+        self.stats = stats
+        self._handlers = {
+            "grant": self._on_grant,
+            "fill": self._on_fill,
+            "timer_expiry": self._on_timer_expiry,
+            "writeback": self._on_writeback,
+            "dram_fetch": self._on_dram_fetch,
+            "back_invalidate": self._on_back_invalidate,
+            "mode_switch": self._on_mode_switch,
+        }
+
+    def attach(self, bus: "EventBus") -> "StatsCollector":
+        """Subscribe to the bus and bind it to the stats object."""
+        bus.subscribe(self, kinds=self.KINDS)
+        self.stats._event_bus = bus
+        return self
+
+    def __call__(self, cycle: int, kind: str, payload: Dict[str, Any]) -> None:
+        self._handlers[kind](payload)
+
+    # -- per-kind handlers -------------------------------------------------
+
+    def _on_grant(self, payload: Dict[str, Any]) -> None:
+        self.stats.record_grant(payload["job"], payload["duration"])
+
+    def _on_fill(self, payload: Dict[str, Any]) -> None:
+        self.stats.cores[payload["core"]].record_miss(
+            latency=payload["latency"], upgrade=payload["upgrade"]
+        )
+
+    def _on_timer_expiry(self, payload: Dict[str, Any]) -> None:
+        self.stats.timer_expiries += 1
+
+    def _on_writeback(self, payload: Dict[str, Any]) -> None:
+        self.stats.writebacks += 1
+
+    def _on_dram_fetch(self, payload: Dict[str, Any]) -> None:
+        self.stats.dram_fetches += 1
+
+    def _on_back_invalidate(self, payload: Dict[str, Any]) -> None:
+        self.stats.back_invalidations += 1
+
+    def _on_mode_switch(self, payload: Dict[str, Any]) -> None:
+        self.stats.mode_switches += 1

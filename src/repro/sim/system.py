@@ -1,34 +1,43 @@
-"""The snooping protocol engine and whole-system simulator.
+"""The whole-system simulator: an orchestrator over the layered stack.
 
-:class:`System` wires cores, private caches, the shared bus, the arbiter
-and the LLC/DRAM together and implements the coherence protocol of
-Section III:
+:class:`System` wires the layers of Section III together and owns almost
+no protocol logic itself:
 
-* Every miss becomes a :class:`~repro.sim.messages.CoherenceRequest` that
-  is broadcast on the bus, waits until every conflicting copy has been
-  released — at each remote core's countdown-counter expiry for timed
-  cores, immediately for MSI cores (``θ = -1``) — and then receives its
-  data in a bus data-transfer slot granted by the arbiter.
-* A single-writer/multiple-reader invariant is maintained at every cycle
-  and optionally checked by a golden-value oracle (``check_coherence``),
-  which the test-suite uses to validate the protocol under random traces.
-* The PCC baseline's behaviour (dirty cache-to-cache transfers routed
-  through the LLC) is selected by ``config.via_llc_transfers``.
+* the **core layer** (:mod:`repro.sim.core`) issues accesses; the only
+  hot path here is :meth:`System.try_access`, whose hit predicate is
+  inlined (it is the single hottest function of the simulator),
+* the **protocol layer** (:mod:`repro.sim.protocols`) decides per-line
+  transitions from data-driven tables; the protocol is resolved from
+  ``config.protocol`` through the registry at build time,
+* the **engine** (:mod:`repro.sim.engine`) executes coherence requests
+  against caches and bus, enforcing the protocol-independent invariants
+  (same-line FIFO in bus order, single writer),
+* the **memory backend** (:mod:`repro.sim.backend`) sources data and
+  drains write-backs (perfect LLC, or LLC + DRAM per footnote 1),
+* the **event bus** (:mod:`repro.sim.events`) carries every observable
+  occurrence to the stats collector, tracers and per-layer counters,
+* the **oracle** (:mod:`repro.sim.oracle`) tracks golden values and — in
+  the test-suite — checks the single-writer/read-latest invariants.
 
-The engine is event-driven but cycle-accurate: all activity happens at
-integer cycles, ordered by the phases of :mod:`repro.sim.kernel`.
+What remains here: construction and wiring, the per-access hit fast
+path, bus arbitration scheduling, and the run-time mode-switch plumbing
+of Section VI.  The engine is event-driven but cycle-accurate: all
+activity happens at integer cycles, ordered by the phases of
+:mod:`repro.sim.kernel`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence
 
 from repro.params import MemOp, SimConfig
 from repro.sim.arbiter import Arbiter, build_arbiter
+from repro.sim.backend import MemoryBackend, build_backend
 from repro.sim.bus import SharedBus
-from repro.sim.cache import CacheLine, LineState
 from repro.sim.core import Core
 from repro.sim.dram import FixedLatencyDRAM
+from repro.sim.engine import ProtocolEngine
+from repro.sim.events import EventBus
 from repro.sim.kernel import (
     PHASE_ARBITRATE,
     PHASE_CORE,
@@ -36,22 +45,18 @@ from repro.sim.kernel import (
     EventKernel,
 )
 from repro.sim.llc import SharedLLC
-from repro.sim.messages import (
-    LLC_SOURCE,
-    BusJob,
-    CoherenceRequest,
-    JobKind,
-    ReqKind,
-    ReqState,
-    Writeback,
-)
+from repro.sim.messages import BusJob, JobKind, ReqState
+from repro.sim.oracle import CoherenceOracle, CoherenceViolationError
 from repro.sim.private_cache import AccessOutcome, PrivateCache
-from repro.sim.stats import CoreStats, SystemStats
+from repro.sim.protocols import get_protocol
+from repro.sim.stats import CoreStats, StatsCollector, SystemStats
 from repro.sim.trace import Trace
 
-
-class CoherenceViolationError(RuntimeError):
-    """The golden-value oracle observed a protocol violation."""
+__all__ = [
+    "System",
+    "run_simulation",
+    "CoherenceViolationError",
+]
 
 
 class System:
@@ -78,14 +83,24 @@ class System:
             )
         self.config = config
         self.kernel = EventKernel()
+        self.events = EventBus(self.kernel)
         self.bus = SharedBus()
         self.arbiter: Arbiter = build_arbiter(config)
+        self.protocol = get_protocol(config.protocol)
         self.dram = FixedLatencyDRAM(config.dram_latency)
-        self.llc = SharedLLC(config.llc, config.perfect_llc, self.dram)
+        self.backend: MemoryBackend = build_backend(config, self.dram)
         self.caches: List[PrivateCache] = [
-            PrivateCache(i, config.l1, config.core_config(i).theta)
+            PrivateCache(
+                i, config.l1, config.core_config(i).theta,
+                protocol=self.protocol,
+            )
             for i in range(config.num_cores)
         ]
+        self.oracle = CoherenceOracle(
+            config.check_coherence, self.caches, lambda: self.kernel.now
+        )
+        self.engine = ProtocolEngine(self)
+        self.backend.attach(self)
         lat = config.latencies
         self.cores: List[Core] = [
             Core(
@@ -108,36 +123,40 @@ class System:
                 for i in range(config.num_cores)
             ]
         )
+        StatsCollector(self.stats).attach(self.events)
         # Hot-path shortcuts (avoid per-access attribute chains).
         self._core_stats: List[CoreStats] = self.stats.cores
         self._hit_latency = lat.hit
         self._check = config.check_coherence
+        self._perform_write = self.oracle.perform_write
+        self._check_read = self.oracle.check_read
+        #: The protocol's HIT set matches the inlined hit predicate below;
+        #: exotic protocols fall back to the general classify() per access.
+        self._std_hits = self.protocol.uses_standard_hits()
 
-        #: Observers called as ``listener(cycle, event, payload)`` on every
-        #: protocol event (see :mod:`repro.sim.debug`).  Empty by default;
-        #: events are only materialised when at least one listener exists.
-        self.listeners: List = []
-        self._requests: Dict[int, CoherenceRequest] = {}
-        self._line_reqs: Dict[int, List[CoherenceRequest]] = {}
-        self._wbs: Dict[int, Writeback] = {}
-        self._wb_inflight: Set[int] = set()
-        self._dram_fetches: Set[int] = set()
-        self._golden: Dict[int, int] = {}
         self._seq = 0
-        self._transfer_source: Optional[Tuple[int, int]] = None
-        #: Line address of the in-flight data transfer (any source); the
-        #: LLC must not evict it mid-transfer (non-perfect mode).
-        self._transfer_line: Optional[int] = None
         self._arb_scheduled_at: Optional[int] = None
         self._done_count = 0
         self._started = False
 
-    def _emit(self, event: str, **payload) -> None:
-        if not self.listeners:
-            return
-        cycle = self.kernel.now
-        for listener in self.listeners:
-            listener(cycle, event, payload)
+    # ------------------------------------------------------------ properties
+
+    @property
+    def llc(self) -> SharedLLC:
+        """The shared LLC (owned by the memory backend)."""
+        return self.backend.llc
+
+    @property
+    def listeners(self):
+        """Subscribe-all event listeners (legacy alias; see
+        :meth:`repro.sim.events.EventBus.subscribe`)."""
+        return self.events.listeners
+
+    def next_seq(self) -> int:
+        """A fresh bus-order sequence number (requests and write-backs
+        share one space: the arbiter breaks ties on it)."""
+        self._seq += 1
+        return self._seq
 
     # ------------------------------------------------------------------ run
 
@@ -153,10 +172,10 @@ class System:
             until=lambda: self._done_count >= len(self.cores),
         )
         self.stats.final_cycle = self.kernel.now
-        if self._requests:
+        if self.engine.requests:
             raise RuntimeError(
                 f"simulation finished with outstanding requests: "
-                f"{list(self._requests.values())}"
+                f"{list(self.engine.requests.values())}"
             )
         return self.stats
 
@@ -172,96 +191,65 @@ class System:
         (:class:`MemOp` value); the hit path is inlined — it is the
         single hottest function of the simulator.
         """
-        array = self.caches[core_id].array
-        line = array._lines[line_addr & array._set_mask]
-        state = line.state
-        if (
-            state
-            and line.line_addr == line_addr
-            and not (line.handover_ready and not line.pending_is_downgrade)
-            and (op == 0 or state == 2)
-        ):
-            # Hit (same predicate as AccessOutcome.HIT via can_serve).
-            if op:
-                self._perform_write(core_id, line)
-            elif self._check:
-                self._check_read(core_id, line)
-            stats = self._core_stats[core_id]
-            stats.hits += 1
-            if runahead:
-                stats.runahead_hits += 1
-            stats.total_memory_latency += self._hit_latency
-            if self.listeners:
-                self._emit(
-                    "hit", core=core_id, line=line_addr, op=MemOp(op).name,
-                    runahead=runahead,
-                )
-            return True
+        if self._std_hits:
+            array = self.caches[core_id].array
+            line = array._lines[line_addr & array._set_mask]
+            state = line.state
+            if (
+                state
+                and line.line_addr == line_addr
+                and not (line.handover_ready and not line.pending_is_downgrade)
+                and (op == 0 or state == 2)
+            ):
+                # Hit (same predicate as AccessOutcome.HIT via can_serve).
+                if op:
+                    self._perform_write(core_id, line)
+                elif self._check:
+                    self._check_read(core_id, line)
+                stats = self._core_stats[core_id]
+                stats.hits += 1
+                if runahead:
+                    stats.runahead_hits += 1
+                stats.total_memory_latency += self._hit_latency
+                if self.events.hot:
+                    self.events.emit(
+                        "hit", core=core_id, line=line_addr,
+                        op=MemOp(op).name, runahead=runahead,
+                    )
+                return True
+        else:
+            # General path: the protocol's classify table decides hits.
+            cache = self.caches[core_id]
+            outcome = self.protocol.classify(cache, MemOp(op), line_addr)
+            if outcome is AccessOutcome.HIT:
+                line = cache.lookup(line_addr)
+                if op:
+                    self._perform_write(core_id, line)
+                elif self._check:
+                    self._check_read(core_id, line)
+                stats = self._core_stats[core_id]
+                stats.hits += 1
+                if runahead:
+                    stats.runahead_hits += 1
+                stats.total_memory_latency += self._hit_latency
+                if self.events.hot:
+                    self.events.emit(
+                        "hit", core=core_id, line=line_addr,
+                        op=MemOp(op).name, runahead=runahead,
+                    )
+                return True
         if runahead:
             return False
         op = MemOp(op)
         outcome = self.caches[core_id].classify(op, line_addr)
         assert outcome != AccessOutcome.HIT
-        if core_id in self._requests:
-            raise RuntimeError(f"core {core_id} already has an outstanding request")
-        self._seq += 1
-        req = CoherenceRequest(
-            req_id=self._seq,
-            core_id=core_id,
-            line_addr=line_addr,
-            kind=outcome.req_kind,
-            op=op,
-            issue_cycle=self.kernel.now,
-        )
-        self._requests[core_id] = req
-        self._emit(
-            "miss", core=core_id, line=line_addr, req_kind=req.kind.name,
-            req_id=req.req_id,
-        )
-        self.request_arbitration()
+        self.engine.start_request(core_id, op, line_addr, outcome)
         return False
 
     def on_core_done(self, core_id: int, cycle: int) -> None:
         """Core callback: the core retired its last access at ``cycle``."""
         self.stats.core(core_id).finish_cycle = cycle
         self._done_count += 1
-
-    # ----------------------------------------------------------- the oracle
-
-    def _perform_write(self, core_id: int, line: CacheLine) -> None:
-        """Perform a store: bump the golden version of the line."""
-        addr = line.line_addr
-        if self.config.check_coherence:
-            if line.state != LineState.M:
-                raise CoherenceViolationError(
-                    f"c{core_id} stores to line {addr} in state {line.state.name}"
-                )
-            for cache in self.caches:
-                if cache.core_id == core_id:
-                    continue
-                other = cache.lookup(addr)
-                if other is not None and other.valid:
-                    raise CoherenceViolationError(
-                        f"c{core_id} writes line {addr} while c{cache.core_id} "
-                        f"holds it in {other.state.name} "
-                        f"(cycle {self.kernel.now})"
-                    )
-        version = self._golden.get(addr, 0) + 1
-        self._golden[addr] = version
-        line.version = version
-        line.dirty = True
-
-    def _check_read(self, core_id: int, line: CacheLine) -> None:
-        """Check a load observes the latest performed write."""
-        if not self.config.check_coherence:
-            return
-        addr = line.line_addr
-        expected = self._golden.get(addr, 0)
-        if line.version != expected:
-            raise CoherenceViolationError(
-                f"c{core_id} reads line {addr} version {line.version}, "
-                f"expected {expected} (cycle {self.kernel.now})"
-            )
 
     # ------------------------------------------------------------ arbitration
 
@@ -275,17 +263,14 @@ class System:
 
     def _collect_jobs(self) -> List[BusJob]:
         jobs: List[BusJob] = []
-        for req in self._requests.values():
+        for req in self.engine.requests.values():
             if req.state == ReqState.QUEUED:
                 jobs.append(
                     BusJob(JobKind.BROADCAST, req.core_id, req.req_id, req=req)
                 )
             elif req.state == ReqState.WAITING and req.ready:
                 jobs.append(BusJob(JobKind.DATA, req.core_id, req.req_id, req=req))
-        if self.config.wb_on_bus:
-            for line_addr, wb in self._wbs.items():
-                if line_addr not in self._wb_inflight:
-                    jobs.append(BusJob(JobKind.WRITEBACK, wb.core_id, wb.seq, wb=wb))
+        jobs.extend(self.backend.bus_jobs())
         return jobs
 
     def _arbitrate(self) -> None:
@@ -296,7 +281,7 @@ class System:
         jobs = self._collect_jobs()
         if not jobs:
             return
-        busy_cores = set(self._requests.keys())
+        busy_cores = set(self.engine.requests.keys())
         decision = self.arbiter.decide(now, jobs, busy_cores)
         if decision.job is None:
             if decision.wake_at is not None and decision.wake_at > now:
@@ -312,31 +297,23 @@ class System:
             assert req.state == ReqState.QUEUED
             req.state = ReqState.BROADCASTING
             duration = lat.request
-            handler, payload = self._on_broadcast_done, req
+            handler, payload = self.engine.on_broadcast_done, req
         elif job.kind == JobKind.DATA:
             req = job.req
-            assert req.state == ReqState.WAITING and req.ready, req
-            req.state = ReqState.TRANSFERRING
-            self._transfer_line = req.line_addr
-            if req.source is not None and req.source >= 0:
-                self._transfer_source = (req.source, req.line_addr)
+            self.engine.begin_transfer(req)
             duration = lat.data
-            handler, payload = self._on_data_done, req
-            # Hold back other waiters on this line while the transfer runs.
-            self._update_line(req.line_addr)
+            handler, payload = self.engine.on_data_done, req
         else:  # WRITEBACK on the shared bus
             wb = job.wb
-            self._wb_inflight.add(wb.line_addr)
+            self.backend.mark_inflight(wb)
             duration = lat.data
-            handler, payload = self._on_wb_done, wb
+            handler, payload = self.backend.on_wb_done, wb
         done_at = self.bus.grant(job, now, duration)
-        self.stats.record_grant(job.kind.name, duration)
-        if self.listeners:
-            self._emit(
-                "grant", job=job.kind.name, core=job.core_id,
-                line=(job.req.line_addr if job.req else job.wb.line_addr),
-                until=done_at,
-            )
+        self.events.emit(
+            "grant", job=job.kind.name, core=job.core_id,
+            line=(job.req.line_addr if job.req else job.wb.line_addr),
+            duration=duration, until=done_at,
+        )
         self.kernel.schedule(
             done_at, PHASE_EFFECT, self._complete_grant, handler, payload
         )
@@ -346,460 +323,6 @@ class System:
         self.bus.release(self.kernel.now)
         handler(payload)
         self.request_arbitration()
-
-    # --------------------------------------------------------------- snooping
-
-    def _waiting_reqs(self, line_addr: int) -> List[CoherenceRequest]:
-        return [
-            r
-            for r in self._line_reqs.get(line_addr, [])
-            if r.state in (ReqState.WAITING, ReqState.TRANSFERRING)
-        ]
-
-    def _on_broadcast_done(self, req: CoherenceRequest) -> None:
-        req.state = ReqState.WAITING
-        req.broadcast_cycle = self.kernel.now
-        self._line_reqs.setdefault(req.line_addr, []).append(req)
-        if req.kind == ReqKind.UPG and self._earlier_writer_waiting(req):
-            # Bus order: an ownership request broadcast before this upgrade
-            # wins the line first.  The upgrader self-invalidates its shared
-            # copy *now* — otherwise its own timer would delay the older
-            # writer and, transitively (same-line FIFO), its own re-queued
-            # GetM beyond the Equation-1 bound, which excludes the
-            # requester's own θ.
-            own = self.caches[req.core_id].lookup(req.line_addr)
-            if own is not None and own.valid:
-                own.invalidate()
-            req.kind = ReqKind.GETM
-        self._refresh_snoop(req.line_addr)
-        self._update_line(req.line_addr)
-
-    def _refresh_snoop(self, line_addr: int) -> None:
-        """Re-assert pending-invalidation flags implied by waiting requests.
-
-        Idempotent: called after every event that may have created a new
-        copy or a new waiting request for the line.  MSI copies conflicting
-        with a waiting writer are invalidated (S) or conceded (M)
-        immediately; timed copies get their countdown-counter expiry
-        scheduled per Figure 3.
-        """
-        reqs = self._waiting_reqs(line_addr)
-        if not reqs:
-            return
-        now = self.kernel.now
-        for cache in self.caches:
-            copy = cache.lookup(line_addr)
-            if copy is None or not copy.valid:
-                continue
-            cid = cache.core_id
-            writer = any(r.wants_ownership and r.core_id != cid for r in reqs)
-            reader = copy.state == LineState.M and any(
-                r.kind == ReqKind.GETS and r.core_id != cid for r in reqs
-            )
-            if not writer and not reader:
-                continue
-            downgrade = reader and not writer
-            if cache.is_msi:
-                if copy.state == LineState.S:
-                    # A snooping MSI core gives up a shared copy at once.
-                    copy.invalidate()
-                else:
-                    # A snooping MSI owner concedes immediately and only
-                    # remains as the data source of the handover.
-                    if copy.pending_inv_since is None:
-                        copy.pending_inv_since = now
-                    copy.pending_is_downgrade = downgrade
-                    copy.inv_at = copy.pending_inv_since
-                    copy.handover_ready = True
-            else:
-                newly = copy.pending_inv_since is None
-                cache.mark_pending(copy, now, downgrade=downgrade)
-                if newly and not copy.handover_ready:
-                    self._schedule_expiry(cache, copy)
-
-    def _schedule_expiry(self, cache: PrivateCache, copy: CacheLine) -> None:
-        assert copy.inv_at is not None
-        self.kernel.schedule(
-            copy.inv_at,
-            PHASE_EFFECT,
-            self._on_timer_expiry,
-            cache.core_id,
-            copy.line_addr,
-            copy.generation,
-        )
-
-    def _on_timer_expiry(
-        self, core_id: int, line_addr: int, generation: int
-    ) -> None:
-        cache = self.caches[core_id]
-        copy = cache.lookup(line_addr)
-        if copy is None or copy.generation != generation:
-            return
-        if copy.pending_inv_since is None or copy.inv_at is None:
-            return
-        now = self.kernel.now
-        if now < copy.inv_at:
-            return
-        if self._transfer_source == (core_id, line_addr):
-            # The line is mid-transfer as a data source; act right after.
-            self.kernel.schedule(
-                self.bus.busy_until,
-                PHASE_EFFECT,
-                self._on_timer_expiry,
-                core_id,
-                line_addr,
-                generation,
-            )
-            return
-        self.stats.timer_expiries += 1
-        self._emit(
-            "timer_expiry", core=core_id, line=line_addr,
-            state=copy.state.name,
-            downgrade=copy.pending_is_downgrade,
-        )
-        if copy.state == LineState.M:
-            copy.handover_ready = True
-        else:
-            copy.invalidate()
-        self._update_line(line_addr)
-
-    # ------------------------------------------------------------- readiness
-
-    def _update_line(self, line_addr: int) -> None:
-        """Re-evaluate readiness of every waiting request for the line."""
-        self._update_line_inner(line_addr)
-        if any(
-            r.state == ReqState.WAITING and r.ready
-            for r in self._line_reqs.get(line_addr, [])
-        ):
-            self.request_arbitration()
-
-    def _update_line_inner(self, line_addr: int) -> None:
-        while True:
-            reqs = [
-                r
-                for r in self._line_reqs.get(line_addr, [])
-                if r.state == ReqState.WAITING
-            ]
-            if not reqs:
-                return
-            transfer_in_flight = any(
-                r.state == ReqState.TRANSFERRING
-                for r in self._line_reqs.get(line_addr, [])
-            )
-            for r in reqs:
-                r.ready = False
-                r.source = None
-            if transfer_in_flight:
-                return
-            copies = []
-            for cache in self.caches:
-                copy = cache.lookup(line_addr)
-                if copy is not None and copy.valid:
-                    copies.append((cache, copy))
-            owners = [(c, cp) for c, cp in copies if cp.state == LineState.M]
-            assert len(owners) <= 1, f"multiple owners of line {line_addr}"
-            owner = owners[0] if owners else None
-            # Same-line requests are served strictly in bus (broadcast)
-            # order.  A younger request must never leapfrog an older one:
-            # its fresh fill would open a *second* timer window against
-            # the older requester, exceeding the per-core θ_j budget of
-            # Equation 1.  (Found twice by the property suite — once via
-            # racing upgrades, once via a reader overtaking a writer.)
-            oldest = min(reqs, key=lambda r: (r.broadcast_cycle, r.req_id))
-            if not self._evaluate_request(oldest, copies, owner):
-                return
-
-    def _evaluate_request(
-        self,
-        req: CoherenceRequest,
-        copies: List[Tuple[PrivateCache, CacheLine]],
-        owner: Optional[Tuple[PrivateCache, CacheLine]],
-    ) -> bool:
-        """Compute readiness of one waiting request.
-
-        Returns True when evaluation *changed cache state* (an upgrade
-        completed, or a PCC-style owner spill), which invalidates the
-        caller's copies/owner snapshot and forces a re-evaluation pass.
-        """
-        line_addr = req.line_addr
-        req.ready = False
-        req.source = None
-
-        if req.kind == ReqKind.UPG:
-            own_cache = self.caches[req.core_id]
-            own = own_cache.lookup(line_addr)
-            if own is None or not own.valid or own.frozen:
-                # Lost the local copy while waiting: needs data after all.
-                req.kind = ReqKind.GETM
-            elif self._earlier_writer_waiting(req):
-                # Bus order: an ownership request broadcast before this
-                # upgrade wins the line first.  Completing here would
-                # restart the timer window over the earlier writer and
-                # break the Equation-1 bound.  The upgrader immediately
-                # self-invalidates its shared copy (it is about to lose it
-                # anyway) so that its own timer never delays the winner —
-                # and, transitively, its own re-queued GetM.
-                own.invalidate()
-                req.kind = ReqKind.GETM
-                return True
-            else:
-                blockers = [
-                    cp for c, cp in copies if c.core_id != req.core_id and cp.valid
-                ]
-                if blockers:
-                    return False
-                self._complete_upgrade(req, own_cache, own)
-                return True
-
-        if req.kind == ReqKind.GETM:
-            own_cache = self.caches[req.core_id]
-            own = own_cache.lookup(line_addr)
-            if own is not None and own.valid:
-                # Our own (frozen) copy is still being handed to an earlier
-                # winner; wait for that transfer to invalidate it.
-                return False
-            for cache, cp in copies:
-                if cache.core_id == req.core_id:
-                    continue
-                if cp.state == LineState.M and cp.handover_ready:
-                    continue  # acceptable: it is the data source
-                return False  # a copy still protected by its timer
-            if owner is not None and owner[0].core_id != req.core_id:
-                ocache, ocopy = owner
-                if not ocopy.handover_ready:
-                    return False
-                if self.config.via_llc_transfers:
-                    # PCC family: the dirty owner writes back to the LLC and
-                    # the requester re-fetches from there.
-                    self._spill_owner(ocache, ocopy)
-                    return True
-                req.source = ocache.core_id
-                req.ready = True
-                return False
-            return self._llc_source_ready(req)
-
-        # GETS
-        if owner is not None and owner[0].core_id != req.core_id:
-            ocache, ocopy = owner
-            if not ocopy.handover_ready:
-                return False
-            if self.config.via_llc_transfers:
-                self._spill_owner(ocache, ocopy)
-                return True
-            req.source = ocache.core_id
-            req.ready = True
-            return False
-        if owner is not None and owner[0].core_id == req.core_id:
-            # Own frozen modified copy awaiting an earlier handover.
-            return False
-        return self._llc_source_ready(req)
-
-    def _earlier_writer_waiting(self, req: CoherenceRequest) -> bool:
-        """An ownership request from another core was broadcast before ours."""
-        for other in self._line_reqs.get(req.line_addr, []):
-            if other is req or other.core_id == req.core_id:
-                continue
-            if not other.wants_ownership:
-                continue
-            if other.state not in (ReqState.WAITING, ReqState.TRANSFERRING):
-                continue
-            if (other.broadcast_cycle, other.req_id) < (
-                req.broadcast_cycle,
-                req.req_id,
-            ):
-                return True
-        return False
-
-    def _llc_source_ready(self, req: CoherenceRequest) -> bool:
-        """Mark the request ready from the LLC, starting a DRAM fetch if needed."""
-        line_addr = req.line_addr
-        if line_addr in self._wbs:
-            return False  # the latest data is still in a write-back buffer
-        if not self.llc.present(line_addr):
-            self._start_dram_fetch(line_addr)
-            return False
-        req.source = LLC_SOURCE
-        req.ready = True
-        return False
-
-    def _spill_owner(self, ocache: PrivateCache, ocopy: CacheLine) -> None:
-        """PCC-style handover: invalidate the dirty owner into a write-back."""
-        line_addr = ocopy.line_addr
-        dirty = ocopy.dirty
-        version = ocopy.version
-        ocache.array.slot(line_addr).invalidate()
-        if dirty:
-            self._enqueue_writeback(ocache.core_id, line_addr, version)
-        # Clean owner: the LLC already has the current version.
-
-    # ------------------------------------------------------------ completions
-
-    def _on_broadcast_or_data_cleanup(self, req: CoherenceRequest) -> None:
-        line_reqs = self._line_reqs.get(req.line_addr)
-        if line_reqs is not None:
-            if req in line_reqs:
-                line_reqs.remove(req)
-            if not line_reqs:
-                del self._line_reqs[req.line_addr]
-
-    def _finish_request(self, req: CoherenceRequest, upgrade: bool) -> None:
-        now = self.kernel.now
-        self._emit(
-            "fill", core=req.core_id, line=req.line_addr,
-            req_kind=req.kind.name, latency=now - req.issue_cycle,
-            upgrade=upgrade, source=req.source,
-        )
-        req.state = ReqState.DONE
-        req.complete_cycle = now
-        self._on_broadcast_or_data_cleanup(req)
-        del self._requests[req.core_id]
-        self.stats.core(req.core_id).record_miss(
-            latency=now - req.issue_cycle, upgrade=upgrade
-        )
-        self.arbiter.on_request_completed(req.core_id)
-        self.cores[req.core_id].on_fill(now)
-
-    def _complete_upgrade(
-        self, req: CoherenceRequest, cache: PrivateCache, own: CacheLine
-    ) -> None:
-        now = self.kernel.now
-        own.state = LineState.M
-        own.fill_cycle = now  # ownership acquired: the timer restarts
-        own.clear_pending()
-        own.generation += 1
-        self._perform_write(req.core_id, own)
-        self._finish_request(req, upgrade=True)
-        self._refresh_snoop(req.line_addr)
-
-    def _on_data_done(self, req: CoherenceRequest) -> None:
-        now = self.kernel.now
-        line_addr = req.line_addr
-        self._transfer_source = None
-        self._transfer_line = None
-        if req.source == LLC_SOURCE:
-            self.llc.record_access(line_addr, now)
-            version = self.llc.version(line_addr)
-        else:
-            src_cache = self.caches[req.source]
-            src = src_cache.lookup(line_addr)
-            assert src is not None and src.state == LineState.M, (
-                f"data source vanished for {req}"
-            )
-            version = src.version
-            if req.kind == ReqKind.GETM:
-                src.invalidate()
-            else:
-                # A reader handover.  An MSI owner downgrades M→S and keeps
-                # its copy (plain MSI).  A *timed* owner's countdown counter
-                # expired with the request pending, and per Figure 3 the
-                # line is invalidated — keeping an S copy would start a
-                # second protection window and break the Equation-1 bound
-                # for any writer queued behind the reader.
-                if src_cache.is_msi:
-                    src.state = LineState.S
-                    src.dirty = False
-                    src.clear_pending()
-                else:
-                    src.invalidate()
-                # The transfer snarfs the data into the LLC as well.
-                self.llc.write_version(line_addr, version, now)
-
-        state = LineState.M if req.kind == ReqKind.GETM else LineState.S
-        cache = self.caches[req.core_id]
-        victim = cache.fill(line_addr, state, now, version)
-        new_line = cache.lookup(line_addr)
-        if req.op == MemOp.STORE:
-            self._perform_write(req.core_id, new_line)
-        else:
-            self._check_read(req.core_id, new_line)
-        self._finish_request(req, upgrade=False)
-        if victim is not None:
-            self._handle_eviction(req.core_id, victim)
-        self._refresh_snoop(line_addr)
-        self._update_line(line_addr)
-
-    def _handle_eviction(self, core_id: int, victim) -> None:
-        if victim.dirty:
-            self._enqueue_writeback(core_id, victim.line_addr, victim.version)
-        self._refresh_snoop(victim.line_addr)
-        self._update_line(victim.line_addr)
-
-    def _enqueue_writeback(self, core_id: int, line_addr: int, version: int) -> None:
-        assert line_addr not in self._wbs, (
-            f"second write-back for line {line_addr} while one is pending"
-        )
-        self._seq += 1
-        wb = Writeback(
-            core_id=core_id,
-            line_addr=line_addr,
-            version=version,
-            created_cycle=self.kernel.now,
-            seq=self._seq,
-        )
-        self._wbs[line_addr] = wb
-        self.stats.writebacks += 1
-        if self.config.wb_on_bus:
-            self.request_arbitration()
-        else:
-            # Dedicated write-back port: completes after the data latency.
-            self.kernel.schedule(
-                self.kernel.now + self.config.latencies.data,
-                PHASE_EFFECT,
-                self._on_wb_done,
-                wb,
-            )
-
-    def _on_wb_done(self, wb: Writeback) -> None:
-        self.llc.write_version(wb.line_addr, wb.version, self.kernel.now)
-        self._wbs.pop(wb.line_addr, None)
-        self._wb_inflight.discard(wb.line_addr)
-        self._update_line(wb.line_addr)
-
-    # ------------------------------------------------------------------ DRAM
-
-    def _start_dram_fetch(self, line_addr: int) -> None:
-        if line_addr in self._dram_fetches:
-            return
-        self._dram_fetches.add(line_addr)
-        self.stats.dram_fetches += 1
-        self.kernel.schedule(
-            self.kernel.now + self.dram.latency,
-            PHASE_EFFECT,
-            self._on_dram_fill,
-            line_addr,
-        )
-
-    def _on_dram_fill(self, line_addr: int) -> None:
-        now = self.kernel.now
-        victim_addr = self.llc.peek_victim(line_addr)
-        if victim_addr is not None and (
-            victim_addr == self._transfer_line or victim_addr in self._wbs
-        ):
-            # Evicting this victim now would corrupt an in-flight transfer
-            # or an un-drained write-back; retry shortly.
-            self.kernel.schedule(
-                max(now + 1, self.bus.busy_until),
-                PHASE_EFFECT,
-                self._on_dram_fill,
-                line_addr,
-            )
-            return
-        self._dram_fetches.discard(line_addr)
-        victim = self.llc.fill_from_memory(line_addr, now)
-        if victim is not None:
-            merged = victim.version
-            for cache in self.caches:
-                snap = cache.back_invalidate(victim.line_addr)
-                if snap is not None:
-                    self.stats.back_invalidations += 1
-                    if snap.dirty:
-                        merged = snap.version
-            victim.version = merged
-            self.llc.evict_to_memory(victim)
-            self._refresh_snoop(victim.line_addr)
-            self._update_line(victim.line_addr)
-        self._update_line(line_addr)
 
     # ----------------------------------------------------------- mode switch
 
@@ -816,8 +339,7 @@ class System:
         for cache in self.caches:
             if mode in cache.lut:
                 cache.apply_mode(mode)
-        self.stats.mode_switches += 1
-        self._emit("mode_switch", mode=mode, thetas=self.config_thetas())
+        self.events.emit("mode_switch", mode=mode, thetas=self.config_thetas())
 
     def config_thetas(self) -> List[int]:
         """The timer registers as currently programmed (may differ from

@@ -20,6 +20,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig5", "--config", "bogus"])
 
+    def test_protocol_accepts_registered_names(self):
+        args = build_parser().parse_args(
+            ["simulate", "-b", "water", "--protocol", "pmsi"]
+        )
+        assert args.protocol == "pmsi"
+
+    def test_unknown_protocol_error_enumerates_available(self, capsys):
+        from repro.sim.protocols import available_protocols
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "-b", "water", "--protocol", "nosuch"]
+            )
+        err = capsys.readouterr().err
+        assert "nosuch" in err
+        for name in available_protocols():
+            assert name in err
+
 
 class TestCommands:
     def test_table1(self, capsys):

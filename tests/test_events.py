@@ -1,0 +1,161 @@
+"""Unit tests for the unified event bus (repro.sim.events)."""
+
+from repro.params import cohort_config
+from repro.sim.events import (
+    EVENT_KINDS,
+    LAYER_OF,
+    EventBus,
+)
+from repro.sim.kernel import EventKernel
+from repro.sim.system import System
+from repro.workloads import splash_traces
+
+from conftest import t
+
+
+class Recorder:
+    def __init__(self):
+        self.seen = []
+
+    def __call__(self, cycle, kind, payload):
+        self.seen.append((cycle, kind, dict(payload)))
+
+
+def make_bus():
+    return EventBus(EventKernel())
+
+
+class TestSubscriptions:
+    def test_subscribe_all_receives_everything(self):
+        bus = make_bus()
+        rec = bus.subscribe(Recorder())
+        bus.emit("miss", core=0)
+        bus.emit("grant", core=1)
+        assert [(k, p) for _, k, p in rec.seen] == [
+            ("miss", {"core": 0}),
+            ("grant", {"core": 1}),
+        ]
+
+    def test_by_kind_subscription_filters(self):
+        bus = make_bus()
+        rec = bus.subscribe(Recorder(), kinds=("grant",))
+        bus.emit("miss", core=0)
+        bus.emit("grant", core=1)
+        assert [k for _, k, _ in rec.seen] == ["grant"]
+
+    def test_by_kind_listeners_notified_before_subscribe_all(self):
+        bus = make_bus()
+        order = []
+        bus.subscribe(lambda c, k, p: order.append("all"))
+        bus.subscribe(lambda c, k, p: order.append("by_kind"), kinds=("fill",))
+        bus.emit("fill", core=0)
+        assert order == ["by_kind", "all"]
+
+    def test_unsubscribe_removes_every_registration(self):
+        bus = make_bus()
+        rec = Recorder()
+        bus.subscribe(rec)
+        bus.subscribe(rec, kinds=("fill", "grant"))
+        bus.unsubscribe(rec)
+        bus.emit("fill", core=0)
+        bus.emit("grant", core=0)
+        assert rec.seen == []
+
+    def test_events_stamp_current_kernel_cycle(self):
+        kernel = EventKernel()
+        bus = EventBus(kernel)
+        rec = bus.subscribe(Recorder())
+        kernel.schedule(7, 0, lambda: bus.emit("fill", core=0))
+        kernel.run(max_cycles=100, until=lambda: False)
+        assert rec.seen == [(7, "fill", {"core": 0})]
+
+
+class TestHotFlag:
+    def test_idle_bus_is_cold(self):
+        assert not make_bus().hot
+
+    def test_subscribe_all_heats(self):
+        bus = make_bus()
+        rec = bus.subscribe(Recorder())
+        assert bus.hot
+        bus.unsubscribe(rec)
+        assert not bus.hot
+
+    def test_hit_by_kind_heats_other_kinds_do_not(self):
+        bus = make_bus()
+        rec = bus.subscribe(Recorder(), kinds=("grant",))
+        assert not bus.hot
+        bus.subscribe(rec, kinds=("hit",))
+        assert bus.hot
+        bus.unsubscribe(rec)
+        assert not bus.hot
+
+    def test_legacy_listeners_append_heats(self):
+        """The pre-bus ``system.listeners.append(tracer)`` idiom."""
+        bus = make_bus()
+        rec = Recorder()
+        bus.listeners.append(rec)
+        assert bus.hot
+        bus.listeners.remove(rec)
+        assert not bus.hot
+        bus.listeners.append(rec)
+        bus.listeners.clear()
+        assert not bus.hot
+
+
+class TestCountsAndLayers:
+    def test_counts_tally_without_subscribers(self):
+        bus = make_bus()
+        bus.emit("grant", core=0)
+        bus.emit("grant", core=1)
+        bus.emit("fill", core=0)
+        assert bus.counts == {"grant": 2, "fill": 1}
+
+    def test_every_stock_kind_has_a_layer(self):
+        assert set(EVENT_KINDS) == set(LAYER_OF)
+        assert set(LAYER_OF.values()) == {
+            "core",
+            "bus",
+            "protocol",
+            "backend",
+            "system",
+        }
+
+    def test_layer_counts_aggregate(self):
+        bus = make_bus()
+        bus.emit("miss", core=0)
+        bus.emit("grant", core=0)
+        bus.emit("fill", core=0)
+        bus.emit("timer_expiry", core=0)
+        bus.emit("custom_kind")
+        assert bus.layer_counts() == {
+            "core": 1,
+            "bus": 1,
+            "protocol": 2,
+            "other": 1,
+        }
+
+
+class TestSystemIntegration:
+    def test_system_publishes_layer_counts(self):
+        traces = splash_traces("ocean", 4, scale=0.25, seed=0)
+        system = System(cohort_config([60] * 4), traces)
+        stats = system.run()
+        layers = stats.layer_counts()
+        assert layers["core"] > 0  # misses
+        assert layers["bus"] > 0  # grants
+        assert layers["protocol"] > 0  # fills (+ expiries)
+
+    def test_hit_events_materialise_only_when_hot(self):
+        traces = [t([(0, "R", 0), (1, "R", 0), (1, "R", 0)])]
+        cold = System(cohort_config([60]), traces)
+        cold_stats = cold.run()
+        assert cold_stats.core(0).hits > 0
+        assert "hit" not in cold.events.counts
+
+        hot = System(cohort_config([60]), traces)
+        rec = hot.events.subscribe(Recorder())
+        hot_stats = hot.run()
+        hit_events = [e for e in rec.seen if e[1] == "hit"]
+        assert len(hit_events) == hot_stats.core(0).hits
+        assert hot.events.counts["hit"] == hot_stats.core(0).hits

@@ -184,3 +184,61 @@ class TestBackInvalidation:
         c.fill(0, LineState.S, 0, 0)
         c.fill(1, LineState.S, 0, 0)
         assert c.resident_lines() == 2
+
+
+def assert_occupancy_consistent(cache):
+    """The O(1) occupancy counter must equal a full array scan."""
+    assert cache.resident_lines() == len(cache.array) == cache.array.recount()
+
+
+class TestOccupancyConsistency:
+    """``resident_lines`` is an O(1) counter; it must never drift from
+    the ground truth a scan of the array reports (``recount``)."""
+
+    def test_fill_lookup_evict_sequence(self):
+        c = make_cache(sets=4)
+        assert_occupancy_consistent(c)
+        c.fill(0, LineState.S, 0, 0)
+        c.fill(1, LineState.M, 0, 0)
+        assert_occupancy_consistent(c)
+        c.fill(5, LineState.S, 1, 0)  # conflicts with line 1: evict
+        assert_occupancy_consistent(c)
+        assert c.resident_lines() == 2
+        c.fill(5, LineState.M, 2, 1)  # refill same line: no change
+        assert_occupancy_consistent(c)
+
+    def test_invalidate_paths_update_counter(self):
+        c = make_cache(sets=4)
+        c.fill(0, LineState.S, 0, 0)
+        c.fill(1, LineState.M, 0, 0)
+        c.fill(2, LineState.S, 0, 0)
+        c.lookup(0).invalidate()
+        assert_occupancy_consistent(c)
+        assert c.resident_lines() == 2
+        c.back_invalidate(1)
+        assert_occupancy_consistent(c)
+        assert c.resident_lines() == 1
+        c.back_invalidate(1)  # already gone: no double-count
+        assert_occupancy_consistent(c)
+
+    def test_mixed_churn_never_drifts(self):
+        c = make_cache(sets=4)
+        for step in range(40):
+            line = (step * 7) % 16
+            if step % 3 == 2 and c.lookup(line) is not None:
+                c.back_invalidate(line)
+            else:
+                state = LineState.M if step % 2 else LineState.S
+                c.fill(line, state, cycle=step, version=0)
+            assert_occupancy_consistent(c)
+
+    def test_repr_reports_occupancy_and_protocol(self):
+        c = make_cache(theta=10, sets=4)
+        c.fill(0, LineState.S, 0, 0)
+        text = repr(c)
+        assert "timed_msi" in text
+        assert "1/4 lines" in text
+        from repro.params import MSI_THETA
+
+        msi = make_cache(theta=MSI_THETA)
+        assert "MSI" in repr(msi)

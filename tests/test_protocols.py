@@ -1,0 +1,245 @@
+"""Unit tests for the declarative protocol layer (repro.sim.protocols)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.params import MSI_THETA, MemOp, cohort_config, pmsi_config
+from repro.sim.cache import LineState
+from repro.sim.private_cache import PrivateCache
+from repro.sim.protocols import (
+    MSI,
+    MSI_CLASSIFY,
+    PMSI,
+    TIMED_MSI,
+    TIMED_MSI_SNOOP,
+    AccessOutcome,
+    CoherenceProtocol,
+    HandoverAction,
+    SnoopAction,
+    TransitionTables,
+    available_protocols,
+    get_protocol,
+    register,
+    unregister,
+)
+from repro.sim.system import run_simulation
+from repro.workloads import splash_traces
+
+from conftest import t
+
+
+def make_cache(theta, protocol):
+    from repro.params import CacheGeometry
+
+    geom = CacheGeometry(size_bytes=4 * 64, line_bytes=64, ways=1)
+    return PrivateCache(0, geom, theta, protocol=protocol)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = available_protocols()
+        assert {"timed_msi", "msi", "pmsi"} <= set(names)
+        assert names == sorted(names)
+
+    def test_get_protocol_resolves_builtins(self):
+        assert get_protocol("timed_msi") is TIMED_MSI
+        assert get_protocol("msi") is MSI
+        assert get_protocol("pmsi") is PMSI
+
+    def test_unknown_name_enumerates_available(self):
+        with pytest.raises(ValueError) as exc:
+            get_protocol("nosuch")
+        msg = str(exc.value)
+        assert "nosuch" in msg
+        for name in available_protocols():
+            assert name in msg
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register(TIMED_MSI)
+
+    def test_register_replace_and_unregister(self):
+        clone = CoherenceProtocol("clone_for_test", TIMED_MSI.tables)
+        try:
+            assert register(clone) is clone
+            assert get_protocol("clone_for_test") is clone
+            other = CoherenceProtocol("clone_for_test", MSI.tables)
+            register(other, replace=True)
+            assert get_protocol("clone_for_test") is other
+        finally:
+            unregister("clone_for_test")
+        assert "clone_for_test" not in available_protocols()
+        unregister("clone_for_test")  # absent → no-op
+
+
+class TestTableValidation:
+    def test_classify_gap_rejected(self):
+        partial = dict(MSI_CLASSIFY)
+        del partial[(LineState.M, MemOp.STORE)]
+        with pytest.raises(ValueError, match="classify table misses"):
+            TransitionTables(
+                classify=partial,
+                snoop=TIMED_MSI_SNOOP,
+                reader_handover=TIMED_MSI.tables.reader_handover,
+            ).validate()
+
+    def test_invalid_state_cannot_hit(self):
+        bogus = dict(MSI_CLASSIFY)
+        bogus[(LineState.I, MemOp.LOAD)] = AccessOutcome.HIT
+        with pytest.raises(ValueError, match="invalid line cannot serve"):
+            TransitionTables(
+                classify=bogus,
+                snoop=TIMED_MSI_SNOOP,
+                reader_handover=TIMED_MSI.tables.reader_handover,
+            ).validate()
+
+    def test_snoop_gap_rejected(self):
+        partial = dict(TIMED_MSI_SNOOP)
+        del partial[(True, LineState.M)]
+        with pytest.raises(ValueError, match="snoop table misses"):
+            TransitionTables(
+                classify=MSI_CLASSIFY,
+                snoop=partial,
+                reader_handover=TIMED_MSI.tables.reader_handover,
+            ).validate()
+
+    def test_handover_gap_rejected(self):
+        with pytest.raises(ValueError, match="reader_handover table misses"):
+            TransitionTables(
+                classify=MSI_CLASSIFY,
+                snoop=TIMED_MSI_SNOOP,
+                reader_handover={False: HandoverAction.KEEP_SHARED},
+            ).validate()
+
+    def test_protocol_constructor_validates(self):
+        with pytest.raises(ValueError):
+            CoherenceProtocol(
+                "broken",
+                TransitionTables(classify={}, snoop={}, reader_handover={}),
+            )
+
+
+class TestDecisionPoints:
+    def test_heterogeneous_theta_selects_rows(self):
+        timed = make_cache(theta=10, protocol=TIMED_MSI)
+        msi_core = make_cache(theta=MSI_THETA, protocol=TIMED_MSI)
+        assert TIMED_MSI.core_is_timed(timed)
+        assert not TIMED_MSI.core_is_timed(msi_core)
+        timed.fill(0, LineState.M, cycle=0, version=0)
+        msi_core.fill(0, LineState.M, cycle=0, version=0)
+        assert TIMED_MSI.snoop_action(timed, LineState.M) is SnoopAction.TIMER
+        assert (
+            TIMED_MSI.snoop_action(msi_core, LineState.M)
+            is SnoopAction.CONCEDE
+        )
+        assert TIMED_MSI.reader_handover(timed) is HandoverAction.INVALIDATE
+        assert (
+            TIMED_MSI.reader_handover(msi_core) is HandoverAction.KEEP_SHARED
+        )
+
+    def test_homogeneous_protocol_ignores_theta(self):
+        timed_theta = make_cache(theta=10, protocol=MSI)
+        assert not MSI.core_is_timed(timed_theta)
+        assert MSI.snoop_action(timed_theta, LineState.S) is SnoopAction.INVALIDATE
+        assert MSI.reader_handover(timed_theta) is HandoverAction.KEEP_SHARED
+
+    def test_pmsi_invalidates_on_share_and_forces_via_llc(self):
+        cache = make_cache(theta=MSI_THETA, protocol=PMSI)
+        assert PMSI.reader_handover(cache) is HandoverAction.INVALIDATE
+        assert PMSI.force_via_llc
+        assert PMSI.via_llc(False) and PMSI.via_llc(True)
+        assert not TIMED_MSI.via_llc(False)
+        assert TIMED_MSI.via_llc(True)
+
+    def test_classify_frozen_copy_reads_as_invalid(self):
+        cache = make_cache(theta=10, protocol=TIMED_MSI)
+        cache.fill(3, LineState.M, cycle=0, version=0)
+        line = cache.lookup(3)
+        line.pending_inv_since = 1
+        line.handover_ready = True
+        assert (
+            TIMED_MSI.classify(cache, MemOp.LOAD, 3)
+            is AccessOutcome.MISS_GETS
+        )
+
+    def test_builtins_use_standard_hits(self):
+        assert TIMED_MSI.uses_standard_hits()
+        assert MSI.uses_standard_hits()
+        assert PMSI.uses_standard_hits()
+
+    def test_nonstandard_hit_set_disables_fast_predicate(self):
+        classify = dict(MSI_CLASSIFY)
+        # A write-through-style table: stores to M are upgrades too.
+        classify[(LineState.M, MemOp.STORE)] = AccessOutcome.UPGRADE
+        proto = CoherenceProtocol(
+            "narrow_hits",
+            TransitionTables(
+                classify=classify,
+                snoop=TIMED_MSI_SNOOP,
+                reader_handover=TIMED_MSI.tables.reader_handover,
+            ),
+        )
+        assert not proto.uses_standard_hits()
+
+    def test_repr_mentions_name_and_kind(self):
+        assert "timed_msi" in repr(TIMED_MSI)
+        assert "heterogeneous" in repr(TIMED_MSI)
+        assert "homogeneous" in repr(MSI)
+
+
+class TestProtocolSelectionEndToEnd:
+    """A protocol is selectable purely via config — no engine edits."""
+
+    def test_pmsi_runs_via_registry_with_oracle(self):
+        traces = [
+            t([(0, "W", 0), (2, "R", 1)]),
+            t([(1, "R", 0), (2, "W", 1)]),
+            t([(3, "R", 0)]),
+            t([(4, "W", 0)]),
+        ]
+        config = replace(pmsi_config(4), check_coherence=True)
+        assert config.protocol == "pmsi"
+        stats = run_simulation(config, traces)
+        assert all(stats.core(i).accesses for i in range(4))
+
+    def test_pmsi_spills_through_llc_where_msi_does_not(self):
+        traces = splash_traces("ocean", 4, scale=0.5, seed=0)
+        pmsi_stats = run_simulation(pmsi_config(4), traces)
+        msi_stats = run_simulation(
+            replace(pmsi_config(4), protocol="msi"), traces
+        )
+        assert pmsi_stats.writebacks > 0
+        assert msi_stats.writebacks == 0
+        # The via-LLC round trips make PMSI strictly slower.
+        assert pmsi_stats.final_cycle > msi_stats.final_cycle
+
+    def test_third_party_protocol_needs_no_system_edits(self):
+        """Register a new protocol and select it by name only."""
+        clone = CoherenceProtocol(
+            "timed_msi_clone",
+            TIMED_MSI.tables,
+            heterogeneous=True,
+            description="registry round-trip test clone",
+        )
+        register(clone)
+        try:
+            traces = splash_traces("ocean", 4, scale=0.25, seed=1)
+            config = cohort_config([60] * 4)
+            base = run_simulation(config, traces)
+            cloned = run_simulation(
+                replace(config, protocol="timed_msi_clone"), traces
+            )
+            assert cloned.final_cycle == base.final_cycle
+            assert [c.hits for c in cloned.cores] == [
+                c.hits for c in base.cores
+            ]
+        finally:
+            unregister("timed_msi_clone")
+
+    def test_unknown_protocol_in_config_fails_at_build(self):
+        from repro.sim.system import System
+
+        config = replace(cohort_config([60] * 4), protocol="bogus")
+        with pytest.raises(ValueError, match="available:"):
+            System(config, [t([]) for _ in range(4)])
