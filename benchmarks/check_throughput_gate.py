@@ -8,7 +8,12 @@ and fails when
   a protocol-timing change, which must come with a deliberate artifact
   (and ``tests/data/cycle_reference_ocean4.json``) update; or
 * accesses/second fall below ``1 - TOLERANCE`` (default 20%) of the
-  artifact's recorded rate — a real performance regression.
+  artifact's recorded rate — a real performance regression; or
+* attaching the full ``repro.obs`` telemetry stack (spans, histograms,
+  samplers) changes the simulated cycle count at all, or costs more
+  than ``--telemetry-tolerance`` (default 20%) of the telemetry-off
+  throughput measured in the same gate run — telemetry must stay an
+  opt-in observer, not a tax on the engine.
 
 Usage::
 
@@ -26,8 +31,9 @@ import sys
 import time
 from pathlib import Path
 
+from repro.obs import Telemetry
 from repro.params import cohort_config, msi_fcfs_config
-from repro.sim.system import run_simulation
+from repro.sim.system import System, run_simulation
 from repro.workloads import splash_traces
 
 ARTIFACT = Path(__file__).parent / "out" / "BENCH_throughput.json"
@@ -45,6 +51,13 @@ def main(argv=None) -> int:
         type=float,
         default=0.2,
         help="allowed fractional accesses/s regression (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--telemetry-tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional slowdown from attaching repro.obs "
+        "telemetry (default 0.2 = 20%%)",
     )
     parser.add_argument(
         "--artifact", type=Path, default=ARTIFACT, help="reference JSON"
@@ -87,6 +100,46 @@ def main(argv=None) -> int:
             failures.append(
                 f"{key}: throughput {rate:,.0f}/s below floor {floor:,.0f}/s"
             )
+
+    # Telemetry gate: same cohort run with the full repro.obs stack
+    # attached, compared against a telemetry-off run measured in the
+    # same gate invocation.  Interleaved min-of-3 rounds on CPU time:
+    # shared CI runners drift in speed over seconds, so sequential
+    # single-shot wall-clock comparisons are noisier than the few-%
+    # real overhead being gated.
+    off_cpu = on_cpu = float("inf")
+    for _ in range(3):
+        started = time.process_time()
+        run_simulation(SYSTEMS["cohort"](), traces)
+        off_cpu = min(off_cpu, time.process_time() - started)
+        system = System(SYSTEMS["cohort"](), traces)
+        Telemetry.attach(system, sample_every=500)
+        started = time.process_time()
+        stats = system.run()
+        on_cpu = min(on_cpu, time.process_time() - started)
+    rate = total / on_cpu
+    floor = (1.0 - args.telemetry_tolerance) * (total / off_cpu)
+    ref_cycles = reference["systems"]["cohort"]["cycles"]
+    cycles_ok = stats.final_cycle == ref_cycles
+    rate_ok = rate >= floor
+    verdict = "ok" if cycles_ok and rate_ok else "FAIL"
+    overhead = on_cpu / off_cpu - 1.0
+    print(
+        f"{verdict} cohort+telemetry: {stats.final_cycle} cycles "
+        f"(artifact {ref_cycles}), {rate:,.0f} accesses/s cpu "
+        f"({overhead:+.1%} vs telemetry-off, floor {floor:,.0f} = "
+        f"{1 - args.telemetry_tolerance:.0%})"
+    )
+    if not cycles_ok:
+        failures.append(
+            f"cohort+telemetry: cycle count changed {ref_cycles} -> "
+            f"{stats.final_cycle}; telemetry must be cycle-neutral"
+        )
+    if not rate_ok:
+        failures.append(
+            f"cohort+telemetry: throughput {rate:,.0f}/s below floor "
+            f"{floor:,.0f}/s ({overhead:+.1%} telemetry overhead)"
+        )
 
     for failure in failures:
         print(f"FAIL {failure}")

@@ -9,7 +9,8 @@ import time
 
 from repro.params import cohort_config, msi_fcfs_config
 from repro.experiments import format_table
-from repro.sim.system import run_simulation
+from repro.obs import Telemetry
+from repro.sim.system import System, run_simulation
 from repro.workloads import splash_traces
 
 from conftest import emit, run_once
@@ -48,6 +49,36 @@ def test_simulator_throughput(benchmark):
                 "cycles_per_second": stats.final_cycle / wall,
                 "accesses_per_second": total_accesses / wall,
             }
+
+        # Telemetry overhead: the same CoHoRT run with the full repro.obs
+        # stack attached (spans + histograms + samplers).  Cycle counts
+        # must not move; wall-clock overhead is gated by
+        # check_throughput_gate.py at 20%.
+        system = System(cohort_config([60] * 4), traces)
+        Telemetry.attach(system, sample_every=500)
+        started = time.perf_counter()
+        stats = system.run()
+        wall = time.perf_counter() - started
+        assert stats.final_cycle == payload["systems"]["cohort"]["cycles"]
+        rows.append(
+            [
+                "CoHoRT θ=60 + telemetry",
+                stats.final_cycle,
+                f"{wall:.2f}",
+                f"{stats.final_cycle / wall:,.0f}",
+                f"{total_accesses / wall:,.0f}",
+            ]
+        )
+        payload["telemetry"] = {
+            "system": "cohort",
+            "sample_every": 500,
+            "cycles": stats.final_cycle,
+            "wall_seconds": wall,
+            "accesses_per_second": total_accesses / wall,
+            "overhead_fraction": (
+                wall / payload["systems"]["cohort"]["wall_seconds"] - 1.0
+            ),
+        }
         return rows, payload
 
     rows, payload = run_once(benchmark, run)

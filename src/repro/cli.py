@@ -12,11 +12,20 @@ Installed as the ``cohort`` console script::
 
 Every command prints the rows/series the corresponding paper artefact
 reports.
+
+Telemetry (the :mod:`repro.obs` layer) rides along on request::
+
+    cohort simulate -b fft --trace-out run.trace.json \
+                           --metrics-out run.metrics.json
+    cohort fig6 --metrics-out sweep.metrics.json
+    cohort optimize --metrics-out ga.jsonl
+    cohort metrics run.metrics.json   # summarise any saved artefact
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -65,6 +74,27 @@ def _protocol_name(value: str) -> str:
             f"available: {', '.join(available_protocols())}"
         )
     return value
+
+
+def _add_metrics_out(parser: argparse.ArgumentParser, what: str) -> None:
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help=f"write {what} to FILE "
+                             "(summarise with `cohort metrics`)")
+
+
+def _write_sweep_metrics(args: argparse.Namespace, runner,
+                         label: str) -> None:
+    """Write the sweep-cache / worker-timing counters of a runner."""
+    from repro.obs import SWEEP_METRICS_SCHEMA
+
+    doc = {
+        "schema": SWEEP_METRICS_SCHEMA,
+        "label": label,
+        "runner": runner.telemetry(),
+    }
+    with open(args.metrics_out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(f"sweep metrics written to {args.metrics_out}")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -119,6 +149,8 @@ def cmd_fig5(args: argparse.Namespace) -> int:
             f"{exp.bound_ratio('PENDULUM', 'CoHoRT'):.2f}x"
         )
         print()
+    if args.metrics_out:
+        _write_sweep_metrics(args, runner, f"fig5:{args.config}")
     return 0
 
 
@@ -127,12 +159,15 @@ def cmd_fig6(args: argparse.Namespace) -> int:
     from repro.runner import SweepRunner
 
     critical = FIG5_CONFIGS[args.config]
+    runner = SweepRunner(jobs=args.jobs)
     exp = run_performance_experiment(
         args.benchmarks, critical, scale=args.scale, seed=args.seed,
         ga_config=_ga_config(args), perfect_llc=not args.non_perfect_llc,
-        runner=SweepRunner(jobs=args.jobs), include_pmsi=args.pmsi,
+        runner=runner, include_pmsi=args.pmsi,
     )
     print(exp.to_table())
+    if args.metrics_out:
+        _write_sweep_metrics(args, runner, f"fig6:{args.config}")
     return 0
 
 
@@ -252,7 +287,17 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     config = cohort_config([1] * 4)
     profiles = build_profiles(traces, config.l1)
     engine = OptimizationEngine(profiles, LatencyParams(), _ga_config(args))
-    result = engine.optimize(timed=[True] * 4, jobs=args.jobs)
+    ga_log = None
+    if args.metrics_out:
+        from repro.obs import GAGenerationLog
+
+        ga_log = GAGenerationLog()
+    result = engine.optimize(
+        timed=[True] * 4, jobs=args.jobs, on_generation=ga_log
+    )
+    if ga_log is not None:
+        ga_log.write_jsonl(args.metrics_out)
+        print(f"GA generation log written to {args.metrics_out}")
     print(f"optimized thetas for {args.benchmark}: {result.thetas}")
     print(f"objective (avg per-access WCML): {result.objective:.2f}")
     print(f"feasible: {result.feasible}, GA evaluations: "
@@ -339,7 +384,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         from dataclasses import replace
 
         config = replace(config, protocol=args.protocol)
-    stats = run_simulation(config, traces)
+    telemetry = None
+    if args.trace_out or args.metrics_out:
+        from repro.obs import Telemetry
+        from repro.sim.system import System
+
+        system = System(config, traces)
+        telemetry = Telemetry.attach(
+            system, sample_every=args.sample_every, label="simulate"
+        )
+        stats = system.run()
+    else:
+        stats = run_simulation(config, traces)
     profiles = build_profiles(traces, config.l1)
     bounds = cohort_bounds(args.thetas, profiles, config.latencies)
     rows = []
@@ -357,7 +413,44 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         title=f"{source} with Θ={args.thetas}",
     ))
     print(f"execution time: {stats.execution_time:,} cycles")
+    if telemetry is not None:
+        print()
+        print(telemetry.render_blame())
+        if args.trace_out:
+            telemetry.write_trace(args.trace_out)
+            print(f"trace-event JSON written to {args.trace_out} "
+                  "(load in Perfetto / chrome://tracing)")
+        if args.metrics_out:
+            telemetry.write_report(args.metrics_out)
+            print(f"run report written to {args.metrics_out}")
     return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """``cohort metrics``: summarise saved telemetry artefacts."""
+    from repro.obs import load_jsonl, summarise
+
+    status = 0
+    for path in args.files:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except ValueError:
+            # Not one JSON document: try JSON Lines (GA generation log).
+            try:
+                doc = load_jsonl(path)
+            except ValueError:
+                print(f"{path}: neither JSON nor JSONL", file=sys.stderr)
+                status = 1
+                continue
+        except OSError as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if len(args.files) > 1:
+            print(f"== {path}")
+        print(summarise(doc))
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -383,6 +476,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=benchmark_names())
     p.add_argument("--non-perfect-llc", action="store_true",
                    help="use the non-perfect LLC + DRAM model (footnote 1)")
+    _add_metrics_out(p, "sweep cache/timing counters")
     _add_common(p)
     p.set_defaults(fn=cmd_fig5)
 
@@ -394,6 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pmsi", action="store_true",
                    help="add the PMSI-style predictable baseline "
                         "(protocol registry plugin) as a fifth column")
+    _add_metrics_out(p, "sweep cache/timing counters")
     _add_common(p)
     p.set_defaults(fn=cmd_fig6)
 
@@ -414,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("optimize", help="run the timer optimization engine")
     p.add_argument("-b", "--benchmark", default="fft",
                    choices=benchmark_names())
+    _add_metrics_out(p, "the per-generation GA log (JSON Lines)")
     _add_common(p)
     p.set_defaults(fn=cmd_optimize)
 
@@ -434,8 +530,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="coherence protocol to simulate (any registered "
                         "name, e.g. timed_msi, msi, pmsi); overrides the "
                         "configuration's protocol field")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome trace-event / Perfetto JSON "
+                        "trace of the run to FILE")
+    _add_metrics_out(p, "the structured JSON run report")
+    p.add_argument("--sample-every", type=int, default=500, metavar="CYCLES",
+                   help="time-series sampling cadence for the telemetry "
+                        "counters (0 disables sampling; only active with "
+                        "--trace-out/--metrics-out)")
     _add_common(p)
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("metrics",
+                       help="summarise saved telemetry artefacts "
+                            "(run reports, traces, sweep metrics, GA logs)")
+    p.add_argument("files", nargs="+",
+                   help="files written by --trace-out/--metrics-out")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("characterize", help="workload characterisation")
     _add_common(p)

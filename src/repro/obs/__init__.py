@@ -1,0 +1,56 @@
+"""Telemetry layer: spans, metrics, exporters, optimizer logs.
+
+Everything in this package observes the simulator exclusively through
+:class:`~repro.sim.events.EventBus` subscriptions (plus one read-only
+kernel sampler) — attaching telemetry never changes simulated cycle
+counts, and nothing here subscribes to per-access ``hit`` events, so the
+engine's hot path stays on its fast path.
+
+Entry points:
+
+* :class:`Telemetry` — one-call attach + trace/report export,
+* :class:`SpanCollector` / :class:`RequestSpan` — request-lifecycle
+  spans with exact per-phase latency attribution and WCML blame,
+* :class:`MetricsCollector` / :class:`LatencyHistogram` — log2 latency
+  histograms and windowed time-series samples,
+* :func:`build_trace_events` / :func:`validate_trace_events` — Chrome
+  trace-event (Perfetto-loadable) export and its in-repo schema check,
+* :func:`build_run_report` / :func:`summarise` — structured run reports
+  and the ``cohort metrics`` digest,
+* :class:`GAGenerationLog` — per-generation JSONL for the optimizer.
+"""
+
+from repro.obs.export import build_trace_events, write_trace
+from repro.obs.ga_log import GAGenerationLog, load_jsonl
+from repro.obs.metrics import LatencyHistogram, MetricsCollector, log2_bucket
+from repro.obs.report import (
+    RUN_REPORT_SCHEMA,
+    SWEEP_METRICS_SCHEMA,
+    build_run_report,
+    classify,
+    summarise,
+)
+from repro.obs.schema import TRACE_EVENT_SCHEMA, validate_trace_events
+from repro.obs.spans import PHASES, RequestSpan, SpanCollector
+from repro.obs.telemetry import Telemetry
+
+__all__ = [
+    "PHASES",
+    "RUN_REPORT_SCHEMA",
+    "SWEEP_METRICS_SCHEMA",
+    "TRACE_EVENT_SCHEMA",
+    "GAGenerationLog",
+    "LatencyHistogram",
+    "MetricsCollector",
+    "RequestSpan",
+    "SpanCollector",
+    "Telemetry",
+    "build_run_report",
+    "build_trace_events",
+    "classify",
+    "load_jsonl",
+    "log2_bucket",
+    "summarise",
+    "validate_trace_events",
+    "write_trace",
+]

@@ -1,0 +1,147 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Produces the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+JSON object form, loadable in ``chrome://tracing`` and in Perfetto's
+trace viewer (legacy JSON importer):
+
+* one **track per core** (``tid`` = core id) carrying a complete-event
+  (``"ph": "X"``) slice per request span, with nested child slices for
+  each non-empty attribution phase,
+* **instant events** (``"ph": "i"``) for ``timer_expiry`` (on the
+  holding core's track) and ``mode_switch`` (process-scoped),
+* **counter tracks** (``"ph": "C"``) for every sampled series of
+  :class:`~repro.obs.metrics.MetricsCollector`.
+
+Timestamps are simulated cycles emitted as integer ``ts`` values; the
+viewer renders one cycle as one microsecond.  The output validates
+against the in-repo schema (:mod:`repro.obs.schema`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.obs.metrics import SAMPLE_SERIES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsCollector
+    from repro.obs.spans import SpanCollector
+
+#: Process id used for every simulator track.
+PID = 0
+
+
+def _metadata(num_cores: int, name: str) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": PID, "name": "process_name",
+         "args": {"name": name}},
+    ]
+    for core in range(num_cores):
+        events.append(
+            {"ph": "M", "pid": PID, "tid": core, "name": "thread_name",
+             "args": {"name": f"core {core}"}}
+        )
+        events.append(
+            {"ph": "M", "pid": PID, "tid": core, "name": "thread_sort_index",
+             "args": {"sort_index": core}}
+        )
+    return events
+
+
+def _span_events(spans: "SpanCollector") -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for span in spans.completed:
+        assert span.complete_cycle is not None
+        events.append(
+            {
+                "ph": "X",
+                "pid": PID,
+                "tid": span.core,
+                "name": f"{span.req_kind} L{span.line}",
+                "cat": "request",
+                "ts": span.issue_cycle,
+                "dur": span.latency or 0,
+                "args": span.to_dict(),
+            }
+        )
+        for phase, start, end in span.phase_segments():
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": PID,
+                    "tid": span.core,
+                    "name": phase,
+                    "cat": "phase",
+                    "ts": start,
+                    "dur": end - start,
+                    "args": {"line": span.line, "req_id": span.req_id},
+                }
+            )
+    return events
+
+
+def _instant_events(spans: "SpanCollector") -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for cycle, kind, payload in spans.instants:
+        event: Dict[str, Any] = {
+            "ph": "i",
+            "pid": PID,
+            "name": kind,
+            "cat": "protocol",
+            "ts": cycle,
+            "args": dict(payload),
+        }
+        if kind == "timer_expiry":
+            event["tid"] = payload["core"]
+            event["s"] = "t"
+        else:  # mode_switch: process-scoped
+            event["s"] = "p"
+        events.append(event)
+    return events
+
+
+def _counter_events(metrics: "MetricsCollector") -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for sample in metrics.samples:
+        for series in SAMPLE_SERIES:
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": PID,
+                    "name": series,
+                    "ts": sample["cycle"],
+                    "args": {series: sample[series]},
+                }
+            )
+    return events
+
+
+def build_trace_events(
+    spans: "SpanCollector",
+    metrics: Optional["MetricsCollector"] = None,
+    num_cores: int = 0,
+    name: str = "cohort-sim",
+) -> Dict[str, Any]:
+    """Assemble the full trace-event JSON document."""
+    cores = num_cores or (max(spans.cores()) + 1 if spans.cores() else 0)
+    events = _metadata(cores, name)
+    events.extend(_span_events(spans))
+    events.extend(_instant_events(spans))
+    if metrics is not None:
+        events.extend(_counter_events(metrics))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "clock": "simulated cycles (1 cycle == 1us in the viewer)",
+        },
+    }
+
+
+def write_trace(path: str, doc: Dict[str, Any]) -> None:
+    """Write a trace-event document to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(doc, fh)

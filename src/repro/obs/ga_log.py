@@ -1,0 +1,56 @@
+"""Optimizer telemetry: per-generation JSONL logging for the GA.
+
+:class:`GAGenerationLog` is a callable that plugs straight into
+:meth:`repro.opt.ga.GeneticAlgorithm.run`'s ``on_generation`` hook.  It
+accumulates the records in memory and can stream or dump them as JSON
+Lines — one strict-JSON object per generation (the GA already maps
+infinite fitness values to ``None``).
+
+``load_jsonl`` + :func:`repro.obs.report.summarise` round-trip the file
+back into the ``cohort metrics`` digest.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, TextIO
+
+
+def _jsonable(value: Any) -> Any:
+    """Strict JSON: non-finite floats degrade to ``None``."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+class GAGenerationLog:
+    """Collects GA generation records; optionally streams them as JSONL."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.records: List[Dict[str, Any]] = []
+        self._stream = stream
+
+    def __call__(self, record: Dict[str, Any]) -> None:
+        row = {key: _jsonable(value) for key, value in record.items()}
+        self.records.append(row)
+        if self._stream is not None:
+            self._stream.write(json.dumps(row) + "\n")
+            self._stream.flush()
+
+    def write_jsonl(self, path: str) -> None:
+        """Dump every collected record to ``path`` as JSON Lines."""
+        with open(path, "w") as fh:
+            for row in self.records:
+                fh.write(json.dumps(row) + "\n")
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a generation log written by :class:`GAGenerationLog`."""
+    rows: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows

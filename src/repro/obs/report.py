@@ -1,0 +1,197 @@
+"""Structured JSON run reports and report summarisation.
+
+:func:`build_run_report` assembles one JSON document from an attached
+telemetry set — system stats, per-request span attribution, the WCML
+blame table, histograms and time-series samples — tagged with
+:data:`RUN_REPORT_SCHEMA` so downstream tooling can dispatch on shape.
+
+:func:`summarise` renders any telemetry artefact the CLI can produce
+(run report, trace-event document, sweep metrics, GA generation JSONL)
+as a short human-readable digest; ``cohort metrics`` is a thin wrapper
+around it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.obs.spans import PHASES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsCollector
+    from repro.obs.spans import SpanCollector
+    from repro.sim.system import System
+
+#: Schema tag stamped into every run report.
+RUN_REPORT_SCHEMA = "repro.obs/run_report/1"
+#: Schema tag stamped into sweep / optimizer metrics documents.
+SWEEP_METRICS_SCHEMA = "repro.obs/sweep_metrics/1"
+
+
+def build_run_report(
+    system: "System",
+    spans: "SpanCollector",
+    metrics: Optional["MetricsCollector"] = None,
+    label: str = "simulate",
+) -> Dict[str, Any]:
+    """One JSON document describing a finished run."""
+    stats = system.stats
+    report: Dict[str, Any] = {
+        "schema": RUN_REPORT_SCHEMA,
+        "label": label,
+        "protocol": system.config.protocol,
+        "num_cores": system.config.num_cores,
+        "final_cycle": stats.final_cycle,
+        "bus_utilization": stats.bus_utilization(),
+        "timer_expiries": stats.timer_expiries,
+        "writebacks": stats.writebacks,
+        "mode_switches": stats.mode_switches,
+        "cores": [
+            {
+                "core": core.core_id,
+                "hits": core.hits,
+                "misses": core.misses,
+                "upgrades": core.upgrades,
+                "hit_rate": core.hit_rate,
+                "max_request_latency": core.max_request_latency,
+                "total_memory_latency": core.total_memory_latency,
+                "finish_cycle": core.finish_cycle,
+            }
+            for core in stats.cores
+        ],
+        "wcml_blame": spans.wcml_blame(),
+        "spans_completed": sum(spans.span_count(c) for c in spans.cores()),
+    }
+    if metrics is not None:
+        report["metrics"] = metrics.to_dict()
+    return report
+
+
+# -- summarisation (the ``cohort metrics`` subcommand) ---------------------
+
+
+def classify(doc: Any) -> str:
+    """Which telemetry artefact a loaded document is.
+
+    One of ``run_report``, ``trace_events``, ``sweep_metrics``,
+    ``ga_generations`` (list of per-generation records), ``unknown``.
+    """
+    if isinstance(doc, list):
+        if doc and all(
+            isinstance(row, dict) and "generation" in row for row in doc
+        ):
+            return "ga_generations"
+        return "unknown"
+    if not isinstance(doc, dict):
+        return "unknown"
+    if doc.get("schema") == RUN_REPORT_SCHEMA:
+        return "run_report"
+    if doc.get("schema") == SWEEP_METRICS_SCHEMA:
+        return "sweep_metrics"
+    if "traceEvents" in doc:
+        return "trace_events"
+    return "unknown"
+
+
+def _summarise_run_report(doc: Dict[str, Any]) -> str:
+    lines = [
+        f"run report: {doc['label']} protocol={doc['protocol']} "
+        f"cores={doc['num_cores']} final_cycle={doc['final_cycle']} "
+        f"bus_util={doc['bus_utilization']:.3f}",
+        f"  timer_expiries={doc['timer_expiries']} "
+        f"writebacks={doc['writebacks']} "
+        f"mode_switches={doc['mode_switches']} "
+        f"spans={doc['spans_completed']}",
+    ]
+    for entry in doc.get("wcml_blame", []):
+        phases = entry["worst_span"]["phases"]
+        breakdown = " ".join(
+            f"{phase}={phases.get(phase, 0)}"
+            for phase in PHASES
+            if phases.get(phase, 0)
+        )
+        lines.append(
+            f"  core {entry['core']}: WCML={entry['max_request_latency']} "
+            f"({breakdown})"
+        )
+    metrics = doc.get("metrics")
+    if metrics:
+        lines.append(
+            f"  metrics: {len(metrics.get('histograms', []))} histograms, "
+            f"{len(metrics.get('samples', []))} samples "
+            f"(every {metrics.get('sample_every', 0)} cycles)"
+        )
+    return "\n".join(lines)
+
+
+def _summarise_trace_events(doc: Dict[str, Any]) -> str:
+    events = doc.get("traceEvents", [])
+    by_ph: Dict[str, int] = {}
+    tids = set()
+    for event in events:
+        by_ph[event.get("ph", "?")] = by_ph.get(event.get("ph", "?"), 0) + 1
+        if event.get("ph") == "X" and "tid" in event:
+            tids.add(event["tid"])
+    return (
+        f"trace-event document: {len(events)} events "
+        f"(spans={by_ph.get('X', 0)} instants={by_ph.get('i', 0)} "
+        f"counters={by_ph.get('C', 0)} metadata={by_ph.get('M', 0)}) "
+        f"across {len(tids)} core tracks"
+    )
+
+
+def _summarise_sweep_metrics(doc: Dict[str, Any]) -> str:
+    runner = doc.get("runner", {})
+    lines = [
+        f"sweep metrics: {doc.get('label', 'sweep')} "
+        f"jobs={runner.get('jobs', 0)} "
+        f"cache_hits={runner.get('cache_hits', 0)} "
+        f"cache_misses={runner.get('cache_misses', 0)} "
+        f"hit_rate={runner.get('cache_hit_rate', 0.0):.3f}",
+        f"  executed={runner.get('jobs_executed', 0)} "
+        f"in {runner.get('exec_seconds', 0.0):.2f}s "
+        f"({runner.get('parallel_batches', 0)} parallel batches)",
+    ]
+    return "\n".join(lines)
+
+
+def _summarise_ga(rows: List[Dict[str, Any]]) -> str:
+    if not rows:
+        return "GA generation log: empty"
+    last = rows[-1]
+    best = [
+        row["best_fitness"] for row in rows if row.get("best_fitness") is not None
+    ]
+    lines = [
+        f"GA generation log: {len(rows)} generations, "
+        f"final best_fitness={last.get('best_fitness')} "
+        f"mean_fitness={last.get('mean_fitness')} "
+        f"diversity={last.get('diversity')}",
+    ]
+    if best:
+        first_best = best[0]
+        lines.append(
+            f"  best fitness {first_best} -> {best[-1]} "
+            f"over {len(best)} logged generations"
+        )
+    evals = sum(row.get("evaluations", 0) for row in rows)
+    hits = sum(row.get("cache_hits", 0) for row in rows)
+    wall = sum(row.get("wall_seconds", 0.0) for row in rows)
+    lines.append(
+        f"  evaluations={evals} cache_hits={hits} wall={wall:.2f}s"
+    )
+    return "\n".join(lines)
+
+
+def summarise(doc: Any) -> str:
+    """Human-readable digest of any telemetry artefact."""
+    shape = classify(doc)
+    if shape == "run_report":
+        return _summarise_run_report(doc)
+    if shape == "trace_events":
+        return _summarise_trace_events(doc)
+    if shape == "sweep_metrics":
+        return _summarise_sweep_metrics(doc)
+    if shape == "ga_generations":
+        return _summarise_ga(doc)
+    return "unrecognised telemetry document (no schema tag or known shape)"

@@ -1,0 +1,166 @@
+"""In-repo JSON-schema validation of exported trace-event documents.
+
+:data:`TRACE_EVENT_SCHEMA` encodes the Chrome trace-event JSON object
+format (the subset the exporter emits) as a standard JSON-Schema
+document, and :func:`validate` is a small, dependency-free validator for
+the keyword subset the schema uses (``type``, ``required``,
+``properties``, ``items``, ``enum``, ``const``, ``minimum``, ``oneOf``,
+``$ref`` into ``definitions``).  CI runs this check against the trace
+produced by ``cohort simulate --trace-out`` (see
+``python -m repro.obs.validate``); the schema itself stays loadable by
+any off-the-shelf draft-07 validator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: Chrome trace-event JSON object format (draft-07 JSON Schema).
+TRACE_EVENT_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "Chrome trace-event JSON object format (repro.obs subset)",
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {"$ref": "#/definitions/event"},
+        },
+        "displayTimeUnit": {"type": "string", "enum": ["ms", "ns"]},
+        "otherData": {"type": "object"},
+    },
+    "definitions": {
+        "event": {
+            "type": "object",
+            "required": ["ph", "pid", "name"],
+            "properties": {
+                "ph": {"type": "string", "enum": ["X", "i", "C", "M"]},
+                "name": {"type": "string"},
+                "cat": {"type": "string"},
+                "pid": {"type": "integer", "minimum": 0},
+                "tid": {"type": "integer", "minimum": 0},
+                "ts": {"type": "number", "minimum": 0},
+                "dur": {"type": "number", "minimum": 0},
+                "s": {"type": "string", "enum": ["t", "p", "g"]},
+                "args": {"type": "object"},
+            },
+            "oneOf": [
+                {
+                    "properties": {"ph": {"const": "X"}},
+                    "required": ["ts", "dur", "tid"],
+                },
+                {
+                    "properties": {"ph": {"const": "i"}},
+                    "required": ["ts", "s"],
+                },
+                {
+                    "properties": {"ph": {"const": "C"}},
+                    "required": ["ts", "args"],
+                },
+                {
+                    "properties": {"ph": {"const": "M"}},
+                    "required": ["args"],
+                },
+            ],
+        },
+    },
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _check_type(instance: Any, expected: str) -> bool:
+    if expected == "integer":
+        return isinstance(instance, int) and not isinstance(instance, bool)
+    if expected == "number":
+        return (
+            isinstance(instance, (int, float)) and not isinstance(instance, bool)
+        )
+    return isinstance(instance, _TYPES[expected])
+
+
+def _resolve_ref(ref: str, root: Dict[str, Any]) -> Dict[str, Any]:
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref {ref!r} (only local refs)")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(
+    instance: Any,
+    schema: Dict[str, Any],
+    root: Optional[Dict[str, Any]] = None,
+    path: str = "$",
+) -> List[str]:
+    """Validate ``instance`` against the supported JSON-Schema subset.
+
+    Returns a list of human-readable error strings (empty = valid).
+    """
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        return validate(instance, _resolve_ref(schema["$ref"], root), root, path)
+
+    errors: List[str] = []
+    expected_type = schema.get("type")
+    if expected_type is not None:
+        allowed = (
+            expected_type if isinstance(expected_type, list) else [expected_type]
+        )
+        if not any(_check_type(instance, t) for t in allowed):
+            return [
+                f"{path}: expected type {'/'.join(allowed)}, "
+                f"got {type(instance).__name__}"
+            ]
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']!r}")
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            errors.append(
+                f"{path}: {instance!r} below minimum {schema['minimum']!r}"
+            )
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required property {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in instance:
+                errors.extend(
+                    validate(instance[key], sub, root, f"{path}.{key}")
+                )
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            errors.extend(
+                validate(item, schema["items"], root, f"{path}[{i}]")
+            )
+    if "oneOf" in schema:
+        matches = 0
+        branch_errors: List[str] = []
+        for i, branch in enumerate(schema["oneOf"]):
+            sub_errors = validate(instance, branch, root, f"{path}<oneOf:{i}>")
+            if sub_errors:
+                branch_errors.extend(sub_errors)
+            else:
+                matches += 1
+        if matches != 1:
+            errors.append(
+                f"{path}: matched {matches} oneOf branches (need exactly 1)"
+            )
+            if matches == 0:
+                errors.extend(branch_errors)
+    return errors
+
+
+def validate_trace_events(doc: Any) -> List[str]:
+    """Errors of a trace-event document against the in-repo schema."""
+    return validate(doc, TRACE_EVENT_SCHEMA)

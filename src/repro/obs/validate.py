@@ -1,0 +1,53 @@
+"""Validate exported trace files against the in-repo schema.
+
+Module CLI used by the CI observability smoke job::
+
+    python -m repro.obs.validate run.trace.json [more.json ...]
+
+Exit status 0 when every file validates, 1 otherwise (errors on stderr).
+No third-party validator is required — :mod:`repro.obs.schema` ships its
+own for the keyword subset the schema uses.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+from repro.obs.schema import validate_trace_events
+
+
+def validate_file(path: str) -> List[str]:
+    """Errors found in one trace-event JSON file (empty = valid)."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"{path}: cannot load JSON: {exc}"]
+    return [f"{path}: {err}" for err in validate_trace_events(doc)]
+
+
+def main(argv: List[str]) -> int:
+    """Validate each file; 0 if all pass, 1 on failures, 2 on usage."""
+    if not argv:
+        print("usage: python -m repro.obs.validate TRACE.json [...]",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        errors = validate_file(path)
+        if errors:
+            failed = True
+            for error in errors[:20]:
+                print(error, file=sys.stderr)
+            if len(errors) > 20:
+                print(f"{path}: ... {len(errors) - 20} more errors",
+                      file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main(sys.argv[1:]))

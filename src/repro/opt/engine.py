@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.params import MSI_THETA, LatencyParams
 from repro.analysis.cache_analysis import IsolationProfile
 from repro.analysis.wcml import CoreBound
-from repro.opt.ga import GAConfig, GAResult, GeneticAlgorithm
+from repro.opt.ga import GAConfig, GAResult, GenerationCallback, GeneticAlgorithm
 from repro.opt.problem import TimerProblem
 
 #: Per-worker problem instance, installed once by the pool initializer so
@@ -112,6 +112,7 @@ class OptimizationEngine:
         seed_thetas: Optional[Sequence[Sequence[int]]] = None,
         objective_cores: Optional[Sequence[int]] = None,
         jobs: int = 1,
+        on_generation: Optional[GenerationCallback] = None,
     ) -> OptimizationResult:
         """Optimize the timers of the ``timed`` cores under constraint C1.
 
@@ -119,6 +120,11 @@ class OptimizationEngine:
         across that many worker processes; the GA trajectory is identical
         to the serial run (the problem is deterministic and evaluation
         consumes no GA randomness).
+
+        ``on_generation`` is handed through to
+        :meth:`~repro.opt.ga.GeneticAlgorithm.run` — e.g. a
+        :class:`repro.obs.GAGenerationLog` collecting per-generation
+        telemetry.
         """
         started = time.perf_counter()
         problem = TimerProblem(
@@ -139,12 +145,12 @@ class OptimizationEngine:
                         pool.map(_fitness_worker, batch)
                     ),
                 )
-                result = ga.run(initial=seed_thetas)
+                result = ga.run(initial=seed_thetas, on_generation=on_generation)
         else:
             ga = GeneticAlgorithm(
                 problem.gene_bounds(), problem.fitness, self.ga_config
             )
-            result = ga.run(initial=seed_thetas)
+            result = ga.run(initial=seed_thetas, on_generation=on_generation)
         evaluation = problem.evaluate(result.best_genes)
         return OptimizationResult(
             thetas=evaluation.thetas,

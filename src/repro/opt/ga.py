@@ -9,14 +9,18 @@ the range), and elitism.  It *minimises* the fitness function.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 FitnessFn = Callable[[Sequence[int]], float]
 #: Batch evaluator: list of gene vectors in, fitness values out (in order).
 MapFn = Callable[[List[List[int]]], Sequence[float]]
+#: Per-generation telemetry hook: called with one record dict after every
+#: evaluated generation (see :meth:`GeneticAlgorithm._generation_record`).
+GenerationCallback = Callable[[Dict[str, Any]], None]
 
 
 @dataclass(frozen=True)
@@ -171,11 +175,67 @@ class GeneticAlgorithm:
                 memo[key] = float(value)
         return [memo[key] for key in keys]
 
+    # -- telemetry ---------------------------------------------------------------
+
+    def _diversity(self, population: List[List[int]]) -> float:
+        """Mean per-gene population std, normalised by the gene's span.
+
+        0.0 for a fully converged population; around 0.29 (the std of a
+        uniform distribution) for a population spread over the bounds.
+        """
+        arr = np.asarray(population, dtype=float)
+        spreads = []
+        for i, (lo, hi) in enumerate(self.bounds):
+            if hi == lo:
+                continue
+            spreads.append(float(np.std(arr[:, i])) / (hi - lo))
+        return float(np.mean(spreads)) if spreads else 0.0
+
+    def _generation_record(
+        self,
+        generation: int,
+        population: List[List[int]],
+        fitness: List[float],
+        best_fitness: float,
+        stall: int,
+        wall_seconds: float,
+    ) -> Dict[str, Any]:
+        """One telemetry row; infinite fitness values become ``None`` so
+        the record stays strict-JSON serialisable (JSONL consumers)."""
+        finite = [f for f in fitness if np.isfinite(f)]
+        return {
+            "generation": generation,
+            "best_fitness": best_fitness if np.isfinite(best_fitness) else None,
+            "gen_best_fitness": min(finite) if finite else None,
+            "mean_fitness": float(np.mean(finite)) if finite else None,
+            "finite_fraction": len(finite) / len(fitness) if fitness else 0.0,
+            "diversity": self._diversity(population),
+            "evaluations": self._evaluations,
+            "cache_hits": self._cache_hits,
+            "cache_hit_rate": (
+                self._cache_hits / self._evaluations if self._evaluations else 0.0
+            ),
+            "stall": stall,
+            "wall_seconds": wall_seconds,
+        }
+
     # -- main loop ---------------------------------------------------------------
 
-    def run(self, initial: Optional[Sequence[Sequence[int]]] = None) -> GAResult:
-        """Run the GA; ``initial`` seeds part of the first population."""
+    def run(
+        self,
+        initial: Optional[Sequence[Sequence[int]]] = None,
+        on_generation: Optional[GenerationCallback] = None,
+    ) -> GAResult:
+        """Run the GA; ``initial`` seeds part of the first population.
+
+        ``on_generation``, when given, receives one telemetry record dict
+        after every evaluated generation (generation 0 is the seeded
+        initial population): best/mean fitness, population diversity,
+        cumulative evaluation and memo-hit counters, and the wall-clock
+        seconds the generation took.
+        """
         cfg = self.config
+        tick = time.perf_counter()
         population: List[List[int]] = []
         if initial:
             population.extend(self._clip(list(ind)) for ind in initial)
@@ -190,6 +250,14 @@ class GeneticAlgorithm:
         best_fitness = fitness[best_idx]
         stall = 0
         generations_run = 0
+        if on_generation is not None:
+            now = time.perf_counter()
+            on_generation(
+                self._generation_record(
+                    0, population, fitness, best_fitness, stall, now - tick
+                )
+            )
+            tick = now
 
         for _gen in range(cfg.generations):
             generations_run += 1
@@ -216,6 +284,15 @@ class GeneticAlgorithm:
             else:
                 stall += 1
             history.append(best_fitness)
+            if on_generation is not None:
+                now = time.perf_counter()
+                on_generation(
+                    self._generation_record(
+                        generations_run, population, fitness, best_fitness,
+                        stall, now - tick,
+                    )
+                )
+                tick = now
             if cfg.stall_generations and stall >= cfg.stall_generations:
                 break
 

@@ -28,17 +28,21 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.params import SimConfig, config_from_dict, config_to_dict
-from repro.sim.stats import SystemStats
+from repro.sim.stats import STATS_SCHEMA_VERSION, SystemStats
 from repro.sim.system import run_simulation
 from repro.sim.trace import Trace
 
 #: Bump when the result schema or the simulation semantics change in a
-#: way that invalidates previously cached results.
+#: way that invalidates previously cached results.  The *stats* schema
+#: has its own version (:data:`repro.sim.stats.STATS_SCHEMA_VERSION`)
+#: folded into every digest, so growing ``stats_to_dict`` never replays
+#: stale cached dicts that lack the new fields.
 CACHE_VERSION = 1
 
 DEFAULT_CACHE_DIR = os.path.join(".cohort_cache", "sweeps")
@@ -47,6 +51,7 @@ DEFAULT_CACHE_DIR = os.path.join(".cohort_cache", "sweeps")
 def stats_to_dict(stats: SystemStats) -> dict:
     """Serialise a :class:`SystemStats` to a JSON-compatible dict."""
     return {
+        "schema": STATS_SCHEMA_VERSION,
         "final_cycle": stats.final_cycle,
         "execution_time": stats.execution_time,
         "bus_busy_cycles": stats.bus_busy_cycles,
@@ -84,9 +89,15 @@ class SweepJob:
     record_latencies: bool = False
 
     def digest(self) -> str:
-        """Content hash of everything that determines the result."""
+        """Content hash of everything that determines the result.
+
+        Folds in both the cache version (simulation semantics) and the
+        stats schema version (result shape): entries written before a
+        schema bump simply miss, forcing a re-simulation that produces
+        the new fields.
+        """
         h = hashlib.sha256()
-        h.update(f"v{CACHE_VERSION}".encode())
+        h.update(f"v{CACHE_VERSION}s{STATS_SCHEMA_VERSION}".encode())
         payload = config_to_dict(self.config)
         # config_to_dict intentionally omits run-control fields; they
         # change the result (or whether the oracle runs), so hash them.
@@ -148,6 +159,13 @@ class SweepRunner:
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Simulations actually executed (cache misses that ran).
+    jobs_executed: int = 0
+    #: Wall-clock seconds spent executing uncached jobs (per-batch; the
+    #: parallel path measures the whole pool batch, not per worker).
+    exec_seconds: float = 0.0
+    #: Batches dispatched to the process pool (jobs > 1 only).
+    parallel_batches: int = 0
     _memory: Dict[str, dict] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -209,12 +227,16 @@ class SweepRunner:
 
         if pending:
             payloads = [_job_payload(jobs[i]) for i in pending]
+            started = time.perf_counter()
             if self.jobs == 1 or len(pending) == 1:
                 fresh = [_execute(p) for p in payloads]
             else:
                 workers = min(self.jobs, len(pending))
+                self.parallel_batches += 1
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     fresh = list(pool.map(_execute, payloads))
+            self.exec_seconds += time.perf_counter() - started
+            self.jobs_executed += len(pending)
             for i, result in zip(pending, fresh):
                 # Normalise through JSON so fresh and cached results are
                 # indistinguishable (e.g. tuples become lists).
@@ -222,6 +244,24 @@ class SweepRunner:
                 self._cache_store(keys[i], result)
                 results[i] = result
         return results  # type: ignore[return-value]
+
+    def telemetry(self) -> dict:
+        """Cache and worker-timing counters of this runner's lifetime.
+
+        The shape is stable (consumed by ``cohort … --metrics-out`` and
+        summarised by ``cohort metrics``).
+        """
+        requested = self.cache_hits + self.cache_misses
+        return {
+            "jobs": self.jobs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hits / requested if requested else 0.0,
+            "jobs_executed": self.jobs_executed,
+            "exec_seconds": self.exec_seconds,
+            "parallel_batches": self.parallel_batches,
+            "cache_dir": self.cache_dir,
+        }
 
     def run_one(
         self,

@@ -117,6 +117,13 @@ class MemoryBackend:
         """Whether a write-back for the line is still buffered."""
         return line_addr in self._wbs
 
+    def pending_writeback_count(self) -> int:
+        """Write-backs currently buffered (draining or awaiting the bus).
+
+        The write-back queue depth sampled by the telemetry layer
+        (:mod:`repro.obs.metrics`)."""
+        return len(self._wbs)
+
     def bus_jobs(self) -> List[BusJob]:
         """Grantable write-back jobs (``wb_on_bus`` discipline only)."""
         if not self.config.wb_on_bus:

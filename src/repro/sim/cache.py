@@ -83,8 +83,20 @@ class CacheLine:
             return self.state == LineState.M
         return True
 
+    def arm_pending(self, now: int) -> None:
+        """Record a remote conflicting request observed at ``now``.
+
+        The only sanctioned way to set ``pending_inv_since`` — keeps the
+        owning array's pending-line counter in sync (the telemetry
+        sampler reads it in O(1) instead of scanning the array)."""
+        self.pending_inv_since = now
+        if self.owner is not None:
+            self.owner._pending_count += 1
+
     def clear_pending(self) -> None:
         """Clear all pending-invalidation state (after a handover)."""
+        if self.pending_inv_since is not None and self.owner is not None:
+            self.owner._pending_count -= 1
         self.pending_inv_since = None
         self.pending_is_downgrade = False
         self.inv_at = None
@@ -103,7 +115,8 @@ class CacheLine:
 class DirectMappedArray:
     """Storage of a direct-mapped private cache (one line per set)."""
 
-    __slots__ = ("geometry", "_lines", "_set_mask", "_valid_count")
+    __slots__ = ("geometry", "_lines", "_set_mask", "_valid_count",
+                 "_pending_count")
 
     def __init__(self, geometry: CacheGeometry) -> None:
         if geometry.ways != 1:
@@ -116,6 +129,7 @@ class DirectMappedArray:
         #: to a mask — the hot paths use it instead of ``set_index``.
         self._set_mask = geometry.num_sets - 1
         self._valid_count = 0
+        self._pending_count = 0
 
     def slot(self, line_addr: int) -> CacheLine:
         """The (single) slot a line address maps to."""
@@ -154,6 +168,14 @@ class DirectMappedArray:
         """Iterate over the currently valid lines."""
         return (line for line in self._lines if line.valid)
 
+    def pending_count(self) -> int:
+        """Lines with a remote request currently pending, in O(1).
+
+        Maintained by :meth:`CacheLine.arm_pending` /
+        :meth:`CacheLine.clear_pending`; the telemetry sampler reads it
+        every sample, so it must not require a scan."""
+        return self._pending_count
+
     def recount(self) -> int:
         """Recompute the valid-line count by scanning (O(num_sets)).
 
@@ -161,6 +183,15 @@ class DirectMappedArray:
         asserts this after protocol activity to catch any mutation path
         that bypasses the incremental counter."""
         return sum(1 for line in self._lines if line.valid)
+
+    def recount_pending(self) -> int:
+        """Recompute the pending-line count by scanning (diagnostic).
+
+        Must always equal :meth:`pending_count`; asserted by the test
+        suite after protocol activity."""
+        return sum(
+            1 for line in self._lines if line.pending_inv_since is not None
+        )
 
     def __len__(self) -> int:
         return self._valid_count

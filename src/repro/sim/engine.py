@@ -160,7 +160,7 @@ class ProtocolEngine:
                 # A snooping MSI owner concedes immediately and only
                 # remains as the data source of the handover.
                 if copy.pending_inv_since is None:
-                    copy.pending_inv_since = now
+                    copy.arm_pending(now)
                 copy.pending_is_downgrade = downgrade
                 copy.inv_at = copy.pending_inv_since
                 copy.handover_ready = True

@@ -60,9 +60,6 @@ LAYER_OF: Dict[str, str] = {
     **{k: "system" for k in SYSTEM_EVENTS},
 }
 
-_NO_LISTENERS: Tuple[Listener, ...] = ()
-
-
 class _ListenerList(List[Listener]):
     """The subscribe-all list, refreshing the owning bus's hot flag.
 
@@ -153,14 +150,23 @@ class EventBus:
     # -- publishing --------------------------------------------------------
 
     def emit(self, kind: str, **payload: Any) -> None:
-        """Publish one event at the current kernel cycle."""
+        """Publish one event at the current kernel cycle.
+
+        The listener lists are snapshotted before dispatch: a subscriber
+        may unsubscribe itself (or attach further listeners) from inside
+        its callback without corrupting this event's iteration.  Newly
+        attached listeners see the *next* event, not the current one.
+        """
         counts = self.counts
         counts[kind] = counts.get(kind, 0) + 1
         cycle = self._kernel.now
-        for listener in self._by_kind.get(kind, _NO_LISTENERS):
-            listener(cycle, kind, payload)
-        for listener in self._all:
-            listener(cycle, kind, payload)
+        by_kind = self._by_kind.get(kind)
+        if by_kind:
+            for listener in tuple(by_kind):
+                listener(cycle, kind, payload)
+        if self._all:
+            for listener in tuple(self._all):
+                listener(cycle, kind, payload)
 
     # -- introspection -----------------------------------------------------
 

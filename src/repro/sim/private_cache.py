@@ -127,7 +127,7 @@ class PrivateCache:
         if not line.valid:
             raise ValueError("cannot mark an invalid line pending")
         if line.pending_inv_since is None:
-            line.pending_inv_since = now
+            line.arm_pending(now)
             line.pending_is_downgrade = downgrade
             line.inv_at = invalidation_cycle(
                 line.fill_cycle, self._theta, now

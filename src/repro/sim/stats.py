@@ -21,6 +21,13 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.events import EventBus
 
+#: Version of the serialised stats schema (see ``repro.runner.
+#: stats_to_dict``).  Bump whenever the dict grows, loses or renames a
+#: field: the sweep-cache digest folds this number in, so on-disk cache
+#: entries recorded under an older schema are invalidated instead of
+#: being replayed with missing fields.
+STATS_SCHEMA_VERSION = 2
+
 
 @dataclass
 class CoreStats:

@@ -130,3 +130,77 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "PENDULUM" in out and "bound ratios" in out
+
+
+class TestTelemetryCommands:
+    def test_simulate_trace_and_metrics_out(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import classify, validate_trace_events
+
+        trace = tmp_path / "run.trace.json"
+        report = tmp_path / "run.metrics.json"
+        rc = main(
+            ["simulate", "-b", "water", "--scale", "0.3",
+             "--trace-out", str(trace), "--metrics-out", str(report),
+             "--sample-every", "100"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "WCML blame" in out
+        trace_doc = json.loads(trace.read_text())
+        assert validate_trace_events(trace_doc) == []
+        report_doc = json.loads(report.read_text())
+        assert classify(report_doc) == "run_report"
+        assert report_doc["metrics"]["samples"]
+
+    def test_metrics_summarises_run_report(self, capsys, tmp_path):
+        report = tmp_path / "run.metrics.json"
+        main(["simulate", "-b", "water", "--scale", "0.3",
+              "--metrics-out", str(report)])
+        capsys.readouterr()
+        assert main(["metrics", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "run report" in out and "WCML=" in out
+
+    def test_optimize_metrics_out_round_trips(self, capsys, tmp_path):
+        from repro.obs import load_jsonl
+
+        path = tmp_path / "ga.jsonl"
+        rc = main(
+            ["optimize", "-b", "water", "--scale", "0.3",
+             "--population", "6", "--generations", "3",
+             "--metrics-out", str(path)]
+        )
+        assert rc == 0
+        rows = load_jsonl(str(path))
+        assert rows and rows[0]["generation"] == 0
+        capsys.readouterr()
+        assert main(["metrics", str(path)]) == 0
+        assert "GA generation log" in capsys.readouterr().out
+
+    def test_fig6_metrics_out(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "sweep.json"
+        rc = main(
+            ["fig6", "-b", "water", "--scale", "0.3",
+             "--population", "6", "--generations", "2",
+             "--metrics-out", str(path)]
+        )
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert doc["label"] == "fig6:all_cr"
+        assert doc["runner"]["jobs_executed"] >= 0
+        capsys.readouterr()
+        assert main(["metrics", str(path)]) == 0
+        assert "sweep metrics" in capsys.readouterr().out
+
+    def test_metrics_rejects_garbage(self, capsys, tmp_path):
+        bad = tmp_path / "junk.bin"
+        bad.write_text("not { json")
+        assert main(["metrics", str(bad)]) == 1
+        assert "neither JSON nor JSONL" in capsys.readouterr().err
+
+    def test_metrics_missing_file(self, capsys, tmp_path):
+        assert main(["metrics", str(tmp_path / "nope.json")]) == 1

@@ -113,3 +113,120 @@ class TestProtocolTracer:
         assert len(events) == 1
         assert events[0].payload["mode"] == 2
         assert events[0].payload["thetas"] == [MSI_THETA]
+
+
+def spill_system():
+    """Dirty L1 conflict evictions (lines 0/4 collide in a 4-set L1):
+    every store evicts the previous line dirty and the following read
+    waits on the write-back drain."""
+    from dataclasses import replace
+
+    from repro.params import CacheGeometry
+
+    config = replace(
+        cohort_config([40, 40]),
+        l1=CacheGeometry(size_bytes=4 * 64, line_bytes=64, ways=1),
+        runahead_window=0,
+    )
+    traces = [
+        t([(0, "W", 0), (1, "W", 4), (1, "R", 0), (1, "R", 4)]),
+        t([]),
+    ]
+    return System(config, traces)
+
+
+def backend_system():
+    """A non-perfect two-line LLC: every working-set change needs a DRAM
+    fetch and LLC evictions back-invalidate the L1 copies (inclusion)."""
+    from dataclasses import replace
+
+    from repro.params import CacheGeometry
+
+    config = replace(
+        cohort_config([40, 40]),
+        perfect_llc=False,
+        llc=CacheGeometry(size_bytes=2 * 64, line_bytes=64, ways=1),
+        l1=CacheGeometry(size_bytes=4 * 64, line_bytes=64, ways=1),
+        runahead_window=0,
+    )
+    traces = [
+        t([(0, "W", 0), (1, "W", 4), (1, "R", 0), (1, "R", 4),
+           (1, "R", 1), (1, "R", 2), (1, "R", 0)]),
+        t([(3, "R", 3)]),
+    ]
+    return System(config, traces)
+
+
+class TestTracerBackendEvents:
+    def test_writeback_events_captured(self):
+        system = spill_system()
+        tracer = ProtocolTracer.attach(system)
+        system.run()
+        counts = tracer.counts()
+        assert counts["writeback"] >= 1
+        assert counts["wb_done"] == counts["writeback"]
+        for kind in ("writeback", "wb_done"):
+            assert kind in event_kinds()
+
+    def test_dram_and_back_invalidate_captured(self):
+        system = backend_system()
+        tracer = ProtocolTracer.attach(system)
+        system.run()
+        counts = tracer.counts()
+        assert counts["dram_fetch"] >= 1
+        assert counts["back_invalidate"] >= 1
+        for kind in ("dram_fetch", "back_invalidate"):
+            assert kind in event_kinds()
+
+    def test_render_shows_backend_events(self):
+        system = spill_system()
+        tracer = ProtocolTracer.attach(system)
+        system.run()
+        out = tracer.render(kind="writeback")
+        assert "writeback" in out and "on_bus=" in out
+        line0 = tracer.render(line=0)
+        assert "wb_done" in line0
+
+        system = backend_system()
+        tracer = ProtocolTracer.attach(system)
+        system.run()
+        out = tracer.render(kind="back_invalidate")
+        assert "back_invalidate" in out and "dirty=" in out
+
+    def test_explain_latency_interleaves_writeback_drain(self):
+        """A read that waited on its line's write-back drain shows the
+        wb_done event inside the fill's explanation.  (The write-back
+        *enqueue* happens at the evicting store's fill, one cycle before
+        this read even issues, so only the drain is in-window.)"""
+        system = spill_system()
+        tracer = ProtocolTracer.attach(system)
+        system.run()
+        out = tracer.explain_latency(core=0, min_latency=0)
+        assert "fill of line" in out
+        assert "wb_done" in out
+
+    def test_explain_latency_includes_dram_fetch(self):
+        system = backend_system()
+        tracer = ProtocolTracer.attach(system)
+        system.run()
+        fetched_lines = {
+            ev.line for ev in tracer.filter(kind="dram_fetch")
+        }
+        out = tracer.explain_latency(core=0, min_latency=0)
+        assert fetched_lines and "dram_fetch" in out
+
+    def test_explain_latency_shows_mode_switch_fills(self):
+        """Requests issued after a mode switch still explain cleanly,
+        and the switch itself renders on the timeline."""
+        traces = [t([(0, "W", 1), (500, "W", 1)])]
+        system = System(cohort_config([50]), traces)
+        tracer = ProtocolTracer.attach(system)
+        system.caches[0].lut.program(2, MSI_THETA)
+        system.kernel.schedule(
+            100, system.PHASE_EFFECT, lambda: system.switch_mode(2)
+        )
+        system.run()
+        out = tracer.render(kind="mode_switch")
+        assert "mode_switch" in out and "mode=2" in out
+        explained = tracer.explain_latency(core=0, min_latency=0)
+        assert "fill of line 1" in explained

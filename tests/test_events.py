@@ -61,6 +61,54 @@ class TestSubscriptions:
         bus.emit("grant", core=0)
         assert rec.seen == []
 
+    def test_listener_may_unsubscribe_itself_mid_event(self):
+        """Regression: emit iterates a snapshot, so a subscriber that
+        unsubscribes itself (one-shot listener) must not silence other
+        listeners of the same event or corrupt the iteration."""
+        bus = make_bus()
+        seen = []
+
+        def one_shot(cycle, kind, payload):
+            seen.append(("one_shot", kind))
+            bus.unsubscribe(one_shot)
+
+        bus.subscribe(one_shot)
+        after = bus.subscribe(Recorder())
+        bus.emit("fill", core=0)
+        bus.emit("fill", core=1)
+        assert seen == [("one_shot", "fill")]
+        assert [p["core"] for _, _, p in after.seen] == [0, 1]
+
+    def test_by_kind_listener_may_unsubscribe_itself_mid_event(self):
+        bus = make_bus()
+        seen = []
+
+        def one_shot(cycle, kind, payload):
+            seen.append(kind)
+            bus.unsubscribe(one_shot)
+
+        bus.subscribe(one_shot, kinds=("fill",))
+        rest = bus.subscribe(Recorder(), kinds=("fill",))
+        bus.emit("fill", core=0)
+        bus.emit("fill", core=1)
+        assert seen == ["fill"]
+        assert len(rest.seen) == 2
+
+    def test_listener_may_subscribe_another_mid_event(self):
+        """A listener attaching a new listener mid-event must not make
+        the new one see the *current* event."""
+        bus = make_bus()
+        late = Recorder()
+
+        def attacher(cycle, kind, payload):
+            if not late.seen and late not in bus.listeners:
+                bus.subscribe(late)
+
+        bus.subscribe(attacher)
+        bus.emit("fill", core=0)
+        bus.emit("grant", core=1)
+        assert [k for _, k, _ in late.seen] == ["grant"]
+
     def test_events_stamp_current_kernel_cycle(self):
         kernel = EventKernel()
         bus = EventBus(kernel)

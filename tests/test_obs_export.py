@@ -1,0 +1,270 @@
+"""Tests for trace export, schema validation, reports (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.params import cohort_config
+from repro.obs import (
+    RUN_REPORT_SCHEMA,
+    SWEEP_METRICS_SCHEMA,
+    GAGenerationLog,
+    Telemetry,
+    classify,
+    load_jsonl,
+    summarise,
+    validate_trace_events,
+)
+from repro.obs.schema import validate
+from repro.obs.validate import main as validate_main, validate_file
+from repro.sim.system import System
+from repro.workloads import splash_traces
+
+from conftest import t
+
+
+@pytest.fixture(scope="module")
+def run():
+    config = cohort_config([60] * 4)
+    traces = splash_traces("ocean", 4, scale=0.2)
+    system = System(config, traces)
+    telemetry = Telemetry.attach(system, sample_every=200)
+    stats = system.run()
+    return system, stats, telemetry
+
+
+class TestTraceExport:
+    def test_document_passes_schema(self, run):
+        _, _, telemetry = run
+        assert validate_trace_events(telemetry.trace_events()) == []
+
+    def test_document_is_json_serialisable(self, run):
+        _, _, telemetry = run
+        json.dumps(telemetry.trace_events())
+
+    def test_one_track_per_core(self, run):
+        _, _, telemetry = run
+        doc = telemetry.trace_events()
+        names = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert names == {f"core {i}" for i in range(4)}
+
+    def test_request_slices_cover_every_span(self, run):
+        _, _, telemetry = run
+        doc = telemetry.trace_events()
+        requests = [
+            ev for ev in doc["traceEvents"]
+            if ev["ph"] == "X" and ev.get("cat") == "request"
+        ]
+        assert len(requests) == len(telemetry.spans.completed)
+        for ev in requests:
+            assert ev["dur"] == ev["args"]["latency"]
+
+    def test_phase_slices_nest_inside_requests(self, run):
+        _, _, telemetry = run
+        doc = telemetry.trace_events()
+        phases = [
+            ev for ev in doc["traceEvents"]
+            if ev["ph"] == "X" and ev.get("cat") == "phase"
+        ]
+        assert phases
+        spans = {
+            (s.core, s.req_id): s for s in telemetry.spans.completed
+        }
+        for ev in phases:
+            span = spans[(ev["tid"], ev["args"]["req_id"])]
+            assert span.issue_cycle <= ev["ts"]
+            assert ev["ts"] + ev["dur"] <= span.complete_cycle
+
+    def test_timer_expiries_are_thread_instants(self, run):
+        _, stats, telemetry = run
+        doc = telemetry.trace_events()
+        instants = [
+            ev for ev in doc["traceEvents"]
+            if ev["ph"] == "i" and ev["name"] == "timer_expiry"
+        ]
+        assert len(instants) == stats.timer_expiries
+        assert all(ev["s"] == "t" and "tid" in ev for ev in instants)
+
+    def test_counter_tracks_emitted(self, run):
+        _, _, telemetry = run
+        doc = telemetry.trace_events()
+        counters = {
+            ev["name"] for ev in doc["traceEvents"] if ev["ph"] == "C"
+        }
+        assert counters == {
+            "bus_utilization", "miss_rate", "protected_lines",
+            "wb_queue_depth",
+        }
+
+    def test_write_trace_round_trips(self, run, tmp_path):
+        _, _, telemetry = run
+        path = tmp_path / "run.trace.json"
+        telemetry.write_trace(str(path))
+        doc = json.loads(path.read_text())
+        assert validate_trace_events(doc) == []
+
+
+class TestSchemaValidator:
+    def test_rejects_missing_trace_events(self):
+        assert validate_trace_events({}) != []
+
+    def test_rejects_wrong_root_type(self):
+        errors = validate_trace_events([1, 2])
+        assert errors and "expected type object" in errors[0]
+
+    def test_rejects_bad_phase_letter(self):
+        doc = {"traceEvents": [
+            {"ph": "Z", "pid": 0, "name": "x"},
+        ]}
+        assert any("enum" in e for e in validate_trace_events(doc))
+
+    def test_rejects_complete_event_without_duration(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "pid": 0, "tid": 0, "name": "x", "ts": 1},
+        ]}
+        assert any("oneOf" in e for e in validate_trace_events(doc))
+
+    def test_rejects_negative_timestamp(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "pid": 0, "tid": 0, "name": "x", "ts": -5, "dur": 1},
+        ]}
+        assert any("minimum" in e for e in validate_trace_events(doc))
+
+    def test_booleans_are_not_integers(self):
+        assert validate(True, {"type": "integer"}) != []
+        assert validate(3, {"type": "integer"}) == []
+
+    def test_unsupported_external_ref_raises(self):
+        with pytest.raises(ValueError):
+            validate({}, {"$ref": "http://elsewhere/schema"})
+
+    def test_validate_file_cli(self, run, tmp_path, capsys):
+        _, _, telemetry = run
+        good = tmp_path / "good.json"
+        telemetry.write_trace(str(good))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+        missing = tmp_path / "missing.json"
+        assert validate_main([str(good)]) == 0
+        assert validate_main([str(bad)]) == 1
+        assert validate_file(str(missing)) != []
+        assert validate_main([]) == 2
+
+
+class TestRunReport:
+    def test_report_shape_and_classification(self, run):
+        _, stats, telemetry = run
+        report = telemetry.run_report()
+        json.dumps(report)
+        assert report["schema"] == RUN_REPORT_SCHEMA
+        assert classify(report) == "run_report"
+        assert report["final_cycle"] == stats.final_cycle
+        assert len(report["cores"]) == 4
+        assert report["spans_completed"] == sum(
+            c.misses for c in stats.cores
+        )
+
+    def test_summarise_run_report(self, run):
+        _, _, telemetry = run
+        out = summarise(telemetry.run_report())
+        assert "run report" in out and "WCML=" in out
+
+    def test_summarise_trace_events(self, run):
+        _, _, telemetry = run
+        out = summarise(telemetry.trace_events())
+        assert "trace-event document" in out and "4 core tracks" in out
+
+    def test_classify_sweep_and_unknown(self):
+        assert classify({"schema": SWEEP_METRICS_SCHEMA, "runner": {}}) \
+            == "sweep_metrics"
+        assert classify({"what": "ever"}) == "unknown"
+        assert classify(42) == "unknown"
+        assert "unrecognised" in summarise({"what": "ever"})
+
+
+class TestGALog:
+    def _log(self):
+        from repro.opt.ga import GAConfig, GeneticAlgorithm
+
+        ga = GeneticAlgorithm(
+            [(1, 64)] * 3,
+            lambda genes: float(sum(genes)),
+            GAConfig(population_size=8, generations=5, seed=1),
+        )
+        log = GAGenerationLog()
+        ga.run(on_generation=log)
+        return log
+
+    def test_records_one_row_per_generation(self):
+        log = self._log()
+        assert len(log.records) == 6  # initial population + 5 generations
+        assert [r["generation"] for r in log.records] == list(range(6))
+        for row in log.records:
+            assert row["best_fitness"] is not None
+            assert row["mean_fitness"] >= row["best_fitness"]
+            assert 0.0 <= row["diversity"] <= 1.0
+            assert row["wall_seconds"] >= 0.0
+            assert 0.0 <= row["cache_hit_rate"] <= 1.0
+
+    def test_best_fitness_monotone(self):
+        log = self._log()
+        best = [r["best_fitness"] for r in log.records]
+        assert all(b2 <= b1 for b1, b2 in zip(best, best[1:]))
+
+    def test_infinite_fitness_becomes_null(self, tmp_path):
+        from repro.opt.ga import GAConfig, GeneticAlgorithm
+
+        ga = GeneticAlgorithm(
+            [(1, 8)],
+            lambda genes: float("inf"),
+            GAConfig(population_size=4, generations=2, seed=0),
+        )
+        log = GAGenerationLog()
+        ga.run(on_generation=log)
+        assert all(r["best_fitness"] is None for r in log.records)
+        assert all(r["mean_fitness"] is None for r in log.records)
+        path = tmp_path / "ga.jsonl"
+        log.write_jsonl(str(path))
+        for line in path.read_text().splitlines():
+            json.loads(line)  # strict JSON, no Infinity tokens
+        assert "Infinity" not in path.read_text()
+
+    def test_jsonl_round_trip_and_summary(self, tmp_path):
+        log = self._log()
+        path = tmp_path / "ga.jsonl"
+        log.write_jsonl(str(path))
+        rows = load_jsonl(str(path))
+        assert rows == log.records
+        assert classify(rows) == "ga_generations"
+        out = summarise(rows)
+        assert "GA generation log" in out and "6 generations" in out
+
+    def test_streaming_writes_as_it_goes(self, tmp_path):
+        import io
+
+        stream = io.StringIO()
+        log = GAGenerationLog(stream=stream)
+        log({"generation": 0, "best_fitness": 1.0})
+        assert json.loads(stream.getvalue()) == {
+            "generation": 0, "best_fitness": 1.0,
+        }
+
+    def test_engine_passthrough(self):
+        from repro.analysis import build_profiles
+        from repro.params import LatencyParams
+        from repro.opt import GAConfig, OptimizationEngine
+
+        traces = splash_traces("fft", 4, scale=0.1)
+        profiles = build_profiles(traces, cohort_config([1] * 4).l1)
+        engine = OptimizationEngine(
+            profiles, LatencyParams(),
+            GAConfig(population_size=6, generations=3, seed=0),
+        )
+        log = GAGenerationLog()
+        result = engine.optimize(timed=[True] * 4, on_generation=log)
+        assert len(log.records) >= 2
+        assert log.records[-1]["evaluations"] == result.ga.evaluations

@@ -1,0 +1,151 @@
+"""Tests for run metrics: histograms and samplers (repro.obs.metrics)."""
+
+import pytest
+
+from repro.params import MSI_THETA, cohort_config
+from repro.obs import MetricsCollector, log2_bucket
+from repro.obs.metrics import SAMPLE_SERIES, LatencyHistogram, bucket_range
+from repro.sim.system import System
+from repro.workloads import splash_traces
+
+from conftest import t
+
+
+def run_with_metrics(config, traces, sample_every=0):
+    system = System(config, traces)
+    metrics = MetricsCollector.attach(system, sample_every=sample_every)
+    stats = system.run()
+    return system, stats, metrics
+
+
+class TestLog2Buckets:
+    @pytest.mark.parametrize("latency,bucket", [
+        (0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4),
+        (255, 8), (256, 9),
+    ])
+    def test_bucket_of(self, latency, bucket):
+        assert log2_bucket(latency) == bucket
+
+    def test_bucket_range_round_trips(self):
+        for bucket in range(12):
+            lo, hi = bucket_range(bucket)
+            assert log2_bucket(lo) == bucket
+            assert log2_bucket(hi) == bucket
+
+    def test_histogram_aggregates(self):
+        hist = LatencyHistogram()
+        for latency in (3, 5, 5, 100):
+            hist.add(latency)
+        assert hist.total == 4
+        assert hist.sum == 113
+        assert hist.max == 100
+        assert hist.mean == pytest.approx(113 / 4)
+        d = hist.to_dict()
+        assert d["buckets"] == {"2": 1, "3": 2, "7": 1}
+
+
+class TestHistogramCollection:
+    def test_one_histogram_per_core(self):
+        config = cohort_config([60] * 4)
+        traces = splash_traces("ocean", 4, scale=0.2)
+        _, stats, metrics = run_with_metrics(config, traces)
+        for core in range(4):
+            hist = metrics.histograms[(core, 0)]
+            assert hist.total == stats.cores[core].misses
+            assert hist.max == stats.cores[core].max_request_latency
+
+    def test_mode_keyed_after_switch(self):
+        traces = [t([(0, "W", 1), (500, "W", 2)])]
+        system = System(cohort_config([50]), traces)
+        metrics = MetricsCollector.attach(system)
+        system.caches[0].lut.program(2, MSI_THETA)
+        system.kernel.schedule(
+            100, system.PHASE_EFFECT, lambda: system.switch_mode(2)
+        )
+        system.run()
+        assert (0, 0) in metrics.histograms
+        assert (0, 2) in metrics.histograms
+        rows = metrics.histograms_to_dict()
+        assert [(r["core"], r["mode"]) for r in rows] == [(0, 0), (0, 2)]
+
+
+class TestSampler:
+    def test_sampling_disabled_by_default(self):
+        config = cohort_config([60, 60])
+        traces = splash_traces("ocean", 2, scale=0.2)
+        _, _, metrics = run_with_metrics(config, traces)
+        assert metrics.samples == []
+
+    def test_rejects_negative_cadence(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(sample_every=-1)
+
+    def test_sample_rows_carry_every_series(self):
+        config = cohort_config([60] * 4)
+        traces = splash_traces("ocean", 4, scale=0.2)
+        _, stats, metrics = run_with_metrics(config, traces, sample_every=100)
+        assert metrics.samples
+        for row in metrics.samples:
+            for series in SAMPLE_SERIES:
+                assert series in row
+            assert 0 <= row["miss_rate"] <= 1.0
+            assert row["protected_lines"] >= 0
+            assert row["wb_queue_depth"] >= 0
+        cycles = [row["cycle"] for row in metrics.samples]
+        assert cycles == sorted(cycles)
+        assert all(c <= stats.final_cycle for c in cycles)
+
+    def test_windowed_bus_utilisation_averages_to_total(self):
+        """Summing busy cycles recovered from the windows matches the
+        stats counter for the covered prefix of the run."""
+        config = cohort_config([60] * 4)
+        traces = splash_traces("ocean", 4, scale=0.2)
+        _, stats, metrics = run_with_metrics(config, traces, sample_every=50)
+        recovered = 0.0
+        last = 0
+        for row in metrics.samples:
+            recovered += row["bus_utilization"] * (row["cycle"] - last)
+            last = row["cycle"]
+        assert recovered <= stats.bus_busy_cycles
+        assert recovered == pytest.approx(stats.bus_busy_cycles, rel=0.1)
+
+    def test_protected_lines_observed_under_timers(self):
+        traces = [
+            t([(0, "W", 1), (5, "R", 1)]),
+            t([(30, "W", 1)]),
+        ]
+        _, _, metrics = run_with_metrics(
+            cohort_config([40, 40]), traces, sample_every=5
+        )
+        assert any(row["protected_lines"] > 0 for row in metrics.samples)
+
+    def test_wb_queue_depth_observed(self):
+        from dataclasses import replace
+
+        from repro.params import CacheGeometry
+
+        # Lines 0 and 4 collide in a 4-set direct-mapped L1: each store
+        # evicts the previous line dirty and the next read waits for the
+        # write-back to drain, keeping the queue visibly occupied.
+        config = replace(
+            cohort_config([60, 60]),
+            l1=CacheGeometry(size_bytes=4 * 64, line_bytes=64, ways=1),
+            runahead_window=0,
+        )
+        traces = [
+            t([(0, "W", 0), (1, "W", 4), (1, "R", 0), (1, "R", 4)]),
+            t([]),
+        ]
+        _, stats, metrics = run_with_metrics(config, traces, sample_every=1)
+        assert stats.writebacks > 0
+        assert any(row["wb_queue_depth"] > 0 for row in metrics.samples)
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        config = cohort_config([60, 60])
+        traces = splash_traces("ocean", 2, scale=0.2)
+        _, _, metrics = run_with_metrics(config, traces, sample_every=200)
+        doc = json.loads(json.dumps(metrics.to_dict()))
+        assert doc["sample_every"] == 200
+        assert doc["histograms"] and doc["samples"]

@@ -1,0 +1,164 @@
+"""Tests for request-lifecycle spans and WCML attribution (repro.obs.spans)."""
+
+import pytest
+
+from repro.params import MSI_THETA, cohort_config, msi_fcfs_config
+from repro.obs import PHASES, SpanCollector, Telemetry
+from repro.sim.system import System, run_simulation
+from repro.workloads import splash_traces
+
+from conftest import t
+
+
+def run_with_spans(config, traces, sample_every=0):
+    system = System(config, traces)
+    telemetry = Telemetry.attach(system, sample_every=sample_every)
+    stats = system.run()
+    return system, stats, telemetry
+
+
+WORKLOADS = [
+    ("ocean", cohort_config([60, 60, 60, 60])),
+    ("ocean", msi_fcfs_config(4)),
+    ("fft", cohort_config([100, 20, 20, MSI_THETA])),
+    ("lu", cohort_config([60] * 4, perfect_llc=False)),
+]
+
+
+class TestAttributionInvariant:
+    @pytest.mark.parametrize("workload,config", WORKLOADS,
+                             ids=lambda p: getattr(p, "protocol", p))
+    def test_phases_sum_to_recorded_latency(self, workload, config):
+        """Per-phase latencies partition each span's measured latency
+        exactly — the latency CoreStats.record_miss accounted."""
+        traces = splash_traces(workload, config.num_cores, scale=0.25)
+        _, stats, telemetry = run_with_spans(config, traces)
+        spans = telemetry.spans.completed
+        assert spans, "workload produced no misses"
+        for span in spans:
+            assert sum(span.phases.values()) == span.latency
+            assert set(span.phases) == set(PHASES)
+            assert all(width >= 0 for width in span.phases.values())
+
+    @pytest.mark.parametrize("workload,config", WORKLOADS,
+                             ids=lambda p: getattr(p, "protocol", p))
+    def test_worst_span_equals_max_request_latency(self, workload, config):
+        traces = splash_traces(workload, config.num_cores, scale=0.25)
+        _, stats, telemetry = run_with_spans(config, traces)
+        for core in telemetry.spans.cores():
+            worst = telemetry.spans.worst_span(core)
+            assert worst.latency == stats.cores[core].max_request_latency
+
+    def test_span_count_matches_misses(self):
+        config = cohort_config([60] * 4)
+        traces = splash_traces("ocean", 4, scale=0.25)
+        _, stats, telemetry = run_with_spans(config, traces)
+        for core in range(4):
+            assert telemetry.spans.span_count(core) == stats.cores[core].misses
+
+    def test_phase_segments_tile_the_span(self):
+        config = cohort_config([60] * 4)
+        traces = splash_traces("ocean", 4, scale=0.25)
+        _, _, telemetry = run_with_spans(config, traces)
+        for span in telemetry.spans.completed:
+            at = span.issue_cycle
+            for _phase, start, end in span.phase_segments():
+                assert start == at and end > start
+                at = end
+            assert at == span.complete_cycle
+
+    def test_protection_phase_attributed_under_timers(self):
+        """A store hitting a remotely timer-protected line books
+        protection (Σθ) cycles, never zero."""
+        traces = [
+            t([(0, "W", 1), (5, "R", 1)]),
+            t([(30, "W", 1)]),
+        ]
+        _, _, telemetry = run_with_spans(cohort_config([40, 40]), traces)
+        protected = [
+            s for s in telemetry.spans.completed
+            if s.core == 1 and s.phases["protection"] > 0
+        ]
+        assert protected, "c1's store never waited on c0's timer"
+
+
+class TestCycleNeutrality:
+    def test_telemetry_does_not_change_cycle_counts(self):
+        """Attaching the full telemetry set (spans + sampler) leaves
+        final_cycle and every per-core counter byte-identical."""
+        config = cohort_config([60] * 4)
+        for sample_every in (0, 1, 7, 250):
+            traces = splash_traces("ocean", 4, scale=0.25)
+            base = run_simulation(config, traces)
+            traces = splash_traces("ocean", 4, scale=0.25)
+            _, stats, _ = run_with_spans(
+                config, traces, sample_every=sample_every
+            )
+            assert stats.final_cycle == base.final_cycle
+            for c_base, c_tel in zip(base.cores, stats.cores):
+                assert c_base.hits == c_tel.hits
+                assert c_base.misses == c_tel.misses
+                assert c_base.total_memory_latency == c_tel.total_memory_latency
+                assert c_base.max_request_latency == c_tel.max_request_latency
+                assert c_base.finish_cycle == c_tel.finish_cycle
+
+    def test_span_collector_leaves_hot_path_cold(self):
+        """SpanCollector never subscribes to hit events."""
+        system = System(cohort_config([60, 60]), [t([(0, "R", 1)]), t([])])
+        assert not system.events.hot
+        SpanCollector.attach(system)
+        assert not system.events.hot
+
+
+class TestBlameReport:
+    def test_wcml_blame_entries(self):
+        config = cohort_config([60] * 4)
+        traces = splash_traces("ocean", 4, scale=0.25)
+        _, stats, telemetry = run_with_spans(config, traces)
+        blame = telemetry.spans.wcml_blame()
+        assert [e["core"] for e in blame] == [0, 1, 2, 3]
+        for entry in blame:
+            core = entry["core"]
+            assert entry["max_request_latency"] == \
+                stats.cores[core].max_request_latency
+            phases = entry["worst_span"]["phases"]
+            assert sum(phases.values()) == entry["max_request_latency"]
+            totals = entry["phase_totals"]
+            spans = [s for s in telemetry.spans.completed if s.core == core]
+            for phase in PHASES:
+                assert totals[phase] == sum(s.phases[phase] for s in spans)
+
+    def test_render_blame_mentions_every_core(self):
+        config = cohort_config([60, 60])
+        traces = splash_traces("ocean", 2, scale=0.2)
+        _, _, telemetry = run_with_spans(config, traces)
+        out = telemetry.render_blame()
+        assert "WCML blame" in out
+        assert "c   0" in out and "c   1" in out
+        for phase in PHASES:
+            assert phase in out
+
+    def test_keep_spans_false_still_aggregates(self):
+        config = cohort_config([60, 60])
+        traces = splash_traces("ocean", 2, scale=0.2)
+        system = System(config, traces)
+        collector = SpanCollector.attach(system, keep_spans=False)
+        stats = system.run()
+        assert collector.completed == []
+        for core in collector.cores():
+            assert collector.worst_span(core).latency == \
+                stats.cores[core].max_request_latency
+            assert sum(collector.phase_totals(core).values()) > 0
+
+    def test_mode_recorded_on_spans(self):
+        traces = [t([(0, "W", 1), (500, "W", 2)])]
+        system = System(cohort_config([50]), traces)
+        collector = SpanCollector.attach(system)
+        system.caches[0].lut.program(2, MSI_THETA)
+        system.kernel.schedule(
+            100, system.PHASE_EFFECT, lambda: system.switch_mode(2)
+        )
+        system.run()
+        modes = {s.line: s.mode for s in collector.completed}
+        assert modes[1] == 0 and modes[2] == 2
+        assert any(kind == "mode_switch" for _, kind, _ in collector.instants)

@@ -232,6 +232,56 @@ class TestOccupancyConsistency:
                 c.fill(line, state, cycle=step, version=0)
             assert_occupancy_consistent(c)
 
+    def test_pending_counter_tracks_mark_and_clear(self):
+        """``pending_count`` is the O(1) ground truth behind the telemetry
+        sampler's ``protected_lines`` series; every arm/clear path must
+        keep it equal to a scan (``recount_pending``)."""
+        c = make_cache(theta=10, sets=4)
+        assert c.array.pending_count() == 0 == c.array.recount_pending()
+        c.fill(0, LineState.M, cycle=0, version=0)
+        c.fill(1, LineState.S, cycle=0, version=0)
+        c.mark_pending(c.lookup(0), now=3, downgrade=False)
+        c.mark_pending(c.lookup(0), now=4, downgrade=False)  # idempotent
+        assert c.array.pending_count() == 1 == c.array.recount_pending()
+        c.mark_pending(c.lookup(1), now=5, downgrade=True)
+        assert c.array.pending_count() == 2 == c.array.recount_pending()
+        c.lookup(0).clear_pending()
+        c.lookup(0).clear_pending()  # already clear: no double-decrement
+        assert c.array.pending_count() == 1 == c.array.recount_pending()
+        c.lookup(1).invalidate()  # invalidation clears pending state too
+        assert c.array.pending_count() == 0 == c.array.recount_pending()
+
+    def test_pending_counter_cleared_by_refill_eviction(self):
+        c = make_cache(theta=10, sets=4)
+        c.fill(1, LineState.M, cycle=0, version=0)
+        c.mark_pending(c.lookup(1), now=2, downgrade=False)
+        assert c.array.pending_count() == 1
+        c.fill(5, LineState.S, cycle=3, version=0)  # evicts pending line 1
+        assert c.array.pending_count() == 0 == c.array.recount_pending()
+
+    def test_pending_counter_never_drifts_in_live_system(self):
+        """Across a contended run, every published event observes the
+        O(1) pending counter equal to a ground-truth array scan."""
+        from repro.sim.system import System
+        from repro.params import cohort_config
+        from repro.workloads import splash_traces
+
+        traces = splash_traces("ocean", 4, scale=0.2, seed=0)
+        system = System(cohort_config([60, 60, 20, MSI_THETA]), traces)
+
+        def check(cycle, kind, payload):
+            for cache in system.caches:
+                assert (
+                    cache.array.pending_count()
+                    == cache.array.recount_pending()
+                )
+
+        system.events.subscribe(
+            check, kinds=("miss", "grant", "timer_expiry", "fill")
+        )
+        system.run()
+        assert sum(c.array.pending_count() for c in system.caches) == 0
+
     def test_repr_reports_occupancy_and_protocol(self):
         c = make_cache(theta=10, sets=4)
         c.fill(0, LineState.S, 0, 0)

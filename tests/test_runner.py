@@ -113,6 +113,57 @@ class TestCache:
         with pytest.raises(ValueError):
             SweepRunner(jobs=0)
 
+    def test_results_carry_stats_schema_version(self, traces):
+        from repro.sim.stats import STATS_SCHEMA_VERSION
+
+        result = SweepRunner(jobs=1, cache_dir=None).run_one(
+            cohort_config([60] * 4), traces
+        )
+        assert result["schema"] == STATS_SCHEMA_VERSION
+
+    def test_digest_depends_on_stats_schema_version(self, traces, monkeypatch):
+        """A stats-schema bump must invalidate on-disk cache entries."""
+        import repro.runner as runner_mod
+
+        cfg = cohort_config([60] * 4)
+        base = SweepJob(cfg, tuple(traces)).digest()
+        monkeypatch.setattr(
+            runner_mod, "STATS_SCHEMA_VERSION",
+            runner_mod.STATS_SCHEMA_VERSION + 1,
+        )
+        assert SweepJob(cfg, tuple(traces)).digest() != base
+
+    def test_stale_schema_cache_entry_is_not_replayed(self, traces, tmp_path,
+                                                      monkeypatch):
+        """Entries written under an older schema miss instead of serving
+        dicts that lack the new telemetry fields."""
+        import repro.runner as runner_mod
+
+        cache = str(tmp_path / "sweeps")
+        cfg = cohort_config([60] * 4)
+        monkeypatch.setattr(runner_mod, "STATS_SCHEMA_VERSION", 1)
+        old = SweepRunner(jobs=1, cache_dir=cache)
+        old.run_one(cfg, traces)
+        assert old.cache_misses == 1
+        monkeypatch.undo()
+        new = SweepRunner(jobs=1, cache_dir=cache)
+        result = new.run_one(cfg, traces)
+        assert new.cache_misses == 1  # the v1 entry did not hit
+        assert result["schema"] == runner_mod.STATS_SCHEMA_VERSION
+
+    def test_telemetry_counters(self, traces, tmp_path):
+        cache = str(tmp_path / "sweeps")
+        runner = SweepRunner(jobs=1, cache_dir=cache)
+        runner.run_systems(named_configs(), traces)
+        runner.run_systems(named_configs(), traces)
+        tel = runner.telemetry()
+        assert tel["cache_misses"] == 3
+        assert tel["cache_hits"] == 3
+        assert tel["cache_hit_rate"] == 0.5
+        assert tel["jobs_executed"] == 3
+        assert tel["exec_seconds"] > 0.0
+        assert tel["parallel_batches"] == 0
+
 
 class TestExperimentIntegration:
     def test_wcml_experiment_parallel_equals_serial(self, traces):
