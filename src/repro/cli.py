@@ -293,7 +293,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
         ga_log = GAGenerationLog()
     result = engine.optimize(
-        timed=[True] * 4, jobs=args.jobs, on_generation=ga_log
+        timed=[True] * 4, jobs=args.jobs, on_generation=ga_log,
+        checkpoint_path=args.checkpoint,
     )
     if ga_log is not None:
         ga_log.write_jsonl(args.metrics_out)
@@ -307,6 +308,43 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         for b in result.bounds
     ]
     print(format_table(["core", "M_hit", "M_miss", "WCL", "WCML"], rows))
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """``cohort faults``: seeded fault-injection campaigns + detection matrix."""
+    from repro.fi import FaultKind, run_campaigns
+
+    kinds = None
+    if args.kinds:
+        kinds = [FaultKind(k) for k in args.kinds]
+    traces = splash_traces(args.benchmark, len(args.thetas),
+                           scale=args.scale, seed=args.seed)
+    report = run_campaigns(
+        cohort_config(args.thetas),
+        traces,
+        campaigns=args.campaigns,
+        seed=args.seed,
+        kinds=kinds,
+        n_faults=args.faults_per_campaign,
+        response=args.response,
+    )
+    print(f"{args.campaigns} campaigns on {args.benchmark} "
+          f"(baseline {report.baseline_cycles:,} cycles, "
+          f"response={report.response})")
+    print()
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"\ndetection matrix written to {args.json_out}")
+    silent = report.silent_corruptions()
+    if silent:
+        print(f"\n{len(silent)} SILENT CORRUPTION(S):", file=sys.stderr)
+        for c in silent:
+            print(f"  campaign {c.index} ({c.kind}, seed {c.seed}): "
+                  f"{c.detail}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -384,18 +422,35 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         from dataclasses import replace
 
         config = replace(config, protocol=args.protocol)
-    telemetry = None
-    if args.trace_out or args.metrics_out:
-        from repro.obs import Telemetry
-        from repro.sim.system import System
+    from repro.sim.kernel import SimulationLimitError
+    from repro.sim.oracle import CoherenceViolationError
 
-        system = System(config, traces)
-        telemetry = Telemetry.attach(
-            system, sample_every=args.sample_every, label="simulate"
-        )
-        stats = system.run()
-    else:
-        stats = run_simulation(config, traces)
+    telemetry = None
+    try:
+        if args.trace_out or args.metrics_out:
+            from repro.obs import Telemetry
+            from repro.sim.system import System
+
+            system = System(config, traces)
+            telemetry = Telemetry.attach(
+                system, sample_every=args.sample_every, label="simulate"
+            )
+            stats = system.run()
+        else:
+            stats = run_simulation(config, traces)
+    except CoherenceViolationError as exc:
+        print(f"coherence violation: {exc}", file=sys.stderr)
+        if not args.trace_out:
+            print("hint: rerun with --trace-out run.trace.json to capture "
+                  "the event trace leading up to the violation",
+                  file=sys.stderr)
+        return 1
+    except SimulationLimitError as exc:
+        print(f"simulation limit: {exc}", file=sys.stderr)
+        if not args.trace_out:
+            print("hint: rerun with --trace-out run.trace.json to see "
+                  "where the run stopped making progress", file=sys.stderr)
+        return 1
     profiles = build_profiles(traces, config.l1)
     bounds = cohort_bounds(args.thetas, profiles, config.latencies)
     rows = []
@@ -509,9 +564,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("optimize", help="run the timer optimization engine")
     p.add_argument("-b", "--benchmark", default="fft",
                    choices=benchmark_names())
+    p.add_argument("--checkpoint", metavar="FILE",
+                   help="save GA state to FILE each generation and resume "
+                        "from it if present (schema-checked)")
     _add_metrics_out(p, "the per-generation GA log (JSON Lines)")
     _add_common(p)
     p.set_defaults(fn=cmd_optimize)
+
+    from repro.fi.plan import ALL_KINDS
+
+    p = sub.add_parser(
+        "faults",
+        help="seeded fault-injection campaigns (detection matrix)",
+    )
+    p.add_argument("-b", "--benchmark", default="fft",
+                   choices=benchmark_names())
+    p.add_argument("-t", "--thetas", nargs="+", type=int,
+                   default=[100, 20, 20, 20],
+                   help="per-core timers (-1 = MSI)")
+    p.add_argument("--campaigns", type=_positive_int, default=14,
+                   help="number of seeded campaigns to run")
+    p.add_argument("--kinds", nargs="+", metavar="KIND",
+                   choices=[k.value for k in ALL_KINDS],
+                   help="restrict to these fault kinds (default: all)")
+    p.add_argument("--faults-per-campaign", type=_positive_int, default=2,
+                   help="faults injected per campaign plan")
+    p.add_argument("--response", default="degrade_to_msi",
+                   choices=("degrade_to_msi", "none"),
+                   help="self-healing response to detected timer faults")
+    p.add_argument("--json-out", metavar="FILE",
+                   help="write the full detection-matrix report to FILE")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload size multiplier")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign master seed (trace seed rides along)")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("simulate", help="one simulation run")
     p.add_argument("-b", "--benchmark", default="fft",

@@ -1,0 +1,46 @@
+"""Deterministic fault injection and resilience campaigns (``repro.fi``).
+
+CoHoRT's safety claim is that the system *degrades gracefully* — on a
+mode switch, lower-criticality cores fall back to plain MSI instead of
+suspending tasks (PAPER §III, Fig. 3) — and that the golden-value
+oracle catches any coherence violation loudly.  This package attacks
+both claims systematically, in the spirit of Rhea's RTL fault-injection
+validation and HourGlass's timer-register focus:
+
+* :mod:`repro.fi.plan` — :class:`FaultPlan`: a seeded, fully
+  deterministic schedule of hardware-model faults (timer-register bit
+  flips, dropped/duplicated snoop responses, bus stalls, DRAM jitter,
+  spurious back-invalidations, mode-switch storms),
+* :mod:`repro.fi.injector` — :class:`FaultInjector`: delivers the plan
+  through the event kernel at exact cycles, publishes ``fault`` /
+  ``fault_response`` events, and implements the ``degrade_to_msi``
+  response hook (the paper's graceful-degradation story under timer
+  faults),
+* :mod:`repro.fi.campaign` — seeded campaign driver + end-of-run audit
+  producing the detection matrix (detected / survived / silent
+  corruption); ``cohort faults`` is its CLI.
+
+The layer is strictly pay-per-use: a :class:`~repro.sim.system.System`
+built without a ``fault_plan`` never imports this package and its cycle
+counts are byte-identical to a fault-free build.
+"""
+
+from repro.fi.campaign import (
+    CampaignOutcome,
+    CampaignReport,
+    audit_system,
+    run_campaigns,
+)
+from repro.fi.injector import FaultInjector
+from repro.fi.plan import Fault, FaultKind, FaultPlan
+
+__all__ = [
+    "CampaignOutcome",
+    "CampaignReport",
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "audit_system",
+    "run_campaigns",
+]

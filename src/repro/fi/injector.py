@@ -1,0 +1,268 @@
+"""Delivers a :class:`~repro.fi.plan.FaultPlan` into a running system.
+
+The injector schedules one kernel event per fault at ``(cycle,
+PHASE_EFFECT)`` during :meth:`arm` — before the cores schedule anything
+— so faults fire *before* any protocol effect of the same cycle, in
+both simulator engines, and the whole run stays deterministic.  Every
+firing publishes a ``fault`` event on the system's
+:class:`~repro.sim.events.EventBus` and appends an
+:class:`~repro.fi.plan.InjectionRecord`.
+
+Fault handlers only mutate the simulated machine through the same
+sanctioned entry points the protocol engine uses (``set_theta``,
+``clear_pending``, ``back_invalidate`` + backend merge, bus ``stall``)
+— a fault may therefore corrupt *timing* arbitrarily, but it can only
+corrupt *data* in ways the golden-value oracle or the campaign audit
+can observe.  Firings that would touch a line mid-transfer are recorded
+as ``skipped_unsafe`` instead: the corresponding hardware fault cannot
+reach a value that is already on the bus.
+
+The ``degrade_to_msi`` response hook models the paper's graceful
+degradation (§III): a detected timer fault reprograms the affected
+core's threshold register to the MSI value after ``detection_latency``
+cycles, trading the latency guarantee for continued correct operation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.params import MSI_THETA
+from repro.sim.cache import CacheLine, LineState
+from repro.sim.kernel import PHASE_EFFECT
+from repro.sim.timer import TIMER_BITS
+from repro.fi.plan import Fault, FaultKind, FaultPlan, InjectionRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.system import System
+
+#: Register image of the MSI sentinel: the all-ones 16-bit pattern.
+_MSI_REGISTER = (1 << TIMER_BITS) - 1
+
+
+class FaultInjector:
+    """Schedules and executes one plan's faults against one system."""
+
+    def __init__(self, system: "System", plan: FaultPlan) -> None:
+        for fault in plan.faults:
+            if not 0 <= fault.core < system.config.num_cores:
+                raise ValueError(
+                    f"fault targets core {fault.core} of a "
+                    f"{system.config.num_cores}-core system"
+                )
+        self.system = system
+        self.plan = plan
+        self.records: List[InjectionRecord] = []
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule every fault of the plan (idempotent)."""
+        if self._armed:
+            return
+        self._armed = True
+        for i, fault in enumerate(self.plan.faults):
+            self.system.kernel.schedule(
+                fault.cycle, PHASE_EFFECT, self._fire, i
+            )
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _fire(self, index: int) -> None:
+        fault = self.plan.faults[index]
+        handler = {
+            FaultKind.TIMER_FLIP: self._inject_timer_flip,
+            FaultKind.DROP_SNOOP: self._inject_drop_snoop,
+            FaultKind.DUP_SNOOP: self._inject_dup_snoop,
+            FaultKind.BUS_STALL: self._inject_bus_stall,
+            FaultKind.DRAM_JITTER: self._inject_dram_jitter,
+            FaultKind.BACK_INVALIDATE: self._inject_back_invalidate,
+            FaultKind.MODE_SWITCH_STORM: self._inject_mode_storm,
+        }[fault.kind]
+        record = InjectionRecord(
+            fault=fault, cycle=self.system.kernel.now, effect="injected"
+        )
+        handler(fault, record)
+        self.records.append(record)
+        self.system.events.emit(
+            "fault", fault_kind=fault.kind.value, core=fault.core,
+            effect=record.effect, detail=record.detail,
+        )
+
+    # -- targeting helpers -------------------------------------------------
+
+    def _line_is_safe(self, core: int, line: CacheLine) -> bool:
+        """Whether corrupting this copy cannot hit an in-flight transfer."""
+        engine = self.system.engine
+        if engine.transfer_line == line.line_addr:
+            return False
+        if line.handover_ready:
+            # Already promised as a data source; the real fault would be
+            # racing the bus, which this functional model cannot express.
+            return False
+        return not self.system.backend.has_pending_writeback(line.line_addr)
+
+    def _pick_line(
+        self, core: int, pending: Optional[bool]
+    ) -> Optional[CacheLine]:
+        """First valid (index-ordered, hence deterministic) target line.
+
+        ``pending=True`` restricts to lines with an armed countdown,
+        ``pending=False`` to lines without one, ``None`` accepts both.
+        """
+        for line in self.system.caches[core].array._lines:
+            if not line.valid:
+                continue
+            if pending is not None and (line.pending_inv_since is None) == pending:
+                continue
+            if self._line_is_safe(core, line):
+                return line
+        return None
+
+    # -- fault models ------------------------------------------------------
+
+    def _inject_timer_flip(self, fault: Fault, record: InjectionRecord) -> None:
+        cache = self.system.caches[fault.core]
+        register = _MSI_REGISTER if cache.is_msi else cache.theta
+        flipped = register ^ (1 << (fault.arg % TIMER_BITS))
+        if flipped == _MSI_REGISTER:
+            new_theta = MSI_THETA
+        elif flipped == 0:
+            # A zero threshold expires immediately; θ=1 is the closest
+            # representable behaviour of the lazy timer model.
+            new_theta = 1
+        else:
+            new_theta = flipped
+        cache.set_theta(new_theta)
+        record.detail = f"theta {register}->{new_theta} (bit {fault.arg % TIMER_BITS})"
+        if self.plan.response == "degrade_to_msi":
+            self.system.kernel.schedule(
+                self.system.kernel.now + self.plan.detection_latency,
+                PHASE_EFFECT,
+                self._respond_degrade,
+                fault.core,
+                record,
+            )
+
+    def _respond_degrade(self, core: int, record: InjectionRecord) -> None:
+        """Detection hardware noticed the flip: fall back to plain MSI."""
+        cache = self.system.caches[core]
+        if not cache.is_msi:
+            cache.set_theta(MSI_THETA)
+        record.responses.append("degrade_to_msi")
+        self.system.events.emit(
+            "fault_response", response="degrade_to_msi", core=core
+        )
+
+    def _inject_drop_snoop(self, fault: Fault, record: InjectionRecord) -> None:
+        line = self._pick_line(fault.core, pending=True)
+        if line is None:
+            record.effect = "no_target"
+            record.detail = "no pending line to drop a response for"
+            return
+        # The response is lost: the armed countdown is forgotten and any
+        # scheduled expiry event goes stale.  Waiting writers only
+        # recover if a later event re-asserts the snoop — otherwise the
+        # run deadlocks loudly (outstanding-request detection).
+        line.clear_pending()
+        line.generation += 1
+        record.detail = f"line {line.line_addr} lost its pending marking"
+
+    def _inject_dup_snoop(self, fault: Fault, record: InjectionRecord) -> None:
+        line = self._pick_line(fault.core, pending=False)
+        if line is None:
+            record.effect = "no_target"
+            record.detail = "no resident line to re-snoop"
+            return
+        engine = self.system.engine
+        addr = line.line_addr
+        if line.state == LineState.S:
+            # A shared copy answers the phantom request by invalidating —
+            # clean data, so only future hits are lost.
+            line.invalidate()
+            record.detail = f"line {addr} S copy invalidated by phantom snoop"
+        else:
+            # An owner concedes prematurely: the copy spills exactly as a
+            # via-LLC handover would (dirty data written back), so the
+            # value survives while every latency guarantee on it dies.
+            engine._spill_owner(self.system.caches[fault.core], line)
+            record.detail = f"line {addr} M copy conceded to phantom snoop"
+        engine.refresh_snoop(addr)
+        engine.update_line(addr)
+
+    def _inject_bus_stall(self, fault: Fault, record: InjectionRecord) -> None:
+        system = self.system
+        now = system.kernel.now
+        if not system.bus.idle(now):
+            record.effect = "no_target"
+            record.detail = "bus busy; stall folded into the active transfer"
+            return
+        until = system.bus.stall(now, max(1, fault.arg))
+        system.request_arbitration(at=until)
+        record.detail = f"bus blocked until cycle {until}"
+
+    def _inject_dram_jitter(self, fault: Fault, record: InjectionRecord) -> None:
+        system = self.system
+        jitter = max(1, fault.arg)
+        span = max(1, fault.span)
+        system.dram.latency += jitter
+        system.kernel.schedule(
+            system.kernel.now + span, PHASE_EFFECT, self._end_dram_jitter, jitter
+        )
+        record.detail = (
+            f"+{jitter} cycles DRAM latency for {span} cycles"
+            + ("" if not system.config.perfect_llc else " (perfect LLC: inert)")
+        )
+
+    def _end_dram_jitter(self, jitter: int) -> None:
+        self.system.dram.latency -= jitter
+
+    def _inject_back_invalidate(
+        self, fault: Fault, record: InjectionRecord
+    ) -> None:
+        line = self._pick_line(fault.core, pending=None)
+        if line is None:
+            record.effect = "no_target"
+            record.detail = "no resident line to back-invalidate"
+            return
+        system = self.system
+        addr = line.line_addr
+        snap = system.caches[fault.core].back_invalidate(addr)
+        assert snap is not None
+        if snap.dirty:
+            # Real inclusion hardware merges the dirty data on the way out.
+            system.backend.snarf(addr, snap.version, system.kernel.now)
+        system.events.emit(
+            "back_invalidate", core=fault.core, line=addr, dirty=snap.dirty
+        )
+        record.detail = f"line {addr} spuriously back-invalidated"
+        system.engine.refresh_snoop(addr)
+        system.engine.update_line(addr)
+
+    def _inject_mode_storm(self, fault: Fault, record: InjectionRecord) -> None:
+        system = self.system
+        modes = sorted(
+            {m for cache in system.caches for m in cache.lut.modes}
+        ) or [1, 2, 3, 4]
+        count = max(1, fault.arg)
+        spacing = max(1, fault.span)
+        now = system.kernel.now
+        for k in range(count):
+            system.kernel.schedule(
+                now + k * spacing,
+                PHASE_EFFECT,
+                system.switch_mode,
+                modes[k % len(modes)],
+            )
+        record.detail = f"{count} mode switches every {spacing} cycles"
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Injection ledger for campaign reports (JSON-compatible)."""
+        return {
+            "planned": len(self.plan),
+            "injected": sum(1 for r in self.records if r.effect == "injected"),
+            "no_target": sum(1 for r in self.records if r.effect == "no_target"),
+            "responses": sum(len(r.responses) for r in self.records),
+            "records": [r.to_dict() for r in self.records],
+        }

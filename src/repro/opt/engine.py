@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -40,6 +41,67 @@ def _init_fitness_worker(problem: TimerProblem) -> None:
 def _fitness_worker(genes: List[int]) -> float:
     assert _WORKER_PROBLEM is not None, "pool initializer did not run"
     return _WORKER_PROBLEM.fitness(genes)
+
+
+class _PoolEvaluator:
+    """Crash-contained batch fitness evaluator (the GA's ``map_fn``).
+
+    Owns its ``ProcessPoolExecutor`` and submits one future per gene
+    vector.  A worker death breaks the pool — the evaluator then
+    recreates it and re-evaluates every unfinished vector *in-process*
+    (the fitness function is pure), so one poisoned worker never costs a
+    generation its fitness values.  Per-vector exceptions are returned
+    in-slot, matching the ``MapFn`` contract: the GA converts them to
+    worst-fitness failure records instead of aborting.
+    """
+
+    def __init__(self, problem: TimerProblem, jobs: int) -> None:
+        self.problem = problem
+        self.jobs = jobs
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_fitness_worker,
+                initargs=(self.problem,),
+            )
+        return self._pool
+
+    def __call__(self, batch: List[List[int]]) -> List[object]:
+        """Evaluate a batch; failed slots carry the exception instance."""
+        results: List[Optional[object]] = [None] * len(batch)
+        pool = self._ensure_pool()
+        futures = {
+            pool.submit(_fitness_worker, genes): i
+            for i, genes in enumerate(batch)
+        }
+        broken = False
+        for future, i in futures.items():
+            try:
+                results[i] = future.result()
+            except BrokenProcessPool:
+                broken = True
+                break
+            except Exception as exc:
+                results[i] = exc
+        if broken:
+            self.close()
+            for i, genes in enumerate(batch):
+                if results[i] is not None:
+                    continue
+                try:
+                    results[i] = self.problem.fitness(genes)
+                except Exception as exc:
+                    results[i] = exc
+        return results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Shut the worker pool down (recreated lazily on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
 
 @dataclass
@@ -113,18 +175,22 @@ class OptimizationEngine:
         objective_cores: Optional[Sequence[int]] = None,
         jobs: int = 1,
         on_generation: Optional[GenerationCallback] = None,
+        checkpoint_path: Optional[str] = None,
     ) -> OptimizationResult:
         """Optimize the timers of the ``timed`` cores under constraint C1.
 
         ``jobs > 1`` evaluates each generation's *unmemoized* gene vectors
         across that many worker processes; the GA trajectory is identical
         to the serial run (the problem is deterministic and evaluation
-        consumes no GA randomness).
+        consumes no GA randomness).  A crashed worker breaks the pool,
+        but the evaluator re-runs the unfinished vectors in-process and
+        rebuilds the pool, so the run — and its trajectory — survives.
 
         ``on_generation`` is handed through to
         :meth:`~repro.opt.ga.GeneticAlgorithm.run` — e.g. a
         :class:`repro.obs.GAGenerationLog` collecting per-generation
-        telemetry.
+        telemetry.  ``checkpoint_path`` likewise: the GA saves its state
+        there each generation and resumes from it on restart.
         """
         started = time.perf_counter()
         problem = TimerProblem(
@@ -132,25 +198,30 @@ class OptimizationEngine:
             objective_cores=objective_cores,
         )
         if jobs > 1:
-            with ProcessPoolExecutor(
-                max_workers=jobs,
-                initializer=_init_fitness_worker,
-                initargs=(problem,),
-            ) as pool:
+            evaluator = _PoolEvaluator(problem, jobs)
+            try:
                 ga = GeneticAlgorithm(
                     problem.gene_bounds(),
                     problem.fitness,
                     self.ga_config,
-                    map_fn=lambda batch: list(
-                        pool.map(_fitness_worker, batch)
-                    ),
+                    map_fn=evaluator,
                 )
-                result = ga.run(initial=seed_thetas, on_generation=on_generation)
+                result = ga.run(
+                    initial=seed_thetas,
+                    on_generation=on_generation,
+                    checkpoint_path=checkpoint_path,
+                )
+            finally:
+                evaluator.close()
         else:
             ga = GeneticAlgorithm(
                 problem.gene_bounds(), problem.fitness, self.ga_config
             )
-            result = ga.run(initial=seed_thetas, on_generation=on_generation)
+            result = ga.run(
+                initial=seed_thetas,
+                on_generation=on_generation,
+                checkpoint_path=checkpoint_path,
+            )
         evaluation = problem.evaluate(result.best_genes)
         return OptimizationResult(
             thetas=evaluation.thetas,

@@ -5,19 +5,38 @@ The paper solves the timer-optimization problem of Section V with a GA
 tournament selection, uniform + arithmetic crossover, log-scale mutation
 (timer values span 1..2¹⁶, so mutation must be multiplicative to explore
 the range), and elitism.  It *minimises* the fitness function.
+
+Long runs degrade gracefully rather than abort: a fitness evaluation
+that raises (or a ``map_fn`` batch that fails wholesale) is recorded as
+a failure and scored as the worst possible fitness (``inf`` — the GA
+minimises), and ``checkpoint_path`` persists the full GA state after
+every generation so an interrupted run resumes where it stopped.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 FitnessFn = Callable[[Sequence[int]], float]
-#: Batch evaluator: list of gene vectors in, fitness values out (in order).
-MapFn = Callable[[List[List[int]]], Sequence[float]]
+#: Batch evaluator: list of gene vectors in, one entry per vector out, in
+#: order — either a fitness value or an Exception instance for a vector
+#: whose evaluation failed (crashed worker, timeout); exceptions become
+#: worst-fitness failure records instead of aborting the run.
+MapFn = Callable[[List[List[int]]], Sequence[object]]
+
+#: Version tag written into checkpoints; bump on layout changes.
+CHECKPOINT_SCHEMA = 1
+
+#: At most this many per-gene failure records are kept (the counter keeps
+#: counting past it; the records exist for diagnosis, not accounting).
+MAX_FAILURE_RECORDS = 100
 #: Per-generation telemetry hook: called with one record dict after every
 #: evaluated generation (see :meth:`GeneticAlgorithm._generation_record`).
 GenerationCallback = Callable[[Dict[str, Any]], None]
@@ -65,6 +84,12 @@ class GAResult:
     history: List[float] = field(default_factory=list)
     #: Evaluations answered from the gene-vector memo (no fitness call).
     cache_hits: int = 0
+    #: Evaluations that raised (or came back as exceptions from
+    #: ``map_fn``) and were scored as worst fitness instead of aborting.
+    failed_evaluations: int = 0
+    #: Up to :data:`MAX_FAILURE_RECORDS` ``{"genes": [...], "error":
+    #: "..."}`` records describing the failed evaluations.
+    failures: List[Dict[str, Any]] = field(default_factory=list)
 
 
 class GeneticAlgorithm:
@@ -92,6 +117,8 @@ class GeneticAlgorithm:
         self._rng = np.random.default_rng(self.config.seed)
         self._evaluations = 0
         self._cache_hits = 0
+        self._failed_evaluations = 0
+        self._failures: List[Dict[str, Any]] = []
         #: Fitness memo keyed by the (hashable) gene tuple: the GA
         #: re-visits elites and converged individuals constantly, and the
         #: fitness of a deterministic problem never changes.
@@ -151,11 +178,35 @@ class GeneticAlgorithm:
         best = min(idx, key=lambda j: fitness[j])
         return population[best]
 
+    def _record_failure(self, genes: Sequence[int], error: object) -> None:
+        """Account one failed evaluation (kept in the result for diagnosis)."""
+        self._failed_evaluations += 1
+        if len(self._failures) < MAX_FAILURE_RECORDS:
+            self._failures.append(
+                {"genes": [int(g) for g in genes], "error": repr(error)}
+            )
+
+    def _safe_fitness(self, genes: List[int]) -> float:
+        """One fitness call; a raising evaluation scores worst (``inf``).
+
+        The GA minimises, so ``inf`` is the worst possible fitness — a
+        failing individual loses every tournament but the run survives.
+        """
+        try:
+            return float(self.fitness_fn(genes))
+        except Exception as exc:
+            self._record_failure(genes, exc)
+            return float("inf")
+
     def _evaluate_population(self, population: List[List[int]]) -> List[float]:
         """Fitness of every individual, through the memo (and ``map_fn``).
 
         ``evaluations`` counts every *logical* evaluation — memo hits
         included — so the counter stays comparable across configurations.
+        Failures degrade gracefully: an exception entry from ``map_fn``
+        (or a raising serial evaluation) becomes a worst-fitness failure
+        record, and a ``map_fn`` batch that fails wholesale (e.g. its
+        worker pool died) is re-evaluated serially in-process.
         """
         self._evaluations += len(population)
         memo = self._memo
@@ -167,13 +218,35 @@ class GeneticAlgorithm:
             elif key not in fresh:
                 fresh.append(key)
         if fresh:
-            if self.map_fn is not None:
-                values = self.map_fn([list(k) for k in fresh])
-            else:
-                values = [self.fitness_fn(list(k)) for k in fresh]
+            values = self._evaluate_fresh([list(k) for k in fresh])
             for key, value in zip(fresh, values):
-                memo[key] = float(value)
+                memo[key] = value
         return [memo[key] for key in keys]
+
+    def _evaluate_fresh(self, batch: List[List[int]]) -> List[float]:
+        """Evaluate unmemoized gene vectors, surviving evaluator failures."""
+        if self.map_fn is None:
+            return [self._safe_fitness(genes) for genes in batch]
+        try:
+            values = list(self.map_fn(batch))
+            if len(values) != len(batch):
+                raise RuntimeError(
+                    f"map_fn returned {len(values)} values for "
+                    f"{len(batch)} gene vectors"
+                )
+        except Exception as exc:
+            # The whole batch evaluator failed; fall back to in-process
+            # serial evaluation so the generation still completes.
+            self._record_failure([], exc)
+            return [self._safe_fitness(genes) for genes in batch]
+        out: List[float] = []
+        for genes, value in zip(batch, values):
+            if isinstance(value, BaseException):
+                self._record_failure(genes, value)
+                out.append(float("inf"))
+            else:
+                out.append(float(value))  # type: ignore[arg-type]
+        return out
 
     # -- telemetry ---------------------------------------------------------------
 
@@ -216,8 +289,87 @@ class GeneticAlgorithm:
                 self._cache_hits / self._evaluations if self._evaluations else 0.0
             ),
             "stall": stall,
+            "failed_evaluations": self._failed_evaluations,
             "wall_seconds": wall_seconds,
         }
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def _config_fingerprint(self) -> Dict[str, Any]:
+        """What a checkpoint must match to be resumable.
+
+        Excludes ``generations`` on purpose: resuming a finished run with
+        a higher generation budget is the supported way to extend it.
+        """
+        fp = asdict(self.config)
+        fp.pop("generations")
+        return {"schema": CHECKPOINT_SCHEMA, "config": fp,
+                "bounds": [list(b) for b in self.bounds]}
+
+    def _save_checkpoint(
+        self,
+        path: str,
+        population: List[List[int]],
+        fitness: List[float],
+        best_genes: List[int],
+        best_fitness: float,
+        stall: int,
+        generations_run: int,
+        history: List[float],
+    ) -> None:
+        """Atomically persist the complete GA state after a generation."""
+        state = {
+            "fingerprint": self._config_fingerprint(),
+            "population": population,
+            "fitness": fitness,
+            "best_genes": best_genes,
+            "best_fitness": best_fitness,
+            "stall": stall,
+            "generations_run": generations_run,
+            "history": history,
+            "evaluations": self._evaluations,
+            "cache_hits": self._cache_hits,
+            "failed_evaluations": self._failed_evaluations,
+            "failures": self._failures,
+            "memo": [[list(k), v] for k, v in self._memo.items()],
+            "rng_state": self._rng.bit_generator.state,
+        }
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(state, fh)
+            os.replace(tmp, path)
+        except OSError:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def _load_checkpoint(self, path: str) -> Optional[Dict[str, Any]]:
+        """Load and validate a checkpoint; None when absent or mismatched."""
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as fh:
+                state = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(state, dict):
+            return None
+        if state.get("fingerprint") != self._config_fingerprint():
+            return None
+        return state
+
+    def _restore(self, state: Dict[str, Any]) -> None:
+        """Install a loaded checkpoint into this GA's mutable state."""
+        self._evaluations = int(state["evaluations"])
+        self._cache_hits = int(state["cache_hits"])
+        self._failed_evaluations = int(state["failed_evaluations"])
+        self._failures = [dict(f) for f in state["failures"]]
+        self._memo = {tuple(k): float(v) for k, v in state["memo"]}
+        rng = np.random.default_rng()
+        rng.bit_generator.state = state["rng_state"]
+        self._rng = rng
 
     # -- main loop ---------------------------------------------------------------
 
@@ -225,6 +377,7 @@ class GeneticAlgorithm:
         self,
         initial: Optional[Sequence[Sequence[int]]] = None,
         on_generation: Optional[GenerationCallback] = None,
+        checkpoint_path: Optional[str] = None,
     ) -> GAResult:
         """Run the GA; ``initial`` seeds part of the first population.
 
@@ -233,33 +386,60 @@ class GeneticAlgorithm:
         initial population): best/mean fitness, population diversity,
         cumulative evaluation and memo-hit counters, and the wall-clock
         seconds the generation took.
+
+        ``checkpoint_path``, when given, persists the complete GA state
+        (population, memo, RNG stream, counters) to that file after every
+        generation, and — if the file already holds a checkpoint whose
+        configuration matches — resumes from it instead of starting over.
+        Resuming with a larger ``generations`` budget extends a finished
+        run.
         """
         cfg = self.config
         tick = time.perf_counter()
-        population: List[List[int]] = []
-        if initial:
-            population.extend(self._clip(list(ind)) for ind in initial)
-        while len(population) < cfg.population_size:
-            population.append(self._random_individual())
-        population = population[: cfg.population_size]
-        fitness = self._evaluate_population(population)
+        state = (
+            self._load_checkpoint(checkpoint_path) if checkpoint_path else None
+        )
+        if state is not None:
+            self._restore(state)
+            population = [list(ind) for ind in state["population"]]
+            fitness = [float(f) for f in state["fitness"]]
+            history = [float(f) for f in state["history"]]
+            best_genes = list(state["best_genes"])
+            best_fitness = float(state["best_fitness"])
+            stall = int(state["stall"])
+            generations_run = int(state["generations_run"])
+        else:
+            population = []
+            if initial:
+                population.extend(self._clip(list(ind)) for ind in initial)
+            while len(population) < cfg.population_size:
+                population.append(self._random_individual())
+            population = population[: cfg.population_size]
+            fitness = self._evaluate_population(population)
 
-        history: List[float] = []
-        best_idx = int(np.argmin(fitness))
-        best_genes = list(population[best_idx])
-        best_fitness = fitness[best_idx]
-        stall = 0
-        generations_run = 0
-        if on_generation is not None:
-            now = time.perf_counter()
-            on_generation(
-                self._generation_record(
-                    0, population, fitness, best_fitness, stall, now - tick
+            history = []
+            best_idx = int(np.argmin(fitness))
+            best_genes = list(population[best_idx])
+            best_fitness = fitness[best_idx]
+            stall = 0
+            generations_run = 0
+            if on_generation is not None:
+                now = time.perf_counter()
+                on_generation(
+                    self._generation_record(
+                        0, population, fitness, best_fitness, stall, now - tick
+                    )
                 )
-            )
-            tick = now
+                tick = now
+            if checkpoint_path:
+                self._save_checkpoint(
+                    checkpoint_path, population, fitness, best_genes,
+                    best_fitness, stall, generations_run, history,
+                )
 
-        for _gen in range(cfg.generations):
+        for _gen in range(generations_run, cfg.generations):
+            if cfg.stall_generations and stall >= cfg.stall_generations:
+                break
             generations_run += 1
             ranked = sorted(range(len(population)), key=lambda j: fitness[j])
             next_pop: List[List[int]] = [
@@ -293,6 +473,11 @@ class GeneticAlgorithm:
                     )
                 )
                 tick = now
+            if checkpoint_path:
+                self._save_checkpoint(
+                    checkpoint_path, population, fitness, best_genes,
+                    best_fitness, stall, generations_run, history,
+                )
             if cfg.stall_generations and stall >= cfg.stall_generations:
                 break
 
@@ -303,4 +488,6 @@ class GeneticAlgorithm:
             evaluations=self._evaluations,
             history=history,
             cache_hits=self._cache_hits,
+            failed_evaluations=self._failed_evaluations,
+            failures=list(self._failures),
         )

@@ -26,10 +26,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import multiprocessing
 import os
+import signal
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -43,9 +46,24 @@ from repro.sim.trace import Trace
 #: has its own version (:data:`repro.sim.stats.STATS_SCHEMA_VERSION`)
 #: folded into every digest, so growing ``stats_to_dict`` never replays
 #: stale cached dicts that lack the new fields.
-CACHE_VERSION = 1
+#: v2: cache files became self-describing envelopes carrying their own
+#: digest and schema tags (see :meth:`SweepRunner._cache_load`).
+CACHE_VERSION = 2
 
 DEFAULT_CACHE_DIR = os.path.join(".cohort_cache", "sweeps")
+
+
+class JobTimeoutError(RuntimeError):
+    """A sweep job exceeded the runner's per-job ``timeout``.
+
+    Raised *inside* the worker (via ``SIGALRM``) so the process pool
+    stays alive; the runner retries the job up to ``max_retries`` times
+    before giving up with :class:`SweepExecutionError`.
+    """
+
+
+class SweepExecutionError(RuntimeError):
+    """A sweep job could not be completed within the retry budget."""
 
 
 def stats_to_dict(stats: SystemStats) -> dict:
@@ -132,6 +150,30 @@ def _execute(payload: Tuple[dict, bool, int, bool, List[Tuple[list, list, list]]
     return stats_to_dict(stats)
 
 
+def _execute_payload(payload: tuple, timeout: Optional[float]) -> dict:
+    """Worker entry point with an in-worker watchdog.
+
+    The per-job timeout is enforced *inside* the worker with a real-time
+    interval timer (``SIGALRM``): a stuck job raises
+    :class:`JobTimeoutError` back through its future, leaving the worker
+    process — and therefore the whole pool — healthy.  On platforms
+    without ``SIGALRM`` the timeout is a no-op.
+    """
+    if not timeout or not hasattr(signal, "SIGALRM"):
+        return _execute(payload)
+
+    def _alarm(signum: int, frame: object) -> None:
+        raise JobTimeoutError(f"sweep job exceeded timeout of {timeout}s")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return _execute(payload)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def _job_payload(job: SweepJob) -> tuple:
     return (
         config_to_dict(job.config),
@@ -153,10 +195,32 @@ class SweepRunner:
     higher value fans the *uncached* jobs out to worker processes.  The
     on-disk cache is shared between both modes and across runs; set
     ``cache_dir=None`` to disable persistence entirely.
+
+    The parallel path is crash-contained: every job is submitted as its
+    own future, a worker death (``BrokenProcessPool``) quarantines and
+    retries only the jobs that were still uncollected — completed
+    results are kept — and a per-job ``timeout`` is enforced inside the
+    worker so a stuck simulation cannot poison the pool.  Retries are
+    bounded (``max_retries`` per job) with exponential backoff
+    (``backoff_base * 2**n`` seconds); deterministic simulation errors
+    (oracle violations, watchdog limits) are never retried and propagate
+    unchanged.
     """
 
     jobs: int = 1
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR
+    #: Per-job wall-clock timeout in seconds (None = unlimited); enforced
+    #: in-worker via SIGALRM on the parallel path only.
+    timeout: Optional[float] = None
+    #: How many times one job may be re-run after a timeout or worker
+    #: crash before the batch fails with :class:`SweepExecutionError`.
+    max_retries: int = 2
+    #: First-retry backoff in seconds; doubles per subsequent failure.
+    backoff_base: float = 0.05
+    #: Multiprocessing start method for the pool (None = platform
+    #: default).  Tests use "fork" so monkeypatched module state
+    #: propagates into workers.
+    mp_context: Optional[str] = None
     cache_hits: int = 0
     cache_misses: int = 0
     #: Simulations actually executed (cache misses that ran).
@@ -166,6 +230,14 @@ class SweepRunner:
     exec_seconds: float = 0.0
     #: Batches dispatched to the process pool (jobs > 1 only).
     parallel_batches: int = 0
+    #: Pool breakages observed (a worker process died mid-batch).
+    worker_failures: int = 0
+    #: Jobs that hit the per-job timeout (including ones later retried).
+    job_timeouts: int = 0
+    #: Job resubmissions after a timeout or worker crash.
+    job_retries: int = 0
+    #: Total seconds slept in retry backoff.
+    backoff_seconds: float = 0.0
     _memory: Dict[str, dict] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -187,10 +259,36 @@ class SweepRunner:
             return None
         try:
             with open(path) as fh:
-                result = json.load(fh)
+                doc = json.load(fh)
         except (OSError, ValueError):
             return None
+        result = self._validate_entry(key, doc)
+        if result is None:
+            return None
         self._memory[key] = result
+        return result
+
+    @staticmethod
+    def _validate_entry(key: str, doc: object) -> Optional[dict]:
+        """Check a cache file's envelope; any mismatch is a miss.
+
+        Entries are self-describing: they carry the job digest they were
+        stored under plus the cache/stats schema versions they were
+        written with.  A renamed file, a truncated or hand-edited entry,
+        or an entry from a different schema era fails here and gets
+        recomputed instead of being replayed as a wrong result.
+        """
+        if not isinstance(doc, dict):
+            return None
+        if doc.get("digest") != key:
+            return None
+        if doc.get("cache_version") != CACHE_VERSION:
+            return None
+        if doc.get("stats_schema") != STATS_SCHEMA_VERSION:
+            return None
+        result = doc.get("result")
+        if not isinstance(result, dict) or "final_cycle" not in result:
+            return None
         return result
 
     def _cache_store(self, key: str, result: dict) -> None:
@@ -199,11 +297,17 @@ class SweepRunner:
         if path is None:
             return
         os.makedirs(self.cache_dir, exist_ok=True)
+        envelope = {
+            "digest": key,
+            "cache_version": CACHE_VERSION,
+            "stats_schema": STATS_SCHEMA_VERSION,
+            "result": result,
+        }
         # Atomic write: concurrent runners may race on the same key.
         fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(result, fh)
+                json.dump(envelope, fh)
             os.replace(tmp, path)
         except OSError:
             if os.path.exists(tmp):
@@ -231,10 +335,7 @@ class SweepRunner:
             if self.jobs == 1 or len(pending) == 1:
                 fresh = [_execute(p) for p in payloads]
             else:
-                workers = min(self.jobs, len(pending))
-                self.parallel_batches += 1
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    fresh = list(pool.map(_execute, payloads))
+                fresh = self._run_parallel(payloads)
             self.exec_seconds += time.perf_counter() - started
             self.jobs_executed += len(pending)
             for i, result in zip(pending, fresh):
@@ -243,6 +344,93 @@ class SweepRunner:
                 result = json.loads(json.dumps(result))
                 self._cache_store(keys[i], result)
                 results[i] = result
+        return results  # type: ignore[return-value]
+
+    # -- crash-contained parallel execution ----------------------------------
+
+    def _make_pool(self, workers: int) -> ProcessPoolExecutor:
+        ctx = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context
+            else None
+        )
+        return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+
+    def _backoff(self, attempt: int) -> None:
+        """Sleep the exponential backoff for a job's ``attempt``-th retry."""
+        delay = self.backoff_base * (2 ** (attempt - 1))
+        if delay > 0:
+            time.sleep(delay)
+            self.backoff_seconds += delay
+
+    def _retry_or_fail(self, slot: int, attempts: List[int], cause: str) -> None:
+        """Account one failed execution of ``slot``; raise when exhausted."""
+        attempts[slot] += 1
+        if attempts[slot] > self.max_retries:
+            raise SweepExecutionError(
+                f"sweep job {slot} failed {attempts[slot]} times "
+                f"(last cause: {cause}); giving up after "
+                f"max_retries={self.max_retries}"
+            )
+        self.job_retries += 1
+
+    def _run_parallel(self, payloads: List[tuple]) -> List[dict]:
+        """Execute payloads on a process pool, one future per job.
+
+        A worker crash breaks the whole ``ProcessPoolExecutor`` — every
+        uncollected future raises ``BrokenProcessPool``.  Containment
+        works by keeping the results already collected, recreating the
+        pool, and resubmitting only the uncollected jobs with their
+        retry counters bumped: innocents complete on the fresh pool,
+        while a job that deterministically kills its worker exhausts
+        ``max_retries`` and fails the batch with a pointed error.
+        Deterministic simulation exceptions propagate immediately.
+        """
+        self.parallel_batches += 1
+        workers = min(self.jobs, len(payloads))
+        results: List[Optional[dict]] = [None] * len(payloads)
+        attempts = [0] * len(payloads)
+        todo = list(range(len(payloads)))
+        pool = self._make_pool(workers)
+        try:
+            while todo:
+                outstanding = {
+                    pool.submit(_execute_payload, payloads[i], self.timeout): i
+                    for i in todo
+                }
+                todo = []
+                broken = False
+                while outstanding:
+                    done, _ = wait(outstanding, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        slot = outstanding.pop(future)
+                        try:
+                            results[slot] = future.result()
+                        except JobTimeoutError as exc:
+                            self.job_timeouts += 1
+                            self._retry_or_fail(slot, attempts, str(exc))
+                            todo.append(slot)
+                        except BrokenProcessPool:
+                            if not broken:
+                                broken = True
+                                self.worker_failures += 1
+                            self._retry_or_fail(
+                                slot, attempts, "worker process died"
+                            )
+                            todo.append(slot)
+                if broken:
+                    # The executor is unusable after a worker death;
+                    # replace it before resubmitting the survivors.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = self._make_pool(workers)
+                if todo:
+                    todo.sort()
+                    # One backoff per retry round, scaled by the worst
+                    # job's failure count so repeated crashes slow down.
+                    self._backoff(max(attempts[i] for i in todo))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 
     def telemetry(self) -> dict:
@@ -260,6 +448,10 @@ class SweepRunner:
             "jobs_executed": self.jobs_executed,
             "exec_seconds": self.exec_seconds,
             "parallel_batches": self.parallel_batches,
+            "worker_failures": self.worker_failures,
+            "job_timeouts": self.job_timeouts,
+            "job_retries": self.job_retries,
+            "backoff_seconds": self.backoff_seconds,
             "cache_dir": self.cache_dir,
         }
 

@@ -23,7 +23,7 @@ DRAM fetches, back-invalidations — is published on the system's
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.params import SimConfig
 from repro.sim.dram import FixedLatencyDRAM
@@ -116,6 +116,15 @@ class MemoryBackend:
     def has_pending_writeback(self, line_addr: int) -> bool:
         """Whether a write-back for the line is still buffered."""
         return line_addr in self._wbs
+
+    def buffered_version(self, line_addr: int) -> Optional[int]:
+        """Version held by a still-buffered write-back, or ``None``.
+
+        Campaign audits use this to prove the latest golden version of a
+        line is reachable somewhere (cache copy, backend, or this
+        buffer) at end of run."""
+        wb = self._wbs.get(line_addr)
+        return None if wb is None else wb.version
 
     def pending_writeback_count(self) -> int:
         """Write-backs currently buffered (draining or awaiting the bus).

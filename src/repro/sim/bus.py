@@ -53,3 +53,17 @@ class SharedBus:
         if now < self._busy_until:
             raise RuntimeError("bus released before the job completed")
         self._current = None
+
+    def stall(self, now: int, duration: int) -> int:
+        """Externally-injected occupancy without a job (fault injection).
+
+        Extends ``busy_until`` so no grant can happen before the stall
+        ends; there is no current job and no release is required.  The
+        caller is responsible for re-requesting arbitration at the
+        returned cycle.  Only :mod:`repro.fi` uses this — the protocol
+        engine itself always occupies the bus through :meth:`grant`.
+        """
+        if duration < 1:
+            raise ValueError("bus stall must be at least one cycle")
+        self._busy_until = max(self._busy_until, now + duration)
+        return self._busy_until

@@ -46,9 +46,13 @@ BACKEND_EVENTS: Tuple[str, ...] = (
     "back_invalidate",
 )
 SYSTEM_EVENTS: Tuple[str, ...] = ("mode_switch",)
+#: Emitted only by :mod:`repro.fi` when a fault plan is armed; never
+#: published on a fault-free run.
+FAULT_EVENTS: Tuple[str, ...] = ("fault", "fault_response")
 
 EVENT_KINDS: Tuple[str, ...] = (
-    CORE_EVENTS + BUS_EVENTS + PROTOCOL_EVENTS + BACKEND_EVENTS + SYSTEM_EVENTS
+    CORE_EVENTS + BUS_EVENTS + PROTOCOL_EVENTS + BACKEND_EVENTS
+    + SYSTEM_EVENTS + FAULT_EVENTS
 )
 
 #: Event kind → the layer that emits it (see ``docs/protocol.md``).
@@ -58,6 +62,7 @@ LAYER_OF: Dict[str, str] = {
     **{k: "protocol" for k in PROTOCOL_EVENTS},
     **{k: "backend" for k in BACKEND_EVENTS},
     **{k: "system" for k in SYSTEM_EVENTS},
+    **{k: "fault" for k in FAULT_EVENTS},
 }
 
 class _ListenerList(List[Listener]):

@@ -28,7 +28,11 @@ activity happens at integer cycles, ordered by the phases of
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fi.injector import FaultInjector
+    from repro.fi.plan import FaultPlan
 
 from repro.params import MemOp, SimConfig
 from repro.sim.arbiter import Arbiter, build_arbiter
@@ -72,11 +76,17 @@ class System:
         traces: Sequence[Trace],
         record_latencies: bool = False,
         fast_path: bool = True,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         """``fast_path=False`` disables inline hit batching (one heap
         event per access, the seed engine's behaviour); results are
         cycle-identical either way — the flag exists so the regression
-        suite can assert exactly that."""
+        suite can assert exactly that.
+
+        ``fault_plan`` arms a :class:`repro.fi.injector.FaultInjector`
+        over this system; with the default ``None`` the fault layer is
+        never imported or constructed and cycle counts are byte-identical
+        to a build without it (the throughput gate asserts this)."""
         if len(traces) != config.num_cores:
             raise ValueError(
                 f"{config.num_cores} cores but {len(traces)} traces supplied"
@@ -96,8 +106,12 @@ class System:
             )
             for i in range(config.num_cores)
         ]
+        #: Operating mode last programmed through :meth:`switch_mode`
+        #: (None until the first run-time switch; Section VI).
+        self.current_mode: Optional[int] = None
         self.oracle = CoherenceOracle(
-            config.check_coherence, self.caches, lambda: self.kernel.now
+            config.check_coherence, self.caches, lambda: self.kernel.now,
+            core_info=self._oracle_core_info,
         )
         self.engine = ProtocolEngine(self)
         self.backend.attach(self)
@@ -138,6 +152,16 @@ class System:
         self._arb_scheduled_at: Optional[int] = None
         self._done_count = 0
         self._started = False
+
+        #: Armed fault injector, or None on a fault-free run.  Built
+        #: last so the injector sees a fully-wired system; imported
+        #: lazily so fault-free runs never touch :mod:`repro.fi`.
+        self.injector: Optional["FaultInjector"] = None
+        if fault_plan is not None:
+            from repro.fi.injector import FaultInjector
+
+            self.injector = FaultInjector(self, fault_plan)
+            self.injector.arm()
 
     # ------------------------------------------------------------ properties
 
@@ -336,10 +360,18 @@ class System:
 
     def switch_mode(self, mode: int) -> None:
         """Program every cache controller from its Mode-Switch LUT."""
+        self.current_mode = mode
         for cache in self.caches:
             if mode in cache.lut:
                 cache.apply_mode(mode)
         self.events.emit("mode_switch", mode=mode, thetas=self.config_thetas())
+
+    def _oracle_core_info(self, core_id: int) -> Dict[str, object]:
+        """Context the oracle folds into violation diagnostics."""
+        return {
+            "criticality": self.config.core_config(core_id).criticality,
+            "mode": self.current_mode,
+        }
 
     def config_thetas(self) -> List[int]:
         """The timer registers as currently programmed (may differ from
@@ -352,8 +384,10 @@ def run_simulation(
     traces: Sequence[Trace],
     record_latencies: bool = False,
     fast_path: bool = True,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> SystemStats:
     """Convenience wrapper: build a :class:`System`, run it, return stats."""
     return System(
-        config, traces, record_latencies=record_latencies, fast_path=fast_path
+        config, traces, record_latencies=record_latencies, fast_path=fast_path,
+        fault_plan=fault_plan,
     ).run()

@@ -204,3 +204,100 @@ class TestTelemetryCommands:
 
     def test_metrics_missing_file(self, capsys, tmp_path):
         assert main(["metrics", str(tmp_path / "nope.json")]) == 1
+
+
+class TestFaultsCommand:
+    def test_faults_small_campaign(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "matrix.json"
+        rc = main(
+            ["faults", "-b", "water", "--campaigns", "7", "--seed", "0",
+             "--scale", "0.25", "--json-out", str(out)]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "fault kind" in text and "silent_corruption" in text
+        doc = json.loads(out.read_text())
+        assert doc["totals"]["silent_corruption"] == 0
+        assert len(doc["campaigns"]) == 7
+
+    def test_faults_kind_filter(self, capsys):
+        rc = main(
+            ["faults", "-b", "water", "--campaigns", "2", "--scale", "0.25",
+             "--kinds", "dram_jitter"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dram_jitter" in out
+        assert "timer_flip" not in out
+
+    def test_faults_rejects_unknown_kind(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--kinds", "gremlins"])
+
+    def test_faults_nonzero_exit_on_silent_corruption(
+        self, capsys, monkeypatch
+    ):
+        import repro.fi.campaign as campaign_mod
+
+        monkeypatch.setattr(
+            campaign_mod, "audit_system", lambda system: ["fabricated"]
+        )
+        rc = main(
+            ["faults", "-b", "water", "--campaigns", "1", "--scale", "0.25",
+             "--kinds", "dram_jitter"]
+        )
+        assert rc == 1
+        assert "SILENT CORRUPTION" in capsys.readouterr().err
+
+
+class TestSimulateDiagnostics:
+    def test_coherence_violation_is_one_line_with_hint(
+        self, capsys, monkeypatch
+    ):
+        import repro.cli as cli_mod
+        from repro.sim.oracle import CoherenceViolationError
+
+        def exploding(config, traces, **kw):
+            raise CoherenceViolationError(
+                "stale value", core=1, line=64, cycle=123
+            )
+
+        monkeypatch.setattr(cli_mod, "run_simulation", exploding)
+        rc = main(["simulate", "-b", "water", "--scale", "0.25"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "coherence violation" in err
+        assert "stale value" in err
+        assert "--trace-out" in err
+
+    def test_simulation_limit_is_one_line_with_hint(
+        self, capsys, monkeypatch
+    ):
+        import repro.cli as cli_mod
+        from repro.sim.kernel import SimulationLimitError
+
+        def exploding(config, traces, **kw):
+            raise SimulationLimitError("exceeded 100 cycles")
+
+        monkeypatch.setattr(cli_mod, "run_simulation", exploding)
+        rc = main(["simulate", "-b", "water", "--scale", "0.25"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "simulation limit" in err
+        assert "--trace-out" in err
+
+    def test_optimize_checkpoint_round_trip(self, capsys, tmp_path):
+        ckpt = tmp_path / "ga.json"
+        args = ["optimize", "-b", "water", "--scale", "0.3",
+                "--population", "6", "--generations", "2",
+                "--checkpoint", str(ckpt)]
+        assert main(args) == 0
+        assert ckpt.exists()
+        first = capsys.readouterr().out
+        assert main(args) == 0  # resumes (and re-reports) without error
+        assert "optimized thetas" in capsys.readouterr().out
+        assert "optimized thetas" in first

@@ -167,6 +167,7 @@ class TestCountsAndLayers:
             "protocol",
             "backend",
             "system",
+            "fault",
         }
 
     def test_layer_counts_aggregate(self):
