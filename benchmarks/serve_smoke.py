@@ -1,0 +1,147 @@
+"""CI smoke test for ``cohort serve``: the real process, the real signal.
+
+Starts ``python -m repro.cli serve`` as a subprocess, has two concurrent
+clients submit the same batch (round 1), repeats the batch (round 2,
+which must be >= 90% cache hits), saves a ``/metrics`` snapshot, then
+sends SIGTERM and requires a clean graceful drain (exit code 0, final
+metrics snapshot written).
+
+Exit code is the assertion — non-zero on any failure.
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py [artifact_dir]
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+
+PORT = int(os.environ.get("SERVE_SMOKE_PORT", "8791"))
+ART_DIR = sys.argv[1] if len(sys.argv) > 1 else "serve-artifacts"
+
+SPECS = [
+    {"benchmark": "fft", "thetas": thetas, "scale": 0.1, "seed": 0}
+    for thetas in (
+        [60, 20, 20, 20],
+        [120, 60, 20, 20],
+        [300, 60, 60, 60],
+    )
+]
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL — {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_healthy(client, deadline=30.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        try:
+            doc = client.healthz()
+            if doc["status"] == "ok":
+                return
+        except Exception:
+            pass
+        time.sleep(0.2)
+    fail("server never became healthy")
+
+
+def submit_round(client, label):
+    """Two concurrent clients submit the same batch; every job must land."""
+    outcomes = [None, None]
+
+    def one_client(slot):
+        local = ServeClient(f"http://127.0.0.1:{PORT}", timeout=60.0)
+        outcomes[slot] = local.submit_and_wait(
+            SPECS, max_retries=20, timeout=300
+        )
+
+    threads = [
+        threading.Thread(target=one_client, args=(slot,)) for slot in (0, 1)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+    for slot, records in enumerate(outcomes):
+        if records is None:
+            fail(f"{label}: client {slot} did not finish")
+        for record in records:
+            if record["status"] != "done":
+                fail(f"{label}: job {record['id']} -> {record['status']} "
+                     f"({record['error']})")
+    payloads = [
+        json.dumps([r["result"] for r in records], sort_keys=True)
+        for records in outcomes
+    ]
+    if payloads[0] != payloads[1]:
+        fail(f"{label}: the two clients disagree on results")
+    print(f"serve_smoke: {label} ok "
+          f"({2 * len(SPECS)} jobs across 2 clients)")
+
+
+def main():
+    os.makedirs(ART_DIR, exist_ok=True)
+    final_metrics = os.path.join(ART_DIR, "final.metrics.json")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), "src") if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", str(PORT), "--jobs", "2",
+            "--max-batch", "8", "--batch-window", "0.05",
+            "--queue-limit", "32",
+            "--cache-dir", os.path.join(ART_DIR, "cache"),
+            "--metrics-out", final_metrics,
+        ],
+        env=env,
+    )
+    try:
+        client = ServeClient(f"http://127.0.0.1:{PORT}", timeout=30.0)
+        wait_healthy(client)
+
+        submit_round(client, "round 1")
+        before = client.metrics()["runner"]
+        submit_round(client, "round 2 (duplicate)")
+        after = client.metrics()
+
+        delta_hits = after["runner"]["cache_hits"] - before["cache_hits"]
+        delta_misses = (
+            after["runner"]["cache_misses"] - before["cache_misses"]
+        )
+        round2_jobs = 2 * len(SPECS)
+        hit_rate = delta_hits / round2_jobs
+        print(f"serve_smoke: round-2 cache hits {delta_hits}/{round2_jobs} "
+              f"(misses {delta_misses})")
+        if hit_rate < 0.9:
+            fail(f"round-2 cache hit rate {hit_rate:.2f} < 0.90")
+
+        with open(os.path.join(ART_DIR, "metrics.json"), "w") as fh:
+            json.dump(after, fh, indent=2)
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        if code != 0:
+            fail(f"server exited {code} after SIGTERM")
+        if not os.path.exists(final_metrics):
+            fail("no final metrics snapshot written on drain")
+        print("serve_smoke: clean SIGTERM drain, exit 0")
+        print("serve_smoke: PASS")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

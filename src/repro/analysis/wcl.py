@@ -62,7 +62,13 @@ def wcl_miss_all(thetas: Sequence[int], slot_width: int) -> List[int]:
 def wcl_miss_shared_wb(
     thetas: Sequence[int], core_id: int, slot_width: int
 ) -> int:
-    """Equation 1 plus one write-back slot per core (shared-WB-bus option)."""
+    """Equation 1 plus one write-back slot per core (shared-WB-bus option).
+
+    The one-slot-per-core budget relies on RROF consuming a core's turn
+    when a bus write-back drains (``Arbiter.on_writeback_completed``):
+    a core cannot drain two buffered write-backs ahead of another core's
+    waiting request.
+    """
     return wcl_miss(thetas, core_id, slot_width) + len(thetas) * slot_width
 
 

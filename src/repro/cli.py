@@ -508,6 +508,78 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``cohort serve``: the batched, backpressured simulation service."""
+    import asyncio
+
+    from repro.runner import SweepRunner
+    from repro.serve import BatchingService, run_server
+
+    runner_kwargs = dict(jobs=args.jobs, timeout=args.job_timeout)
+    if args.cache_dir is not None:
+        runner_kwargs["cache_dir"] = args.cache_dir
+    runner = SweepRunner(**runner_kwargs)
+    service = BatchingService(
+        runner,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        queue_limit=args.queue_limit,
+        retry_after=args.retry_after,
+    )
+    asyncio.run(
+        run_server(
+            service, args.host, args.port, metrics_out=args.metrics_out
+        )
+    )
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """``cohort submit``: send jobs to a running ``cohort serve``."""
+    from repro.serve import BackpressureError, ServeClient
+
+    theta_sets = args.theta_set or [args.thetas]
+    specs = [
+        {
+            "benchmark": args.benchmark,
+            "thetas": thetas,
+            "scale": args.scale,
+            "seed": args.seed,
+        }
+        for thetas in theta_sets
+    ]
+    client = ServeClient(args.url, timeout=args.timeout)
+    try:
+        accepted = client.submit(specs, max_retries=args.max_retries)
+    except BackpressureError as exc:
+        print(
+            f"rejected: queue full (server suggests retrying in "
+            f"{exc.retry_after}s)",
+            file=sys.stderr,
+        )
+        return 1
+    for doc in accepted:
+        print(f"accepted {doc['id']} ({doc['spec']['thetas']})")
+    if args.no_wait:
+        return 0
+    records = client.wait(
+        [doc["id"] for doc in accepted], timeout=args.timeout
+    )
+    status = 0
+    for doc in accepted:
+        record = records[doc["id"]]
+        if record["status"] == "done":
+            result = record["result"]
+            print(
+                f"{doc['id']}: done final_cycle={result['final_cycle']:,} "
+                f"execution_time={result['execution_time']:,}"
+            )
+        else:
+            print(f"{doc['id']}: FAILED — {record['error']}", file=sys.stderr)
+            status = 1
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``cohort`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -634,6 +706,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("files", nargs="+",
                    help="files written by --trace-out/--metrics-out")
     p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "serve",
+        help="batched, backpressured simulation service over HTTP",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port (0 = ephemeral; the bound port is printed)")
+    p.add_argument("-j", "--jobs", type=_positive_int, default=1,
+                   help="worker processes of the underlying sweep runner")
+    p.add_argument("--max-batch", type=_positive_int, default=8,
+                   help="largest batch dispatched to the runner")
+    p.add_argument("--batch-window", type=float, default=0.05,
+                   help="seconds to wait for submissions to coalesce")
+    p.add_argument("--queue-limit", type=_positive_int, default=64,
+                   help="admission queue bound; beyond it submissions "
+                        "get 429 + Retry-After")
+    p.add_argument("--retry-after", type=float, default=0.5,
+                   help="Retry-After hint (seconds) on backpressure")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory shared by all clients "
+                        "(default: the runner's standard cache)")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="per-job wall-clock timeout in seconds")
+    p.add_argument("--metrics-out", default=None,
+                   help="write a final /metrics snapshot here on drain")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit jobs to a running serve")
+    p.add_argument("--url", default="http://127.0.0.1:8765")
+    p.add_argument("-b", "--benchmark", default="fft")
+    p.add_argument("-t", "--thetas", type=int, nargs="+",
+                   default=[100, 20, 20, 20])
+    p.add_argument("--theta-set", type=int, nargs="+", action="append",
+                   help="repeatable: one job per timer vector")
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="retries after a 429 before giving up")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="client-side wait timeout in seconds")
+    p.add_argument("--no-wait", action="store_true",
+                   help="submit and exit without polling for results")
+    p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser("characterize", help="workload characterisation")
     _add_common(p)

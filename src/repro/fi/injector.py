@@ -192,13 +192,15 @@ class FaultInjector:
     def _inject_bus_stall(self, fault: Fault, record: InjectionRecord) -> None:
         system = self.system
         now = system.kernel.now
-        if not system.bus.idle(now):
-            record.effect = "no_target"
-            record.detail = "bus busy; stall folded into the active transfer"
-            return
         until = system.bus.stall(now, max(1, fault.arg))
         system.request_arbitration(at=until)
-        record.detail = f"bus blocked until cycle {until}"
+        if system.bus.current_job is not None:
+            record.detail = (
+                f"bus blocked until cycle {until} "
+                "(stall overlaps the in-flight transfer)"
+            )
+        else:
+            record.detail = f"bus blocked until cycle {until}"
 
     def _inject_dram_jitter(self, fault: Fault, record: InjectionRecord) -> None:
         system = self.system

@@ -25,6 +25,7 @@ from repro.obs.ga_log import GAGenerationLog, load_jsonl
 from repro.obs.metrics import LatencyHistogram, MetricsCollector, log2_bucket
 from repro.obs.report import (
     RUN_REPORT_SCHEMA,
+    SERVE_METRICS_SCHEMA,
     SWEEP_METRICS_SCHEMA,
     build_run_report,
     classify,
@@ -37,6 +38,7 @@ from repro.obs.telemetry import Telemetry
 __all__ = [
     "PHASES",
     "RUN_REPORT_SCHEMA",
+    "SERVE_METRICS_SCHEMA",
     "SWEEP_METRICS_SCHEMA",
     "TRACE_EVENT_SCHEMA",
     "GAGenerationLog",

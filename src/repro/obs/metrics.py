@@ -77,6 +77,26 @@ class LatencyHistogram:
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
 
+    def percentile(self, q: float) -> int:
+        """Upper bound of the bucket holding the ``q``-quantile.
+
+        Conservative by construction: the returned value is the largest
+        latency the bucket can contain, so ``percentile(0.95)`` is an
+        upper bound on the true p95 (used by the serve layer to report
+        queue-wait and batch-size quantiles without storing samples).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.total == 0:
+            return 0
+        need = q * self.total
+        seen = 0
+        for bucket in sorted(self.counts):
+            seen += self.counts[bucket]
+            if seen >= need:
+                return bucket_range(bucket)[1]
+        return bucket_range(max(self.counts))[1]
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible form: bucket counts, total and extrema."""
         return {

@@ -26,6 +26,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 RUN_REPORT_SCHEMA = "repro.obs/run_report/1"
 #: Schema tag stamped into sweep / optimizer metrics documents.
 SWEEP_METRICS_SCHEMA = "repro.obs/sweep_metrics/1"
+#: Schema tag stamped into ``cohort serve`` /metrics snapshots.
+SERVE_METRICS_SCHEMA = "repro.obs/serve_metrics/1"
 
 
 def build_run_report(
@@ -88,6 +90,8 @@ def classify(doc: Any) -> str:
         return "run_report"
     if doc.get("schema") == SWEEP_METRICS_SCHEMA:
         return "sweep_metrics"
+    if doc.get("schema") == SERVE_METRICS_SCHEMA:
+        return "serve_metrics"
     if "traceEvents" in doc:
         return "trace_events"
     return "unknown"
@@ -155,6 +159,31 @@ def _summarise_sweep_metrics(doc: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _summarise_serve_metrics(doc: Dict[str, Any]) -> str:
+    service = doc.get("service", {})
+    runner = doc.get("runner", {})
+    batches = service.get("batches", 0)
+    dispatched = service.get("jobs_dispatched", 0)
+    avg_batch = dispatched / batches if batches else 0.0
+    lines = [
+        f"serve metrics: {doc.get('label', 'serve')} "
+        f"queue={service.get('queue_depth', 0)}"
+        f"/{service.get('queue_limit', 0)} "
+        f"submitted={service.get('jobs_submitted', 0)} "
+        f"rejected={service.get('jobs_rejected', 0)} "
+        f"completed={service.get('jobs_completed', 0)} "
+        f"failed={service.get('jobs_failed', 0)}",
+        f"  batches={batches} avg_batch={avg_batch:.2f} "
+        f"p95_queue_wait_ms<={service.get('queue_wait_ms_p95', 0)} "
+        f"draining={service.get('draining', False)}",
+        f"  runner: cache_hits={runner.get('cache_hits', 0)} "
+        f"cache_misses={runner.get('cache_misses', 0)} "
+        f"hit_rate={runner.get('cache_hit_rate', 0.0):.3f} "
+        f"worker_failures={runner.get('worker_failures', 0)}",
+    ]
+    return "\n".join(lines)
+
+
 def _summarise_ga(rows: List[Dict[str, Any]]) -> str:
     if not rows:
         return "GA generation log: empty"
@@ -192,6 +221,8 @@ def summarise(doc: Any) -> str:
         return _summarise_trace_events(doc)
     if shape == "sweep_metrics":
         return _summarise_sweep_metrics(doc)
+    if shape == "serve_metrics":
+        return _summarise_serve_metrics(doc)
     if shape == "ga_generations":
         return _summarise_ga(doc)
     return "unrecognised telemetry document (no schema tag or known shape)"

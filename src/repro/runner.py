@@ -238,13 +238,44 @@ class SweepRunner:
     job_retries: int = 0
     #: Total seconds slept in retry backoff.
     backoff_seconds: float = 0.0
+    #: Cache stores that failed (OSError stores are dropped — the cache
+    #: is best-effort — non-OSError failures also reraise).
+    cache_store_failures: int = 0
+    #: Orphaned ``*.tmp`` files removed from ``cache_dir`` at init.
+    cache_tmp_swept: int = 0
+    #: Last cache-store failure, ``"ExcType: message"`` (for telemetry).
+    cache_store_last_error: Optional[str] = None
     _memory: Dict[str, dict] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        self._sweep_orphan_tmp()
 
     # -- cache ---------------------------------------------------------------
+
+    def _sweep_orphan_tmp(self) -> None:
+        """Remove ``*.tmp`` files a crashed store left in ``cache_dir``.
+
+        Only files from this runner's own mkstemp pattern are touched; a
+        concurrently live runner's in-flight temp file may be swept too,
+        which costs that runner one dropped store (best-effort anyway),
+        never a corrupt entry — the atomic ``os.replace`` would simply
+        fail.
+        """
+        if self.cache_dir is None or not os.path.isdir(self.cache_dir):
+            return
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return
+        for name in names:
+            if name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.cache_dir, name))
+                except OSError:
+                    continue
+                self.cache_tmp_swept += 1
 
     def _cache_path(self, key: str) -> Optional[str]:
         if self.cache_dir is None:
@@ -296,7 +327,6 @@ class SweepRunner:
         path = self._cache_path(key)
         if path is None:
             return
-        os.makedirs(self.cache_dir, exist_ok=True)
         envelope = {
             "digest": key,
             "cache_version": CACHE_VERSION,
@@ -304,29 +334,62 @@ class SweepRunner:
             "result": result,
         }
         # Atomic write: concurrent runners may race on the same key.
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        except OSError as exc:
+            self._record_store_failure(exc)
+            return
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(envelope, fh)
             os.replace(tmp, path)
-        except OSError:
+        except OSError as exc:
+            # Disk full, permissions, … — the cache is best-effort, the
+            # in-memory copy stands, the sweep proceeds.
+            self._record_store_failure(exc)
+        except BaseException as exc:
+            # A non-IO failure (e.g. an unserialisable result) is a
+            # programming error: record it, then let it propagate.
+            self._record_store_failure(exc)
+            raise
+        finally:
             if os.path.exists(tmp):
-                os.unlink(tmp)
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def _record_store_failure(self, exc: BaseException) -> None:
+        self.cache_store_failures += 1
+        self.cache_store_last_error = f"{type(exc).__name__}: {exc}"
 
     # -- execution -----------------------------------------------------------
 
     def run(self, jobs: Sequence[SweepJob]) -> List[dict]:
-        """Run a batch; returns one result dict per job, in order."""
+        """Run a batch; returns one result dict per job, in order.
+
+        Identical jobs (same content digest) within one batch execute
+        once: duplicates are counted as cache hits and served the single
+        execution's result — the serving layer batches submissions from
+        many clients, where duplicate jobs are the common case.
+        """
         keys = [job.digest() for job in jobs]
         results: List[Optional[dict]] = [None] * len(jobs)
         pending: List[int] = []
+        first_slot: Dict[str, int] = {}
+        duplicates: Dict[str, List[int]] = {}
         for i, key in enumerate(keys):
             cached = self._cache_load(key)
             if cached is not None:
                 self.cache_hits += 1
                 results[i] = cached
+            elif key in first_slot:
+                self.cache_hits += 1
+                duplicates.setdefault(key, []).append(i)
             else:
                 self.cache_misses += 1
+                first_slot[key] = i
                 pending.append(i)
 
         if pending:
@@ -344,6 +407,8 @@ class SweepRunner:
                 result = json.loads(json.dumps(result))
                 self._cache_store(keys[i], result)
                 results[i] = result
+                for dup in duplicates.get(keys[i], ()):
+                    results[dup] = result
         return results  # type: ignore[return-value]
 
     # -- crash-contained parallel execution ----------------------------------
@@ -452,6 +517,9 @@ class SweepRunner:
             "job_timeouts": self.job_timeouts,
             "job_retries": self.job_retries,
             "backoff_seconds": self.backoff_seconds,
+            "cache_store_failures": self.cache_store_failures,
+            "cache_store_last_error": self.cache_store_last_error,
+            "cache_tmp_swept": self.cache_tmp_swept,
             "cache_dir": self.cache_dir,
         }
 

@@ -1,0 +1,48 @@
+"""The serving layer: a batched, backpressured simulation service.
+
+``cohort serve`` turns the repository's :class:`~repro.runner.SweepRunner`
+into a long-lived JSON-over-HTTP service: submissions from many clients
+are coalesced into runner batches inside a micro-batching window, share
+one on-disk result cache, and are admission-controlled by a bounded
+queue with explicit backpressure.  See ``docs/serving.md``.
+
+Public surface:
+
+* :class:`BatchingService` — queue + batcher over one runner,
+* :class:`JobSpec` / :class:`JobRecord` — submissions and their lifecycle,
+* :class:`ServeApp` / :func:`run_server` — the asyncio HTTP front-end,
+* :class:`ServerThread` — in-process server for tests/benchmarks,
+* :class:`ServeClient` — synchronous stdlib client (``cohort submit``).
+"""
+
+from repro.serve.client import (
+    BackpressureError,
+    ServeClient,
+    ServeClientError,
+)
+from repro.serve.server import ServeApp, ServerThread, run_server
+from repro.serve.service import (
+    BatchingService,
+    DrainingError,
+    JobRecord,
+    JobSpec,
+    JobSpecError,
+    QueueFullError,
+    ServeError,
+)
+
+__all__ = [
+    "BackpressureError",
+    "BatchingService",
+    "DrainingError",
+    "JobRecord",
+    "JobSpec",
+    "JobSpecError",
+    "QueueFullError",
+    "ServeApp",
+    "ServeClient",
+    "ServeClientError",
+    "ServeError",
+    "ServerThread",
+    "run_server",
+]

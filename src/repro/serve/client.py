@@ -1,0 +1,193 @@
+"""A synchronous stdlib client for ``cohort serve``.
+
+One class, no dependencies: submit jobs, honour backpressure
+(``429`` + ``Retry-After``), poll until completion, read health and
+metrics.  Used by ``cohort submit``, the serve benchmarks and the CI
+smoke script — and small enough to copy into an external driver.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.serve.service import JobSpec, ServeError
+
+SpecLike = Union[JobSpec, Dict[str, Any]]
+
+
+class ServeClientError(ServeError):
+    """An HTTP request to the service failed."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class BackpressureError(ServeClientError):
+    """The service rejected the submission with a full admission queue."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message, status=429)
+        self.retry_after = retry_after
+
+
+def _spec_doc(spec: SpecLike) -> Dict[str, Any]:
+    if isinstance(spec, JobSpec):
+        return spec.to_dict()
+    return dict(spec)
+
+
+class ServeClient:
+    """Talks to one ``cohort serve`` endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        parsed = urllib.parse.urlparse(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError("only http:// endpoints are supported")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8765
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, doc: Optional[Any] = None
+    ) -> tuple:
+        body = None
+        headers = {}
+        if doc is not None:
+            body = json.dumps(doc)
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+        finally:
+            conn.close()
+        try:
+            parsed = json.loads(payload) if payload else None
+        except ValueError:
+            parsed = None
+        return response.status, dict(response.getheaders()), parsed
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """Return the server's health document (``GET /healthz``)."""
+        status, _, doc = self._request("GET", "/healthz")
+        if status != 200 or not isinstance(doc, dict):
+            raise ServeClientError(f"healthz returned {status}", status)
+        return doc
+
+    def metrics(self) -> Dict[str, Any]:
+        """Return the server's metrics document (``GET /metrics``)."""
+        status, _, doc = self._request("GET", "/metrics")
+        if status != 200 or not isinstance(doc, dict):
+            raise ServeClientError(f"metrics returned {status}", status)
+        return doc
+
+    def submit(
+        self,
+        specs: Sequence[SpecLike],
+        *,
+        max_retries: int = 0,
+        backoff: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Submit one batch; returns the accepted job documents.
+
+        A ``429`` is retried up to ``max_retries`` times, sleeping the
+        server-provided ``Retry-After`` (or ``backoff``) between
+        attempts; when retries run out a :class:`BackpressureError`
+        carries the hint so callers can implement their own policy.
+        """
+        payload = {"jobs": [_spec_doc(spec) for spec in specs]}
+        attempt = 0
+        while True:
+            status, headers, doc = self._request("POST", "/jobs", payload)
+            if status == 202 and isinstance(doc, dict):
+                return list(doc.get("jobs", []))
+            if status == 429:
+                retry_after = self._retry_after(headers, doc, backoff)
+                if attempt >= max_retries:
+                    raise BackpressureError(
+                        f"queue full after {attempt + 1} attempt(s)",
+                        retry_after=retry_after,
+                    )
+                attempt += 1
+                time.sleep(retry_after)
+                continue
+            detail = doc.get("error") if isinstance(doc, dict) else None
+            raise ServeClientError(
+                f"submit returned {status}: {detail or 'no detail'}", status
+            )
+
+    @staticmethod
+    def _retry_after(
+        headers: Dict[str, str], doc: Any, fallback: Optional[float]
+    ) -> float:
+        for key, value in headers.items():
+            if key.lower() == "retry-after":
+                try:
+                    return float(value)
+                except ValueError:
+                    break
+        if isinstance(doc, dict) and isinstance(
+            doc.get("retry_after"), (int, float)
+        ):
+            return float(doc["retry_after"])
+        return fallback if fallback is not None else 0.5
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """Fetch one job record (``GET /jobs/<id>``); 404 raises."""
+        status, _, doc = self._request("GET", f"/jobs/{job_id}")
+        if status != 200 or not isinstance(doc, dict):
+            raise ServeClientError(f"job {job_id} returned {status}", status)
+        return doc
+
+    def wait(
+        self,
+        job_ids: Sequence[str],
+        *,
+        timeout: float = 600.0,
+        poll: float = 0.05,
+    ) -> Dict[str, Dict[str, Any]]:
+        """Poll until every job is done or failed; id → final record."""
+        deadline = time.monotonic() + timeout
+        finished: Dict[str, Dict[str, Any]] = {}
+        pending = list(job_ids)
+        while pending:
+            still_pending = []
+            for job_id in pending:
+                record = self.job(job_id)
+                if record["status"] in ("done", "failed"):
+                    finished[job_id] = record
+                else:
+                    still_pending.append(job_id)
+            pending = still_pending
+            if pending:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"{len(pending)} job(s) still pending after "
+                        f"{timeout}s: {pending[:4]}"
+                    )
+                time.sleep(poll)
+        return finished
+
+    def submit_and_wait(
+        self,
+        specs: Sequence[SpecLike],
+        *,
+        max_retries: int = 0,
+        timeout: float = 600.0,
+        poll: float = 0.05,
+    ) -> List[Dict[str, Any]]:
+        """Submit then wait; returns final records in submission order."""
+        accepted = self.submit(specs, max_retries=max_retries)
+        ids = [doc["id"] for doc in accepted]
+        finished = self.wait(ids, timeout=timeout, poll=poll)
+        return [finished[job_id] for job_id in ids]

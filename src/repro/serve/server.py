@@ -1,0 +1,301 @@
+"""The JSON-over-HTTP front-end of ``cohort serve``.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
+third-party framework, one request per connection, JSON in and out:
+
+* ``GET /healthz`` — liveness + drain state,
+* ``GET /metrics`` — a :data:`repro.obs.SERVE_METRICS_SCHEMA` snapshot
+  (service queue/batch counters + ``SweepRunner.telemetry()``),
+* ``POST /jobs`` — submit ``{"jobs": [spec, …]}`` (or one bare spec);
+  ``202`` with job ids, ``429`` + ``Retry-After`` on a full queue,
+  ``503`` while draining, ``400`` on an invalid spec,
+* ``GET /jobs/<id>`` — poll one job (result embedded when done).
+
+``SIGTERM``/``SIGINT`` trigger a graceful drain: submissions are
+refused, queued and in-flight batches finish, a final metrics snapshot
+is optionally written, then the server exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.runner import SweepRunner
+from repro.serve.service import (
+    BatchingService,
+    DrainingError,
+    JobSpec,
+    JobSpecError,
+    QueueFullError,
+)
+
+#: Largest accepted request body (a trace-free job spec is tiny).
+MAX_BODY_BYTES = 8 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServeApp:
+    """Routes HTTP requests onto one :class:`BatchingService`."""
+
+    def __init__(self, service: BatchingService) -> None:
+        self.service = service
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one HTTP request on this connection, then close it."""
+        try:
+            status, doc, extra = await self._handle_request(reader)
+        except Exception:
+            status, doc, extra = 500, {"error": "internal server error"}, {}
+        payload = json.dumps(doc).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n"
+        )
+        for key, value in extra.items():
+            head += f"{key}: {value}\r\n"
+        try:
+            writer.write(head.encode("latin-1") + b"\r\n" + payload)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), 30)
+        except asyncio.TimeoutError:
+            return 400, {"error": "request timeout"}, {}
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}, {}
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = line.decode("latin-1", "replace").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return 400, {"error": "bad content-length"}, {}
+        if length > MAX_BODY_BYTES:
+            return 413, {"error": "request body too large"}, {}
+        body = b""
+        if length:
+            try:
+                body = await asyncio.wait_for(reader.readexactly(length), 30)
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                return 400, {"error": "truncated request body"}, {}
+        return self._route(method, target, body)
+
+    def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        path = target.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "method not allowed"}, {}
+            return (
+                200,
+                {
+                    "status": "draining" if self.service.draining else "ok",
+                    "queue_depth": self.service.queue_depth,
+                    "queue_limit": self.service.queue_limit,
+                },
+                {},
+            )
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "method not allowed"}, {}
+            return 200, self.service.metrics(), {}
+        if path == "/jobs":
+            if method != "POST":
+                return 405, {"error": "method not allowed"}, {}
+            return self._submit(body)
+        if path.startswith("/jobs/"):
+            if method != "GET":
+                return 405, {"error": "method not allowed"}, {}
+            record = self.service.get(path[len("/jobs/"):])
+            if record is None:
+                return 404, {"error": "unknown job id"}, {}
+            return 200, record.to_dict(include_result=True), {}
+        return 404, {"error": f"no route for {path}"}, {}
+
+    def _submit(self, body: bytes) -> Tuple[int, Any, Dict[str, str]]:
+        try:
+            doc = json.loads(body or b"null")
+        except ValueError:
+            return 400, {"error": "request body is not valid JSON"}, {}
+        raw_specs = doc.get("jobs") if isinstance(doc, dict) and "jobs" in doc else [doc]
+        if not isinstance(raw_specs, list):
+            return 400, {"error": '"jobs" must be a list of job specs'}, {}
+        try:
+            specs = [JobSpec.from_dict(raw) for raw in raw_specs]
+            records = self.service.submit(specs)
+        except JobSpecError as exc:
+            return 400, {"error": str(exc)}, {}
+        except QueueFullError as exc:
+            return (
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                {"Retry-After": f"{exc.retry_after}"},
+            )
+        except DrainingError as exc:
+            return (
+                503,
+                {"error": str(exc), "retry_after": self.service.retry_after},
+                {"Retry-After": f"{self.service.retry_after}"},
+            )
+        return (
+            202,
+            {"jobs": [r.to_dict(include_result=False) for r in records]},
+            {},
+        )
+
+
+async def run_server(
+    service: BatchingService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    metrics_out: Optional[str] = None,
+    install_signal_handlers: bool = True,
+    ready: Optional[threading.Event] = None,
+    stop: Optional[asyncio.Event] = None,
+) -> int:
+    """Serve until SIGTERM/SIGINT (or ``stop``), then drain gracefully.
+
+    Returns the port actually bound (useful with ``port=0``).
+    """
+    app = ServeApp(service)
+    await service.start()
+    server = await asyncio.start_server(app.handle_connection, host, port)
+    bound_port = server.sockets[0].getsockname()[1]
+    stop_event = stop if stop is not None else asyncio.Event()
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop_event.set)
+    print(f"cohort serve: listening on http://{host}:{bound_port}", flush=True)
+    await stop_event.wait()
+    print("cohort serve: draining", flush=True)
+    # Keep the listener open while draining so clients can poll job
+    # status; submissions are refused with 503 once draining starts.
+    await service.drain()
+    if metrics_out:
+        directory = os.path.dirname(metrics_out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(metrics_out, "w") as fh:
+            json.dump(service.metrics(), fh, indent=2)
+        print(f"cohort serve: metrics snapshot -> {metrics_out}", flush=True)
+    server.close()
+    await server.wait_closed()
+    print("cohort serve: drained, exiting", flush=True)
+    return bound_port
+
+
+class ServerThread:
+    """An in-process ``cohort serve`` for tests and benchmarks.
+
+    Runs the event loop in a daemon thread on an ephemeral port; the
+    caller talks to it over real HTTP with
+    :class:`repro.serve.client.ServeClient`.
+    """
+
+    def __init__(
+        self,
+        *,
+        runner: Optional[SweepRunner] = None,
+        host: str = "127.0.0.1",
+        **service_kwargs: Any,
+    ) -> None:
+        self.runner = runner if runner is not None else SweepRunner(jobs=1)
+        self.service_kwargs = service_kwargs
+        self.host = host
+        self.port: Optional[int] = None
+        self.service: Optional[BatchingService] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def base_url(self) -> str:
+        if self.port is None:
+            raise RuntimeError("server not started")
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServerThread":
+        """Start the server thread and block until it is accepting."""
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("serve thread did not start in time")
+        if self._error is not None:
+            raise RuntimeError(f"serve thread failed: {self._error!r}")
+        return self
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surfaced via start()/stop()
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self.service = BatchingService(self.runner, **self.service_kwargs)
+        app = ServeApp(self.service)
+        await self.service.start()
+        server = await asyncio.start_server(app.handle_connection, self.host, 0)
+        self.port = server.sockets[0].getsockname()[1]
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        await self.service.drain()
+        server.close()
+        await server.wait_closed()
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Trigger a graceful drain and wait for the thread to exit."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("serve thread did not drain in time")
+        if self._error is not None:
+            raise RuntimeError(f"serve thread failed: {self._error!r}")
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

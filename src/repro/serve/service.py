@@ -1,0 +1,419 @@
+"""Job specs, records, and the micro-batching core of ``cohort serve``.
+
+The service turns independent HTTP submissions into
+:class:`~repro.runner.SweepRunner` batches:
+
+* a **bounded admission queue** (``queue_limit``) gives explicit
+  backpressure — a submission that does not fit is rejected with a
+  ``retry_after`` hint instead of being buffered without bound;
+* a **micro-batching window** (``batch_window`` seconds, ``max_batch``
+  jobs) coalesces near-simultaneous submissions so the runner amortises
+  process-pool dispatch and so duplicate jobs from different clients
+  collapse onto the shared on-disk result cache;
+* batches execute on a thread-pool executor, keeping the event loop
+  (and therefore ``/healthz``, ``/metrics`` and status polling)
+  responsive while simulations run;
+* **graceful drain**: once draining, new submissions are refused while
+  queued and in-flight jobs run to completion.
+
+Everything here is asyncio + stdlib; the HTTP front-end lives in
+:mod:`repro.serve.server` and a synchronous client in
+:mod:`repro.serve.client`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.metrics import LatencyHistogram
+from repro.obs.report import SERVE_METRICS_SCHEMA
+from repro.params import cohort_config, config_from_dict
+from repro.runner import SweepJob, SweepRunner
+from repro.workloads import benchmark_names, splash_traces
+
+
+class ServeError(Exception):
+    """Base class of all serving-layer errors."""
+
+
+class JobSpecError(ServeError):
+    """A submitted job description is invalid."""
+
+
+class QueueFullError(ServeError):
+    """The admission queue cannot take the submission (backpressure)."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DrainingError(ServeError):
+    """The service is shutting down and refuses new submissions."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation job as submitted by a client.
+
+    The common shape names a benchmark plus a timer vector and lets the
+    server generate the (deterministic) traces; a full ``config`` dict
+    (the :func:`repro.params.config_to_dict` shape) may override the
+    ``thetas``-derived configuration while traces still come from
+    ``benchmark``/``scale``/``seed``.
+    """
+
+    benchmark: str
+    thetas: Tuple[int, ...]
+    scale: float = 0.3
+    seed: int = 0
+    protocol: Optional[str] = None
+    record_latencies: bool = False
+    config: Optional[Mapping[str, Any]] = None
+
+    @classmethod
+    def from_dict(cls, doc: Any) -> "JobSpec":
+        """Validate and build a spec from a submitted JSON object."""
+        if not isinstance(doc, dict):
+            raise JobSpecError("job spec must be a JSON object")
+        benchmark = doc.get("benchmark")
+        if benchmark not in benchmark_names():
+            raise JobSpecError(
+                f"unknown benchmark {benchmark!r}; choose from "
+                f"{benchmark_names()}"
+            )
+        thetas = doc.get("thetas")
+        if (
+            not isinstance(thetas, (list, tuple))
+            or not thetas
+            or not all(isinstance(t, int) and not isinstance(t, bool) for t in thetas)
+        ):
+            raise JobSpecError("thetas must be a non-empty list of integers")
+        scale = doc.get("scale", 0.3)
+        if not isinstance(scale, (int, float)) or not 0 < scale <= 10:
+            raise JobSpecError("scale must be a number in (0, 10]")
+        seed = doc.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+            raise JobSpecError("seed must be a non-negative integer")
+        protocol = doc.get("protocol")
+        if protocol is not None and not isinstance(protocol, str):
+            raise JobSpecError("protocol must be a string")
+        record_latencies = doc.get("record_latencies", False)
+        if not isinstance(record_latencies, bool):
+            raise JobSpecError("record_latencies must be a boolean")
+        config = doc.get("config")
+        if config is not None and not isinstance(config, dict):
+            raise JobSpecError("config must be an object")
+        unknown = set(doc) - {
+            "benchmark", "thetas", "scale", "seed", "protocol",
+            "record_latencies", "config",
+        }
+        if unknown:
+            raise JobSpecError(f"unknown job spec fields: {sorted(unknown)}")
+        return cls(
+            benchmark=benchmark,
+            thetas=tuple(thetas),
+            scale=float(scale),
+            seed=seed,
+            protocol=protocol,
+            record_latencies=record_latencies,
+            config=config,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to the wire format ``from_dict`` accepts back."""
+        doc: Dict[str, Any] = {
+            "benchmark": self.benchmark,
+            "thetas": list(self.thetas),
+            "scale": self.scale,
+            "seed": self.seed,
+            "record_latencies": self.record_latencies,
+        }
+        if self.protocol is not None:
+            doc["protocol"] = self.protocol
+        if self.config is not None:
+            doc["config"] = dict(self.config)
+        return doc
+
+    def spec_key(self) -> str:
+        """Cheap content hash of the spec (not the full job digest —
+        computed without generating traces, so safe on the event loop)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    def to_sweep_job(self) -> SweepJob:
+        """Materialise the runnable job (generates traces; CPU-bound)."""
+        if self.config is not None:
+            cfg = config_from_dict(dict(self.config))
+        else:
+            kwargs: Dict[str, Any] = {}
+            if self.protocol is not None:
+                kwargs["protocol"] = self.protocol
+            cfg = cohort_config(list(self.thetas), **kwargs)
+        traces = splash_traces(
+            self.benchmark, cfg.num_cores, scale=self.scale, seed=self.seed
+        )
+        return SweepJob(cfg, tuple(traces), self.record_latencies)
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle of one accepted job: queued → running → done/failed."""
+
+    id: str
+    spec: JobSpec
+    status: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: The SweepJob content digest, known once the batch materialised.
+    digest: Optional[str] = None
+    result: Optional[dict] = None
+    error: Optional[str] = None
+
+    def to_dict(self, include_result: bool = True) -> Dict[str, Any]:
+        """Serialise the record; ``include_result=False`` for admission
+        responses, where results do not exist yet."""
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "status": self.status,
+            "spec": self.spec.to_dict(),
+            "spec_key": self.spec.spec_key(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "digest": self.digest,
+            "error": self.error,
+        }
+        if include_result:
+            doc["result"] = self.result
+        return doc
+
+
+class BatchingService:
+    """Bounded-queue micro-batching front-end over one ``SweepRunner``.
+
+    All public methods must be called from the event loop thread (the
+    HTTP handlers and the batcher share one loop, so queue accounting
+    needs no locks); only the batch execution itself leaves the loop,
+    via ``run_in_executor``.
+    """
+
+    def __init__(
+        self,
+        runner: SweepRunner,
+        *,
+        max_batch: int = 8,
+        batch_window: float = 0.05,
+        queue_limit: int = 64,
+        retry_after: float = 0.5,
+        label: str = "serve",
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if retry_after <= 0:
+            raise ValueError("retry_after must be > 0")
+        self.runner = runner
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.queue_limit = queue_limit
+        self.retry_after = retry_after
+        self.label = label
+        self._queue: List[JobRecord] = []
+        self._jobs: Dict[str, JobRecord] = {}
+        self._wakeup = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+        self._draining = False
+        self._inflight = 0
+        self._started_at = time.time()
+        # Counters surfaced through /metrics.
+        self.jobs_submitted = 0
+        self.jobs_rejected = 0
+        self.jobs_dispatched = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.batches = 0
+        self.max_queue_depth = 0
+        self._batch_sizes = LatencyHistogram()
+        self._queue_wait_ms = LatencyHistogram()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the batcher task on the running loop."""
+        if self._task is not None:
+            raise RuntimeError("service already started")
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> None:
+        """Refuse new submissions; wait for queued + in-flight jobs."""
+        self._draining = True
+        self._wakeup.set()
+        while self._queue or self._inflight:
+            await asyncio.sleep(0.01)
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    # -- submission / polling ------------------------------------------------
+
+    def submit(self, specs: Sequence[JobSpec]) -> List[JobRecord]:
+        """Admit ``specs`` as one all-or-nothing submission."""
+        if self._draining:
+            raise DrainingError("service is draining; not accepting jobs")
+        if not specs:
+            raise JobSpecError("submission contains no jobs")
+        if len(self._queue) + len(specs) > self.queue_limit:
+            self.jobs_rejected += len(specs)
+            raise QueueFullError(
+                f"admission queue full ({len(self._queue)}/"
+                f"{self.queue_limit} queued); retry after "
+                f"{self.retry_after}s",
+                retry_after=self.retry_after,
+            )
+        now = time.time()
+        records = []
+        for spec in specs:
+            record = JobRecord(
+                id=uuid.uuid4().hex[:12], spec=spec, submitted_at=now
+            )
+            self._jobs[record.id] = record
+            self._queue.append(record)
+            records.append(record)
+        self.jobs_submitted += len(records)
+        self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+        self._wakeup.set()
+        return records
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        """Look up a job record by id (None if unknown)."""
+        return self._jobs.get(job_id)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- batching ------------------------------------------------------------
+
+    async def _run(self) -> None:
+        while True:
+            while not self._queue:
+                if self._draining:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            batch = await self._gather_batch()
+            await self._execute(batch)
+
+    async def _gather_batch(self) -> List[JobRecord]:
+        """Pop one job, then coalesce arrivals inside the window."""
+        loop = asyncio.get_running_loop()
+        batch = [self._queue.pop(0)]
+        deadline = loop.time() + self.batch_window
+        while len(batch) < self.max_batch:
+            if self._queue:
+                batch.append(self._queue.pop(0))
+                continue
+            remaining = deadline - loop.time()
+            if remaining <= 0 or self._draining:
+                break
+            self._wakeup.clear()
+            try:
+                await asyncio.wait_for(self._wakeup.wait(), remaining)
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    async def _execute(self, batch: List[JobRecord]) -> None:
+        self._inflight = len(batch)
+        started = time.time()
+        for record in batch:
+            record.status = "running"
+            record.started_at = started
+            self._queue_wait_ms.add(
+                max(0, int((started - record.submitted_at) * 1000))
+            )
+        self._batch_sizes.add(len(batch))
+        self.batches += 1
+        self.jobs_dispatched += len(batch)
+        loop = asyncio.get_running_loop()
+        try:
+            outcome = await loop.run_in_executor(
+                None, self._run_batch, [record.spec for record in batch]
+            )
+        except Exception as exc:  # runner failure fails the whole batch
+            finished = time.time()
+            detail = f"{type(exc).__name__}: {exc}"
+            for record in batch:
+                record.status = "failed"
+                record.error = detail
+                record.finished_at = finished
+            self.jobs_failed += len(batch)
+        else:
+            finished = time.time()
+            for record, (digest, result) in zip(batch, outcome):
+                record.status = "done"
+                record.digest = digest
+                record.result = result
+                record.finished_at = finished
+            self.jobs_completed += len(batch)
+        finally:
+            self._inflight = 0
+
+    def _run_batch(
+        self, specs: List[JobSpec]
+    ) -> List[Tuple[str, dict]]:
+        """Executor-side: materialise, run, pair results with digests.
+
+        Batches execute strictly one at a time (the batcher awaits each
+        ``_execute``), so the runner is never touched concurrently.
+        """
+        jobs = [spec.to_sweep_job() for spec in specs]
+        results = self.runner.run(jobs)
+        return [(job.digest(), result) for job, result in zip(jobs, results)]
+
+    # -- metrics -------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """A ``/metrics`` snapshot (``repro.obs`` serve_metrics shape)."""
+        return {
+            "schema": SERVE_METRICS_SCHEMA,
+            "label": self.label,
+            "uptime_seconds": time.time() - self._started_at,
+            "service": {
+                "queue_depth": len(self._queue),
+                "queue_limit": self.queue_limit,
+                "inflight": self._inflight,
+                "draining": self._draining,
+                "max_batch": self.max_batch,
+                "batch_window": self.batch_window,
+                "retry_after": self.retry_after,
+                "jobs_submitted": self.jobs_submitted,
+                "jobs_rejected": self.jobs_rejected,
+                "jobs_dispatched": self.jobs_dispatched,
+                "jobs_completed": self.jobs_completed,
+                "jobs_failed": self.jobs_failed,
+                "batches": self.batches,
+                "max_queue_depth": self.max_queue_depth,
+                "batch_sizes": self._batch_sizes.to_dict(),
+                "batch_size_p95": self._batch_sizes.percentile(0.95),
+                "queue_wait_ms": self._queue_wait_ms.to_dict(),
+                "queue_wait_ms_p50": self._queue_wait_ms.percentile(0.5),
+                "queue_wait_ms_p95": self._queue_wait_ms.percentile(0.95),
+            },
+            "runner": self.runner.telemetry(),
+        }

@@ -3,9 +3,11 @@
 Four policies cover every system evaluated in the paper:
 
 * :class:`RROFArbiter` — Round-Robin Oldest-First [18], used by CoHoRT and
-  the PCC baseline.  Cores are granted in a cyclic sequence, but a core
-  keeps its position until its *oldest outstanding request* is served, so
-  a core stalled on a remote timer is skipped without being punished.
+  the PCC baseline.  Cores are granted in a cyclic sequence; a core
+  stalled on a remote timer is skipped without losing its position, and a
+  core rotates to the back exactly when the bus finishes serving it (a
+  request completes, or a shared-bus write-back drains) — the discipline
+  the Equation-1 WCL bound charges.  See the class docstring for why.
 * :class:`RoundRobinArbiter` — plain RR (rotates on every grant).
 * :class:`FCFSArbiter` — COTS first-come first-serve, the normalisation
   baseline of Figure 6.
@@ -72,11 +74,42 @@ class Arbiter(ABC):
         """
 
     def on_request_completed(self, core_id: int) -> None:
-        """Notification that ``core_id``'s oldest request finished."""
+        """Notification that one of ``core_id``'s requests finished."""
+
+    def on_writeback_completed(self, core_id: int) -> None:
+        """Notification that a write-back slot granted to ``core_id`` on
+        the shared bus completed (``wb_on_bus=True`` configurations only;
+        write-backs draining through the dedicated port never touch the
+        arbiter)."""
 
 
 class RROFArbiter(Arbiter):
-    """Round-Robin Oldest-First: rotate only when the oldest request is served."""
+    """Round-Robin Oldest-First: rotate the served core to the back.
+
+    A core keeps its position while it is merely *waiting* — stalled on a
+    remote timer, or with nothing grantable — so skipped turns cost it
+    nothing.  Its position is consumed the moment the bus finishes serving
+    it: when one of its requests completes, or (under ``wb_on_bus=True``)
+    when one of its write-backs drains.  The served core then drops behind
+    *every* core still waiting, not merely one slot.
+
+    That full rotation is what the Equation-1 WCL derivation charges: each
+    competing core delays a request by at most one slot (plus its timer
+    term) because after being served it cannot be served again until the
+    victim has had its turn.  A rotate-only-if-head variant (moving the
+    core only when it sat at the front) would let a core ahead of the
+    requester be served unboundedly often while the head core stalls on a
+    remote timer, and the per-request latency property tests catch exactly
+    that.  The same budget is why write-backs rotate too: the shared-WB
+    bound (:func:`repro.analysis.wcl.wcl_miss_shared_wb`) charges one
+    write-back slot per competing core, which only holds if a core cannot
+    drain two buffered write-backs ahead of another core's waiting
+    request.
+
+    Completions can arrive out of RROF order (a core served from deeper
+    in the sequence because everyone ahead was stalled); the rotation
+    applies to whichever core actually completed.
+    """
 
     def __init__(self, num_cores: int) -> None:
         super().__init__(num_cores)
@@ -96,6 +129,17 @@ class RROFArbiter(Arbiter):
 
     def on_request_completed(self, core_id: int) -> None:
         """The served core rotates to the back of the sequence."""
+        self._order.remove(core_id)
+        self._order.append(core_id)
+
+    def on_writeback_completed(self, core_id: int) -> None:
+        """A bus write-back slot consumes the core's turn, like a request.
+
+        Without this, a core with several buffered write-backs could hold
+        the front of the sequence and drain them back-to-back ahead of
+        every other core's waiting request — violating the one-slot-per-
+        core budget of :func:`repro.analysis.wcl.wcl_miss_shared_wb`.
+        """
         self._order.remove(core_id)
         self._order.append(core_id)
 

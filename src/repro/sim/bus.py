@@ -18,15 +18,24 @@ from repro.sim.messages import BusJob
 
 
 class SharedBus:
-    """Single-occupancy bus with a busy-until clock."""
+    """Single-occupancy bus with separate job and stall horizons.
+
+    Two clocks back the occupancy model.  ``_job_done`` is the completion
+    cycle of the currently granted job; :meth:`release` checks only this
+    one, so a fault-injected stall overlapping an in-flight transfer does
+    not make the engine's perfectly timed release look early.  A
+    ``_stall_until`` horizon records injected occupancy; grants honour
+    whichever horizon is later.
+    """
 
     def __init__(self) -> None:
-        self._busy_until = 0
+        self._job_done = 0
+        self._stall_until = 0
         self._current: Optional[BusJob] = None
 
     def idle(self, now: int) -> bool:
         """Whether the bus can accept a grant at ``now``."""
-        return now >= self._busy_until
+        return now >= self.busy_until
 
     @property
     def current_job(self) -> Optional[BusJob]:
@@ -34,36 +43,44 @@ class SharedBus:
 
     @property
     def busy_until(self) -> int:
-        return self._busy_until
+        """First cycle at which a new grant may happen."""
+        return max(self._job_done, self._stall_until)
 
     def grant(self, job: BusJob, now: int, duration: int) -> int:
         """Occupy the bus with ``job``; returns the completion cycle."""
         if not self.idle(now):
             raise RuntimeError(
-                f"bus grant at cycle {now} while busy until {self._busy_until}"
+                f"bus grant at cycle {now} while busy until {self.busy_until}"
             )
         if duration < 1:
             raise ValueError("bus occupancy must be at least one cycle")
-        self._busy_until = now + duration
+        self._job_done = now + duration
         self._current = job
-        return self._busy_until
+        return self._job_done
 
     def release(self, now: int) -> None:
-        """Called by the engine when the current job completes."""
-        if now < self._busy_until:
+        """Called by the engine when the current job completes.
+
+        Checked against the job's own completion cycle, not the stall
+        horizon: a stall injected mid-transfer extends the time until the
+        *next* grant, but the in-flight job still completes on schedule.
+        """
+        if now < self._job_done:
             raise RuntimeError("bus released before the job completed")
         self._current = None
 
     def stall(self, now: int, duration: int) -> int:
         """Externally-injected occupancy without a job (fault injection).
 
-        Extends ``busy_until`` so no grant can happen before the stall
-        ends; there is no current job and no release is required.  The
-        caller is responsible for re-requesting arbitration at the
-        returned cycle.  Only :mod:`repro.fi` uses this — the protocol
-        engine itself always occupies the bus through :meth:`grant`.
+        Extends ``busy_until`` so no new grant can happen before the
+        stall ends; there is no current job and no release is required.
+        An in-flight job keeps its own completion cycle — the stall only
+        delays subsequent arbitration.  The caller is responsible for
+        re-requesting arbitration at the returned cycle.  Only
+        :mod:`repro.fi` uses this — the protocol engine itself always
+        occupies the bus through :meth:`grant`.
         """
         if duration < 1:
             raise ValueError("bus stall must be at least one cycle")
-        self._busy_until = max(self._busy_until, now + duration)
-        return self._busy_until
+        self._stall_until = max(self._stall_until, now + duration)
+        return self.busy_until

@@ -49,7 +49,7 @@ from repro.sim.kernel import (
     EventKernel,
 )
 from repro.sim.llc import SharedLLC
-from repro.sim.messages import BusJob, JobKind, ReqState
+from repro.sim.messages import BusJob, JobKind, ReqState, Writeback
 from repro.sim.oracle import CoherenceOracle, CoherenceViolationError
 from repro.sim.private_cache import AccessOutcome, PrivateCache
 from repro.sim.protocols import get_protocol
@@ -298,9 +298,19 @@ class System:
         return jobs
 
     def _arbitrate(self) -> None:
-        self._arb_scheduled_at = None
         now = self.kernel.now
+        # Consume the dedup marker only when this round is the recorded
+        # one; a duplicate round must leave a still-pending future marker
+        # alone or every duplicate would re-schedule its own successor.
+        if self._arb_scheduled_at is not None and self._arb_scheduled_at <= now:
+            self._arb_scheduled_at = None
         if not self.bus.idle(now):
+            # Re-arm for the cycle the bus frees up.  Grant completions
+            # re-request arbitration themselves, so this only matters when
+            # the bus is held past the current job by an injected stall —
+            # without it, a round that lands inside the stall window would
+            # silently swallow the pending request.
+            self.request_arbitration(at=self.bus.busy_until)
             return
         jobs = self._collect_jobs()
         if not jobs:
@@ -331,7 +341,7 @@ class System:
             wb = job.wb
             self.backend.mark_inflight(wb)
             duration = lat.data
-            handler, payload = self.backend.on_wb_done, wb
+            handler, payload = self._on_bus_wb_done, wb
         done_at = self.bus.grant(job, now, duration)
         self.events.emit(
             "grant", job=job.kind.name, core=job.core_id,
@@ -347,6 +357,17 @@ class System:
         self.bus.release(self.kernel.now)
         handler(payload)
         self.request_arbitration()
+
+    def _on_bus_wb_done(self, wb: Writeback) -> None:
+        """A write-back granted on the shared bus finished draining.
+
+        The arbiter is notified so RROF consumes the core's turn — the
+        shared-WB analytical bound budgets one write-back slot per
+        competing core (``wcl_miss_shared_wb``).  Dedicated-port
+        write-backs never pass through here.
+        """
+        self.backend.on_wb_done(wb)
+        self.arbiter.on_writeback_completed(wb.core_id)
 
     # ----------------------------------------------------------- mode switch
 

@@ -62,6 +62,36 @@ class TestRROF:
         assert arb.decide(2, jobs, set()).job.core_id == 1
         assert arb.order == [1, 0]
 
+    def test_out_of_turn_completion_drops_core_behind_all_waiters(self):
+        # Pins the reconciled RROF semantics: rotation happens for
+        # whichever core the bus actually served, even when it was served
+        # out of turn (everyone ahead of it was stalled), and the served
+        # core drops behind *every* still-waiting core — the one-slot-per-
+        # competitor budget Equation 1 charges.
+        arb = RROFArbiter(3)
+        # Cores 0 and 2 are busy (outstanding requests) but have nothing
+        # grantable — stalled on remote timers — so core 1 is served.
+        assert arb.decide(0, [bjob(JobKind.BROADCAST, 1, 1)], {0, 2}).job.core_id == 1
+        arb.on_request_completed(1)
+        # Core 1 went behind core 2 as well, not just one slot back.
+        assert arb.order == [0, 2, 1]
+
+    def test_wb_slot_rotates_core_behind_waiting_requester(self):
+        # Regression: bus write-backs never rotated the served core, so a
+        # core with two buffered write-backs could drain both ahead of
+        # another core's waiting request — two slots where the shared-WB
+        # bound (wcl_miss_shared_wb) budgets one per competing core.
+        arb = RROFArbiter(2)
+        wb_first = bjob(JobKind.WRITEBACK, 0, 1)
+        wb_second = bjob(JobKind.WRITEBACK, 0, 2)
+        data = bjob(JobKind.DATA, 1, 3)
+        granted = arb.decide(0, [wb_first, wb_second, data], set()).job
+        assert granted is wb_first  # core 0's turn
+        arb.on_writeback_completed(0)
+        assert arb.order == [1, 0]
+        # Core 1's pending transfer now precedes core 0's second write-back.
+        assert arb.decide(1, [wb_second, data], set()).job is data
+
     def test_per_core_priority_data_over_broadcast_over_wb(self):
         arb = RROFArbiter(1)
         jobs = [

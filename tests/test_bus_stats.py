@@ -50,6 +50,43 @@ class TestSharedBus:
         with pytest.raises(ValueError):
             SharedBus().grant(job(), now=0, duration=0)
 
+    def test_stall_blocks_grants_until_horizon(self):
+        bus = SharedBus()
+        until = bus.stall(now=5, duration=10)
+        assert until == 15
+        assert not bus.idle(14)
+        assert bus.idle(15)
+        with pytest.raises(RuntimeError):
+            bus.grant(job(), now=10, duration=2)
+
+    def test_stall_mid_transfer_does_not_break_release(self):
+        # Regression: a fault-injected stall landing while a job is in
+        # flight used to extend the single busy-until clock past the
+        # job's completion cycle, making the engine's perfectly timed
+        # release raise "bus released before the job completed".
+        bus = SharedBus()
+        bus.grant(job(), now=10, duration=5)  # job completes at 15
+        until = bus.stall(now=12, duration=10)  # stall holds bus to 22
+        assert until == 22
+        bus.release(now=15)  # on-schedule release must succeed
+        assert bus.current_job is None
+        # ... but new grants stay blocked until the stall expires.
+        assert not bus.idle(21)
+        assert bus.idle(22)
+        done = bus.grant(job(), now=22, duration=3)
+        assert done == 25
+
+    def test_stall_shorter_than_transfer_is_absorbed(self):
+        bus = SharedBus()
+        bus.grant(job(), now=0, duration=10)
+        assert bus.stall(now=2, duration=3) == 10  # job horizon dominates
+        bus.release(now=10)
+        assert bus.idle(10)
+
+    def test_stall_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SharedBus().stall(now=0, duration=0)
+
 
 class TestMessages:
     def test_data_job_requires_request(self):

@@ -108,6 +108,33 @@ class TestCampaigns:
         assert "fault kind" in rendered and "total" in rendered
 
 
+class TestBusStallMidTransfer:
+    def test_stall_during_transfer_injects_and_completes(self, config, traces):
+        # Regression: a stall landing while the bus was busy used to be
+        # skipped ("no_target") because releasing the in-flight job would
+        # have tripped the single busy-until clock.  With separate job
+        # and stall horizons the injector stalls unconditionally.
+        plan = FaultPlan(
+            faults=tuple(
+                Fault(FaultKind.BUS_STALL, cycle=c, arg=25)
+                for c in (10, 40, 70)
+            )
+        )
+        cfg = replace(config, check_coherence=True)
+        system = System(cfg, traces, fault_plan=plan)
+        stalled = system.run()
+        records = [
+            r
+            for r in system.injector.records
+            if r.fault.kind is FaultKind.BUS_STALL
+        ]
+        assert len(records) == 3
+        assert all(r.effect == "injected" for r in records)
+        assert any("overlaps the in-flight transfer" in r.detail for r in records)
+        baseline = System(cfg, traces).run()
+        assert stalled.final_cycle > baseline.final_cycle
+
+
 class TestAudit:
     def test_clean_run_audits_clean(self, config, traces):
         system = System(replace(config, check_coherence=True), traces)

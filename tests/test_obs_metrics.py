@@ -43,6 +43,27 @@ class TestLog2Buckets:
         d = hist.to_dict()
         assert d["buckets"] == {"2": 1, "3": 2, "7": 1}
 
+    def test_percentile_conservative_upper_bound(self):
+        hist = LatencyHistogram()
+        for latency in (3, 5, 5, 100):
+            hist.add(latency)
+        # Bucket uppers: bucket 2 -> 3, bucket 3 -> 7, bucket 7 -> 127.
+        assert hist.percentile(0.0) == 3
+        assert hist.percentile(0.25) == 3
+        assert hist.percentile(0.5) == 7
+        assert hist.percentile(0.75) == 7
+        assert hist.percentile(1.0) == 127
+        # Conservative: the estimate never undershoots the true value.
+        assert hist.percentile(1.0) >= hist.max
+
+    def test_percentile_empty_and_bad_q(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(0.5) == 0
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+
 
 class TestHistogramCollection:
     def test_one_histogram_per_core(self):

@@ -165,6 +165,121 @@ class TestCache:
         assert tel["parallel_batches"] == 0
 
 
+class TestWithinBatchDedup:
+    def test_duplicate_jobs_in_one_batch_execute_once(self, traces):
+        job = SweepJob(cohort_config([60] * 4), tuple(traces))
+        runner = SweepRunner(jobs=1, cache_dir=None)
+        a, b, c = runner.run([job, job, job])
+        assert a == b == c
+        assert runner.cache_misses == 1
+        assert runner.cache_hits == 2
+        assert runner.jobs_executed == 1
+
+
+class TestCacheStoreFailures:
+    def test_unserialisable_result_reraises_and_leaves_no_tmp(self, tmp_path):
+        # Regression: a TypeError from json.dump used to be swallowed by
+        # an `except OSError` that never matched, leaking the mkstemp
+        # temp file and silently dropping the store.
+        import os
+
+        cache = str(tmp_path / "sweeps")
+        runner = SweepRunner(jobs=1, cache_dir=cache)
+        with pytest.raises(TypeError):
+            runner._cache_store("0" * 16, {"final_cycle": object()})
+        assert [n for n in os.listdir(cache) if n.endswith(".tmp")] == []
+        tel = runner.telemetry()
+        assert tel["cache_store_failures"] == 1
+        assert "TypeError" in tel["cache_store_last_error"]
+
+    def test_os_error_is_swallowed_but_counted(self, tmp_path, monkeypatch):
+        import os
+
+        cache = str(tmp_path / "sweeps")
+        runner = SweepRunner(jobs=1, cache_dir=cache)
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        runner._cache_store("0" * 16, {"final_cycle": 1})  # must not raise
+        tel = runner.telemetry()
+        assert tel["cache_store_failures"] == 1
+        assert "disk full" in tel["cache_store_last_error"]
+        monkeypatch.undo()
+        assert [n for n in os.listdir(cache) if n.endswith(".tmp")] == []
+        # The in-memory copy still serves this runner.
+        assert runner._memory["0" * 16] == {"final_cycle": 1}
+
+    def test_orphan_tmp_swept_at_init(self, tmp_path):
+        cache = tmp_path / "sweeps"
+        cache.mkdir(parents=True)
+        (cache / "deadbeef.tmp").write_text("partial store from a crash")
+        (cache / "entry.json").write_text("{}")
+        runner = SweepRunner(jobs=1, cache_dir=str(cache))
+        assert runner.cache_tmp_swept == 1
+        assert runner.telemetry()["cache_tmp_swept"] == 1
+        assert not (cache / "deadbeef.tmp").exists()
+        assert (cache / "entry.json").exists()
+
+
+def _race_worker(cache_dir, barrier, out_queue):
+    # Module-level so the "fork"/"spawn" child can import it.
+    import json
+
+    traces = splash_traces("fft", 4, scale=0.2, seed=0)
+    cfg = cohort_config([60, 20, 5, 120])
+    runner = SweepRunner(jobs=1, cache_dir=cache_dir)
+    barrier.wait(timeout=60)
+    result = runner.run_one(cfg, traces)
+    out_queue.put(json.dumps(result, sort_keys=True))
+
+
+class TestCacheContention:
+    def test_two_runners_race_on_same_key(self, tmp_path):
+        # The exact contention pattern `cohort serve` creates: two runner
+        # processes, same cache dir, same job digest, simultaneous runs.
+        # Both must succeed and agree byte-for-byte.
+        import json
+        import multiprocessing
+
+        cache = tmp_path / "sweeps"
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        out_queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_race_worker, args=(str(cache), barrier, out_queue)
+            )
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        payloads = [out_queue.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        assert payloads[0] == payloads[1]
+
+        traces = splash_traces("fft", 4, scale=0.2, seed=0)
+        cfg = cohort_config([60, 20, 5, 120])
+        direct = SweepRunner(jobs=1, cache_dir=None).run_one(cfg, traces)
+        assert json.loads(payloads[0]) == direct
+
+        # Exactly one envelope survives, it is valid, and no temp files
+        # were left behind by the losing writer.
+        files = sorted(cache.glob("*.json"))
+        assert len(files) == 1
+        doc = json.loads(files[0].read_text())
+        assert doc["result"] == direct
+        assert doc["digest"] == files[0].name[: -len(".json")]
+        assert list(cache.glob("*.tmp")) == []
+        # A fresh runner replays the surviving envelope as a hit.
+        reader = SweepRunner(jobs=1, cache_dir=str(cache))
+        assert reader.run_one(cfg, traces) == direct
+        assert reader.cache_hits == 1 and reader.cache_misses == 0
+
+
 class TestExperimentIntegration:
     def test_wcml_experiment_parallel_equals_serial(self, traces):
         from repro.experiments.wcml import run_wcml_experiment
