@@ -97,6 +97,20 @@ def _write_sweep_metrics(args: argparse.Namespace, runner,
     print(f"sweep metrics written to {args.metrics_out}")
 
 
+def _add_engine(
+    parser: argparse.ArgumentParser, default: str = "lockstep"
+) -> None:
+    # Single-simulation commands default to "fast": lock-step only pays
+    # off when a batch shares one trace set.
+    parser.add_argument(
+        "--engine", choices=("seed", "fast", "lockstep"), default=default,
+        help="simulation engine: 'lockstep' amortises one trace across "
+             "same-trace sweep groups, 'fast' is the inline "
+             "hit-retirement path, 'seed' forces the event-per-access "
+             "reference engine; results are bit-identical across all "
+             f"three (default: {default})")
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload size multiplier")
@@ -135,7 +149,7 @@ def cmd_fig5(args: argparse.Namespace) -> int:
     from repro.runner import SweepRunner
 
     critical = FIG5_CONFIGS[args.config]
-    runner = SweepRunner(jobs=args.jobs)
+    runner = SweepRunner(jobs=args.jobs, engine=args.engine)
     for benchmark in args.benchmarks:
         exp = run_wcml_experiment(
             benchmark, critical, scale=args.scale, seed=args.seed,
@@ -159,7 +173,7 @@ def cmd_fig6(args: argparse.Namespace) -> int:
     from repro.runner import SweepRunner
 
     critical = FIG5_CONFIGS[args.config]
-    runner = SweepRunner(jobs=args.jobs)
+    runner = SweepRunner(jobs=args.jobs, engine=args.engine)
     exp = run_performance_experiment(
         args.benchmarks, critical, scale=args.scale, seed=args.seed,
         ga_config=_ga_config(args), perfect_llc=not args.non_perfect_llc,
@@ -286,12 +300,14 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     traces = splash_traces(args.benchmark, 4, scale=args.scale, seed=args.seed)
     config = cohort_config([1] * 4)
     profiles = build_profiles(traces, config.l1)
-    engine = OptimizationEngine(profiles, LatencyParams(), _ga_config(args))
     ga_log = None
     if args.metrics_out:
         from repro.obs import GAGenerationLog
 
         ga_log = GAGenerationLog()
+    if args.sim_fitness:
+        return _optimize_sim_fitness(args, config, traces, profiles, ga_log)
+    engine = OptimizationEngine(profiles, LatencyParams(), _ga_config(args))
     result = engine.optimize(
         timed=[True] * 4, jobs=args.jobs, on_generation=ga_log,
         checkpoint_path=args.checkpoint,
@@ -306,6 +322,43 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     rows = [
         [f"c{b.core_id}", b.m_hit, b.m_miss, b.wcl, b.wcml]
         for b in result.bounds
+    ]
+    print(format_table(["core", "M_hit", "M_miss", "WCL", "WCML"], rows))
+    return 0
+
+
+def _optimize_sim_fitness(args, config, traces, profiles, ga_log) -> int:
+    """The measured-objective GA: fitness by simulation, batched in
+    lock-step per generation (constraint C1 stays analytic)."""
+    import time
+
+    from repro.opt import GeneticAlgorithm, SimulationFitness, TimerProblem
+
+    problem = TimerProblem(profiles, LatencyParams(), timed=[True] * 4)
+    fit = SimulationFitness(problem, config, traces, engine=args.engine)
+    ga = GeneticAlgorithm(
+        problem.gene_bounds(), fit.fitness, _ga_config(args), map_fn=fit
+    )
+    started = time.perf_counter()
+    result = ga.run(on_generation=ga_log, checkpoint_path=args.checkpoint)
+    wall = time.perf_counter() - started
+    if ga_log is not None:
+        ga_log.write_jsonl(args.metrics_out)
+        print(f"GA generation log written to {args.metrics_out}")
+    evaluation = problem.evaluate(result.best_genes)
+    print(f"optimized thetas for {args.benchmark} (simulated fitness): "
+          f"{evaluation.thetas}")
+    print(f"objective (avg measured latency/access): "
+          f"{result.best_fitness:.2f}")
+    print(f"feasible (analytic C1): {evaluation.feasible}, GA evaluations: "
+          f"{result.evaluations}, wall time: {wall:.1f}s")
+    tele = fit.telemetry()
+    print(f"engine={tele['engine']}: {tele['jobs_executed']} simulations "
+          f"({tele['lockstep_jobs']} in {tele['lockstep_groups']} lock-step "
+          f"groups), {tele['cache_hits']} memoized")
+    rows = [
+        [f"c{b.core_id}", b.m_hit, b.m_miss, b.wcl, b.wcml]
+        for b in evaluation.bounds
     ]
     print(format_table(["core", "M_hit", "M_miss", "WCL", "WCML"], rows))
     return 0
@@ -431,13 +484,21 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             from repro.obs import Telemetry
             from repro.sim.system import System
 
+            # Telemetry needs the full event stream, which only the
+            # per-event engines publish; --engine is ignored here.
             system = System(config, traces)
             telemetry = Telemetry.attach(
                 system, sample_every=args.sample_every, label="simulate"
             )
             stats = system.run()
+        elif args.engine == "lockstep":
+            from repro.sim.lockstep import run_simulation_lockstep
+
+            stats = run_simulation_lockstep(config, traces)
         else:
-            stats = run_simulation(config, traces)
+            stats = run_simulation(
+                config, traces, fast_path=args.engine != "seed"
+            )
     except CoherenceViolationError as exc:
         print(f"coherence violation: {exc}", file=sys.stderr)
         if not args.trace_out:
@@ -515,7 +576,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.runner import SweepRunner
     from repro.serve import BatchingService, run_server
 
-    runner_kwargs = dict(jobs=args.jobs, timeout=args.job_timeout)
+    runner_kwargs = dict(
+        jobs=args.jobs, timeout=args.job_timeout, engine=args.engine
+    )
     if args.cache_dir is not None:
         runner_kwargs["cache_dir"] = args.cache_dir
     runner = SweepRunner(**runner_kwargs)
@@ -604,6 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--non-perfect-llc", action="store_true",
                    help="use the non-perfect LLC + DRAM model (footnote 1)")
     _add_metrics_out(p, "sweep cache/timing counters")
+    _add_engine(p)
     _add_common(p)
     p.set_defaults(fn=cmd_fig5)
 
@@ -616,6 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="add the PMSI-style predictable baseline "
                         "(protocol registry plugin) as a fifth column")
     _add_metrics_out(p, "sweep cache/timing counters")
+    _add_engine(p)
     _add_common(p)
     p.set_defaults(fn=cmd_fig6)
 
@@ -639,7 +704,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", metavar="FILE",
                    help="save GA state to FILE each generation and resume "
                         "from it if present (schema-checked)")
+    p.add_argument("--sim-fitness", action="store_true",
+                   help="score timer vectors by *simulated* average memory "
+                        "latency instead of the analytic WCML bound; each "
+                        "GA generation is batched through the lock-step "
+                        "engine (constraint C1 stays analytic)")
     _add_metrics_out(p, "the per-generation GA log (JSON Lines)")
+    _add_engine(p)
     _add_common(p)
     p.set_defaults(fn=cmd_optimize)
 
@@ -697,6 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="time-series sampling cadence for the telemetry "
                         "counters (0 disables sampling; only active with "
                         "--trace-out/--metrics-out)")
+    _add_engine(p, default="fast")
     _add_common(p)
     p.set_defaults(fn=cmd_simulate)
 
@@ -732,6 +804,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job wall-clock timeout in seconds")
     p.add_argument("--metrics-out", default=None,
                    help="write a final /metrics snapshot here on drain")
+    _add_engine(p)
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("submit", help="submit jobs to a running serve")

@@ -6,12 +6,15 @@
 * :class:`repro.opt.engine.OptimizationEngine` — the offline flow of
   Figure 2a, including the per-mode LUT generation of Section VI.
 * :mod:`repro.opt.search` — random-search / hill-climbing ablations.
+* :class:`repro.opt.simfit.SimulationFitness` — simulation-backed
+  fitness, batched per generation through the lock-step engine.
 """
 
 from repro.opt.engine import ModeTable, OptimizationEngine, OptimizationResult
 from repro.opt.ga import GAConfig, GAResult, GeneticAlgorithm
 from repro.opt.problem import Evaluation, TimerProblem
 from repro.opt.search import SearchResult, hill_climb, random_search
+from repro.opt.simfit import SimulationFitness
 
 __all__ = [
     "ModeTable",
@@ -23,6 +26,7 @@ __all__ = [
     "Evaluation",
     "TimerProblem",
     "SearchResult",
+    "SimulationFitness",
     "hill_climb",
     "random_search",
 ]

@@ -37,9 +37,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.params import SimConfig, config_from_dict, config_to_dict
+from repro.sim.lockstep import lockstep_unsupported_reason, run_lockstep_batch
 from repro.sim.stats import STATS_SCHEMA_VERSION, SystemStats
 from repro.sim.system import run_simulation
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, decode_stats
 
 #: Bump when the result schema or the simulation semantics change in a
 #: way that invalidates previously cached results.  The *stats* schema
@@ -131,13 +132,16 @@ class SweepJob:
         return h.hexdigest()
 
 
-def _execute(payload: Tuple[dict, bool, int, bool, List[Tuple[list, list, list]]]) -> dict:
+def _execute(payload: tuple) -> dict:
     """Worker entry point: rebuild the job from primitives and simulate.
 
     Takes plain lists/dicts rather than live objects so the pickled task
-    stays small and version-independent.
+    stays small and version-independent.  The optional sixth element
+    selects the engine for this job (``"seed"`` disables the inline
+    fast path; both produce identical results).
     """
-    cfg_dict, check, max_cycles, record, raw_traces = payload
+    cfg_dict, check, max_cycles, record, raw_traces = payload[:5]
+    engine = payload[5] if len(payload) > 5 else "fast"
     from dataclasses import replace
 
     config = replace(
@@ -146,7 +150,10 @@ def _execute(payload: Tuple[dict, bool, int, bool, List[Tuple[list, list, list]]
         max_cycles=max_cycles,
     )
     traces = [Trace.from_arrays(g, o, a) for g, o, a in raw_traces]
-    stats = run_simulation(config, traces, record_latencies=record)
+    stats = run_simulation(
+        config, traces, record_latencies=record,
+        fast_path=engine != "seed",
+    )
     return stats_to_dict(stats)
 
 
@@ -174,7 +181,7 @@ def _execute_payload(payload: tuple, timeout: Optional[float]) -> dict:
         signal.signal(signal.SIGALRM, previous)
 
 
-def _job_payload(job: SweepJob) -> tuple:
+def _job_payload(job: SweepJob, engine: str = "fast") -> tuple:
     return (
         config_to_dict(job.config),
         job.config.check_coherence,
@@ -184,6 +191,7 @@ def _job_payload(job: SweepJob) -> tuple:
             (t.gaps.tolist(), t.ops.tolist(), t.addrs.tolist())
             for t in job.traces
         ],
+        engine,
     )
 
 
@@ -221,6 +229,16 @@ class SweepRunner:
     #: default).  Tests use "fork" so monkeypatched module state
     #: propagates into workers.
     mp_context: Optional[str] = None
+    #: Simulation engine: ``"lockstep"`` (default) routes groups of
+    #: uncached jobs that share identical traces through
+    #: :func:`repro.sim.lockstep.run_lockstep_batch` — one shared trace
+    #: decode and batched hit classification per group, with configs the
+    #: lock-step engine cannot serve peeled back to the per-event path.
+    #: ``"fast"`` / ``"seed"`` force the inline-retirement or
+    #: event-per-access engine for every job.  Results are bit-identical
+    #: across all three (the cross-engine equivalence suite pins this),
+    #: so cache entries are shared between engines.
+    engine: str = "lockstep"
     cache_hits: int = 0
     cache_misses: int = 0
     #: Simulations actually executed (cache misses that ran).
@@ -245,11 +263,30 @@ class SweepRunner:
     cache_tmp_swept: int = 0
     #: Last cache-store failure, ``"ExcType: message"`` (for telemetry).
     cache_store_last_error: Optional[str] = None
+    #: Same-trace groups executed through the lock-step engine.
+    lockstep_groups: int = 0
+    #: Jobs served by lock-step batches (subset of ``jobs_executed``).
+    lockstep_jobs: int = 0
+    #: Jobs peeled out of a same-trace group because their configuration
+    #: is outside the lock-step engine's support (coherence checking on,
+    #: non-standard protocol); they ran on the per-event path instead.
+    lockstep_peeled: int = 0
+    #: Histogram ``{group size: count}`` of executed lock-step groups,
+    #: so telemetry distinguishes duplicate-digest dedup (PR 5) from
+    #: lock-step amortisation of *distinct* configs over one trace.
+    _lockstep_group_sizes: Dict[int, int] = field(
+        default_factory=dict, repr=False
+    )
     _memory: Dict[str, dict] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.engine not in ("seed", "fast", "lockstep"):
+            raise ValueError(
+                f"engine must be 'seed', 'fast' or 'lockstep', "
+                f"got {self.engine!r}"
+            )
         self._sweep_orphan_tmp()
 
     # -- cache ---------------------------------------------------------------
@@ -392,8 +429,24 @@ class SweepRunner:
                 first_slot[key] = i
                 pending.append(i)
 
+        def publish(slot: int, result: dict) -> None:
+            # Normalise through JSON so fresh and cached results are
+            # indistinguishable (e.g. tuples become lists).
+            result = json.loads(json.dumps(result))
+            self._cache_store(keys[slot], result)
+            results[slot] = result
+            for dup in duplicates.get(keys[slot], ()):
+                results[dup] = result
+
+        if pending and self.engine == "lockstep":
+            pending = self._run_lockstep_groups(jobs, pending, publish)
+
         if pending:
-            payloads = [_job_payload(jobs[i]) for i in pending]
+            # Lock-step leftovers (singletons, unsupported configs) run
+            # on the fast per-event path; only engine="seed" forces the
+            # event-per-access engine everywhere.
+            worker_engine = "seed" if self.engine == "seed" else "fast"
+            payloads = [_job_payload(jobs[i], worker_engine) for i in pending]
             started = time.perf_counter()
             if self.jobs == 1 or len(pending) == 1:
                 fresh = [_execute(p) for p in payloads]
@@ -402,14 +455,62 @@ class SweepRunner:
             self.exec_seconds += time.perf_counter() - started
             self.jobs_executed += len(pending)
             for i, result in zip(pending, fresh):
-                # Normalise through JSON so fresh and cached results are
-                # indistinguishable (e.g. tuples become lists).
-                result = json.loads(json.dumps(result))
-                self._cache_store(keys[i], result)
-                results[i] = result
-                for dup in duplicates.get(keys[i], ()):
-                    results[dup] = result
+                publish(i, result)
         return results  # type: ignore[return-value]
+
+    def _run_lockstep_groups(
+        self,
+        jobs: Sequence[SweepJob],
+        pending: List[int],
+        publish,
+    ) -> List[int]:
+        """Execute same-trace groups of ``pending`` jobs in lock-step.
+
+        Groups the uncached jobs by trace content (plus the
+        ``record_latencies`` flag, which changes the result shape) and
+        evaluates every group of two or more supported configurations
+        through :func:`repro.sim.lockstep.run_lockstep_batch` — the
+        trace is decoded once and hit runs are classified in batch,
+        while each config keeps its own caches, bus and stats, so the
+        results are bit-identical to the per-event path.  Returns the
+        leftover job slots (singleton groups and unsupported configs)
+        for the normal execution path.
+        """
+        groups: Dict[Tuple[Tuple[str, ...], bool], List[int]] = {}
+        leftover: List[int] = []
+        for i in pending:
+            job = jobs[i]
+            if lockstep_unsupported_reason(job.config) is not None:
+                self.lockstep_peeled += 1
+                leftover.append(i)
+                continue
+            key = (
+                tuple(t.content_digest() for t in job.traces),
+                job.record_latencies,
+            )
+            groups.setdefault(key, []).append(i)
+        for key, slots in groups.items():
+            if len(slots) < 2:
+                leftover.extend(slots)
+                continue
+            started = time.perf_counter()
+            batch = run_lockstep_batch(
+                [jobs[i].config for i in slots],
+                list(jobs[slots[0]].traces),
+                record_latencies=key[1],
+            )
+            self.exec_seconds += time.perf_counter() - started
+            self.jobs_executed += len(slots)
+            self.lockstep_groups += 1
+            self.lockstep_jobs += len(slots)
+            size = len(slots)
+            self._lockstep_group_sizes[size] = (
+                self._lockstep_group_sizes.get(size, 0) + 1
+            )
+            for i, stats in zip(slots, batch):
+                publish(i, stats_to_dict(stats))
+        leftover.sort()
+        return leftover
 
     # -- crash-contained parallel execution ----------------------------------
 
@@ -505,8 +606,10 @@ class SweepRunner:
         summarised by ``cohort metrics``).
         """
         requested = self.cache_hits + self.cache_misses
+        decode = decode_stats
         return {
             "jobs": self.jobs,
+            "engine": self.engine,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hits / requested if requested else 0.0,
@@ -521,6 +624,17 @@ class SweepRunner:
             "cache_store_last_error": self.cache_store_last_error,
             "cache_tmp_swept": self.cache_tmp_swept,
             "cache_dir": self.cache_dir,
+            "lockstep_groups": self.lockstep_groups,
+            "lockstep_jobs": self.lockstep_jobs,
+            "lockstep_peeled": self.lockstep_peeled,
+            # {group size: count}; JSON object keys are strings so the
+            # shape survives a --metrics-out round-trip unchanged.
+            "lockstep_group_sizes": {
+                str(size): count
+                for size, count in sorted(self._lockstep_group_sizes.items())
+            },
+            "trace_decode_hits": decode["hits"],
+            "trace_decode_misses": decode["misses"],
         }
 
     def run_one(

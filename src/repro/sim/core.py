@@ -27,7 +27,7 @@ from __future__ import annotations
 import enum
 from typing import Optional, Tuple
 
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, decode_trace
 
 
 class CoreState(enum.Enum):
@@ -48,6 +48,7 @@ class Core:
         "hit_latency",
         "runahead_window",
         "fast_path",
+        "_decoded",
         "_line_addrs",
         "_gaps",
         "_ops",
@@ -78,10 +79,14 @@ class Core:
         self.runahead_window = runahead_window
         self.fast_path = fast_path
         # Plain Python lists: per-entry indexing of numpy arrays allocates
-        # a numpy scalar per access, which dominates the replay loop.
-        self._line_addrs = trace.line_addrs(line_bytes).tolist()
-        self._gaps = trace.gaps.tolist()
-        self._ops = trace.ops.tolist()
+        # a numpy scalar per access, which dominates the replay loop.  The
+        # lists come from the process-local decoded-trace cache, so a sweep
+        # re-running one trace under many configs decodes it exactly once.
+        decoded = decode_trace(trace, line_bytes)
+        self._decoded = decoded
+        self._line_addrs = decoded.lines
+        self._gaps = decoded.gaps
+        self._ops = decoded.ops
 
         self.state = CoreState.RUNNING
         self.pos = 0

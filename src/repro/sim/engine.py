@@ -229,31 +229,41 @@ class ProtocolEngine:
             self.system.request_arbitration()
 
     def _update_line_inner(self, line_addr: int) -> None:
+        # The dict entry is only ever mutated in place (never replaced),
+        # so one lookup serves every round of the loop below.
+        all_reqs = self._line_reqs.get(line_addr)
+        if not all_reqs:
+            return
+        caches = self.caches
+        waiting_state = ReqState.WAITING
+        transferring_state = ReqState.TRANSFERRING
         while True:
-            reqs = [
-                r
-                for r in self._line_reqs.get(line_addr, [])
-                if r.state == ReqState.WAITING
-            ]
+            reqs = []
+            transfer_in_flight = False
+            for r in all_reqs:
+                state = r.state
+                if state == waiting_state:
+                    reqs.append(r)
+                elif state == transferring_state:
+                    transfer_in_flight = True
             if not reqs:
                 return
-            transfer_in_flight = any(
-                r.state == ReqState.TRANSFERRING
-                for r in self._line_reqs.get(line_addr, [])
-            )
             for r in reqs:
                 r.ready = False
                 r.source = None
             if transfer_in_flight:
                 return
             copies = []
-            for cache in self.caches:
+            owner = None
+            for cache in caches:
                 copy = cache.lookup(line_addr)
                 if copy is not None and copy.valid:
                     copies.append((cache, copy))
-            owners = [(c, cp) for c, cp in copies if cp.state == LineState.M]
-            assert len(owners) <= 1, f"multiple owners of line {line_addr}"
-            owner = owners[0] if owners else None
+                    if copy.state == LineState.M:
+                        assert owner is None, (
+                            f"multiple owners of line {line_addr}"
+                        )
+                        owner = (cache, copy)
             # Same-line requests are served strictly in bus (broadcast)
             # order.  A younger request must never leapfrog an older one:
             # its fresh fill would open a *second* timer window against

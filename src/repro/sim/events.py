@@ -164,8 +164,10 @@ class EventBus:
         """
         counts = self.counts
         counts[kind] = counts.get(kind, 0) + 1
-        cycle = self._kernel.now
         by_kind = self._by_kind.get(kind)
+        if not by_kind and not self._all:
+            return
+        cycle = self._kernel.now
         if by_kind:
             for listener in tuple(by_kind):
                 listener(cycle, kind, payload)

@@ -49,6 +49,10 @@ class CoherenceRequest:
     complete_cycle: Optional[int] = None
     #: For the non-perfect LLC: a DRAM fetch for this line is in flight.
     dram_pending: bool = False
+    #: Lazily built arbitration jobs, reused across rounds (the job
+    #: fields are invariant per request; see ``System._collect_jobs``).
+    bcast_job: Optional["BusJob"] = None
+    data_job: Optional["BusJob"] = None
 
     @property
     def wants_ownership(self) -> bool:

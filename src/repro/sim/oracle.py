@@ -141,6 +141,28 @@ class CoherenceOracle:
         line.version = version
         line.dirty = True
 
+    def unchecked_writer(self) -> Callable[[CacheLine], None]:
+        """A ``perform_write`` closure minus the coherence checks.
+
+        For hot paths that have already excluded checked configurations
+        (the lock-step engine peels ``check_coherence=True``); raises if
+        checking is on, since the closure would skip the single-writer
+        check.
+        """
+        if self.check:
+            raise RuntimeError(
+                "unchecked_writer() requires check_coherence=False"
+            )
+        golden = self._golden
+
+        def write(line: CacheLine) -> None:
+            version = golden.get(line.line_addr, 0) + 1
+            golden[line.line_addr] = version
+            line.version = version
+            line.dirty = True
+
+        return write
+
     def check_read(self, core_id: int, line: CacheLine) -> None:
         """Check a load observes the latest performed write."""
         if not self.check:

@@ -92,7 +92,7 @@ class System:
                 f"{config.num_cores} cores but {len(traces)} traces supplied"
             )
         self.config = config
-        self.kernel = EventKernel()
+        self.kernel = self._make_kernel()
         self.events = EventBus(self.kernel)
         self.bus = SharedBus()
         self.arbiter: Arbiter = build_arbiter(config)
@@ -100,11 +100,7 @@ class System:
         self.dram = FixedLatencyDRAM(config.dram_latency)
         self.backend: MemoryBackend = build_backend(config, self.dram)
         self.caches: List[PrivateCache] = [
-            PrivateCache(
-                i, config.l1, config.core_config(i).theta,
-                protocol=self.protocol,
-            )
-            for i in range(config.num_cores)
+            self._make_cache(i) for i in range(config.num_cores)
         ]
         #: Operating mode last programmed through :meth:`switch_mode`
         #: (None until the first run-time switch; Section VI).
@@ -113,19 +109,10 @@ class System:
             config.check_coherence, self.caches, lambda: self.kernel.now,
             core_info=self._oracle_core_info,
         )
-        self.engine = ProtocolEngine(self)
+        self.engine = self._make_engine()
         self.backend.attach(self)
-        lat = config.latencies
         self.cores: List[Core] = [
-            Core(
-                core_id=i,
-                trace=traces[i],
-                system=self,
-                line_bytes=config.l1.line_bytes,
-                hit_latency=lat.hit,
-                runahead_window=config.runahead_window,
-                fast_path=fast_path,
-            )
+            self._make_core(i, traces[i], fast_path)
             for i in range(config.num_cores)
         ]
         self.stats = SystemStats(
@@ -140,7 +127,7 @@ class System:
         StatsCollector(self.stats).attach(self.events)
         # Hot-path shortcuts (avoid per-access attribute chains).
         self._core_stats: List[CoreStats] = self.stats.cores
-        self._hit_latency = lat.hit
+        self._hit_latency = config.latencies.hit
         self._check = config.check_coherence
         self._perform_write = self.oracle.perform_write
         self._check_read = self.oracle.check_read
@@ -162,6 +149,37 @@ class System:
 
             self.injector = FaultInjector(self, fault_plan)
             self.injector.arm()
+
+    # ------------------------------------------------------- factory seams
+    #
+    # Component construction is routed through overridable hooks so that
+    # alternative engines (the lock-step batch engine of
+    # :mod:`repro.sim.lockstep`) can substitute instrumented subclasses
+    # without touching the wiring above.  The defaults build exactly the
+    # components the seed engine always built.
+
+    def _make_kernel(self) -> EventKernel:
+        return EventKernel()
+
+    def _make_cache(self, core_id: int) -> PrivateCache:
+        return PrivateCache(
+            core_id, self.config.l1, self.config.core_config(core_id).theta,
+            protocol=self.protocol,
+        )
+
+    def _make_engine(self) -> ProtocolEngine:
+        return ProtocolEngine(self)
+
+    def _make_core(self, core_id: int, trace: Trace, fast_path: bool) -> Core:
+        return Core(
+            core_id=core_id,
+            trace=trace,
+            system=self,
+            line_bytes=self.config.l1.line_bytes,
+            hit_latency=self.config.latencies.hit,
+            runahead_window=self.config.runahead_window,
+            fast_path=fast_path,
+        )
 
     # ------------------------------------------------------------ properties
 
@@ -289,11 +307,19 @@ class System:
         jobs: List[BusJob] = []
         for req in self.engine.requests.values():
             if req.state == ReqState.QUEUED:
-                jobs.append(
-                    BusJob(JobKind.BROADCAST, req.core_id, req.req_id, req=req)
-                )
+                job = req.bcast_job
+                if job is None:
+                    job = req.bcast_job = BusJob(
+                        JobKind.BROADCAST, req.core_id, req.req_id, req=req
+                    )
+                jobs.append(job)
             elif req.state == ReqState.WAITING and req.ready:
-                jobs.append(BusJob(JobKind.DATA, req.core_id, req.req_id, req=req))
+                job = req.data_job
+                if job is None:
+                    job = req.data_job = BusJob(
+                        JobKind.DATA, req.core_id, req.req_id, req=req
+                    )
+                jobs.append(job)
         jobs.extend(self.backend.bus_jobs())
         return jobs
 

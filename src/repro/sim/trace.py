@@ -9,9 +9,11 @@ address.  Traces are what the workload generators in
 
 from __future__ import annotations
 
+import hashlib
 import io
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -40,7 +42,7 @@ class Trace:
     in-isolation cache analysis can vectorise over them.
     """
 
-    __slots__ = ("_gaps", "_ops", "_addrs")
+    __slots__ = ("_gaps", "_ops", "_addrs", "_digest")
 
     def __init__(self, accesses: Iterable[TraceAccess] = ()) -> None:
         gaps: List[int] = []
@@ -53,6 +55,7 @@ class Trace:
         self._gaps = np.asarray(gaps, dtype=np.int64)
         self._ops = np.asarray(ops, dtype=np.int8)
         self._addrs = np.asarray(addrs, dtype=np.int64)
+        self._digest: str = ""
 
     # -- constructors ------------------------------------------------------
 
@@ -79,6 +82,7 @@ class Trace:
         trace._gaps = gaps
         trace._ops = ops
         trace._addrs = addrs
+        trace._digest = ""
         return trace
 
     # -- sequence protocol -------------------------------------------------
@@ -131,6 +135,21 @@ class Trace:
         if line_bytes <= 0:
             raise ValueError("line_bytes must be positive")
         return self._addrs // line_bytes
+
+    def content_digest(self) -> str:
+        """Content hash over the raw access arrays (memoized per object).
+
+        Two traces with equal accesses share a digest regardless of how
+        they were constructed; the decoded-trace cache below is keyed on
+        it so every process decodes each distinct trace at most once.
+        """
+        if not self._digest:
+            h = hashlib.sha1()
+            h.update(self._gaps.tobytes())
+            h.update(self._ops.tobytes())
+            h.update(self._addrs.tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     # -- summary statistics --------------------------------------------------
 
@@ -220,6 +239,94 @@ class Trace:
             ops.append(int(MemOp.STORE) if op == "W" else int(MemOp.LOAD))
             addrs.append(int(addr))
         return cls.from_arrays(gaps, ops, addrs)
+
+
+class DecodedTrace:
+    """Immutable decode products of one ``(trace, line_bytes)`` pair.
+
+    Owns the per-entry Python lists the replay cores index (building them
+    is the dominant per-``System`` setup cost) plus the numpy planes the
+    lock-step engine scans.  Instances are shared: consumers must treat
+    every field as read-only.
+    """
+
+    __slots__ = (
+        "n", "line_bytes", "lines", "gaps", "ops",
+        "lines_np", "gaps_np", "ops_np", "store_mask", "store_pos",
+        "_set_idx", "_due_prefix",
+    )
+
+    def __init__(self, trace: Trace, line_bytes: int) -> None:
+        lines_np = trace.line_addrs(line_bytes)
+        self.n = len(trace)
+        self.line_bytes = line_bytes
+        self.lines = lines_np.tolist()
+        self.gaps = trace.gaps.tolist()
+        self.ops = trace.ops.tolist()
+        self.lines_np = lines_np
+        self.gaps_np = trace.gaps
+        self.ops_np = trace.ops
+        self.store_mask = trace.ops != int(MemOp.LOAD)
+        #: Indices of store accesses, ascending (for batched write commits).
+        self.store_pos = np.flatnonzero(self.store_mask)
+        self._set_idx: Dict[int, np.ndarray] = {}
+        self._due_prefix: Dict[int, np.ndarray] = {}
+
+    def set_index(self, num_sets: int) -> np.ndarray:
+        """Per-access direct-mapped set index (cached per geometry)."""
+        cached = self._set_idx.get(num_sets)
+        if cached is None:
+            cached = self.lines_np & (num_sets - 1)
+            self._set_idx[num_sets] = cached
+        return cached
+
+    def due_prefix(self, hit_latency: int) -> np.ndarray:
+        """Prefix sums of retire times along an uninterrupted hit chain.
+
+        ``due[k] - due[s]`` is the issue-cycle distance between accesses
+        ``k`` and ``s`` when every access in between hits: each entry
+        costs its own gap plus one hit latency.
+        """
+        cached = self._due_prefix.get(hit_latency)
+        if cached is None:
+            cached = np.cumsum(self.gaps_np) + np.arange(self.n, dtype=np.int64) * hit_latency
+            self._due_prefix[hit_latency] = cached
+        return cached
+
+
+#: Process-local decoded-trace cache, content-keyed (LRU-bounded).
+_DECODE_CACHE: "OrderedDict[Tuple[str, int], DecodedTrace]" = OrderedDict()
+_DECODE_CACHE_MAX = 256
+#: Cumulative cache statistics, surfaced as ``trace_decode_hits`` in
+#: :meth:`repro.runner.SweepRunner.telemetry`.
+decode_stats = {"hits": 0, "misses": 0}
+
+
+def decode_trace(trace: Trace, line_bytes: int) -> DecodedTrace:
+    """The shared :class:`DecodedTrace` for ``trace`` at ``line_bytes``.
+
+    Content-keyed: equal traces hit the same entry no matter how many
+    `Trace` objects carry them (sweep jobs rebuild traces per payload).
+    """
+    key = (trace.content_digest(), line_bytes)
+    dec = _DECODE_CACHE.get(key)
+    if dec is not None:
+        decode_stats["hits"] += 1
+        _DECODE_CACHE.move_to_end(key)
+        return dec
+    decode_stats["misses"] += 1
+    dec = DecodedTrace(trace, line_bytes)
+    _DECODE_CACHE[key] = dec
+    while len(_DECODE_CACHE) > _DECODE_CACHE_MAX:
+        _DECODE_CACHE.popitem(last=False)
+    return dec
+
+
+def clear_decode_cache() -> None:
+    """Drop cached decodes and reset the hit/miss counters (tests)."""
+    _DECODE_CACHE.clear()
+    decode_stats["hits"] = 0
+    decode_stats["misses"] = 0
 
 
 def merge_stats(traces: Sequence[Trace], line_bytes: int = 64) -> Tuple[int, int]:

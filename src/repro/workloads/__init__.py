@@ -17,6 +17,7 @@ from repro.workloads.synthetic import (
     SHARED_BASE,
     TraceBuilder,
     private_base,
+    timer_sweep,
     uniform_shared_mix,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "SHARED_BASE",
     "TraceBuilder",
     "private_base",
+    "timer_sweep",
     "uniform_shared_mix",
 ]

@@ -190,6 +190,63 @@ def interleave(builders_parts: Sequence[Sequence[Trace]]) -> List[Trace]:
     return result
 
 
+def timer_sweep(
+    num_cores: int = 4,
+    accesses_per_core: int = 40_000,
+    hot_lines: int = 48,
+    touches_per_line: int = 8,
+    shared_read_fraction: float = 0.002,
+    shared_store_fraction: float = 0.0002,
+    seed: int = 0,
+) -> List[Trace]:
+    """The timer-protected, hit-dominated regime of a θ sweep.
+
+    Each core streams over a private ``hot_lines``-line working set
+    (``touches_per_line`` word touches per line, one store per line —
+    exactly the spatial reuse a timer window protects), with a light
+    sprinkle of shared reads and rarer shared exchanges.  Miss rates
+    land around 0.3%, where lock-step batching pays off most; this is
+    the workload of the ``lockstep`` throughput benchmark.
+
+    Address-map care: with the reference 16 KiB direct-mapped L1
+    (256 sets), the private hot sets occupy set indices
+    ``0..hot_lines-1``, so the shared lines are pinned to high set
+    indices (200+) — placing them low would alias with every core's
+    hot set and turn the workload conflict-miss-bound.
+    """
+    if hot_lines < 1 or hot_lines > 200:
+        raise ValueError("hot_lines must be in 1..200 (shared lines sit at 200+)")
+    rng = np.random.default_rng(seed)
+    shared_read_base = (1 << 20) + 200  # line index → set indices 200..207
+    shared_exch_base = (1 << 20) + 240  # set indices 240..243
+    traces = []
+    for core in range(num_cores):
+        n = accesses_per_core
+        hot = (1 << 18) + core * 4096 + np.arange(hot_lines)
+        idx = (np.arange(n) // touches_per_line) % hot_lines
+        lines = hot[idx]
+        ops = np.where(
+            np.arange(n) % touches_per_line == touches_per_line - 3,
+            int(MemOp.STORE),
+            int(MemOp.LOAD),
+        )
+        r = rng.random(n)
+        sh_read = r < shared_read_fraction
+        sh_store = (r >= shared_read_fraction) & (
+            r < shared_read_fraction + shared_store_fraction
+        )
+        lines = np.where(sh_read, shared_read_base + rng.integers(0, 8, n), lines)
+        lines = np.where(sh_store, shared_exch_base + rng.integers(0, 4, n), lines)
+        ops = np.where(
+            sh_store,
+            int(MemOp.STORE),
+            np.where(sh_read, int(MemOp.LOAD), ops),
+        )
+        gaps = rng.integers(1, 4, n)
+        traces.append(Trace.from_arrays(gaps, ops, lines * LINE))
+    return traces
+
+
 def uniform_shared_mix(
     num_cores: int,
     accesses_per_core: int,

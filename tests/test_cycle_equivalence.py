@@ -65,6 +65,25 @@ def test_reference_workload_cycles_exact(system_key, fast_path):
     assert _snapshot(stats) == REFERENCE["systems"][system_key]
 
 
+@pytest.mark.parametrize("system_key", sorted(CONFIGS))
+def test_reference_workload_cycles_exact_lockstep(system_key):
+    """The lock-step engine reproduces the pinned reference too."""
+    from repro.sim.lockstep import run_simulation_lockstep
+
+    stats = run_simulation_lockstep(CONFIGS[system_key](), _traces())
+    assert _snapshot(stats) == REFERENCE["systems"][system_key]
+
+
+def test_reference_workload_cycles_exact_lockstep_batch():
+    """One batched lock-step run serves both reference configs exactly."""
+    from repro.sim.lockstep import run_lockstep_batch
+
+    keys = sorted(CONFIGS)
+    batch = run_lockstep_batch([CONFIGS[k]() for k in keys], _traces())
+    for key, stats in zip(keys, batch):
+        assert _snapshot(stats) == REFERENCE["systems"][key]
+
+
 def test_reference_headline_cycles():
     """The headline numbers quoted across docs/CI stay what they are."""
     assert REFERENCE["systems"]["cohort_theta60"]["final_cycle"] == 76904

@@ -1,0 +1,182 @@
+"""Cross-engine equivalence of the lock-step multi-config engine.
+
+The lock-step engine (:mod:`repro.sim.lockstep`) amortises one trace
+decode across many configurations; its contract is that every result is
+*bit-identical* to the per-event engines.  These tests check that
+contract property-style — randomized timer vectors over all registered
+protocols and arbiters, compared as full ``stats_to_dict`` documents —
+plus the peeling rules (unsupported configs and armed fault plans run
+on the per-event path transparently) and the sweep runner's same-trace
+group routing.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.params import (
+    MSI_THETA,
+    ArbiterKind,
+    cohort_config,
+    msi_fcfs_config,
+)
+from repro.runner import SweepJob, SweepRunner, stats_to_dict
+from repro.sim.lockstep import (
+    lockstep_unsupported_reason,
+    run_lockstep_batch,
+    run_simulation_lockstep,
+)
+from repro.sim.system import run_simulation
+from repro.workloads import splash_traces, timer_sweep, uniform_shared_mix
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return uniform_shared_mix(4, 400, seed=3)
+
+
+def random_thetas(rng) -> list:
+    grid = [MSI_THETA, 1, 3, 9, 27, 81, 243, 1000]
+    return [int(grid[rng.integers(0, len(grid))]) for _ in range(4)]
+
+
+class TestRandomizedCrossEngine:
+    """seed == fast == lockstep on randomized configurations."""
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_random_timer_vectors_all_engines_agree(self, traces, trial):
+        rng = np.random.default_rng(100 + trial)
+        config = cohort_config(random_thetas(rng))
+        seed = run_simulation(config, traces, fast_path=False)
+        fast = run_simulation(config, traces, fast_path=True)
+        lock = run_simulation_lockstep(config, traces)
+        assert stats_to_dict(seed) == stats_to_dict(fast)
+        assert stats_to_dict(fast) == stats_to_dict(lock)
+
+    @pytest.mark.parametrize("protocol", ["timed_msi", "msi", "pmsi"])
+    @pytest.mark.parametrize(
+        "arbiter", [ArbiterKind.RROF, ArbiterKind.FCFS, ArbiterKind.TDM]
+    )
+    def test_protocol_arbiter_matrix(self, traces, protocol, arbiter):
+        thetas = [60, 20, MSI_THETA, 5]
+        if protocol != "timed_msi":
+            thetas = [MSI_THETA] * 4
+        config = replace(
+            cohort_config(thetas), protocol=protocol, arbiter=arbiter
+        )
+        fast = run_simulation(config, traces, fast_path=True)
+        lock = run_simulation_lockstep(config, traces)
+        assert stats_to_dict(fast) == stats_to_dict(lock)
+
+    def test_record_latencies_survive_lockstep(self, traces):
+        config = cohort_config([60, 20, 20, 20])
+        fast = run_simulation(config, traces, record_latencies=True)
+        lock = run_simulation_lockstep(config, traces, record_latencies=True)
+        assert stats_to_dict(fast) == stats_to_dict(lock)
+
+
+class TestBatchPeeling:
+    def test_batch_peels_unsupported_configs_in_slot(self, traces):
+        supported = cohort_config([60, 20, 20, 20])
+        checked = replace(cohort_config([30] * 4), check_coherence=True)
+        pmsi = replace(msi_fcfs_config(4), protocol="pmsi")
+        assert lockstep_unsupported_reason(supported) is None
+        assert lockstep_unsupported_reason(checked) is not None
+        # PMSI keeps the standard hit predicate, so it is lock-steppable.
+        assert lockstep_unsupported_reason(pmsi) is None
+        batch = run_lockstep_batch([supported, checked, pmsi], traces)
+        for config, stats in zip([supported, checked, pmsi], batch):
+            direct = run_simulation(config, traces)
+            assert stats_to_dict(stats) == stats_to_dict(direct)
+
+    def test_fault_plans_peel_and_match_the_event_path(self):
+        """FI campaign smoke: an armed plan runs per-event, same result."""
+        from repro.fi import FaultPlan
+
+        traces = splash_traces("fft", 4, scale=0.2, seed=0)
+        config = cohort_config([100, 20, 20, 20])
+        baseline = run_simulation(config, traces)
+        plan = FaultPlan.generate(
+            seed=11, horizon=baseline.final_cycle, num_cores=4, n_faults=2
+        )
+        batch = run_lockstep_batch(
+            [config, config], traces, fault_plans=[None, plan]
+        )
+        clean = run_simulation(config, traces)
+        faulted = run_simulation(config, traces, fault_plan=plan)
+        assert stats_to_dict(batch[0]) == stats_to_dict(clean)
+        assert stats_to_dict(batch[1]) == stats_to_dict(faulted)
+
+
+class TestSweepRunnerRouting:
+    def make_jobs(self, traces, thetas_list):
+        return [
+            SweepJob(cohort_config(th), tuple(traces)) for th in thetas_list
+        ]
+
+    def test_same_trace_group_runs_in_lockstep(self, traces):
+        runner = SweepRunner(jobs=1, cache_dir=None)
+        assert runner.engine == "lockstep"
+        jobs = self.make_jobs(
+            traces, [[60] * 4, [20] * 4, [5, 60, 200, MSI_THETA]]
+        )
+        results = runner.run(jobs)
+        assert runner.lockstep_groups == 1
+        assert runner.lockstep_jobs == 3
+        assert runner.jobs_executed == 3
+        tele = runner.telemetry()
+        assert tele["engine"] == "lockstep"
+        assert tele["lockstep_group_sizes"] == {"3": 1}
+        assert tele["trace_decode_misses"] >= 0
+        for job, result in zip(jobs, results):
+            direct = run_simulation(job.config, job.traces)
+            assert result == stats_to_dict(direct)
+
+    def test_unsupported_jobs_are_peeled_to_the_normal_path(self, traces):
+        runner = SweepRunner(jobs=1, cache_dir=None)
+        checked = replace(cohort_config([30] * 4), check_coherence=True)
+        jobs = self.make_jobs(traces, [[60] * 4, [20] * 4])
+        jobs.append(SweepJob(checked, tuple(traces)))
+        runner.run(jobs)
+        assert runner.lockstep_jobs == 2
+        assert runner.lockstep_peeled == 1
+        assert runner.jobs_executed == 3
+
+    def test_engine_fast_and_seed_bypass_grouping(self, traces):
+        for engine in ("fast", "seed"):
+            runner = SweepRunner(jobs=1, cache_dir=None, engine=engine)
+            results = runner.run(self.make_jobs(traces, [[60] * 4, [20] * 4]))
+            assert runner.lockstep_groups == 0
+            for thetas, result in zip([[60] * 4, [20] * 4], results):
+                direct = run_simulation(cohort_config(thetas), traces)
+                assert result == stats_to_dict(direct)
+
+    def test_lockstep_results_fill_the_shared_cache(self, traces, tmp_path):
+        cache = str(tmp_path / "sweeps")
+        first = SweepRunner(jobs=1, cache_dir=cache)
+        jobs = self.make_jobs(traces, [[60] * 4, [20] * 4])
+        first.run(jobs)
+        assert first.lockstep_jobs == 2
+        second = SweepRunner(jobs=1, cache_dir=cache, engine="fast")
+        second.run(jobs)
+        assert second.cache_hits == 2
+        assert second.jobs_executed == 0
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            SweepRunner(jobs=1, cache_dir=None, engine="warp")
+
+
+class TestTimerSweepWorkload:
+    """The benchmark workload has the regime it advertises."""
+
+    def test_hit_dominated_and_deterministic(self):
+        a = timer_sweep(2, 20_000, seed=5)
+        b = timer_sweep(2, 20_000, seed=5)
+        for ta, tb in zip(a, b):
+            assert ta.content_digest() == tb.content_digest()
+        stats = run_simulation(cohort_config([60, 60]), a)
+        hits = sum(c.hits for c in stats.cores)
+        misses = sum(c.misses for c in stats.cores)
+        assert misses / (hits + misses) < 0.02

@@ -64,6 +64,9 @@ def resilient_runner(**kw) -> SweepRunner:
     kw.setdefault("cache_dir", None)
     kw.setdefault("mp_context", "fork")
     kw.setdefault("backoff_base", 0.001)
+    # These tests exercise the process-pool path; the lock-step default
+    # would serve the same-trace batch inline and never hit the pool.
+    kw.setdefault("engine", "fast")
     return SweepRunner(**kw)
 
 
