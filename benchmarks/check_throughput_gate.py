@@ -1,28 +1,36 @@
 """CI throughput gate: no silent slowdowns, no silent timing changes.
 
 Re-runs the two reference systems of ``BENCH_throughput.json`` (the
-checked-in artifact produced by ``benchmarks/test_sim_throughput.py``)
-and fails when
+checked-in artifact produced by ``benchmarks/test_sim_throughput.py``),
+distils both the artifact and the fresh measurements into
+:class:`repro.qa.RunManifest` documents, and evaluates the shipped
+``throughput`` gate spec (``repro/qa/specs/throughput.json``) over the
+(baseline, candidate) pair.  The spec asks, question by question:
 
-* the simulated cycle counts differ from the artifact at all — that is
-  a protocol-timing change, which must come with a deliberate artifact
-  (and ``tests/data/cycle_reference_ocean4.json``) update; or
-* accesses/second fall below ``1 - TOLERANCE`` (default 20%) of the
-  artifact's recorded rate — a real performance regression; or
-* attaching the full ``repro.obs`` telemetry stack (spans, histograms,
-  samplers) changes the simulated cycle count at all, or costs more
-  than ``--telemetry-tolerance`` (default 20%) of the telemetry-off
-  throughput measured in the same gate run — telemetry must stay an
-  opt-in observer, not a tax on the engine; or
-* the lock-step 64-config batch benchmark loses its cycle identity
-  with the artifact, drops below ``--min-speedup`` (default 5x) over
-  the 64 sequential fast-path runs, or regresses more than
-  ``--tolerance`` against the artifact's recorded batch throughput.
+* do the simulated cycle counts match the artifact exactly (timing
+  changes must come with a deliberate artifact and
+  ``tests/data/cycle_reference_ocean4.json`` update)?
+* are accesses/second within ``1 - tolerance`` (default 20%) of the
+  artifact's recorded rates?
+* does attaching the full ``repro.obs`` telemetry stack leave the cycle
+  count untouched and cost at most ``telemetry_tolerance`` of the
+  telemetry-off throughput measured in the same run?
+* does the lock-step 64-config batch keep its cycle identity, clear the
+  ``min_speedup`` floor, and stay within the regression band of the
+  artifact's batch rate?
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_throughput_gate.py
     PYTHONPATH=src python benchmarks/check_throughput_gate.py --tolerance 0.5
+    PYTHONPATH=src python benchmarks/check_throughput_gate.py \
+        --measure-only --manifests-out bench_manifests/
+
+With ``--manifests-out DIR`` the baseline and candidate manifests are
+written to ``DIR/baseline.manifest.json`` / ``DIR/candidate.manifest.json``
+so CI can re-gate them (or archive them) with ``cohort gate run``;
+``--measure-only`` skips the in-process verdict so the decision is made
+exclusively by that separate ``cohort gate`` invocation.
 
 Exit status 0 on pass, 1 on any gate failure.
 """
@@ -30,6 +38,7 @@ Exit status 0 on pass, 1 on any gate failure.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import statistics
 import sys
@@ -38,6 +47,7 @@ from pathlib import Path
 
 from repro.obs import Telemetry
 from repro.params import cohort_config, msi_fcfs_config
+from repro.qa import build_manifest, evaluate_spec, load_spec, write_manifest
 from repro.sim.system import System, run_simulation
 from repro.workloads import splash_traces
 
@@ -53,6 +63,111 @@ SYSTEMS = {
     "cohort": lambda: cohort_config([60] * 4),
     "msi_fcfs": lambda: msi_fcfs_config(4),
 }
+
+
+def _cycles_digest(final_cycles) -> str:
+    """Content digest of a lock-step per-config cycle-count list."""
+    return hashlib.sha256(
+        json.dumps(list(final_cycles)).encode()
+    ).hexdigest()
+
+
+def baseline_manifest(reference: dict, artifact_path: Path):
+    """Distil the checked-in benchmark artifact into a run manifest."""
+    metrics = {"total_accesses": reference["total_accesses"]}
+    for key in SYSTEMS:
+        ref = reference["systems"][key]
+        metrics[f"{key}_cycles"] = ref["cycles"]
+        metrics[f"{key}_accesses_per_second"] = ref["accesses_per_second"]
+    telemetry = reference.get("telemetry")
+    if telemetry is not None:
+        metrics["telemetry_cycles"] = telemetry["cycles"]
+    lockstep = reference.get("lockstep")
+    if lockstep is not None:
+        metrics["lockstep_cycles_digest"] = _cycles_digest(
+            lockstep["final_cycles"]
+        )
+        metrics["lockstep_speedup"] = lockstep["speedup"]
+        metrics["lockstep_accesses_per_second"] = \
+            lockstep["batch"]["accesses_per_second"]
+        metrics["lockstep_configs"] = lockstep["configs"]
+    return build_manifest(
+        "bench_throughput", f"artifact {reference['workload']}",
+        metrics=metrics,
+        artifact_paths=[str(artifact_path)],
+        environment={"source": "BENCH_throughput.json"},
+    )
+
+
+def measure_candidate(traces, total: int):
+    """Re-measure everything the artifact records; returns a manifest."""
+    metrics = {"total_accesses": total}
+
+    for key, make_config in SYSTEMS.items():
+        started = time.perf_counter()
+        stats = run_simulation(make_config(), traces)
+        wall = time.perf_counter() - started
+        rate = total / wall
+        metrics[f"{key}_cycles"] = stats.final_cycle
+        metrics[f"{key}_accesses_per_second"] = rate
+        print(
+            f"measured {key}: {stats.final_cycle} cycles, "
+            f"{rate:,.0f} accesses/s"
+        )
+
+    # Telemetry overhead: the same cohort run with the full repro.obs
+    # stack attached, compared against a telemetry-off run measured in
+    # the same invocation.  Interleaved median-of-N rounds on CPU time:
+    # shared CI runners drift in speed over seconds, so sequential
+    # single-shot wall-clock comparisons are noisier than the few-%
+    # real overhead being gated — a min-of-few run can even measure
+    # *negative* overhead.  A negative median is clamped to 0
+    # (telemetry cannot speed the engine up).
+    off_cpu, on_cpu = [], []
+    for _ in range(TELEMETRY_ROUNDS):
+        started = time.process_time()
+        run_simulation(SYSTEMS["cohort"](), traces)
+        off_cpu.append(time.process_time() - started)
+        system = System(SYSTEMS["cohort"](), traces)
+        Telemetry.attach(system, sample_every=500)
+        started = time.process_time()
+        stats = system.run()
+        on_cpu.append(time.process_time() - started)
+    off_med = statistics.median(off_cpu)
+    on_med = statistics.median(on_cpu)
+    overhead = max(0.0, on_med / off_med - 1.0)
+    metrics["telemetry_cycles"] = stats.final_cycle
+    metrics["telemetry_on_rate"] = total / on_med
+    metrics["telemetry_off_rate"] = total / off_med
+    metrics["telemetry_overhead"] = overhead
+    print(
+        f"measured cohort+telemetry: {stats.final_cycle} cycles, "
+        f"{total / on_med:,.0f} accesses/s cpu ({overhead:+.1%} vs "
+        f"telemetry-off over median-of-{TELEMETRY_ROUNDS})"
+    )
+
+    # Lock-step batch: the pinned 64-config θ-sweep, same measurement
+    # discipline (interleaved median-of-N rounds on CPU time — a single
+    # sequential-then-batch pair swings the speedup by 20%+ on shared
+    # runners).  Identity with the sequential runs is asserted inside
+    # measure_lockstep; identity with the artifact is the gate's job.
+    ls = measure_lockstep()
+    metrics["lockstep_cycles_digest"] = _cycles_digest(ls["final_cycles"])
+    metrics["lockstep_speedup"] = ls["speedup"]
+    metrics["lockstep_accesses_per_second"] = \
+        ls["batch"]["accesses_per_second"]
+    metrics["lockstep_configs"] = ls["configs"]
+    print(
+        f"measured lockstep: {ls['configs']} configs, "
+        f"{ls['speedup']:.2f}x over sequential (median-of-{ls['rounds']} "
+        f"cpu), {ls['batch']['accesses_per_second']:,.0f} accesses/s swept"
+    )
+
+    return build_manifest(
+        "bench_throughput", "candidate ocean x4",
+        config=SYSTEMS["cohort"](), traces=traces,
+        metrics=metrics, seed=0,
+    )
 
 
 def main(argv=None) -> int:
@@ -80,144 +195,59 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--artifact", type=Path, default=ARTIFACT, help="reference JSON"
     )
+    parser.add_argument(
+        "--manifests-out", type=Path, metavar="DIR",
+        help="write baseline.manifest.json and candidate.manifest.json "
+        "to DIR (gate them with `cohort gate run --spec throughput`)",
+    )
+    parser.add_argument(
+        "--report-out", type=Path, metavar="FILE",
+        help="write the gate verdict report JSON to FILE",
+    )
+    parser.add_argument(
+        "--measure-only", action="store_true",
+        help="measure and write manifests but skip the in-process "
+        "verdict (requires --manifests-out); the decision is then made "
+        "by a separate `cohort gate run`",
+    )
     args = parser.parse_args(argv)
+    if args.measure_only and not args.manifests_out:
+        parser.error("--measure-only requires --manifests-out")
 
     reference = json.loads(args.artifact.read_text())
+    baseline = baseline_manifest(reference, args.artifact)
     traces = splash_traces("ocean", 4, scale=4.0, seed=0)
     total = sum(len(t) for t in traces)
-    if total != reference["total_accesses"]:
-        print(
-            f"FAIL workload drifted: {total} accesses generated, "
-            f"artifact recorded {reference['total_accesses']}"
-        )
-        return 1
+    candidate = measure_candidate(traces, total)
 
-    failures = []
-    for key, make_config in SYSTEMS.items():
-        ref = reference["systems"][key]
-        started = time.perf_counter()
-        stats = run_simulation(make_config(), traces)
-        wall = time.perf_counter() - started
-        rate = total / wall
-        floor = (1.0 - args.tolerance) * ref["accesses_per_second"]
-        cycles_ok = stats.final_cycle == ref["cycles"]
-        rate_ok = rate >= floor
-        verdict = "ok" if cycles_ok and rate_ok else "FAIL"
-        print(
-            f"{verdict} {key}: {stats.final_cycle} cycles "
-            f"(artifact {ref['cycles']}), {rate:,.0f} accesses/s "
-            f"(floor {floor:,.0f} = {1 - args.tolerance:.0%} of artifact)"
+    if args.manifests_out:
+        args.manifests_out.mkdir(parents=True, exist_ok=True)
+        write_manifest(
+            baseline, str(args.manifests_out / "baseline.manifest.json")
         )
-        if not cycles_ok:
-            failures.append(
-                f"{key}: cycle count changed {ref['cycles']} -> "
-                f"{stats.final_cycle}; timing changes need a deliberate "
-                f"artifact update"
-            )
-        if not rate_ok:
-            failures.append(
-                f"{key}: throughput {rate:,.0f}/s below floor {floor:,.0f}/s"
-            )
+        write_manifest(
+            candidate, str(args.manifests_out / "candidate.manifest.json")
+        )
+        print(f"manifests written to {args.manifests_out}/")
+    if args.measure_only:
+        return 0
 
-    # Telemetry gate: same cohort run with the full repro.obs stack
-    # attached, compared against a telemetry-off run measured in the
-    # same gate invocation.  Interleaved median-of-N rounds on CPU
-    # time: shared CI runners drift in speed over seconds, so
-    # sequential single-shot wall-clock comparisons are noisier than
-    # the few-% real overhead being gated — a min-of-few run can even
-    # measure *negative* overhead.  A negative median is clamped to 0
-    # (telemetry cannot speed the engine up) and flagged as noise.
-    off_cpu, on_cpu = [], []
-    for _ in range(TELEMETRY_ROUNDS):
-        started = time.process_time()
-        run_simulation(SYSTEMS["cohort"](), traces)
-        off_cpu.append(time.process_time() - started)
-        system = System(SYSTEMS["cohort"](), traces)
-        Telemetry.attach(system, sample_every=500)
-        started = time.process_time()
-        stats = system.run()
-        on_cpu.append(time.process_time() - started)
-    off_med = statistics.median(off_cpu)
-    on_med = statistics.median(on_cpu)
-    rate = total / on_med
-    floor = (1.0 - args.telemetry_tolerance) * (total / off_med)
-    ref_cycles = reference["systems"]["cohort"]["cycles"]
-    cycles_ok = stats.final_cycle == ref_cycles
-    rate_ok = rate >= floor
-    verdict = "ok" if cycles_ok and rate_ok else "FAIL"
-    raw_overhead = on_med / off_med - 1.0
-    overhead = max(0.0, raw_overhead)
-    noise = " [negative median clamped to 0 — measurement noise]" \
-        if raw_overhead < 0 else ""
-    print(
-        f"{verdict} cohort+telemetry: {stats.final_cycle} cycles "
-        f"(artifact {ref_cycles}), {rate:,.0f} accesses/s cpu "
-        f"({overhead:+.1%} vs telemetry-off over median-of-"
-        f"{TELEMETRY_ROUNDS}, floor {floor:,.0f} = "
-        f"{1 - args.telemetry_tolerance:.0%}){noise}"
+    report = evaluate_spec(
+        load_spec("throughput"), candidate, baseline,
+        params={
+            "tolerance": args.tolerance,
+            "telemetry_tolerance": args.telemetry_tolerance,
+            "min_speedup": args.min_speedup,
+        },
     )
-    if not cycles_ok:
-        failures.append(
-            f"cohort+telemetry: cycle count changed {ref_cycles} -> "
-            f"{stats.final_cycle}; telemetry must be cycle-neutral"
-        )
-    if not rate_ok:
-        failures.append(
-            f"cohort+telemetry: throughput {rate:,.0f}/s below floor "
-            f"{floor:,.0f}/s ({overhead:+.1%} telemetry overhead)"
-        )
-
-    # Lock-step gate: re-run the pinned 64-config θ-sweep batch and
-    # hold it to (a) exact cycle identity with the artifact (identity
-    # with the sequential runs is asserted inside measure_lockstep),
-    # (b) the --min-speedup floor over the same 64 runs done
-    # sequentially on the fast path, and (c) at most --tolerance
-    # throughput regression against the artifact's recorded batch rate.
-    # Same measurement discipline as the telemetry gate: interleaved
-    # median-of-N rounds on CPU time, because a single
-    # sequential-then-batch pair swings the speedup by 20%+ on shared
-    # runners.
-    ls_ref = reference.get("lockstep")
-    if ls_ref is None:
-        failures.append(
-            "artifact has no 'lockstep' section; regenerate "
-            "BENCH_throughput.json"
-        )
-    else:
-        ls = measure_lockstep()
-        cycles_ok = ls["final_cycles"] == ls_ref["final_cycles"]
-        speedup = ls["speedup"]
-        speedup_ok = speedup >= args.min_speedup
-        rate = ls["batch"]["accesses_per_second"]
-        floor = (1.0 - args.tolerance) * ls_ref["batch"]["accesses_per_second"]
-        rate_ok = rate >= floor
-        verdict = "ok" if cycles_ok and speedup_ok and rate_ok else "FAIL"
-        print(
-            f"{verdict} lockstep: {ls['configs']} configs, {speedup:.2f}x "
-            f"over sequential (median-of-{ls['rounds']} cpu, floor "
-            f"{args.min_speedup:.1f}x), {rate:,.0f} accesses/s cpu swept "
-            f"(floor {floor:,.0f} = {1 - args.tolerance:.0%} of artifact)"
-        )
-        if not cycles_ok:
-            failures.append(
-                "lockstep: per-config cycle counts diverged from the "
-                "artifact/sequential runs; the lock-step engine must stay "
-                "bit-identical"
-            )
-        if not speedup_ok:
-            failures.append(
-                f"lockstep: batch speedup {speedup:.2f}x below the "
-                f"{args.min_speedup:.1f}x floor"
-            )
-        if not rate_ok:
-            failures.append(
-                f"lockstep: batch throughput {rate:,.0f}/s below floor "
-                f"{floor:,.0f}/s"
-            )
-
-    for failure in failures:
-        print(f"FAIL {failure}")
-    return 1 if failures else 0
+    print()
+    print(report.render())
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"verdict report written to {args.report_out}")
+    return report.exit_code
 
 
 if __name__ == "__main__":

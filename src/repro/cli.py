@@ -82,6 +82,31 @@ def _add_metrics_out(parser: argparse.ArgumentParser, what: str) -> None:
                              "(summarise with `cohort metrics`)")
 
 
+def _add_manifest_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--manifest-out", metavar="FILE",
+                        help="write a run manifest (config fingerprint, "
+                             "trace digests, key metrics, artifact digests) "
+                             "to FILE; gate it with `cohort gate run`")
+
+
+def _emit_manifest(path, kind, label, **kwargs) -> None:
+    """Build and write a run manifest; prints its fingerprint."""
+    from repro.qa import build_manifest, write_manifest
+
+    manifest = build_manifest(kind, label, **kwargs)
+    fingerprint = write_manifest(manifest, path)
+    print(f"run manifest written to {path} (fingerprint {fingerprint[:12]})")
+
+
+def _runner_metrics(runner) -> dict:
+    """The sweep-runner telemetry scalars a gate can assert over."""
+    tele = runner.telemetry()
+    keys = ("engine", "cache_hits", "cache_misses", "cache_hit_rate",
+            "jobs_executed", "exec_seconds", "lockstep_groups",
+            "lockstep_jobs", "worker_failures", "job_timeouts")
+    return {f"runner_{key}": tele[key] for key in keys}
+
+
 def _write_sweep_metrics(args: argparse.Namespace, runner,
                          label: str) -> None:
     """Write the sweep-cache / worker-timing counters of a runner."""
@@ -150,6 +175,7 @@ def cmd_fig5(args: argparse.Namespace) -> int:
 
     critical = FIG5_CONFIGS[args.config]
     runner = SweepRunner(jobs=args.jobs, engine=args.engine)
+    ratios = {}
     for benchmark in args.benchmarks:
         exp = run_wcml_experiment(
             benchmark, critical, scale=args.scale, seed=args.seed,
@@ -163,8 +189,21 @@ def cmd_fig5(args: argparse.Namespace) -> int:
             f"{exp.bound_ratio('PENDULUM', 'CoHoRT'):.2f}x"
         )
         print()
+        ratios[f"{benchmark}_pcc_over_cohort"] = \
+            exp.bound_ratio("PCC", "CoHoRT")
+        ratios[f"{benchmark}_pendulum_over_cohort"] = \
+            exp.bound_ratio("PENDULUM", "CoHoRT")
     if args.metrics_out:
         _write_sweep_metrics(args, runner, f"fig5:{args.config}")
+    if args.manifest_out:
+        _emit_manifest(
+            args.manifest_out, "fig5", f"{args.config}",
+            metrics={**ratios, **_runner_metrics(runner)},
+            engine=args.engine, seed=args.seed,
+            artifact_paths=[p for p in (args.metrics_out,) if p],
+            environment={"benchmarks": list(args.benchmarks),
+                         "scale": args.scale},
+        )
     return 0
 
 
@@ -182,6 +221,21 @@ def cmd_fig6(args: argparse.Namespace) -> int:
     print(exp.to_table())
     if args.metrics_out:
         _write_sweep_metrics(args, runner, f"fig6:{args.config}")
+    if args.manifest_out:
+        systems = list(exp.results[0].execution_time) if exp.results else []
+        slowdowns = {
+            "geomean_slowdown_" + s.lower().replace("-", "_"):
+                exp.average_slowdown(s)
+            for s in systems
+        }
+        _emit_manifest(
+            args.manifest_out, "fig6", f"{args.config}",
+            metrics={**slowdowns, **_runner_metrics(runner)},
+            engine=args.engine, seed=args.seed,
+            artifact_paths=[p for p in (args.metrics_out,) if p],
+            environment={"benchmarks": list(args.benchmarks),
+                         "scale": args.scale},
+        )
     return 0
 
 
@@ -198,6 +252,16 @@ def cmd_fig7(args: argparse.Namespace) -> int:
         print(
             f"\nmeasured c0 memory latency: adaptive="
             f"{exp.measured_c0_adaptive:,} static={exp.measured_c0_static:,}"
+        )
+    if args.manifest_out:
+        _emit_manifest(
+            args.manifest_out, "fig7", args.benchmark,
+            metrics={
+                "measured_c0_adaptive": exp.measured_c0_adaptive,
+                "measured_c0_static": exp.measured_c0_static,
+            },
+            seed=args.seed,
+            environment={"scale": args.scale},
         )
     return 0
 
@@ -324,6 +388,20 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         for b in result.bounds
     ]
     print(format_table(["core", "M_hit", "M_miss", "WCL", "WCML"], rows))
+    if args.manifest_out:
+        _emit_manifest(
+            args.manifest_out, "optimize", args.benchmark,
+            config=config, traces=traces,
+            metrics={
+                "objective": result.objective,
+                "feasible": result.feasible,
+                "ga_evaluations": result.ga.evaluations,
+                "wall_seconds": result.wall_seconds,
+                "thetas": ",".join(str(t) for t in result.thetas),
+            },
+            seed=args.seed,
+            artifact_paths=[p for p in (args.metrics_out,) if p],
+        )
     return 0
 
 
@@ -361,6 +439,24 @@ def _optimize_sim_fitness(args, config, traces, profiles, ga_log) -> int:
         for b in evaluation.bounds
     ]
     print(format_table(["core", "M_hit", "M_miss", "WCL", "WCML"], rows))
+    if args.manifest_out:
+        _emit_manifest(
+            args.manifest_out, "optimize", f"{args.benchmark} sim-fitness",
+            config=config, traces=traces,
+            metrics={
+                "objective": result.best_fitness,
+                "feasible": evaluation.feasible,
+                "ga_evaluations": result.evaluations,
+                "wall_seconds": wall,
+                "thetas": ",".join(str(t) for t in evaluation.thetas),
+                "sim_jobs_executed": tele["jobs_executed"],
+                "sim_cache_hits": tele["cache_hits"],
+                "lockstep_groups": tele["lockstep_groups"],
+                "lockstep_jobs": tele["lockstep_jobs"],
+            },
+            engine=args.engine, seed=args.seed,
+            artifact_paths=[p for p in (args.metrics_out,) if p],
+        )
     return 0
 
 
@@ -397,8 +493,38 @@ def cmd_faults(args: argparse.Namespace) -> int:
         for c in silent:
             print(f"  campaign {c.index} ({c.kind}, seed {c.seed}): "
                   f"{c.detail}", file=sys.stderr)
-        return 1
-    return 0
+    # The exit policy itself lives in the shipped "faults" gate spec:
+    # build the campaign manifest and let the one engine decide.
+    from repro.qa import build_manifest, evaluate_spec, load_spec
+    from repro.qa import write_manifest
+
+    totals = report.totals()
+    manifest = build_manifest(
+        "faults", f"{args.benchmark} x{args.campaigns}",
+        config=cohort_config(args.thetas), traces=traces,
+        metrics={
+            "campaigns": len(report.campaigns),
+            "injections": sum(
+                c.injections.get("injected", 0) for c in report.campaigns
+            ),
+            "detected": totals["detected"],
+            "survived": totals["survived"],
+            "silent_corruptions": totals["silent_corruption"],
+            "baseline_cycles": report.baseline_cycles,
+        },
+        seed=args.seed,
+        artifact_paths=[args.json_out] if args.json_out else (),
+        environment={"response": report.response},
+    )
+    if args.manifest_out:
+        fingerprint = write_manifest(manifest, args.manifest_out)
+        print(f"run manifest written to {args.manifest_out} "
+              f"(fingerprint {fingerprint[:12]})")
+    gate = evaluate_spec(load_spec("faults"), manifest)
+    if not gate.passed:
+        print(file=sys.stderr)
+        print(gate.render(), file=sys.stderr)
+    return gate.exit_code
 
 
 def _load_trace_file(path: str):
@@ -539,6 +665,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if args.metrics_out:
             telemetry.write_report(args.metrics_out)
             print(f"run report written to {args.metrics_out}")
+    if args.manifest_out:
+        from repro.runner import stats_to_dict
+
+        _emit_manifest(
+            args.manifest_out, "simulate",
+            f"{source} thetas={args.thetas}",
+            config=config, traces=traces, stats=stats_to_dict(stats),
+            engine="event" if telemetry is not None else args.engine,
+            seed=args.seed,
+            artifact_paths=[
+                p for p in (args.trace_out, args.metrics_out) if p
+            ],
+        )
     return 0
 
 
@@ -569,6 +708,92 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return status
 
 
+def _parse_gate_params(pairs) -> dict:
+    """``--param key=value`` overrides; values are parsed as JSON."""
+    out = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            out[key] = json.loads(raw)
+        except ValueError:
+            out[key] = raw
+    return out
+
+
+def _run_gate(args, candidate_path: str, baseline_path) -> int:
+    """Shared body of ``gate run`` and ``gate diff``."""
+    from repro.qa import evaluate_spec, load_manifest, load_spec
+
+    try:
+        spec = load_spec(args.spec)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load gate spec: {exc}", file=sys.stderr)
+        return 2
+    try:
+        candidate = load_manifest(candidate_path)
+        baseline = (
+            load_manifest(baseline_path) if baseline_path else None
+        )
+    except (OSError, ValueError) as exc:
+        print(f"cannot load manifest: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = evaluate_spec(
+            spec, candidate, baseline,
+            _parse_gate_params(args.param) or None,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"verdict report written to {args.report_out}")
+    return report.exit_code
+
+
+def cmd_gate_run(args: argparse.Namespace) -> int:
+    """``cohort gate run``: evaluate a spec over one manifest."""
+    return _run_gate(args, args.manifest, args.baseline)
+
+
+def cmd_gate_diff(args: argparse.Namespace) -> int:
+    """``cohort gate diff``: compare candidate against baseline."""
+    return _run_gate(args, args.candidate, args.baseline)
+
+
+def cmd_gate_promote(args: argparse.Namespace) -> int:
+    """``cohort gate promote``: diff, then install candidate on pass."""
+    import shutil
+
+    status = _run_gate(args, args.candidate, args.baseline)
+    if status != 0:
+        print("promotion refused: candidate failed the gate",
+              file=sys.stderr)
+        return status
+    shutil.copyfile(args.candidate, args.baseline)
+    print(f"promoted {args.candidate} -> {args.baseline}")
+    return 0
+
+
+def cmd_gate_list(args: argparse.Namespace) -> int:
+    """``cohort gate list``: the gate specs shipped with the package."""
+    from repro.qa import available_specs, load_spec
+
+    for name in available_specs():
+        spec = load_spec(name)
+        pair = " [baseline+candidate pair]" if spec.requires_baseline else ""
+        print(f"{name}/{spec.version}: {len(spec.questions)} questions"
+              f"{pair}")
+        for q in spec.questions:
+            print(f"  {q.id} [{q.severity}] — {q.question}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``cohort serve``: the batched, backpressured simulation service."""
     import asyncio
@@ -591,7 +816,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     asyncio.run(
         run_server(
-            service, args.host, args.port, metrics_out=args.metrics_out
+            service, args.host, args.port, metrics_out=args.metrics_out,
+            manifest_out=args.manifest_out,
         )
     )
     return 0
@@ -667,6 +893,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--non-perfect-llc", action="store_true",
                    help="use the non-perfect LLC + DRAM model (footnote 1)")
     _add_metrics_out(p, "sweep cache/timing counters")
+    _add_manifest_out(p)
     _add_engine(p)
     _add_common(p)
     p.set_defaults(fn=cmd_fig5)
@@ -680,6 +907,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="add the PMSI-style predictable baseline "
                         "(protocol registry plugin) as a fifth column")
     _add_metrics_out(p, "sweep cache/timing counters")
+    _add_manifest_out(p)
     _add_engine(p)
     _add_common(p)
     p.set_defaults(fn=cmd_fig6)
@@ -687,6 +915,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig7", help="mode-switch adaptation")
     p.add_argument("-b", "--benchmark", default="fft",
                    choices=benchmark_names())
+    _add_manifest_out(p)
     _add_common(p)
     p.set_defaults(fn=cmd_fig7)
 
@@ -710,6 +939,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "GA generation is batched through the lock-step "
                         "engine (constraint C1 stays analytic)")
     _add_metrics_out(p, "the per-generation GA log (JSON Lines)")
+    _add_manifest_out(p)
     _add_engine(p)
     _add_common(p)
     p.set_defaults(fn=cmd_optimize)
@@ -737,6 +967,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="self-healing response to detected timer faults")
     p.add_argument("--json-out", metavar="FILE",
                    help="write the full detection-matrix report to FILE")
+    _add_manifest_out(p)
     p.add_argument("--scale", type=float, default=1.0,
                    help="workload size multiplier")
     p.add_argument("--seed", type=int, default=0,
@@ -764,6 +995,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a Chrome trace-event / Perfetto JSON "
                         "trace of the run to FILE")
     _add_metrics_out(p, "the structured JSON run report")
+    _add_manifest_out(p)
     p.add_argument("--sample-every", type=int, default=500, metavar="CYCLES",
                    help="time-series sampling cadence for the telemetry "
                         "counters (0 disables sampling; only active with "
@@ -804,6 +1036,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job wall-clock timeout in seconds")
     p.add_argument("--metrics-out", default=None,
                    help="write a final /metrics snapshot here on drain")
+    p.add_argument("--manifest-out", default=None, metavar="FILE",
+                   help="write a run manifest wrapping the final metrics "
+                        "snapshot here on drain")
     _add_engine(p)
     p.set_defaults(fn=cmd_serve)
 
@@ -823,6 +1058,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-wait", action="store_true",
                    help="submit and exit without polling for results")
     p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser(
+        "gate",
+        help="declarative quality gates over run manifests",
+    )
+    gate_sub = p.add_subparsers(dest="gate_command", required=True)
+
+    r = gate_sub.add_parser(
+        "run",
+        help="evaluate a gate spec over one manifest "
+             "(optionally against a baseline)",
+    )
+    r.add_argument("--spec", required=True,
+                   help="shipped spec name (`cohort gate list`) or a "
+                        "spec JSON file path")
+    r.add_argument("--manifest", required=True,
+                   help="candidate run manifest (written by --manifest-out)")
+    r.add_argument("--baseline",
+                   help="baseline run manifest for pair assertions")
+    r.add_argument("--param", action="append", metavar="KEY=VALUE",
+                   help="override a spec param (value parsed as JSON); "
+                        "repeatable")
+    r.add_argument("--report-out", metavar="FILE",
+                   help="write the verdict report JSON to FILE")
+    r.set_defaults(fn=cmd_gate_run)
+
+    d = gate_sub.add_parser(
+        "diff",
+        help="compare a candidate manifest against a baseline "
+             "(default spec: promotion)",
+    )
+    d.add_argument("baseline", help="baseline run manifest")
+    d.add_argument("candidate", help="candidate run manifest")
+    d.add_argument("--spec", default="promotion")
+    d.add_argument("--param", action="append", metavar="KEY=VALUE")
+    d.add_argument("--report-out", metavar="FILE")
+    d.set_defaults(fn=cmd_gate_diff)
+
+    pr = gate_sub.add_parser(
+        "promote",
+        help="diff, then copy the candidate manifest over the baseline "
+             "path when the gate passes",
+    )
+    pr.add_argument("baseline", help="baseline manifest (overwritten on pass)")
+    pr.add_argument("candidate", help="candidate run manifest")
+    pr.add_argument("--spec", default="promotion")
+    pr.add_argument("--param", action="append", metavar="KEY=VALUE")
+    pr.add_argument("--report-out", metavar="FILE")
+    pr.set_defaults(fn=cmd_gate_promote)
+
+    ls = gate_sub.add_parser("list", help="list shipped gate specs")
+    ls.set_defaults(fn=cmd_gate_list)
 
     p = sub.add_parser("characterize", help="workload characterisation")
     _add_common(p)

@@ -17,20 +17,42 @@ def format_table(
     rows: Sequence[Sequence[Any]],
     title: Optional[str] = None,
 ) -> str:
-    """Render an aligned ASCII table."""
+    """Render an aligned ASCII table.
+
+    Numeric columns (every value an int/float or ``None``, bools
+    excluded) are right-justified, header included; text columns are
+    left-justified — mixing ``ljust`` headers with ``rjust`` cells left
+    text columns ragged.
+    """
     cells = [[_fmt(v) for v in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in cells:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
+    numeric = []
+    for i in range(len(headers)):
+        values = [row[i] for row in rows if i < len(row)]
+        numeric.append(
+            bool(values)
+            and all(
+                v is None
+                or (isinstance(v, (int, float)) and not isinstance(v, bool))
+                for v in values
+            )
+            and any(v is not None for v in values)
+        )
+
+    def just(text: str, column: int) -> str:
+        w = widths[column]
+        return text.rjust(w) if numeric[column] else text.ljust(w)
+
     lines: List[str] = []
     if title:
         lines.append(title)
-    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
-    lines.append(header)
+    lines.append(" | ".join(just(h, i) for i, h in enumerate(headers)))
     lines.append("-+-".join("-" * w for w in widths))
     for row in cells:
-        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(just(c, i) for i, c in enumerate(row)))
     return "\n".join(lines)
 
 

@@ -24,20 +24,30 @@ from repro.obs.export import build_trace_events, write_trace
 from repro.obs.ga_log import GAGenerationLog, load_jsonl
 from repro.obs.metrics import LatencyHistogram, MetricsCollector, log2_bucket
 from repro.obs.report import (
-    RUN_REPORT_SCHEMA,
-    SERVE_METRICS_SCHEMA,
-    SWEEP_METRICS_SCHEMA,
     build_run_report,
     classify,
     summarise,
 )
-from repro.obs.schema import TRACE_EVENT_SCHEMA, validate_trace_events
+from repro.obs.schema import (
+    GATE_REPORT_SCHEMA,
+    RUN_MANIFEST_SCHEMA,
+    RUN_REPORT_SCHEMA,
+    SCHEMA_REGISTRY,
+    SERVE_METRICS_SCHEMA,
+    SWEEP_METRICS_SCHEMA,
+    TRACE_EVENT_SCHEMA,
+    validate_document,
+    validate_trace_events,
+)
 from repro.obs.spans import PHASES, RequestSpan, SpanCollector
 from repro.obs.telemetry import Telemetry
 
 __all__ = [
+    "GATE_REPORT_SCHEMA",
     "PHASES",
+    "RUN_MANIFEST_SCHEMA",
     "RUN_REPORT_SCHEMA",
+    "SCHEMA_REGISTRY",
     "SERVE_METRICS_SCHEMA",
     "SWEEP_METRICS_SCHEMA",
     "TRACE_EVENT_SCHEMA",
@@ -53,6 +63,7 @@ __all__ = [
     "load_jsonl",
     "log2_bucket",
     "summarise",
+    "validate_document",
     "validate_trace_events",
     "write_trace",
 ]

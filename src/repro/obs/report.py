@@ -17,17 +17,20 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.obs.spans import PHASES
 
+# Canonical definitions live in the repro.obs.schema registry; they are
+# re-exported here (and from repro.obs) for compatibility.
+from repro.obs.schema import (  # noqa: F401  (re-exports)
+    GATE_REPORT_SCHEMA,
+    RUN_MANIFEST_SCHEMA,
+    RUN_REPORT_SCHEMA,
+    SERVE_METRICS_SCHEMA,
+    SWEEP_METRICS_SCHEMA,
+)
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsCollector
     from repro.obs.spans import SpanCollector
     from repro.sim.system import System
-
-#: Schema tag stamped into every run report.
-RUN_REPORT_SCHEMA = "repro.obs/run_report/1"
-#: Schema tag stamped into sweep / optimizer metrics documents.
-SWEEP_METRICS_SCHEMA = "repro.obs/sweep_metrics/1"
-#: Schema tag stamped into ``cohort serve`` /metrics snapshots.
-SERVE_METRICS_SCHEMA = "repro.obs/serve_metrics/1"
 
 
 def build_run_report(
@@ -76,6 +79,7 @@ def classify(doc: Any) -> str:
     """Which telemetry artefact a loaded document is.
 
     One of ``run_report``, ``trace_events``, ``sweep_metrics``,
+    ``serve_metrics``, ``run_manifest``, ``gate_report``,
     ``ga_generations`` (list of per-generation records), ``unknown``.
     """
     if isinstance(doc, list):
@@ -92,6 +96,10 @@ def classify(doc: Any) -> str:
         return "sweep_metrics"
     if doc.get("schema") == SERVE_METRICS_SCHEMA:
         return "serve_metrics"
+    if doc.get("schema") == RUN_MANIFEST_SCHEMA:
+        return "run_manifest"
+    if doc.get("schema") == GATE_REPORT_SCHEMA:
+        return "gate_report"
     if "traceEvents" in doc:
         return "trace_events"
     return "unknown"
@@ -212,6 +220,60 @@ def _summarise_ga(rows: List[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def _summarise_run_manifest(doc: Dict[str, Any]) -> str:
+    metrics = doc.get("metrics", {})
+    artifacts = doc.get("artifacts", [])
+    shown = []
+    for key in (
+        "final_cycle", "execution_time", "hit_rate", "campaigns",
+        "silent_corruptions", "objective", "jobs_completed",
+        "cohort_cycles", "lockstep_speedup",
+    ):
+        if key in metrics and metrics[key] is not None:
+            value = metrics[key]
+            shown.append(
+                f"{key}={value:.3f}" if isinstance(value, float)
+                else f"{key}={value}"
+            )
+    lines = [
+        f"run manifest: {doc.get('kind', '?')}:{doc.get('label', '?')} "
+        f"engine={doc.get('engine')} seed={doc.get('seed')} "
+        f"fingerprint={str(doc.get('fingerprint', ''))[:12]}",
+        f"  config={str(doc.get('config_fingerprint', ''))[:12]} "
+        f"traces={len(doc.get('traces', []))} "
+        f"metrics={len(metrics)} artifacts={len(artifacts)}",
+    ]
+    if shown:
+        lines.append("  " + " ".join(shown))
+    for art in artifacts:
+        lines.append(
+            f"  artifact {art.get('path')} "
+            f"({art.get('bytes')} bytes, "
+            f"sha256 {str(art.get('sha256', ''))[:12]})"
+        )
+    return "\n".join(lines)
+
+
+def _summarise_gate_report(doc: Dict[str, Any]) -> str:
+    spec = doc.get("spec", {})
+    counts = doc.get("counts", {})
+    verdict = "PASS" if doc.get("passed") else "FAIL"
+    lines = [
+        f"gate report: {verdict} spec={spec.get('name', '?')}"
+        f"/{spec.get('version', '?')} exit_code={doc.get('exit_code')} "
+        f"({counts.get('pass', 0)} pass, {counts.get('fail', 0)} fail, "
+        f"{counts.get('error', 0)} error, "
+        f"{counts.get('skipped', 0)} skipped)",
+    ]
+    for outcome in doc.get("outcomes", []):
+        if outcome.get("status") in ("fail", "error"):
+            lines.append(
+                f"  {outcome['status'].upper()} [{outcome.get('severity')}] "
+                f"{outcome.get('id')}: {outcome.get('detail', '')}"
+            )
+    return "\n".join(lines)
+
+
 def summarise(doc: Any) -> str:
     """Human-readable digest of any telemetry artefact."""
     shape = classify(doc)
@@ -223,6 +285,10 @@ def summarise(doc: Any) -> str:
         return _summarise_sweep_metrics(doc)
     if shape == "serve_metrics":
         return _summarise_serve_metrics(doc)
+    if shape == "run_manifest":
+        return _summarise_run_manifest(doc)
+    if shape == "gate_report":
+        return _summarise_gate_report(doc)
     if shape == "ga_generations":
         return _summarise_ga(doc)
     return "unrecognised telemetry document (no schema tag or known shape)"

@@ -1,19 +1,54 @@
-"""In-repo JSON-schema validation of exported trace-event documents.
+"""Schema registry and in-repo JSON-schema validation.
+
+This module is the single home for every schema identifier the project
+emits — the ``repro.obs/...`` document tags, the ``repro.qa/...`` run
+manifest and gate-verdict tags, and the integer
+:data:`~repro.sim.stats.STATS_SCHEMA_VERSION` folded into sweep-cache
+digests — collected in :data:`SCHEMA_REGISTRY` so a new schema cannot be
+introduced without registering it here.
 
 :data:`TRACE_EVENT_SCHEMA` encodes the Chrome trace-event JSON object
 format (the subset the exporter emits) as a standard JSON-Schema
-document, and :func:`validate` is a small, dependency-free validator for
-the keyword subset the schema uses (``type``, ``required``,
-``properties``, ``items``, ``enum``, ``const``, ``minimum``, ``oneOf``,
-``$ref`` into ``definitions``).  CI runs this check against the trace
-produced by ``cohort simulate --trace-out`` (see
-``python -m repro.obs.validate``); the schema itself stays loadable by
-any off-the-shelf draft-07 validator.
+document; :data:`RUN_MANIFEST_JSON_SCHEMA` and
+:data:`GATE_REPORT_JSON_SCHEMA` do the same for the ``repro.qa``
+promotion-harness documents.  :func:`validate` is a small,
+dependency-free validator for the keyword subset the schemas use
+(``type``, ``required``, ``properties``, ``items``, ``enum``, ``const``,
+``minimum``, ``oneOf``, ``$ref`` into ``definitions``).  CI runs these
+checks against emitted artefacts (see ``python -m repro.obs.validate``);
+the schemas themselves stay loadable by any off-the-shelf draft-07
+validator.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
+
+from repro.sim.stats import STATS_SCHEMA_VERSION
+
+#: Schema tag stamped into every run report.
+RUN_REPORT_SCHEMA = "repro.obs/run_report/1"
+#: Schema tag stamped into sweep / optimizer metrics documents.
+SWEEP_METRICS_SCHEMA = "repro.obs/sweep_metrics/1"
+#: Schema tag stamped into ``cohort serve`` /metrics snapshots.
+SERVE_METRICS_SCHEMA = "repro.obs/serve_metrics/1"
+#: Schema tag stamped into every ``repro.qa`` run manifest.
+RUN_MANIFEST_SCHEMA = "repro.qa/run_manifest/1"
+#: Schema tag stamped into every ``repro.qa`` gate verdict report.
+GATE_REPORT_SCHEMA = "repro.qa/gate_report/1"
+
+#: Every schema identifier the project emits, by document kind.  The
+#: ``stats`` entry is the integer version folded into sweep-cache
+#: digests (:data:`repro.sim.stats.STATS_SCHEMA_VERSION`); all others
+#: are the string tags stamped into the documents themselves.
+SCHEMA_REGISTRY: Dict[str, Any] = {
+    "stats": STATS_SCHEMA_VERSION,
+    "run_report": RUN_REPORT_SCHEMA,
+    "sweep_metrics": SWEEP_METRICS_SCHEMA,
+    "serve_metrics": SERVE_METRICS_SCHEMA,
+    "run_manifest": RUN_MANIFEST_SCHEMA,
+    "gate_report": GATE_REPORT_SCHEMA,
+}
 
 #: Chrome trace-event JSON object format (draft-07 JSON Schema).
 TRACE_EVENT_SCHEMA: Dict[str, Any] = {
@@ -65,6 +100,124 @@ TRACE_EVENT_SCHEMA: Dict[str, Any] = {
         },
     },
 }
+
+#: ``repro.qa`` run manifest (draft-07 JSON Schema).
+RUN_MANIFEST_JSON_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro.qa run manifest",
+    "type": "object",
+    "required": [
+        "schema", "kind", "label", "traces", "metrics", "artifacts",
+    ],
+    "properties": {
+        "schema": {"const": RUN_MANIFEST_SCHEMA},
+        "kind": {"type": "string"},
+        "label": {"type": "string"},
+        "engine": {"type": ["string", "null"]},
+        "seed": {"type": ["integer", "null"]},
+        "config_fingerprint": {"type": ["string", "null"]},
+        "traces": {"type": "array", "items": {"type": "string"}},
+        "metrics": {"type": "object"},
+        "artifacts": {
+            "type": "array",
+            "items": {"$ref": "#/definitions/artifact"},
+        },
+        "environment": {"type": "object"},
+        "fingerprint": {"type": "string"},
+    },
+    "definitions": {
+        "artifact": {
+            "type": "object",
+            "required": ["path", "sha256", "bytes"],
+            "properties": {
+                "path": {"type": "string"},
+                "sha256": {"type": "string"},
+                "bytes": {"type": "integer", "minimum": 0},
+            },
+        },
+    },
+}
+
+#: ``repro.qa`` gate verdict report (draft-07 JSON Schema).
+GATE_REPORT_JSON_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro.qa gate verdict report",
+    "type": "object",
+    "required": ["schema", "spec", "passed", "exit_code", "outcomes"],
+    "properties": {
+        "schema": {"const": GATE_REPORT_SCHEMA},
+        "spec": {
+            "type": "object",
+            "required": ["name", "version"],
+            "properties": {
+                "name": {"type": "string"},
+                "version": {"type": "string"},
+                "params": {"type": "object"},
+            },
+        },
+        "passed": {"type": "boolean"},
+        "exit_code": {"type": "integer", "minimum": 0},
+        "counts": {"type": "object"},
+        "candidate": {"type": ["object", "null"]},
+        "baseline": {"type": ["object", "null"]},
+        "outcomes": {
+            "type": "array",
+            "items": {"$ref": "#/definitions/outcome"},
+        },
+    },
+    "definitions": {
+        "outcome": {
+            "type": "object",
+            "required": ["id", "severity", "status"],
+            "properties": {
+                "id": {"type": "string"},
+                "question": {"type": "string"},
+                "check": {"type": "string"},
+                "assertion": {"type": "string"},
+                "severity": {
+                    "type": "string",
+                    "enum": ["info", "warn", "high", "critical"],
+                },
+                "declared_severity": {
+                    "type": "string",
+                    "enum": ["info", "warn", "high", "critical"],
+                },
+                "category": {"type": "string"},
+                "status": {
+                    "type": "string",
+                    "enum": ["pass", "fail", "error", "skipped"],
+                },
+                "detail": {"type": "string"},
+            },
+        },
+    },
+}
+
+#: Validatable document shapes: schema tag → draft-07 document.  Trace
+#: events carry no tag (the Chrome format has none) and dispatch on
+#: their ``traceEvents`` key instead — see :func:`schema_for_document`.
+JSON_SCHEMAS: Dict[str, Dict[str, Any]] = {
+    RUN_MANIFEST_SCHEMA: RUN_MANIFEST_JSON_SCHEMA,
+    GATE_REPORT_SCHEMA: GATE_REPORT_JSON_SCHEMA,
+}
+
+
+def schema_for_document(doc: Any) -> Optional[Dict[str, Any]]:
+    """The JSON schema a loaded document should validate against.
+
+    Dispatches on the document's ``schema`` tag (run manifests, gate
+    reports) or its ``traceEvents`` key (Chrome trace-event documents);
+    ``None`` when the shape is unknown to the registry.
+    """
+    if not isinstance(doc, dict):
+        return None
+    tagged = JSON_SCHEMAS.get(doc.get("schema"))
+    if tagged is not None:
+        return tagged
+    if "traceEvents" in doc:
+        return TRACE_EVENT_SCHEMA
+    return None
+
 
 _TYPES = {
     "object": dict,
@@ -164,3 +317,18 @@ def validate(
 def validate_trace_events(doc: Any) -> List[str]:
     """Errors of a trace-event document against the in-repo schema."""
     return validate(doc, TRACE_EVENT_SCHEMA)
+
+
+def validate_document(doc: Any) -> List[str]:
+    """Errors of any registered document shape (empty = valid).
+
+    Dispatches through :func:`schema_for_document`; an unrecognised
+    shape is itself an error — emitters must register their schema.
+    """
+    schema = schema_for_document(doc)
+    if schema is None:
+        return [
+            "$: unrecognised document shape (no registered schema tag "
+            "and no traceEvents key)"
+        ]
+    return validate(doc, schema)

@@ -1,12 +1,16 @@
-"""Validate exported trace files against the in-repo schema.
+"""Validate emitted JSON artefacts against the in-repo schemas.
 
-Module CLI used by the CI observability smoke job::
+Module CLI used by the CI smoke jobs::
 
-    python -m repro.obs.validate run.trace.json [more.json ...]
+    python -m repro.obs.validate run.trace.json manifest.json [...]
 
-Exit status 0 when every file validates, 1 otherwise (errors on stderr).
-No third-party validator is required — :mod:`repro.obs.schema` ships its
-own for the keyword subset the schema uses.
+Each file is dispatched on its shape through the schema registry
+(:func:`repro.obs.schema.schema_for_document`): Chrome trace-event
+documents (``traceEvents`` key), ``repro.qa`` run manifests and gate
+verdict reports (their ``schema`` tags).  Exit status 0 when every file
+validates, 1 otherwise (errors on stderr).  No third-party validator is
+required — :mod:`repro.obs.schema` ships its own for the keyword subset
+the schemas use.
 """
 
 from __future__ import annotations
@@ -15,24 +19,26 @@ import json
 import sys
 from typing import List
 
-from repro.obs.schema import validate_trace_events
+from repro.obs.schema import validate_document
 
 
 def validate_file(path: str) -> List[str]:
-    """Errors found in one trace-event JSON file (empty = valid)."""
+    """Errors found in one registered JSON artefact (empty = valid)."""
     try:
         with open(path) as fh:
             doc = json.load(fh)
     except (OSError, ValueError) as exc:
         return [f"{path}: cannot load JSON: {exc}"]
-    return [f"{path}: {err}" for err in validate_trace_events(doc)]
+    return [f"{path}: {err}" for err in validate_document(doc)]
 
 
 def main(argv: List[str]) -> int:
     """Validate each file; 0 if all pass, 1 on failures, 2 on usage."""
     if not argv:
-        print("usage: python -m repro.obs.validate TRACE.json [...]",
-              file=sys.stderr)
+        print(
+            "usage: python -m repro.obs.validate FILE.json [...]",
+            file=sys.stderr,
+        )
         return 2
     failed = False
     for path in argv:

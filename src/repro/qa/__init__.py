@@ -1,0 +1,64 @@
+"""Run manifests, declarative quality gates, and promotion checks.
+
+Every artifact-emitting layer (``cohort simulate``/``fig5``/``fig6``/
+``fig7``/``optimize``/``faults``/``serve``, the benchmark scripts)
+stamps its outputs with one canonical :class:`RunManifest` — a
+self-describing, schema-versioned JSON document carrying the config
+fingerprint, engine, seed, trace digests, artifact content digests and
+the run's key metrics.  The :mod:`repro.qa.gates` engine then evaluates
+declarative question specs (``id``/``question``/``check``/``assertion``/
+``severity``/``category``) over one manifest or a (baseline, candidate)
+pair and renders a verdict report — ``cohort gate run|diff|promote``
+and CI gate on its exit code.
+
+Entry points:
+
+* :class:`RunManifest` / :func:`write_manifest` / :func:`load_manifest`
+  — build, persist and reload manifests (schema-validated),
+* :func:`config_fingerprint` / :func:`artifact_ref` /
+  :func:`stats_metrics` — the manifest building blocks,
+* :class:`GateSpec` / :func:`load_spec` — declarative question specs
+  (shipped specs under ``repro/qa/specs/``),
+* :func:`evaluate_spec` / :class:`GateReport` — the gate engine and its
+  verdict report.
+"""
+
+from repro.qa.gates import (
+    FAILING_SEVERITIES,
+    SEVERITIES,
+    GateOutcome,
+    GateQuestion,
+    GateReport,
+    GateSpec,
+    available_specs,
+    evaluate_spec,
+    load_spec,
+)
+from repro.qa.manifest import (
+    RunManifest,
+    artifact_ref,
+    build_manifest,
+    config_fingerprint,
+    load_manifest,
+    stats_metrics,
+    write_manifest,
+)
+
+__all__ = [
+    "FAILING_SEVERITIES",
+    "SEVERITIES",
+    "GateOutcome",
+    "GateQuestion",
+    "GateReport",
+    "GateSpec",
+    "RunManifest",
+    "artifact_ref",
+    "available_specs",
+    "build_manifest",
+    "config_fingerprint",
+    "evaluate_spec",
+    "load_manifest",
+    "load_spec",
+    "stats_metrics",
+    "write_manifest",
+]

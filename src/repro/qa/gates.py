@@ -1,0 +1,465 @@
+"""The declarative gate engine: questions, verdicts, promotion checks.
+
+A *gate spec* is a JSON document of questions, each carrying an ``id``,
+a human ``question``, a ``check`` (a Python expression evaluated over a
+run manifest — typically a ``metrics[...]`` lookup), an ``assertion``
+(an expression over the check's ``result``, the spec ``params``, and —
+for pair gates — the ``baseline`` manifest's value of the same check),
+a ``severity`` and a ``category``.  :func:`evaluate_spec` runs every
+question over one manifest or a (baseline, candidate) pair and returns
+a :class:`GateReport` whose exit code is the promotion decision.
+
+Severity ladder (:data:`SEVERITIES`): ``info`` and ``warn`` failures
+are reported but never gate; ``high`` and ``critical`` failures set the
+report's non-zero exit code.  A question that cannot be *evaluated* —
+its check raises (a metric is missing or ``None``), or the baseline
+lacks the key a pair assertion needs — is an ``error`` outcome and has
+its severity **escalated one level**: an unevaluable gate must not
+fail softer than a clean failure of the same question.
+
+Checks and assertions are restricted expressions: they evaluate with no
+builtins beyond a small arithmetic whitelist and see only ``metrics``,
+``manifest``, ``params``, ``result``/``baseline`` and ``math``
+helpers.  Comparisons against ``None`` or NaN raise or return false
+respectively, so absent and not-a-number metrics deterministically
+fail rather than silently pass.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.schema import GATE_REPORT_SCHEMA
+from repro.qa.manifest import RunManifest
+
+#: Severity ladder, mildest first.
+SEVERITIES = ("info", "warn", "high", "critical")
+#: Severities whose failures set a non-zero exit code.
+FAILING_SEVERITIES = frozenset(("high", "critical"))
+
+#: Directory of the gate specs shipped with the package.
+SPEC_DIR = os.path.join(os.path.dirname(__file__), "specs")
+
+_BASELINE_REF = re.compile(r"\bbaseline\b")
+
+#: The only names a check/assertion expression may call.
+_ALLOWED_BUILTINS: Dict[str, Any] = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "len": len,
+    "round": round,
+    "sum": sum,
+    "all": all,
+    "any": any,
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": bool,
+    "sorted": sorted,
+    "isnan": lambda v: isinstance(v, float) and math.isnan(v),
+    "isfinite": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool)
+    and math.isfinite(v),
+    "math": math,
+}
+
+
+class GateEvaluationError(RuntimeError):
+    """A check or assertion expression could not be evaluated."""
+
+
+def escalate(severity: str) -> str:
+    """One step up the severity ladder (``critical`` stays put)."""
+    try:
+        index = SEVERITIES.index(severity)
+    except ValueError:
+        return "critical"
+    return SEVERITIES[min(index + 1, len(SEVERITIES) - 1)]
+
+
+def _evaluate(expression: str, env: Mapping[str, Any]) -> Any:
+    """Evaluate a restricted expression; raise GateEvaluationError."""
+    scope = dict(_ALLOWED_BUILTINS)
+    scope.update(env)
+    try:
+        code = compile(expression, "<gate>", "eval")
+        return eval(code, {"__builtins__": {}}, scope)
+    except GateEvaluationError:
+        raise
+    except Exception as exc:
+        raise GateEvaluationError(
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class GateQuestion:
+    """One declarative promotion question."""
+
+    id: str
+    question: str
+    check: str
+    assertion: str
+    severity: str = "high"
+    category: str = "general"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"question {self.id!r}: severity {self.severity!r} not in "
+                f"{SEVERITIES}"
+            )
+
+    @property
+    def needs_baseline(self) -> bool:
+        """Whether the assertion compares against a baseline manifest."""
+        return bool(_BASELINE_REF.search(self.assertion))
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "GateQuestion":
+        """Parse one spec-file question entry (required fields checked)."""
+        missing = [
+            key for key in ("id", "question", "check", "assertion")
+            if key not in doc
+        ]
+        if missing:
+            raise ValueError(
+                f"gate question missing required field(s) {missing}: {doc!r}"
+            )
+        return cls(
+            id=str(doc["id"]),
+            question=str(doc["question"]),
+            check=str(doc["check"]),
+            assertion=str(doc["assertion"]),
+            severity=str(doc.get("severity", "high")),
+            category=str(doc.get("category", "general")),
+        )
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """A named, versioned collection of gate questions."""
+
+    name: str
+    version: str
+    questions: tuple
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: When true, evaluating without a baseline manifest is an error
+    #: (the spec is a diff/promotion gate, not a single-run invariant).
+    requires_baseline: bool = False
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "GateSpec":
+        """Parse a spec document; question ids must be unique."""
+        questions = tuple(
+            GateQuestion.from_dict(q) for q in doc.get("questions", [])
+        )
+        if not questions:
+            raise ValueError("gate spec has no questions")
+        ids = [q.id for q in questions]
+        dupes = sorted({i for i in ids if ids.count(i) > 1})
+        if dupes:
+            raise ValueError(f"gate spec has duplicate question ids {dupes}")
+        return cls(
+            name=str(doc.get("name", "unnamed")),
+            version=str(doc.get("version", "1")),
+            questions=questions,
+            params=dict(doc.get("params", {})),
+            requires_baseline=bool(doc.get("requires_baseline", False)),
+        )
+
+
+def available_specs() -> List[str]:
+    """Names of the gate specs shipped with the package."""
+    try:
+        names = os.listdir(SPEC_DIR)
+    except OSError:  # pragma: no cover - packaging error
+        return []
+    return sorted(
+        name[:-len(".json")] for name in names if name.endswith(".json")
+    )
+
+
+def load_spec(name_or_path: str) -> GateSpec:
+    """Load a gate spec by shipped name (``throughput``) or file path."""
+    path = name_or_path
+    if not os.path.exists(path):
+        shipped = os.path.join(SPEC_DIR, f"{name_or_path}.json")
+        if os.path.exists(shipped):
+            path = shipped
+        else:
+            raise FileNotFoundError(
+                f"no gate spec {name_or_path!r} (not a file, and not one "
+                f"of the shipped specs: {', '.join(available_specs())})"
+            )
+    with open(path) as fh:
+        return GateSpec.from_dict(json.load(fh))
+
+
+@dataclass
+class GateOutcome:
+    """The verdict of one question."""
+
+    id: str
+    question: str
+    check: str
+    assertion: str
+    #: Effective severity — escalated one level above the declared one
+    #: for ``error`` outcomes.
+    severity: str
+    declared_severity: str
+    category: str
+    #: ``pass`` / ``fail`` / ``error`` / ``skipped``.
+    status: str
+    result: Any = None
+    baseline: Any = None
+    detail: str = ""
+
+    @property
+    def gating(self) -> bool:
+        """Whether this outcome makes the report fail."""
+        return (
+            self.status in ("fail", "error")
+            and self.severity in FAILING_SEVERITIES
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form; non-scalar results are stringified."""
+        def scalar(value: Any) -> Any:
+            if isinstance(value, float) and not math.isfinite(value):
+                return None
+            if value is None or isinstance(value, (bool, int, float, str)):
+                return value
+            return str(value)
+
+        return {
+            "id": self.id,
+            "question": self.question,
+            "check": self.check,
+            "assertion": self.assertion,
+            "severity": self.severity,
+            "declared_severity": self.declared_severity,
+            "category": self.category,
+            "status": self.status,
+            "result": scalar(self.result),
+            "baseline": scalar(self.baseline),
+            "detail": self.detail,
+        }
+
+
+def _manifest_summary(manifest: Optional[RunManifest]) -> Optional[Dict]:
+    if manifest is None:
+        return None
+    return {
+        "kind": manifest.kind,
+        "label": manifest.label,
+        "engine": manifest.engine,
+        "seed": manifest.seed,
+        "config_fingerprint": manifest.config_fingerprint,
+        "fingerprint": manifest.fingerprint(),
+    }
+
+
+@dataclass
+class GateReport:
+    """Every outcome of one spec evaluation, plus the verdict."""
+
+    spec: GateSpec
+    outcomes: List[GateOutcome]
+    candidate: Optional[RunManifest] = None
+    baseline: Optional[RunManifest] = None
+
+    @property
+    def passed(self) -> bool:
+        return not any(o.gating for o in self.outcomes)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.passed else 1
+
+    def counts(self) -> Dict[str, int]:
+        """Outcome tally by status."""
+        out = {"pass": 0, "fail": 0, "error": 0, "skipped": 0}
+        for o in self.outcomes:
+            out[o.status] += 1
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form (:data:`~repro.obs.schema.GATE_REPORT_SCHEMA`)."""
+        return {
+            "schema": GATE_REPORT_SCHEMA,
+            "spec": {
+                "name": self.spec.name,
+                "version": self.spec.version,
+                "params": self.spec.params,
+            },
+            "passed": self.passed,
+            "exit_code": self.exit_code,
+            "counts": self.counts(),
+            "candidate": _manifest_summary(self.candidate),
+            "baseline": _manifest_summary(self.baseline),
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def render(self) -> str:
+        """Human-readable verdict, one line per question."""
+        marks = {
+            "pass": "ok  ",
+            "fail": "FAIL",
+            "error": "ERR ",
+            "skipped": "skip",
+        }
+        lines = []
+        for o in self.outcomes:
+            line = (
+                f"{marks[o.status]} [{o.severity:>8}] "
+                f"{self.spec.name}.{o.id}: {o.detail}"
+            )
+            lines.append(line)
+        counts = self.counts()
+        verdict = "PASS" if self.passed else "FAIL"
+        lines.append(
+            f"{verdict} spec={self.spec.name}/{self.spec.version}: "
+            f"{counts['pass']} pass, {counts['fail']} fail, "
+            f"{counts['error']} error, {counts['skipped']} skipped"
+        )
+        return "\n".join(lines)
+
+
+def _check_env(
+    manifest: RunManifest, params: Mapping[str, Any]
+) -> Dict[str, Any]:
+    doc = manifest.to_dict()
+    return {
+        "metrics": doc["metrics"],
+        "manifest": doc,
+        "params": dict(params),
+    }
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:,.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return repr(value)
+
+
+def evaluate_question(
+    question: GateQuestion,
+    candidate: RunManifest,
+    baseline: Optional[RunManifest],
+    params: Mapping[str, Any],
+) -> GateOutcome:
+    """Evaluate one question over a manifest (pair when it needs one)."""
+
+    def outcome(status: str, severity: str, **kw: Any) -> GateOutcome:
+        return GateOutcome(
+            id=question.id,
+            question=question.question,
+            check=question.check,
+            assertion=question.assertion,
+            severity=severity,
+            declared_severity=question.severity,
+            category=question.category,
+            status=status,
+            **kw,
+        )
+
+    if question.needs_baseline and baseline is None:
+        return outcome(
+            "skipped", question.severity,
+            detail="needs a baseline manifest; none given",
+        )
+
+    try:
+        result = _evaluate(question.check, _check_env(candidate, params))
+    except GateEvaluationError as exc:
+        return outcome(
+            "error", escalate(question.severity),
+            detail=f"check failed on candidate: {exc} "
+                   f"(severity escalated from {question.severity})",
+        )
+
+    baseline_result: Any = None
+    if question.needs_baseline:
+        assert baseline is not None
+        try:
+            baseline_result = _evaluate(
+                question.check, _check_env(baseline, params)
+            )
+        except GateEvaluationError as exc:
+            return outcome(
+                "error", escalate(question.severity), result=result,
+                detail=f"check failed on baseline: {exc} "
+                       f"(severity escalated from {question.severity})",
+            )
+
+    env = {
+        "result": result,
+        "baseline": baseline_result,
+        "metrics": candidate.to_dict()["metrics"],
+        "manifest": candidate.to_dict(),
+        "params": dict(params),
+    }
+    try:
+        verdict = bool(_evaluate(question.assertion, env))
+    except GateEvaluationError as exc:
+        return outcome(
+            "error", escalate(question.severity),
+            result=result, baseline=baseline_result,
+            detail=f"assertion failed to evaluate: {exc} "
+                   f"(severity escalated from {question.severity})",
+        )
+
+    detail = f"result={_fmt_value(result)}"
+    if question.needs_baseline:
+        detail += f" baseline={_fmt_value(baseline_result)}"
+    detail += f" — {question.assertion!r} is {verdict}"
+    return outcome(
+        "pass" if verdict else "fail",
+        question.severity,
+        result=result,
+        baseline=baseline_result,
+        detail=detail,
+    )
+
+
+def evaluate_spec(
+    spec: GateSpec,
+    candidate: RunManifest,
+    baseline: Optional[RunManifest] = None,
+    params: Optional[Mapping[str, Any]] = None,
+) -> GateReport:
+    """Evaluate every question of ``spec``; returns the verdict report.
+
+    ``params`` entries override the spec's own ``params`` defaults
+    (CLI ``--param`` flags land here).
+    """
+    if spec.requires_baseline and baseline is None:
+        raise ValueError(
+            f"gate spec {spec.name!r} requires a (baseline, candidate) "
+            f"pair; no baseline manifest given"
+        )
+    merged = dict(spec.params)
+    if params:
+        unknown = sorted(set(params) - set(merged)) if merged else []
+        if merged and unknown:
+            raise ValueError(
+                f"unknown param override(s) {unknown} for spec "
+                f"{spec.name!r} (spec params: {sorted(merged)})"
+            )
+        merged.update(params)
+    outcomes = [
+        evaluate_question(question, candidate, baseline, merged)
+        for question in spec.questions
+    ]
+    return GateReport(
+        spec=spec, outcomes=outcomes, candidate=candidate, baseline=baseline
+    )

@@ -1,0 +1,254 @@
+"""The canonical run manifest every artifact-emitting layer stamps.
+
+A :class:`RunManifest` is one self-describing JSON document
+(:data:`~repro.obs.schema.RUN_MANIFEST_SCHEMA`) answering, for a
+finished run: *what exactly ran* (config fingerprint, engine, seed,
+trace content digests), *what it produced* (artifact paths with content
+digests and sizes), and *what the headline numbers were* (a flat
+``metrics`` map of scalars).  Manifests are the substrate of the gate
+engine (:mod:`repro.qa.gates`): a gate spec never touches raw artifacts,
+only manifests, so every layer is promoted through the same harness.
+
+Determinism contract: ``to_dict`` is canonical — keys are emitted in a
+fixed order, non-finite floats are replaced by ``None`` (manifests stay
+strict JSON), and the ``fingerprint`` field is a SHA-256 over the
+canonical form of everything else.  ``load_manifest(write_manifest(m))``
+round-trips to an equal manifest and re-serialises byte-identically;
+the round-trip suite pins this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.schema import RUN_MANIFEST_SCHEMA, validate
+from repro.obs.schema import RUN_MANIFEST_JSON_SCHEMA
+
+
+def _sanitise(value: Any) -> Any:
+    """JSON-safe copy: non-finite floats become ``None`` (strict JSON)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {str(k): _sanitise(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitise(v) for v in value]
+    return value
+
+
+def config_fingerprint(config: Any) -> str:
+    """SHA-256 of the full simulation configuration.
+
+    Hashes :func:`repro.params.config_to_dict` plus the run-control
+    fields it intentionally omits (``check_coherence``, ``max_cycles``)
+    — the same notion of "the whole input" the sweep-cache digest uses,
+    minus the traces (those get their own digests in the manifest).
+    """
+    from repro.params import config_to_dict
+
+    payload = config_to_dict(config)
+    payload["check_coherence"] = config.check_coherence
+    payload["max_cycles"] = config.max_cycles
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def artifact_ref(path: str, base_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Content reference for one produced file: path, sha256, bytes.
+
+    ``base_dir`` relativises the recorded path (manifests travel across
+    machines as CI artifacts; absolute runner paths would not).
+    """
+    digest = hashlib.sha256()
+    size = 0
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(1 << 20)
+            if not chunk:
+                break
+            size += len(chunk)
+            digest.update(chunk)
+    recorded = path
+    if base_dir is not None:
+        try:
+            recorded = os.path.relpath(path, base_dir)
+        except ValueError:  # pragma: no cover - windows drive mismatch
+            recorded = path
+    return {"path": recorded, "sha256": digest.hexdigest(), "bytes": size}
+
+
+def stats_metrics(stats: Mapping[str, Any]) -> Dict[str, Any]:
+    """Flatten a :func:`repro.runner.stats_to_dict` result to gate metrics.
+
+    Aggregates the per-core lists into the scalars gate assertions care
+    about: cycle identity, throughput-relevant totals, and hit-rate
+    floors.
+    """
+    cores = stats.get("cores", [])
+    hits = sum(c.get("hits", 0) for c in cores)
+    misses = sum(c.get("misses", 0) for c in cores)
+    accesses = hits + misses
+    return {
+        "final_cycle": stats.get("final_cycle"),
+        "execution_time": stats.get("execution_time"),
+        "bus_utilization": stats.get("bus_utilization"),
+        "timer_expiries": stats.get("timer_expiries"),
+        "writebacks": stats.get("writebacks"),
+        "mode_switches": stats.get("mode_switches"),
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / accesses if accesses else None,
+        "max_request_latency": max(
+            (c.get("max_request_latency", 0) for c in cores), default=0
+        ),
+        "total_memory_latency": sum(
+            c.get("total_memory_latency", 0) for c in cores
+        ),
+    }
+
+
+@dataclass
+class RunManifest:
+    """One run's identity, artifacts and key metrics (JSON document)."""
+
+    kind: str
+    label: str
+    engine: Optional[str] = None
+    seed: Optional[int] = None
+    config_fingerprint: Optional[str] = None
+    #: Content digests of the input traces, in core order.
+    traces: List[str] = field(default_factory=list)
+    #: Flat map of scalar metrics — the namespace gate checks evaluate
+    #: over.  Non-finite floats are stored as ``None``.
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Content references (:func:`artifact_ref`) of every produced file.
+    artifacts: List[Dict[str, Any]] = field(default_factory=list)
+    #: Free-form provenance (tool versions, hosts); not fingerprinted.
+    environment: Dict[str, Any] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical body (environment excluded)."""
+        body = self._body()
+        body.pop("environment", None)
+        return hashlib.sha256(
+            json.dumps(body, sort_keys=True).encode()
+        ).hexdigest()
+
+    def _body(self) -> Dict[str, Any]:
+        return {
+            "schema": RUN_MANIFEST_SCHEMA,
+            "kind": self.kind,
+            "label": self.label,
+            "engine": self.engine,
+            "seed": self.seed,
+            "config_fingerprint": self.config_fingerprint,
+            "traces": list(self.traces),
+            "metrics": _sanitise(self.metrics),
+            "artifacts": _sanitise(self.artifacts),
+            "environment": _sanitise(self.environment),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-compatible form, fingerprint included."""
+        body = self._body()
+        body["fingerprint"] = self.fingerprint()
+        return body
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from its JSON form (schema-checked)."""
+        if doc.get("schema") != RUN_MANIFEST_SCHEMA:
+            raise ValueError(
+                f"not a run manifest: schema tag {doc.get('schema')!r} "
+                f"(expected {RUN_MANIFEST_SCHEMA!r})"
+            )
+        errors = validate(dict(doc), RUN_MANIFEST_JSON_SCHEMA)
+        if errors:
+            raise ValueError(
+                "invalid run manifest: " + "; ".join(errors[:5])
+            )
+        manifest = cls(
+            kind=doc["kind"],
+            label=doc["label"],
+            engine=doc.get("engine"),
+            seed=doc.get("seed"),
+            config_fingerprint=doc.get("config_fingerprint"),
+            traces=list(doc.get("traces", [])),
+            metrics=dict(doc.get("metrics", {})),
+            artifacts=[dict(a) for a in doc.get("artifacts", [])],
+            environment=dict(doc.get("environment", {})),
+        )
+        stored = doc.get("fingerprint")
+        if stored is not None and stored != manifest.fingerprint():
+            raise ValueError(
+                f"run manifest fingerprint mismatch: document says "
+                f"{stored[:12]}…, content hashes to "
+                f"{manifest.fingerprint()[:12]}… (edited by hand?)"
+            )
+        return manifest
+
+
+def build_manifest(
+    kind: str,
+    label: str,
+    *,
+    config: Any = None,
+    traces: Sequence[Any] = (),
+    stats: Optional[Mapping[str, Any]] = None,
+    metrics: Optional[Mapping[str, Any]] = None,
+    engine: Optional[str] = None,
+    seed: Optional[int] = None,
+    artifact_paths: Sequence[str] = (),
+    environment: Optional[Mapping[str, Any]] = None,
+) -> RunManifest:
+    """Assemble a manifest from live objects.
+
+    ``config`` is fingerprinted via :func:`config_fingerprint`,
+    ``traces`` via their ``content_digest()``, ``stats`` (a
+    ``stats_to_dict`` result) is flattened through :func:`stats_metrics`,
+    and ``metrics`` entries are merged on top.  ``artifact_paths`` are
+    digested from disk.
+    """
+    merged: Dict[str, Any] = {}
+    if stats is not None:
+        merged.update(stats_metrics(stats))
+    if metrics is not None:
+        merged.update(metrics)
+    return RunManifest(
+        kind=kind,
+        label=label,
+        engine=engine,
+        seed=seed,
+        config_fingerprint=(
+            config_fingerprint(config) if config is not None else None
+        ),
+        traces=[t.content_digest() for t in traces],
+        metrics=merged,
+        artifacts=[artifact_ref(p) for p in artifact_paths],
+        environment=dict(environment or {}),
+    )
+
+
+def write_manifest(manifest: RunManifest, path: str) -> str:
+    """Write the canonical JSON form; returns the manifest fingerprint."""
+    doc = manifest.to_dict()
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True, allow_nan=False)
+        fh.write("\n")
+    return doc["fingerprint"]
+
+
+def load_manifest(path: str) -> RunManifest:
+    """Load and schema-check a manifest file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    return RunManifest.from_dict(doc)

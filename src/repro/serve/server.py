@@ -184,6 +184,7 @@ async def run_server(
     port: int = 8765,
     *,
     metrics_out: Optional[str] = None,
+    manifest_out: Optional[str] = None,
     install_signal_handlers: bool = True,
     ready: Optional[threading.Event] = None,
     stop: Optional[asyncio.Event] = None,
@@ -214,6 +215,36 @@ async def run_server(
         with open(metrics_out, "w") as fh:
             json.dump(service.metrics(), fh, indent=2)
         print(f"cohort serve: metrics snapshot -> {metrics_out}", flush=True)
+    if manifest_out:
+        from repro.qa import build_manifest, write_manifest
+
+        snapshot = service.metrics()
+        svc = snapshot["service"]
+        runner = snapshot["runner"]
+        manifest = build_manifest(
+            "serve", snapshot.get("label") or "serve",
+            metrics={
+                "jobs_submitted": svc["jobs_submitted"],
+                "jobs_rejected": svc["jobs_rejected"],
+                "jobs_completed": svc["jobs_completed"],
+                "jobs_failed": svc["jobs_failed"],
+                "batches": svc["batches"],
+                "max_queue_depth": svc["max_queue_depth"],
+                "runner_cache_hits": runner["cache_hits"],
+                "runner_cache_misses": runner["cache_misses"],
+                "runner_cache_hit_rate": runner["cache_hit_rate"],
+                "runner_jobs_executed": runner["jobs_executed"],
+                "runner_engine": runner["engine"],
+            },
+            engine=runner["engine"],
+            artifact_paths=[metrics_out] if metrics_out else (),
+        )
+        fingerprint = write_manifest(manifest, manifest_out)
+        print(
+            f"cohort serve: run manifest -> {manifest_out} "
+            f"(fingerprint {fingerprint[:12]})",
+            flush=True,
+        )
     server.close()
     await server.wait_closed()
     print("cohort serve: drained, exiting", flush=True)
