@@ -798,6 +798,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """``cohort serve``: the batched, backpressured simulation service."""
     import asyncio
 
+    from repro.obs import OpLogger
     from repro.runner import SweepRunner
     from repro.serve import BatchingService, run_server
 
@@ -813,13 +814,98 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window,
         queue_limit=args.queue_limit,
         retry_after=args.retry_after,
+        oplog=OpLogger(path=args.oplog) if args.oplog else None,
     )
     asyncio.run(
         run_server(
             service, args.host, args.port, metrics_out=args.metrics_out,
-            manifest_out=args.manifest_out,
+            trace_out=args.trace_out, manifest_out=args.manifest_out,
         )
     )
+    return 0
+
+
+def cmd_obs_tail(args: argparse.Namespace) -> int:
+    """``cohort obs tail``: print the last N oplog events, one per line."""
+    from repro.obs.ops import format_event, read_oplog
+
+    try:
+        events = read_oplog(args.oplog)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for event in events[-args.lines:]:
+        print(format_event(event))
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """``cohort obs report``: event counts and lifecycle summary."""
+    from repro.obs.ops import compute_slo, read_oplog, render_slo
+
+    try:
+        events = read_oplog(args.oplog)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    counts = {}
+    for event in events:
+        key = (event.get("component", "?"), event.get("event", "?"))
+        counts[key] = counts.get(key, 0) + 1
+    rows = [
+        [component, name, count]
+        for (component, name), count in sorted(counts.items())
+    ]
+    print(format_table(
+        ["component", "event", "count"], rows,
+        title=f"{args.oplog}: {len(events)} events",
+    ))
+    print()
+    print(render_slo(compute_slo(events)))
+    return 0
+
+
+def cmd_obs_slo(args: argparse.Namespace) -> int:
+    """``cohort obs slo``: compute SLO inputs; optionally gate them.
+
+    Writes a ``kind="slo"`` run manifest with ``--manifest-out`` (the
+    shape ``cohort gate run --spec slo`` consumes) and, with
+    ``--gate``, evaluates the shipped ``slo`` spec immediately — the
+    exit code is then the gate verdict.
+    """
+    from repro.obs.ops import compute_slo, read_oplog, render_slo
+
+    try:
+        events = read_oplog(args.oplog)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    metrics = compute_slo(events)
+    print(render_slo(metrics))
+    manifest = None
+    if args.manifest_out or args.gate:
+        from repro.qa import build_manifest
+
+        manifest = build_manifest(
+            "slo", args.label or args.oplog, metrics=metrics,
+            artifact_paths=[args.oplog],
+        )
+    if args.manifest_out:
+        from repro.qa import write_manifest
+
+        fingerprint = write_manifest(manifest, args.manifest_out)
+        print(f"slo manifest written to {args.manifest_out} "
+              f"(fingerprint {fingerprint[:12]})")
+    if args.gate:
+        from repro.qa import evaluate_spec, load_spec
+
+        report = evaluate_spec(
+            load_spec("slo"), manifest,
+            params=_parse_gate_params(args.param) or None,
+        )
+        print()
+        print(report.render())
+        return report.exit_code
     return 0
 
 
@@ -1035,12 +1121,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--job-timeout", type=float, default=None,
                    help="per-job wall-clock timeout in seconds")
     p.add_argument("--metrics-out", default=None,
-                   help="write a final /metrics snapshot here on drain")
+                   help="write a final /metrics snapshot here on drain "
+                        "(atomic tmp-file + rename)")
+    p.add_argument("--oplog", default=None, metavar="FILE",
+                   help="append structured JSON-lines operational events "
+                        "(schema repro.obs/oplog/1) to FILE; inspect with "
+                        "`cohort obs tail|report|slo`")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a Chrome-trace/Perfetto JSON of per-request "
+                        "service-lifecycle spans here on drain")
     p.add_argument("--manifest-out", default=None, metavar="FILE",
                    help="write a run manifest wrapping the final metrics "
                         "snapshot here on drain")
     _add_engine(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "obs",
+        help="operational-log tooling (tail, report, SLO gating)",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    t = obs_sub.add_parser("tail", help="print the last N oplog events")
+    t.add_argument("oplog", help="JSON-lines oplog written by "
+                                 "`cohort serve --oplog`")
+    t.add_argument("-n", "--lines", type=_positive_int, default=20,
+                   help="events to print (default: 20)")
+    t.set_defaults(fn=cmd_obs_tail)
+
+    rp = obs_sub.add_parser(
+        "report", help="event counts + request-lifecycle summary"
+    )
+    rp.add_argument("oplog")
+    rp.set_defaults(fn=cmd_obs_report)
+
+    s = obs_sub.add_parser(
+        "slo",
+        help="compute SLO inputs from an oplog; emit a gateable manifest",
+    )
+    s.add_argument("oplog")
+    s.add_argument("--label", default=None,
+                   help="manifest label (default: the oplog path)")
+    s.add_argument("--manifest-out", metavar="FILE",
+                   help="write a kind=slo run manifest for "
+                        "`cohort gate run --spec slo`")
+    s.add_argument("--gate", action="store_true",
+                   help="evaluate the shipped slo gate spec immediately; "
+                        "exit code becomes the verdict")
+    s.add_argument("--param", action="append", metavar="KEY=VALUE",
+                   help="override an slo spec param (with --gate); "
+                        "repeatable")
+    s.set_defaults(fn=cmd_obs_slo)
 
     p = sub.add_parser("submit", help="submit jobs to a running serve")
     p.add_argument("--url", default="http://127.0.0.1:8765")

@@ -17,12 +17,30 @@ Entry points:
   trace-event (Perfetto-loadable) export and its in-repo schema check,
 * :func:`build_run_report` / :func:`summarise` — structured run reports
   and the ``cohort metrics`` digest,
-* :class:`GAGenerationLog` — per-generation JSONL for the optimizer.
+* :class:`GAGenerationLog` — per-generation JSONL for the optimizer,
+* :class:`OpLogger` / :func:`compute_slo` /
+  :func:`build_service_trace` — the *operational* half
+  (:mod:`repro.obs.ops`): structured serving logs with trace-context
+  propagation, service-lifecycle traces, SLO inputs,
+* :func:`prometheus_from_serve_metrics` — Prometheus text exposition
+  of the serve ``/metrics`` document.
 """
 
 from repro.obs.export import build_trace_events, write_trace
 from repro.obs.ga_log import GAGenerationLog, load_jsonl
 from repro.obs.metrics import LatencyHistogram, MetricsCollector, log2_bucket
+from repro.obs.ops import (
+    OpLogger,
+    build_service_trace,
+    compute_slo,
+    new_trace_id,
+    read_oplog,
+    valid_trace_id,
+)
+from repro.obs.promexport import (
+    parse_prometheus_text,
+    prometheus_from_serve_metrics,
+)
 from repro.obs.report import (
     build_run_report,
     classify,
@@ -30,6 +48,7 @@ from repro.obs.report import (
 )
 from repro.obs.schema import (
     GATE_REPORT_SCHEMA,
+    OPLOG_SCHEMA,
     RUN_MANIFEST_SCHEMA,
     RUN_REPORT_SCHEMA,
     SCHEMA_REGISTRY,
@@ -44,6 +63,7 @@ from repro.obs.telemetry import Telemetry
 
 __all__ = [
     "GATE_REPORT_SCHEMA",
+    "OPLOG_SCHEMA",
     "PHASES",
     "RUN_MANIFEST_SCHEMA",
     "RUN_REPORT_SCHEMA",
@@ -54,15 +74,23 @@ __all__ = [
     "GAGenerationLog",
     "LatencyHistogram",
     "MetricsCollector",
+    "OpLogger",
     "RequestSpan",
     "SpanCollector",
     "Telemetry",
     "build_run_report",
+    "build_service_trace",
     "build_trace_events",
     "classify",
+    "compute_slo",
     "load_jsonl",
     "log2_bucket",
+    "new_trace_id",
+    "parse_prometheus_text",
+    "prometheus_from_serve_metrics",
+    "read_oplog",
     "summarise",
+    "valid_trace_id",
     "validate_document",
     "validate_trace_events",
     "write_trace",

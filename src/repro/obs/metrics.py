@@ -97,6 +97,38 @@ class LatencyHistogram:
                 return bucket_range(bucket)[1]
         return bucket_range(max(self.counts))[1]
 
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s observations into this histogram, in place.
+
+        Because buckets are fixed (log2 of the latency), merging is exact:
+        the merged histogram is identical to one fed every underlying
+        observation directly.  Used by the Prometheus exporter to
+        aggregate per-core histograms into one exposition series, and by
+        the SLO layer to combine per-shard queue-wait distributions.
+        Returns ``self`` so merges chain.
+        """
+        for bucket, count in other.counts.items():
+            self.counts[bucket] = self.counts.get(bucket, 0) + count
+        self.total += other.total
+        self.sum += other.sum
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "LatencyHistogram":
+        """Rebuild a histogram from its :meth:`to_dict` form.
+
+        ``mean`` is derived, not stored; unknown keys are ignored so the
+        shape can grow without breaking old readers.
+        """
+        return cls(
+            counts={int(b): int(c) for b, c in doc.get("buckets", {}).items()},
+            total=int(doc.get("total", 0)),
+            sum=int(doc.get("sum", 0)),
+            max=int(doc.get("max", 0)),
+        )
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible form: bucket counts, total and extrema."""
         return {

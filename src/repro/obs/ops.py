@@ -1,0 +1,424 @@
+"""Operational observability: structured logs, trace ids, service spans, SLOs.
+
+PR 3's telemetry (:mod:`repro.obs.spans`, :mod:`repro.obs.metrics`)
+looks *inside one simulation*; this module is the operational half for
+the serving stack around it:
+
+* :class:`OpLogger` — a thread-safe, stdlib-only JSON-lines logger.
+  Every line is a self-describing event tagged
+  :data:`~repro.obs.schema.OPLOG_SCHEMA` (``repro.obs/oplog/1``,
+  registered in the schema registry and checked by
+  ``python -m repro.obs.validate``), carrying a wall-clock ``ts``, the
+  emitting ``component``, an ``event`` name, and — when the event
+  belongs to a request — the request's ``trace_id``/``job_id``.  One
+  ``grep trace_id oplog.jsonl`` reconstructs a request's full
+  lifecycle: ``admit`` → ``batch`` → ``cache_hit``/``execute`` →
+  ``retire`` (plus ``reject``, ``drain`` and ``worker_quarantine``
+  events around it).
+* :func:`new_trace_id` / :func:`valid_trace_id` — trace-context
+  minting and the charset contract for the ``X-Trace-Id`` header.
+* :func:`build_service_trace` — service-lifecycle spans
+  (submit → queue → execute → respond) per request, exported in the
+  same Chrome trace-event JSON the simulation exporter emits, so a
+  request's wall-clock life loads in Perfetto next to simulated cycles.
+* :func:`compute_slo` — declarative-objective inputs (p99 queue wait,
+  error ratio, availability, warm hit rate) computed from a parsed
+  oplog; ``cohort obs slo`` wraps this into a ``repro.qa`` run
+  manifest for the shipped ``slo`` gate spec.
+
+Everything here is wall-clock (``time.time``) — the simulated-cycle
+clock never appears in the oplog.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import threading
+import time
+import uuid
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TextIO
+
+from repro.obs.metrics import LatencyHistogram
+from repro.obs.schema import OPLOG_SCHEMA
+
+#: Charset/length contract for trace ids carried in ``X-Trace-Id``: the
+#: server honours a client-minted id only when it matches (anything
+#: else gets a fresh id, never an error — tracing must not break jobs).
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_.\-]{1,64}$")
+
+#: Request-lifecycle event names, in order of appearance.  Informational
+#: only — the oplog vocabulary is open — but the SLO layer keys on these.
+LIFECYCLE_EVENTS = (
+    "admit", "reject", "batch", "cache_hit", "execute", "retire",
+)
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 32-hex-character trace id."""
+    return uuid.uuid4().hex
+
+
+def valid_trace_id(value: Any) -> bool:
+    """Whether ``value`` is acceptable as a client-supplied trace id."""
+    return isinstance(value, str) and bool(_TRACE_ID_RE.match(value))
+
+
+class OpLogger:
+    """Append-only JSON-lines operational logger (schema-versioned).
+
+    A logger without a sink (``OpLogger()``) is a cheap no-op whose
+    :meth:`emit` still tallies per-event counts — services attach one
+    unconditionally and pay a dict update per event when logging is
+    off.  With ``path`` the file is opened lazily in append mode and
+    every line is flushed as written, so ``cohort obs tail`` and plain
+    ``tail -f`` see events live.  All methods are thread-safe: the
+    serve event loop, its executor thread and the runner's retry path
+    share one logger.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        stream: Optional[TextIO] = None,
+        component: str = "serve",
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if path is not None and stream is not None:
+            raise ValueError("pass either path or stream, not both")
+        self.path = path
+        self.component = component
+        self.clock = clock
+        self.events_emitted = 0
+        #: Per-event tally, e.g. ``{"admit": 12, "retire": 12}``.
+        self.event_counts: Dict[str, int] = {}
+        self._stream = stream
+        self._owns_stream = False
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether emitted events are written anywhere."""
+        return self.path is not None or self._stream is not None
+
+    def _sink(self) -> Optional[TextIO]:
+        if self._stream is None and self.path is not None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._stream = open(self.path, "a")
+            self._owns_stream = True
+        return self._stream
+
+    def emit(
+        self,
+        event: str,
+        *,
+        component: Optional[str] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Write one structured event line; returns the record emitted.
+
+        ``None``-valued fields are dropped (absent beats ``null`` for
+        grep and for the line schema); everything else must be
+        JSON-serialisable.  The record always leads with the schema
+        tag, timestamp, component and event name.
+        """
+        record: Dict[str, Any] = {
+            "schema": OPLOG_SCHEMA,
+            "ts": self.clock(),
+            "component": component or self.component,
+            "event": event,
+        }
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        with self._lock:
+            self.events_emitted += 1
+            self.event_counts[event] = self.event_counts.get(event, 0) + 1
+            sink = self._sink()
+            if sink is not None:
+                sink.write(json.dumps(record, sort_keys=True) + "\n")
+                sink.flush()
+        return record
+
+    def close(self) -> None:
+        """Close the underlying file if this logger opened it."""
+        with self._lock:
+            if self._stream is not None and self._owns_stream:
+                self._stream.close()
+            self._stream = None
+            self._owns_stream = False
+
+    def __enter__(self) -> "OpLogger":
+        """Context-manager entry: the logger itself."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: close the sink."""
+        self.close()
+
+
+def read_oplog(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines oplog file into a list of event records.
+
+    Blank lines are skipped; a malformed line raises ``ValueError``
+    naming its line number (a torn final line means the writer died
+    mid-write — worth surfacing, not hiding).
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for number, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{number}: not valid JSON: {exc}")
+            events.append(doc)
+    return events
+
+
+# -- service-lifecycle spans ------------------------------------------------
+
+#: Process id used for the service track in exported traces — distinct
+#: from :data:`repro.obs.export.PID` (0, the simulator) so wall-clock
+#: service spans and simulated-cycle spans coexist in one viewer.
+SERVICE_PID = 1
+
+#: Service span phases, in request-lifecycle order.  ``queue`` is
+#: admit → batch dispatch, ``execute`` is the batch running on the
+#: runner, ``respond`` is result installation until the record is
+#: pollable.
+SERVICE_PHASES = ("queue", "execute", "respond")
+
+
+def build_service_trace(
+    rows: Sequence[Dict[str, Any]], name: str = "cohort-serve"
+) -> Dict[str, Any]:
+    """Chrome trace-event document of per-request service spans.
+
+    ``rows`` are the dicts :class:`repro.serve.service.BatchingService`
+    records at retire time (``trace_id``, ``job_id``, ``status`` and
+    the four wall-clock marks ``submitted_at``/``dispatched_at``/
+    ``executed_at``/``finished_at``).  Timestamps are microseconds
+    relative to the earliest submission; concurrent requests are packed
+    onto the lowest free track so overlapping lifecycles render side by
+    side.  The output validates against the in-repo trace-event schema,
+    like the simulation exporter's.
+    """
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": SERVICE_PID, "name": "process_name",
+         "args": {"name": name}},
+    ]
+    if not rows:
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.obs.ops",
+                          "clock": "wall clock (us since first submission)"},
+        }
+    epoch = min(row["submitted_at"] for row in rows)
+
+    def us(stamp: float) -> int:
+        return max(0, int(round((stamp - epoch) * 1e6)))
+
+    # Greedy track packing: a request reuses the lowest track that is
+    # free by the time it is submitted.
+    track_free_at: List[float] = []
+    ordered = sorted(rows, key=lambda row: row["submitted_at"])
+    used_tracks = 0
+    for row in ordered:
+        tid = None
+        for candidate, free_at in enumerate(track_free_at):
+            if free_at <= row["submitted_at"]:
+                tid = candidate
+                break
+        if tid is None:
+            tid = len(track_free_at)
+            track_free_at.append(0.0)
+        track_free_at[tid] = row["finished_at"]
+        used_tracks = max(used_tracks, tid + 1)
+        start = us(row["submitted_at"])
+        end = us(row["finished_at"])
+        events.append(
+            {
+                "ph": "X",
+                "pid": SERVICE_PID,
+                "tid": tid,
+                "name": f"job {row['job_id']}",
+                "cat": "service",
+                "ts": start,
+                "dur": max(0, end - start),
+                "args": {
+                    "trace_id": row.get("trace_id"),
+                    "job_id": row["job_id"],
+                    "status": row.get("status"),
+                    "digest": row.get("digest"),
+                },
+            }
+        )
+        marks = (
+            ("queue", row["submitted_at"], row["dispatched_at"]),
+            ("execute", row["dispatched_at"], row["executed_at"]),
+            ("respond", row["executed_at"], row["finished_at"]),
+        )
+        for phase, begin, finish in marks:
+            if finish <= begin:
+                continue
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": SERVICE_PID,
+                    "tid": tid,
+                    "name": phase,
+                    "cat": "service_phase",
+                    "ts": us(begin),
+                    "dur": us(finish) - us(begin),
+                    "args": {"trace_id": row.get("trace_id"),
+                             "job_id": row["job_id"]},
+                }
+            )
+    for tid in range(used_tracks):
+        events.insert(
+            1 + tid,
+            {"ph": "M", "pid": SERVICE_PID, "tid": tid,
+             "name": "thread_name", "args": {"name": f"request lane {tid}"}},
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs.ops",
+            "clock": "wall clock (us since first submission)",
+        },
+    }
+
+
+# -- SLO computation --------------------------------------------------------
+
+
+def exact_percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of ``values`` (nearest-rank; 0 when empty)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be within [0, 1]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def compute_slo(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """SLO inputs from parsed oplog events (see :func:`read_oplog`).
+
+    Returns a flat metrics dict suitable for a ``repro.qa`` run
+    manifest: request counts by outcome, the error ratio
+    (failed / retired) and availability (completed / admitted),
+    exact queue-wait percentiles (milliseconds, from the per-job
+    ``batch`` events) plus the matching log2 histogram, and the warm
+    hit rate over the runner's ``cache_hit``/``execute`` events.
+    """
+    admitted = retired = completed = failed = 0
+    rejected_submissions = 0
+    rejected_jobs = 0
+    cache_hits = executions = 0
+    quarantines = 0
+    queue_waits: List[float] = []
+    trace_ids = set()
+    events_total = 0
+    for event in events:
+        events_total += 1
+        name = event.get("event")
+        trace_id = event.get("trace_id")
+        if trace_id:
+            trace_ids.add(trace_id)
+        if name == "admit":
+            admitted += 1
+        elif name == "reject":
+            rejected_submissions += 1
+            rejected_jobs += int(event.get("jobs", 1))
+        elif name == "batch":
+            wait = event.get("queue_wait_ms")
+            if isinstance(wait, (int, float)):
+                queue_waits.append(float(wait))
+        elif name == "cache_hit":
+            cache_hits += 1
+        elif name == "execute":
+            executions += 1
+        elif name == "retire":
+            retired += 1
+            if event.get("status") == "done":
+                completed += 1
+            else:
+                failed += 1
+        elif name == "worker_quarantine":
+            quarantines += 1
+    histogram = LatencyHistogram()
+    for wait in queue_waits:
+        histogram.add(max(0, int(wait)))
+    served = cache_hits + executions
+    return {
+        "events": events_total,
+        "requests_admitted": admitted,
+        "requests_retired": retired,
+        "requests_completed": completed,
+        "requests_failed": failed,
+        "submissions_rejected": rejected_submissions,
+        "jobs_rejected": rejected_jobs,
+        "worker_quarantines": quarantines,
+        "error_ratio": failed / retired if retired else 0.0,
+        "availability": completed / admitted if admitted else 0.0,
+        "queue_wait_ms_p50": exact_percentile(queue_waits, 0.50),
+        "queue_wait_ms_p95": exact_percentile(queue_waits, 0.95),
+        "queue_wait_ms_p99": exact_percentile(queue_waits, 0.99),
+        "queue_wait_ms_max": histogram.max,
+        "queue_wait_ms_mean": histogram.mean,
+        "warm_hit_rate": cache_hits / served if served else 0.0,
+        "runner_cache_hits": cache_hits,
+        "runner_executions": executions,
+        "distinct_trace_ids": len(trace_ids),
+    }
+
+
+def render_slo(metrics: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of :func:`compute_slo` output."""
+    lines = [
+        f"requests: admitted={metrics['requests_admitted']} "
+        f"completed={metrics['requests_completed']} "
+        f"failed={metrics['requests_failed']} "
+        f"(submissions rejected={metrics['submissions_rejected']})",
+        f"objectives: error_ratio={metrics['error_ratio']:.4f} "
+        f"availability={metrics['availability']:.4f} "
+        f"warm_hit_rate={metrics['warm_hit_rate']:.4f}",
+        f"queue wait ms: p50={metrics['queue_wait_ms_p50']:.0f} "
+        f"p95={metrics['queue_wait_ms_p95']:.0f} "
+        f"p99={metrics['queue_wait_ms_p99']:.0f} "
+        f"max={metrics['queue_wait_ms_max']}",
+        f"runner: cache_hits={metrics['runner_cache_hits']} "
+        f"executions={metrics['runner_executions']} "
+        f"quarantines={metrics['worker_quarantines']} "
+        f"distinct_trace_ids={metrics['distinct_trace_ids']}",
+    ]
+    return "\n".join(lines)
+
+
+def format_event(event: Dict[str, Any]) -> str:
+    """One oplog record as a compact single line (``cohort obs tail``)."""
+    ts = event.get("ts")
+    stamp = (
+        time.strftime("%H:%M:%S", time.localtime(ts))
+        if isinstance(ts, (int, float)) else "--:--:--"
+    )
+    parts = [stamp, f"{event.get('component', '?')}:{event.get('event', '?')}"]
+    for key in ("trace_id", "job_id", "status", "digest", "queue_wait_ms",
+                "duration_ms", "attempt", "reason"):
+        if key in event:
+            value = event[key]
+            if key == "digest" and isinstance(value, str):
+                value = value[:12]
+            parts.append(f"{key}={value}")
+    return " ".join(parts)

@@ -32,6 +32,8 @@ RUN_REPORT_SCHEMA = "repro.obs/run_report/1"
 SWEEP_METRICS_SCHEMA = "repro.obs/sweep_metrics/1"
 #: Schema tag stamped into ``cohort serve`` /metrics snapshots.
 SERVE_METRICS_SCHEMA = "repro.obs/serve_metrics/1"
+#: Schema tag stamped into every structured operational-log line.
+OPLOG_SCHEMA = "repro.obs/oplog/1"
 #: Schema tag stamped into every ``repro.qa`` run manifest.
 RUN_MANIFEST_SCHEMA = "repro.qa/run_manifest/1"
 #: Schema tag stamped into every ``repro.qa`` gate verdict report.
@@ -46,8 +48,35 @@ SCHEMA_REGISTRY: Dict[str, Any] = {
     "run_report": RUN_REPORT_SCHEMA,
     "sweep_metrics": SWEEP_METRICS_SCHEMA,
     "serve_metrics": SERVE_METRICS_SCHEMA,
+    "oplog": OPLOG_SCHEMA,
     "run_manifest": RUN_MANIFEST_SCHEMA,
     "gate_report": GATE_REPORT_SCHEMA,
+}
+
+#: One structured operational-log line (draft-07 JSON Schema).  The
+#: event vocabulary is open — services add fields freely — but every
+#: line must carry the schema tag, a wall-clock timestamp, the emitting
+#: component and an event name, and correlation ids, when present, must
+#: be strings (the grep-ability contract of trace propagation).
+OPLOG_EVENT_JSON_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro.obs structured operational-log line",
+    "type": "object",
+    "required": ["schema", "ts", "component", "event"],
+    "properties": {
+        "schema": {"const": OPLOG_SCHEMA},
+        "ts": {"type": "number", "minimum": 0},
+        "component": {"type": "string"},
+        "event": {"type": "string"},
+        "trace_id": {"type": "string"},
+        "job_id": {"type": "string"},
+        "digest": {"type": "string"},
+        "status": {"type": "string"},
+        "attempt": {"type": "integer", "minimum": 0},
+        "batch": {"type": "integer", "minimum": 0},
+        "queue_wait_ms": {"type": "number", "minimum": 0},
+        "duration_ms": {"type": "number", "minimum": 0},
+    },
 }
 
 #: Chrome trace-event JSON object format (draft-07 JSON Schema).
@@ -199,6 +228,7 @@ GATE_REPORT_JSON_SCHEMA: Dict[str, Any] = {
 JSON_SCHEMAS: Dict[str, Dict[str, Any]] = {
     RUN_MANIFEST_SCHEMA: RUN_MANIFEST_JSON_SCHEMA,
     GATE_REPORT_SCHEMA: GATE_REPORT_JSON_SCHEMA,
+    OPLOG_SCHEMA: OPLOG_EVENT_JSON_SCHEMA,
 }
 
 

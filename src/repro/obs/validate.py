@@ -7,10 +7,13 @@ Module CLI used by the CI smoke jobs::
 Each file is dispatched on its shape through the schema registry
 (:func:`repro.obs.schema.schema_for_document`): Chrome trace-event
 documents (``traceEvents`` key), ``repro.qa`` run manifests and gate
-verdict reports (their ``schema`` tags).  Exit status 0 when every file
-validates, 1 otherwise (errors on stderr).  No third-party validator is
-required — :mod:`repro.obs.schema` ships its own for the keyword subset
-the schemas use.
+verdict reports (their ``schema`` tags).  Files that are not one JSON
+document are treated as JSON *lines* (the ``repro.obs/oplog/1``
+operational log) and validated record by record, errors naming the
+line.  Exit status 0 when every file validates, 1 otherwise (errors on
+stderr).  No third-party validator is required —
+:mod:`repro.obs.schema` ships its own for the keyword subset the
+schemas use.
 """
 
 from __future__ import annotations
@@ -22,13 +25,44 @@ from typing import List
 from repro.obs.schema import validate_document
 
 
+def validate_lines(path: str, text: str) -> List[str]:
+    """Errors in a JSON-lines artefact, each prefixed ``path:line``."""
+    errors: List[str] = []
+    records = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"{path}:{number}: not valid JSON: {exc}")
+            continue
+        records += 1
+        errors.extend(
+            f"{path}:{number}: {err}" for err in validate_document(doc)
+        )
+    if not records:
+        errors.append(f"{path}: no JSON records found")
+    return errors
+
+
 def validate_file(path: str) -> List[str]:
-    """Errors found in one registered JSON artefact (empty = valid)."""
+    """Errors found in one registered JSON artefact (empty = valid).
+
+    A file that does not parse as a single JSON document falls back to
+    line-by-line validation, covering JSONL artefacts such as the
+    operational log and the GA generation log.
+    """
     try:
         with open(path) as fh:
-            doc = json.load(fh)
-    except (OSError, ValueError) as exc:
-        return [f"{path}: cannot load JSON: {exc}"]
+            text = fh.read()
+    except OSError as exc:
+        return [f"{path}: cannot read: {exc}"]
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        return validate_lines(path, text)
     return [f"{path}: {err}" for err in validate_document(doc)]
 
 

@@ -277,6 +277,13 @@ class SweepRunner:
     _lockstep_group_sizes: Dict[int, int] = field(
         default_factory=dict, repr=False
     )
+    #: Optional structured operational logger (duck-typed: anything with
+    #: an ``emit(event, **fields)`` method, normally
+    #: :class:`repro.obs.ops.OpLogger`).  When set, the runner logs
+    #: ``cache_hit``/``execute`` per job — carrying the submitting
+    #: request's trace context when ``run`` received one — plus
+    #: ``worker_quarantine`` on crash/timeout retries.
+    oplog: Optional[object] = field(default=None, repr=False)
     _memory: Dict[str, dict] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -403,13 +410,43 @@ class SweepRunner:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, jobs: Sequence[SweepJob]) -> List[dict]:
+    def _op_emit(
+        self,
+        event: str,
+        op_context: Optional[Sequence[Mapping[str, object]]],
+        index: int,
+        **fields: object,
+    ) -> None:
+        """Emit one runner oplog event, with trace context when known."""
+        if self.oplog is None:
+            return
+        info: Mapping[str, object] = {}
+        if op_context is not None and index < len(op_context):
+            info = op_context[index]
+        self.oplog.emit(
+            event,
+            component="runner",
+            trace_id=info.get("trace_id"),
+            job_id=info.get("job_id"),
+            **fields,
+        )
+
+    def run(
+        self,
+        jobs: Sequence[SweepJob],
+        op_context: Optional[Sequence[Mapping[str, object]]] = None,
+    ) -> List[dict]:
         """Run a batch; returns one result dict per job, in order.
 
         Identical jobs (same content digest) within one batch execute
         once: duplicates are counted as cache hits and served the single
         execution's result — the serving layer batches submissions from
         many clients, where duplicate jobs are the common case.
+
+        ``op_context`` optionally carries one ``{"trace_id": …,
+        "job_id": …}`` mapping per job (aligned by index) so the
+        runner's oplog events correlate with the serving-layer request
+        that submitted each job; omitted entries log without context.
         """
         keys = [job.digest() for job in jobs]
         results: List[Optional[dict]] = [None] * len(jobs)
@@ -421,9 +458,15 @@ class SweepRunner:
             if cached is not None:
                 self.cache_hits += 1
                 results[i] = cached
+                self._op_emit(
+                    "cache_hit", op_context, i, digest=key, dedup=False
+                )
             elif key in first_slot:
                 self.cache_hits += 1
                 duplicates.setdefault(key, []).append(i)
+                self._op_emit(
+                    "cache_hit", op_context, i, digest=key, dedup=True
+                )
             else:
                 self.cache_misses += 1
                 first_slot[key] = i
@@ -435,6 +478,10 @@ class SweepRunner:
             result = json.loads(json.dumps(result))
             self._cache_store(keys[slot], result)
             results[slot] = result
+            self._op_emit(
+                "execute", op_context, slot,
+                digest=keys[slot], engine=self.engine,
+            )
             for dup in duplicates.get(keys[slot], ()):
                 results[dup] = result
 
@@ -532,6 +579,12 @@ class SweepRunner:
     def _retry_or_fail(self, slot: int, attempts: List[int], cause: str) -> None:
         """Account one failed execution of ``slot``; raise when exhausted."""
         attempts[slot] += 1
+        if self.oplog is not None:
+            self.oplog.emit(
+                "worker_quarantine", component="runner", slot=slot,
+                attempt=attempts[slot], reason=cause,
+                exhausted=attempts[slot] > self.max_retries,
+            )
         if attempts[slot] > self.max_retries:
             raise SweepExecutionError(
                 f"sweep job {slot} failed {attempts[slot]} times "

@@ -13,6 +13,11 @@ Public surface:
 * :class:`ServeApp` / :func:`run_server` — the asyncio HTTP front-end,
 * :class:`ServerThread` — in-process server for tests/benchmarks,
 * :class:`ServeClient` — synchronous stdlib client (``cohort submit``).
+
+Operationally, every submission carries a trace id end to end
+(``X-Trace-Id``), the whole stack logs structured JSON-lines events
+through :class:`repro.obs.OpLogger`, and ``/metrics`` doubles as a
+Prometheus scrape target — see ``docs/operations.md``.
 """
 
 from repro.serve.client import (

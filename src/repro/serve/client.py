@@ -1,7 +1,8 @@
 """A synchronous stdlib client for ``cohort serve``.
 
 One class, no dependencies: submit jobs, honour backpressure
-(``429`` + ``Retry-After``), poll until completion, read health and
+(``429`` + ``Retry-After``) with bounded jittered backoff, propagate
+trace context (``X-Trace-Id``), poll until completion, read health and
 metrics.  Used by ``cohort submit``, the serve benchmarks and the CI
 smoke script — and small enough to copy into an external driver.
 """
@@ -10,13 +11,19 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import urllib.parse
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.obs.ops import OpLogger, new_trace_id
 from repro.serve.service import JobSpec, ServeError
 
 SpecLike = Union[JobSpec, Dict[str, Any]]
+
+#: Hard ceiling on one backpressure backoff sleep, however large the
+#: server's ``Retry-After`` hint or the exponential growth gets.
+MAX_BACKOFF_SECONDS = 30.0
 
 
 class ServeClientError(ServeError):
@@ -42,21 +49,39 @@ def _spec_doc(spec: SpecLike) -> Dict[str, Any]:
 
 
 class ServeClient:
-    """Talks to one ``cohort serve`` endpoint."""
+    """Talks to one ``cohort serve`` endpoint.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    ``oplog`` optionally records the client's side of every submission
+    (``client_submit``/``client_backoff``/``client_accepted`` events,
+    including the attempt count) into the same JSON-lines format the
+    server writes, so a request can be correlated across both ends.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        oplog: Optional[OpLogger] = None,
+    ) -> None:
         parsed = urllib.parse.urlparse(base_url)
         if parsed.scheme not in ("http", ""):
             raise ValueError("only http:// endpoints are supported")
         self.host = parsed.hostname or "127.0.0.1"
         self.port = parsed.port or 8765
         self.timeout = timeout
+        self.oplog = oplog if oplog is not None else OpLogger(
+            component="client"
+        )
 
     def _request(
-        self, method: str, path: str, doc: Optional[Any] = None
+        self,
+        method: str,
+        path: str,
+        doc: Optional[Any] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> tuple:
         body = None
-        headers = {}
+        headers: Dict[str, str] = dict(extra_headers or {})
         if doc is not None:
             body = json.dumps(doc)
             headers["Content-Type"] = "application/json"
@@ -97,34 +122,78 @@ class ServeClient:
         *,
         max_retries: int = 0,
         backoff: Optional[float] = None,
+        trace_id: Optional[str] = None,
+        max_backoff: float = MAX_BACKOFF_SECONDS,
     ) -> List[Dict[str, Any]]:
         """Submit one batch; returns the accepted job documents.
 
-        A ``429`` is retried up to ``max_retries`` times, sleeping the
-        server-provided ``Retry-After`` (or ``backoff``) between
-        attempts; when retries run out a :class:`BackpressureError`
-        carries the hint so callers can implement their own policy.
+        A ``429`` is retried up to ``max_retries`` times (a hard
+        attempts cap, never unbounded).  Each retry sleeps the
+        server-provided ``Retry-After`` hint (or ``backoff``) scaled
+        exponentially by the attempt number, ±25% uniform jitter so a
+        thundering herd of rejected clients decorrelates, and clamped
+        to ``max_backoff``.  When retries run out a
+        :class:`BackpressureError` carries the last hint so callers can
+        implement their own policy.  ``trace_id`` seeds the submission's
+        trace context (minted here when omitted) and is sent as
+        ``X-Trace-Id``; the server echoes the id it actually used in
+        the accepted documents.
         """
         payload = {"jobs": [_spec_doc(spec) for spec in specs]}
+        trace = trace_id if trace_id is not None else new_trace_id()
         attempt = 0
         while True:
-            status, headers, doc = self._request("POST", "/jobs", payload)
+            self.oplog.emit(
+                "client_submit", trace_id=trace, jobs=len(specs),
+                attempt=attempt + 1,
+            )
+            status, headers, doc = self._request(
+                "POST", "/jobs", payload,
+                extra_headers={"X-Trace-Id": trace},
+            )
             if status == 202 and isinstance(doc, dict):
+                self.oplog.emit(
+                    "client_accepted", trace_id=doc.get("trace_id", trace),
+                    jobs=len(doc.get("jobs", [])), attempt=attempt + 1,
+                )
                 return list(doc.get("jobs", []))
             if status == 429:
                 retry_after = self._retry_after(headers, doc, backoff)
                 if attempt >= max_retries:
+                    self.oplog.emit(
+                        "client_backpressure_giveup", trace_id=trace,
+                        attempt=attempt + 1, retry_after=retry_after,
+                    )
                     raise BackpressureError(
                         f"queue full after {attempt + 1} attempt(s)",
                         retry_after=retry_after,
                     )
                 attempt += 1
-                time.sleep(retry_after)
+                delay = self._backoff_delay(retry_after, attempt, max_backoff)
+                self.oplog.emit(
+                    "client_backoff", trace_id=trace, attempt=attempt,
+                    retry_after=retry_after, sleep_s=round(delay, 4),
+                )
+                time.sleep(delay)
                 continue
             detail = doc.get("error") if isinstance(doc, dict) else None
             raise ServeClientError(
                 f"submit returned {status}: {detail or 'no detail'}", status
             )
+
+    @staticmethod
+    def _backoff_delay(
+        retry_after: float, attempt: int, max_backoff: float
+    ) -> float:
+        """One bounded, jittered backoff sleep.
+
+        The server's hint is the base; it doubles per attempt already
+        spent, gets ±25% uniform jitter, and is clamped to
+        ``max_backoff`` (never below 1ms, so a zero hint still yields).
+        """
+        base = max(0.001, retry_after) * (2 ** (attempt - 1))
+        jittered = base * random.uniform(0.75, 1.25)
+        return max(0.001, min(jittered, max_backoff))
 
     @staticmethod
     def _retry_after(
@@ -185,9 +254,12 @@ class ServeClient:
         max_retries: int = 0,
         timeout: float = 600.0,
         poll: float = 0.05,
+        trace_id: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
         """Submit then wait; returns final records in submission order."""
-        accepted = self.submit(specs, max_retries=max_retries)
+        accepted = self.submit(
+            specs, max_retries=max_retries, trace_id=trace_id
+        )
         ids = [doc["id"] for doc in accepted]
         finished = self.wait(ids, timeout=timeout, poll=poll)
         return [finished[job_id] for job_id in ids]

@@ -5,15 +5,21 @@ third-party framework, one request per connection, JSON in and out:
 
 * ``GET /healthz`` — liveness + drain state,
 * ``GET /metrics`` — a :data:`repro.obs.SERVE_METRICS_SCHEMA` snapshot
-  (service queue/batch counters + ``SweepRunner.telemetry()``),
+  (service queue/batch counters + ``SweepRunner.telemetry()``);
+  ``?format=prometheus`` (or an ``Accept: text/plain`` scrape header)
+  selects the Prometheus text exposition of the same counters instead,
 * ``POST /jobs`` — submit ``{"jobs": [spec, …]}`` (or one bare spec);
   ``202`` with job ids, ``429`` + ``Retry-After`` on a full queue,
-  ``503`` while draining, ``400`` on an invalid spec,
+  ``503`` while draining, ``400`` on an invalid spec.  Every
+  submission carries a trace id — a valid client ``X-Trace-Id`` is
+  honoured, anything else gets a freshly minted one — echoed in the
+  response header/body and stamped through the oplog, the runner and
+  the job's result envelope,
 * ``GET /jobs/<id>`` — poll one job (result embedded when done).
 
 ``SIGTERM``/``SIGINT`` trigger a graceful drain: submissions are
-refused, queued and in-flight batches finish, a final metrics snapshot
-is optionally written, then the server exits 0.
+refused, queued and in-flight batches finish, final metrics/trace
+snapshots are optionally written (atomically), then the server exits 0.
 """
 
 from __future__ import annotations
@@ -22,9 +28,13 @@ import asyncio
 import json
 import os
 import signal
+import tempfile
 import threading
+import urllib.parse
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs.ops import new_trace_id, valid_trace_id
+from repro.obs.promexport import prometheus_from_serve_metrics
 from repro.runner import SweepRunner
 from repro.serve.service import (
     BatchingService,
@@ -33,6 +43,9 @@ from repro.serve.service import (
     JobSpecError,
     QueueFullError,
 )
+
+#: Content-Type of the Prometheus text exposition (version 0.0.4).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Largest accepted request body (a trace-free job spec is tiny).
 MAX_BODY_BYTES = 8 << 20
@@ -64,10 +77,17 @@ class ServeApp:
             status, doc, extra = await self._handle_request(reader)
         except Exception:
             status, doc, extra = 500, {"error": "internal server error"}, {}
-        payload = json.dumps(doc).encode()
+        if isinstance(doc, str):
+            # A pre-rendered text payload (the Prometheus exposition);
+            # the route names its own Content-Type via ``extra``.
+            payload = doc.encode()
+            content_type = extra.pop("Content-Type", "text/plain")
+        else:
+            payload = json.dumps(doc).encode()
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Connection: close\r\n"
         )
@@ -111,12 +131,14 @@ class ServeApp:
                 body = await asyncio.wait_for(reader.readexactly(length), 30)
             except (asyncio.TimeoutError, asyncio.IncompleteReadError):
                 return 400, {"error": "truncated request body"}, {}
-        return self._route(method, target, body)
+        return self._route(method, target, body, headers)
 
     def _route(
-        self, method: str, target: str, body: bytes
+        self, method: str, target: str, body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Any, Dict[str, str]]:
-        path = target.split("?", 1)[0]
+        headers = headers or {}
+        path, _, query = target.partition("?")
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "method not allowed"}, {}
@@ -132,11 +154,19 @@ class ServeApp:
         if path == "/metrics":
             if method != "GET":
                 return 405, {"error": "method not allowed"}, {}
+            if self._wants_prometheus(query, headers):
+                return (
+                    200,
+                    prometheus_from_serve_metrics(self.service.metrics()),
+                    {"Content-Type": PROMETHEUS_CONTENT_TYPE},
+                )
             return 200, self.service.metrics(), {}
         if path == "/jobs":
             if method != "POST":
                 return 405, {"error": "method not allowed"}, {}
-            return self._submit(body)
+            supplied = headers.get("x-trace-id")
+            trace_id = supplied if valid_trace_id(supplied) else new_trace_id()
+            return self._submit(body, trace_id)
         if path.startswith("/jobs/"):
             if method != "GET":
                 return 405, {"error": "method not allowed"}, {}
@@ -146,36 +176,103 @@ class ServeApp:
             return 200, record.to_dict(include_result=True), {}
         return 404, {"error": f"no route for {path}"}, {}
 
-    def _submit(self, body: bytes) -> Tuple[int, Any, Dict[str, str]]:
+    @staticmethod
+    def _wants_prometheus(query: str, headers: Dict[str, str]) -> bool:
+        """Content negotiation for ``/metrics``.
+
+        An explicit ``?format=`` wins; otherwise an ``Accept`` header
+        that names ``text/plain`` without also naming JSON (the
+        Prometheus scraper's shape) selects the exposition format.
+        JSON stays the default for everything else.
+        """
+        params = urllib.parse.parse_qs(query)
+        formats = params.get("format")
+        if formats:
+            return formats[-1].lower() in ("prometheus", "text")
+        accept = headers.get("accept", "")
+        return "text/plain" in accept and "application/json" not in accept
+
+    def _submit(
+        self, body: bytes, trace_id: str
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        trace_headers = {"X-Trace-Id": trace_id}
         try:
             doc = json.loads(body or b"null")
         except ValueError:
-            return 400, {"error": "request body is not valid JSON"}, {}
-        raw_specs = doc.get("jobs") if isinstance(doc, dict) and "jobs" in doc else [doc]
+            return (
+                400,
+                {"error": "request body is not valid JSON",
+                 "trace_id": trace_id},
+                trace_headers,
+            )
+        if isinstance(doc, dict) and "jobs" in doc:
+            raw_specs = doc.get("jobs")
+        else:
+            raw_specs = [doc]
         if not isinstance(raw_specs, list):
-            return 400, {"error": '"jobs" must be a list of job specs'}, {}
+            return (
+                400,
+                {"error": '"jobs" must be a list of job specs',
+                 "trace_id": trace_id},
+                trace_headers,
+            )
         try:
             specs = [JobSpec.from_dict(raw) for raw in raw_specs]
-            records = self.service.submit(specs)
+            records = self.service.submit(specs, trace_id=trace_id)
         except JobSpecError as exc:
-            return 400, {"error": str(exc)}, {}
+            return (
+                400,
+                {"error": str(exc), "trace_id": trace_id},
+                trace_headers,
+            )
         except QueueFullError as exc:
             return (
                 429,
-                {"error": str(exc), "retry_after": exc.retry_after},
-                {"Retry-After": f"{exc.retry_after}"},
+                {"error": str(exc), "retry_after": exc.retry_after,
+                 "trace_id": trace_id},
+                {"Retry-After": f"{exc.retry_after}", **trace_headers},
             )
         except DrainingError as exc:
             return (
                 503,
-                {"error": str(exc), "retry_after": self.service.retry_after},
-                {"Retry-After": f"{self.service.retry_after}"},
+                {"error": str(exc), "retry_after": self.service.retry_after,
+                 "trace_id": trace_id},
+                {"Retry-After": f"{self.service.retry_after}",
+                 **trace_headers},
             )
         return (
             202,
-            {"jobs": [r.to_dict(include_result=False) for r in records]},
-            {},
+            {
+                "trace_id": trace_id,
+                "jobs": [r.to_dict(include_result=False) for r in records],
+            },
+            trace_headers,
         )
+
+
+def _write_json_atomic(path: str, doc: Any) -> None:
+    """Write a JSON document via tmp-file + rename (no torn snapshot).
+
+    Same convention as ``SweepRunner._cache_store``: a SIGTERM landing
+    mid-write leaves either the old file or the new one, never a
+    truncated hybrid.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory or ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
 
 async def run_server(
@@ -184,6 +281,7 @@ async def run_server(
     port: int = 8765,
     *,
     metrics_out: Optional[str] = None,
+    trace_out: Optional[str] = None,
     manifest_out: Optional[str] = None,
     install_signal_handlers: bool = True,
     ready: Optional[threading.Event] = None,
@@ -192,6 +290,8 @@ async def run_server(
     """Serve until SIGTERM/SIGINT (or ``stop``), then drain gracefully.
 
     Returns the port actually bound (useful with ``port=0``).
+    ``trace_out`` exports the service-lifecycle spans of every retired
+    request as a Perfetto-loadable Chrome trace on exit.
     """
     app = ServeApp(service)
     await service.start()
@@ -203,24 +303,29 @@ async def run_server(
         for sig in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(sig, stop_event.set)
     print(f"cohort serve: listening on http://{host}:{bound_port}", flush=True)
+    service.oplog.emit("server_listening", host=host, port=bound_port)
     await stop_event.wait()
     print("cohort serve: draining", flush=True)
     # Keep the listener open while draining so clients can poll job
     # status; submissions are refused with 503 once draining starts.
     await service.drain()
     if metrics_out:
-        directory = os.path.dirname(metrics_out)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(metrics_out, "w") as fh:
-            json.dump(service.metrics(), fh, indent=2)
+        _write_json_atomic(metrics_out, service.metrics())
         print(f"cohort serve: metrics snapshot -> {metrics_out}", flush=True)
+    if trace_out:
+        _write_json_atomic(trace_out, service.service_trace())
+        print(f"cohort serve: service trace -> {trace_out}", flush=True)
     if manifest_out:
         from repro.qa import build_manifest, write_manifest
 
         snapshot = service.metrics()
         svc = snapshot["service"]
         runner = snapshot["runner"]
+        artifacts = [
+            path
+            for path in (metrics_out, trace_out, service.oplog.path)
+            if path
+        ]
         manifest = build_manifest(
             "serve", snapshot.get("label") or "serve",
             metrics={
@@ -235,9 +340,10 @@ async def run_server(
                 "runner_cache_hit_rate": runner["cache_hit_rate"],
                 "runner_jobs_executed": runner["jobs_executed"],
                 "runner_engine": runner["engine"],
+                "oplog_events": service.oplog.events_emitted,
             },
             engine=runner["engine"],
-            artifact_paths=[metrics_out] if metrics_out else (),
+            artifact_paths=artifacts,
         )
         fingerprint = write_manifest(manifest, manifest_out)
         print(
@@ -247,6 +353,8 @@ async def run_server(
         )
     server.close()
     await server.wait_closed()
+    service.oplog.emit("server_exit")
+    service.oplog.close()
     print("cohort serve: drained, exiting", flush=True)
     return bound_port
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.metrics import LatencyHistogram
+from repro.obs.ops import OpLogger, build_service_trace
 from repro.obs.report import SERVE_METRICS_SCHEMA
 from repro.params import cohort_config, config_from_dict
 from repro.runner import SweepJob, SweepRunner
@@ -176,6 +177,13 @@ class JobRecord:
     digest: Optional[str] = None
     result: Optional[dict] = None
     error: Optional[str] = None
+    #: Trace-context id of the submission this job arrived in (one id
+    #: per ``POST /jobs``); carried into every oplog event and the
+    #: result envelope so a request's lifecycle greps end to end.
+    trace_id: Optional[str] = None
+    #: When the executed batch returned from the runner (the
+    #: execute→respond boundary of the service-lifecycle trace).
+    executed_at: Optional[float] = None
 
     def to_dict(self, include_result: bool = True) -> Dict[str, Any]:
         """Serialise the record; ``include_result=False`` for admission
@@ -190,6 +198,7 @@ class JobRecord:
             "finished_at": self.finished_at,
             "digest": self.digest,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
         if include_result:
             doc["result"] = self.result
@@ -214,6 +223,7 @@ class BatchingService:
         queue_limit: int = 64,
         retry_after: float = 0.5,
         label: str = "serve",
+        oplog: Optional[OpLogger] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -246,6 +256,18 @@ class BatchingService:
         self.max_queue_depth = 0
         self._batch_sizes = LatencyHistogram()
         self._queue_wait_ms = LatencyHistogram()
+        #: Structured operational log; a sink-less no-op by default, so
+        #: every lifecycle site emits unconditionally.
+        self.oplog = oplog if oplog is not None else OpLogger()
+        # Share the log with the runner (its cache_hit/execute events
+        # land in the same file) unless the caller gave it its own.
+        if getattr(runner, "oplog", None) is None:
+            runner.oplog = self.oplog
+        #: Per-request service-lifecycle rows for the Perfetto export
+        #: (bounded: oldest rows drop first on very long runs).
+        self.trace_rows: List[Dict[str, Any]] = []
+        self.trace_rows_limit = 10000
+        self.trace_rows_dropped = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -262,23 +284,43 @@ class BatchingService:
     async def drain(self) -> None:
         """Refuse new submissions; wait for queued + in-flight jobs."""
         self._draining = True
+        self.oplog.emit(
+            "drain", queued=len(self._queue), inflight=self._inflight
+        )
         self._wakeup.set()
         while self._queue or self._inflight:
             await asyncio.sleep(0.01)
         if self._task is not None:
             await self._task
             self._task = None
+        self.oplog.emit("drained")
 
     # -- submission / polling ------------------------------------------------
 
-    def submit(self, specs: Sequence[JobSpec]) -> List[JobRecord]:
-        """Admit ``specs`` as one all-or-nothing submission."""
+    def submit(
+        self, specs: Sequence[JobSpec], trace_id: Optional[str] = None
+    ) -> List[JobRecord]:
+        """Admit ``specs`` as one all-or-nothing submission.
+
+        ``trace_id`` is the submission's trace context (the HTTP layer
+        mints one per ``POST /jobs`` when the client did not); it is
+        stamped on every admitted record and oplog event.
+        """
         if self._draining:
+            self.oplog.emit(
+                "reject", trace_id=trace_id, reason="draining",
+                jobs=len(specs),
+            )
             raise DrainingError("service is draining; not accepting jobs")
         if not specs:
             raise JobSpecError("submission contains no jobs")
         if len(self._queue) + len(specs) > self.queue_limit:
             self.jobs_rejected += len(specs)
+            self.oplog.emit(
+                "reject", trace_id=trace_id, reason="queue_full",
+                jobs=len(specs), queue_depth=len(self._queue),
+                retry_after=self.retry_after,
+            )
             raise QueueFullError(
                 f"admission queue full ({len(self._queue)}/"
                 f"{self.queue_limit} queued); retry after "
@@ -289,11 +331,16 @@ class BatchingService:
         records = []
         for spec in specs:
             record = JobRecord(
-                id=uuid.uuid4().hex[:12], spec=spec, submitted_at=now
+                id=uuid.uuid4().hex[:12], spec=spec, submitted_at=now,
+                trace_id=trace_id,
             )
             self._jobs[record.id] = record
             self._queue.append(record)
             records.append(record)
+            self.oplog.emit(
+                "admit", trace_id=trace_id, job_id=record.id,
+                spec_key=spec.spec_key(), queue_depth=len(self._queue),
+            )
         self.jobs_submitted += len(records)
         self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
         self._wakeup.set()
@@ -344,8 +391,11 @@ class BatchingService:
         for record in batch:
             record.status = "running"
             record.started_at = started
-            self._queue_wait_ms.add(
-                max(0, int((started - record.submitted_at) * 1000))
+            wait_ms = max(0, int((started - record.submitted_at) * 1000))
+            self._queue_wait_ms.add(wait_ms)
+            self.oplog.emit(
+                "batch", trace_id=record.trace_id, job_id=record.id,
+                batch=self.batches, queue_wait_ms=wait_ms,
             )
         self._batch_sizes.add(len(batch))
         self.batches += 1
@@ -353,37 +403,79 @@ class BatchingService:
         loop = asyncio.get_running_loop()
         try:
             outcome = await loop.run_in_executor(
-                None, self._run_batch, [record.spec for record in batch]
+                None, self._run_batch, batch
             )
         except Exception as exc:  # runner failure fails the whole batch
-            finished = time.time()
+            executed = time.time()
             detail = f"{type(exc).__name__}: {exc}"
             for record in batch:
                 record.status = "failed"
                 record.error = detail
-                record.finished_at = finished
+                record.executed_at = executed
+                record.finished_at = time.time()
+                self._retire(record)
             self.jobs_failed += len(batch)
         else:
-            finished = time.time()
+            executed = time.time()
             for record, (digest, result) in zip(batch, outcome):
                 record.status = "done"
                 record.digest = digest
                 record.result = result
-                record.finished_at = finished
+                record.executed_at = executed
+                record.finished_at = time.time()
+                self._retire(record)
             self.jobs_completed += len(batch)
         finally:
             self._inflight = 0
 
+    def _retire(self, record: JobRecord) -> None:
+        """Log one finished job and record its service-lifecycle row."""
+        self.oplog.emit(
+            "retire", trace_id=record.trace_id, job_id=record.id,
+            status=record.status, digest=record.digest,
+            duration_ms=max(
+                0.0, (record.finished_at - record.submitted_at) * 1000
+            ),
+        )
+        if len(self.trace_rows) >= self.trace_rows_limit:
+            self.trace_rows.pop(0)
+            self.trace_rows_dropped += 1
+        self.trace_rows.append(
+            {
+                "trace_id": record.trace_id,
+                "job_id": record.id,
+                "status": record.status,
+                "digest": record.digest,
+                "submitted_at": record.submitted_at,
+                "dispatched_at": record.started_at,
+                "executed_at": record.executed_at,
+                "finished_at": record.finished_at,
+            }
+        )
+
+    def service_trace(self) -> Dict[str, Any]:
+        """Chrome trace-event doc of all retired requests' lifecycles."""
+        return build_service_trace(self.trace_rows, name=self.label)
+
     def _run_batch(
-        self, specs: List[JobSpec]
+        self, batch: List[JobRecord]
     ) -> List[Tuple[str, dict]]:
         """Executor-side: materialise, run, pair results with digests.
 
         Batches execute strictly one at a time (the batcher awaits each
         ``_execute``), so the runner is never touched concurrently.
+        The records' trace context rides along so the runner's
+        ``cache_hit``/``execute`` oplog events correlate with the
+        submission that caused them.
         """
-        jobs = [spec.to_sweep_job() for spec in specs]
-        results = self.runner.run(jobs)
+        jobs = [record.spec.to_sweep_job() for record in batch]
+        results = self.runner.run(
+            jobs,
+            op_context=[
+                {"trace_id": record.trace_id, "job_id": record.id}
+                for record in batch
+            ],
+        )
         return [(job.digest(), result) for job, result in zip(jobs, results)]
 
     # -- metrics -------------------------------------------------------------

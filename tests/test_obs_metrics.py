@@ -64,6 +64,74 @@ class TestLog2Buckets:
         with pytest.raises(ValueError):
             hist.percentile(-0.1)
 
+    def test_percentile_extremes_on_empty(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(0.0) == 0
+        assert hist.percentile(1.0) == 0
+        assert hist.max == 0
+        assert hist.mean == 0.0
+
+    def test_single_bucket_every_quantile_is_its_upper_bound(self):
+        hist = LatencyHistogram()
+        for latency in (4, 5, 6, 7):  # all land in bucket 3
+            hist.add(latency)
+        upper = bucket_range(3)[1]
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert hist.percentile(q) == upper
+        assert hist.max == 7
+        assert hist.sum == 22
+
+    def test_single_observation(self):
+        hist = LatencyHistogram()
+        hist.add(0)
+        assert hist.total == 1
+        assert hist.percentile(0.0) == 0
+        assert hist.percentile(1.0) == 0
+        assert hist.to_dict()["buckets"] == {"0": 1}
+
+
+class TestHistogramMerge:
+    def _fed(self, values):
+        hist = LatencyHistogram()
+        for value in values:
+            hist.add(value)
+        return hist
+
+    def test_merge_is_exact(self):
+        """Merging equals feeding every observation into one histogram."""
+        left = self._fed([1, 3, 3, 90])
+        right = self._fed([2, 90, 4000])
+        direct = self._fed([1, 3, 3, 90, 2, 90, 4000])
+        merged = left.merge(right)
+        assert merged is left  # in place, chains
+        assert merged.to_dict() == direct.to_dict()
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert merged.percentile(q) == direct.percentile(q)
+
+    def test_merge_empty_is_identity_both_ways(self):
+        hist = self._fed([5, 9])
+        before = hist.to_dict()
+        assert hist.merge(LatencyHistogram()).to_dict() == before
+        empty = LatencyHistogram()
+        assert empty.merge(hist).to_dict() == before
+
+    def test_merge_tracks_max(self):
+        low, high = self._fed([3]), self._fed([1000])
+        assert low.merge(high).max == 1000
+        high2 = self._fed([1000])
+        assert high2.merge(self._fed([3])).max == 1000
+
+    def test_from_dict_round_trips(self):
+        hist = self._fed([3, 5, 5, 100])
+        rebuilt = LatencyHistogram.from_dict(hist.to_dict())
+        assert rebuilt.to_dict() == hist.to_dict()
+        assert rebuilt.percentile(0.5) == hist.percentile(0.5)
+
+    def test_from_dict_ignores_unknown_keys_and_defaults(self):
+        rebuilt = LatencyHistogram.from_dict({"mean": 9.0, "novel": True})
+        assert rebuilt.total == 0
+        assert rebuilt.to_dict()["buckets"] == {}
+
 
 class TestHistogramCollection:
     def test_one_histogram_per_core(self):

@@ -1,0 +1,389 @@
+"""Tests for operational observability (repro.obs.ops).
+
+Covers the structured JSON-lines logger, trace-id contract, service
+lifecycle trace export, SLO computation, and the ``cohort obs``
+CLI (tail / report / slo) including the shipped ``slo`` gate spec
+passing on a healthy oplog and failing on a synthetic p99 violation.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    OPLOG_SCHEMA,
+    OpLogger,
+    build_service_trace,
+    compute_slo,
+    new_trace_id,
+    read_oplog,
+    valid_trace_id,
+)
+from repro.obs.ops import exact_percentile, format_event
+from repro.obs.schema import validate_trace_events
+from repro.obs.validate import validate_file
+
+
+class TestTraceIds:
+    def test_new_trace_id_is_valid_and_unique(self):
+        ids = {new_trace_id() for _ in range(32)}
+        assert len(ids) == 32
+        assert all(valid_trace_id(t) for t in ids)
+
+    @pytest.mark.parametrize("good", [
+        "a", "A-b_c.d", "0" * 64, "deadbeef", "x.y-z_0",
+    ])
+    def test_accepts_header_charset(self, good):
+        assert valid_trace_id(good)
+
+    @pytest.mark.parametrize("bad", [
+        "", "a" * 65, "has space", "semi;colon", "new\nline",
+        None, 42, b"bytes", "ünïcode",
+    ])
+    def test_rejects_out_of_contract_values(self, bad):
+        assert not valid_trace_id(bad)
+
+
+class TestOpLogger:
+    def test_sinkless_logger_is_disabled_but_counts(self):
+        log = OpLogger()
+        assert not log.enabled
+        log.emit("admit", trace_id="t1")
+        log.emit("admit", trace_id="t2")
+        log.emit("retire", status="done")
+        assert log.events_emitted == 3
+        assert log.event_counts == {"admit": 2, "retire": 1}
+
+    def test_writes_schema_tagged_sorted_json_lines(self, tmp_path):
+        path = tmp_path / "op.jsonl"
+        with OpLogger(path=str(path), clock=lambda: 123.5) as log:
+            record = log.emit("admit", trace_id="t", job_id="j")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        doc = json.loads(lines[0])
+        assert doc == record
+        assert doc["schema"] == OPLOG_SCHEMA
+        assert doc["ts"] == 123.5
+        assert doc["component"] == "serve"
+        assert doc["event"] == "admit"
+        assert lines[0] == json.dumps(doc, sort_keys=True)
+
+    def test_none_fields_are_dropped(self, tmp_path):
+        path = tmp_path / "op.jsonl"
+        with OpLogger(path=str(path)) as log:
+            log.emit("admit", trace_id=None, job_id="j")
+        (doc,) = read_oplog(str(path))
+        assert "trace_id" not in doc
+        assert doc["job_id"] == "j"
+
+    def test_component_override_per_event(self):
+        log = OpLogger(component="serve")
+        record = log.emit("execute", component="runner")
+        assert record["component"] == "runner"
+        assert log.emit("admit")["component"] == "serve"
+
+    def test_rejects_both_path_and_stream(self, tmp_path):
+        import io
+
+        with pytest.raises(ValueError):
+            OpLogger(path=str(tmp_path / "x"), stream=io.StringIO())
+
+    def test_append_mode_across_logger_instances(self, tmp_path):
+        path = tmp_path / "op.jsonl"
+        with OpLogger(path=str(path)) as log:
+            log.emit("admit")
+        with OpLogger(path=str(path)) as log:
+            log.emit("retire")
+        events = read_oplog(str(path))
+        assert [e["event"] for e in events] == ["admit", "retire"]
+
+    def test_concurrent_emits_produce_whole_lines(self, tmp_path):
+        path = tmp_path / "op.jsonl"
+        log = OpLogger(path=str(path))
+
+        def worker(n):
+            for i in range(50):
+                log.emit("tick", worker=n, i=i)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        events = read_oplog(str(path))
+        assert len(events) == 200
+        assert log.events_emitted == 200
+        assert all(e["event"] == "tick" for e in events)
+
+    def test_read_oplog_reports_torn_line_number(self, tmp_path):
+        path = tmp_path / "op.jsonl"
+        path.write_text('{"event": "a"}\n\n{"torn\n')
+        with pytest.raises(ValueError, match=r"op\.jsonl:3"):
+            read_oplog(str(path))
+
+    def test_oplog_validates_via_schema_registry(self, tmp_path):
+        path = tmp_path / "op.jsonl"
+        with OpLogger(path=str(path)) as log:
+            log.emit("admit", trace_id=new_trace_id(), job_id="j-1")
+            log.emit("batch", queue_wait_ms=3.5, batch=1)
+        assert validate_file(str(path)) == []
+
+    def test_validate_flags_bad_record_with_line(self, tmp_path):
+        path = tmp_path / "op.jsonl"
+        good = json.dumps(
+            {"schema": OPLOG_SCHEMA, "ts": 1.0,
+             "component": "serve", "event": "admit"}
+        )
+        bad = json.dumps({"schema": OPLOG_SCHEMA, "ts": 1.0})
+        path.write_text(good + "\n" + bad + "\n")
+        errors = validate_file(str(path))
+        assert errors and any(":2:" in err for err in errors)
+
+    def test_validate_empty_file_errors(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n\n")
+        errors = validate_file(str(path))
+        assert any("no JSON records" in err for err in errors)
+
+
+def service_row(job_id, submitted, dispatched, executed, finished, **over):
+    """One retire-time trace row as BatchingService records it."""
+    row = {
+        "trace_id": "trace-" + job_id,
+        "job_id": job_id,
+        "status": "done",
+        "digest": "d" * 16,
+        "submitted_at": submitted,
+        "dispatched_at": dispatched,
+        "executed_at": executed,
+        "finished_at": finished,
+    }
+    row.update(over)
+    return row
+
+
+class TestServiceTrace:
+    def test_empty_rows_still_valid_document(self):
+        doc = build_service_trace([])
+        assert validate_trace_events(doc) == []
+        assert doc["traceEvents"][0]["name"] == "process_name"
+
+    def test_spans_carry_trace_id_and_phases(self):
+        doc = build_service_trace(
+            [service_row("j1", 10.0, 10.01, 10.05, 10.06)]
+        )
+        assert validate_trace_events(doc) == []
+        slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        job = [e for e in slices if e["cat"] == "service"]
+        phases = [e for e in slices if e["cat"] == "service_phase"]
+        assert len(job) == 1
+        assert job[0]["args"]["trace_id"] == "trace-j1"
+        assert job[0]["ts"] == 0 and job[0]["dur"] == 60000
+        assert [e["name"] for e in phases] == ["queue", "execute", "respond"]
+        assert all(e["args"]["trace_id"] == "trace-j1" for e in phases)
+        assert all(e["pid"] == 1 for e in slices)
+
+    def test_overlapping_requests_pack_separate_tracks(self):
+        rows = [
+            service_row("a", 0.0, 0.1, 0.5, 0.6),
+            service_row("b", 0.2, 0.3, 0.5, 0.7),  # overlaps a
+            service_row("c", 1.0, 1.1, 1.2, 1.3),  # after both
+        ]
+        doc = build_service_trace(rows)
+        assert validate_trace_events(doc) == []
+        by_job = {
+            e["args"]["job_id"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e.get("cat") == "service"
+        }
+        assert by_job["a"] != by_job["b"]
+        assert by_job["c"] == by_job["a"]  # lowest free track reused
+        lanes = [
+            e for e in doc["traceEvents"] if e.get("name") == "thread_name"
+        ]
+        assert len(lanes) == 2
+
+    def test_zero_length_phases_are_skipped(self):
+        doc = build_service_trace(
+            [service_row("j", 5.0, 5.0, 5.0, 5.2)]
+        )
+        phases = [
+            e["name"] for e in doc["traceEvents"]
+            if e.get("cat") == "service_phase"
+        ]
+        assert phases == ["respond"]
+
+
+def lifecycle_events(n, queue_wait_ms=10.0, status="done", trace=None):
+    """A healthy admit/batch/execute/retire quartet per request."""
+    events = []
+    for i in range(n):
+        tid = trace or f"t{i}"
+        events.append({"event": "admit", "trace_id": tid, "job_id": f"j{i}"})
+        events.append({"event": "batch", "trace_id": tid,
+                       "queue_wait_ms": queue_wait_ms})
+        events.append({"event": "execute", "trace_id": tid,
+                       "component": "runner"})
+        events.append({"event": "retire", "trace_id": tid, "status": status})
+    return events
+
+
+class TestComputeSlo:
+    def test_empty_oplog_yields_zeroes(self):
+        metrics = compute_slo([])
+        assert metrics["requests_admitted"] == 0
+        assert metrics["error_ratio"] == 0.0
+        assert metrics["availability"] == 0.0
+        assert metrics["queue_wait_ms_p99"] == 0.0
+        assert metrics["distinct_trace_ids"] == 0
+
+    def test_healthy_run(self):
+        metrics = compute_slo(lifecycle_events(4, queue_wait_ms=8.0))
+        assert metrics["requests_admitted"] == 4
+        assert metrics["requests_completed"] == 4
+        assert metrics["requests_failed"] == 0
+        assert metrics["error_ratio"] == 0.0
+        assert metrics["availability"] == 1.0
+        assert metrics["queue_wait_ms_p99"] == 8.0
+        assert metrics["warm_hit_rate"] == 0.0
+        assert metrics["distinct_trace_ids"] == 4
+
+    def test_failures_and_cache_hits(self):
+        events = lifecycle_events(3)
+        events[-1]["status"] = "failed"  # last retire
+        events.append({"event": "cache_hit", "trace_id": "t0",
+                       "component": "runner"})
+        metrics = compute_slo(events)
+        assert metrics["requests_failed"] == 1
+        assert metrics["error_ratio"] == pytest.approx(1 / 3)
+        assert metrics["availability"] == pytest.approx(2 / 3)
+        assert metrics["warm_hit_rate"] == pytest.approx(1 / 4)
+
+    def test_rejections_and_quarantines_counted(self):
+        events = [
+            {"event": "reject", "reason": "queue_full", "jobs": 3},
+            {"event": "reject", "reason": "draining"},
+            {"event": "worker_quarantine", "slot": 0, "attempt": 1},
+        ]
+        metrics = compute_slo(events)
+        assert metrics["submissions_rejected"] == 2
+        assert metrics["jobs_rejected"] == 4
+        assert metrics["worker_quarantines"] == 1
+
+    def test_percentiles_are_exact_nearest_rank(self):
+        events = []
+        for wait in range(1, 101):  # 1..100 ms
+            events.append({"event": "batch", "queue_wait_ms": float(wait)})
+        metrics = compute_slo(events)
+        assert metrics["queue_wait_ms_p50"] == 50.0
+        assert metrics["queue_wait_ms_p95"] == 95.0
+        assert metrics["queue_wait_ms_p99"] == 99.0
+        assert metrics["queue_wait_ms_max"] == 100
+
+
+class TestExactPercentile:
+    def test_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert exact_percentile(values, 0.0) == 10.0
+        assert exact_percentile(values, 0.25) == 10.0
+        assert exact_percentile(values, 0.5) == 20.0
+        assert exact_percentile(values, 1.0) == 40.0
+
+    def test_empty_and_bad_q(self):
+        assert exact_percentile([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            exact_percentile([1.0], 1.5)
+
+
+class TestFormatEvent:
+    def test_compact_line_truncates_digest(self):
+        line = format_event(
+            {"ts": 0.0, "component": "serve", "event": "retire",
+             "trace_id": "t", "digest": "a" * 40, "status": "done"}
+        )
+        assert "serve:retire" in line
+        assert "trace_id=t" in line
+        assert "digest=" + "a" * 12 in line
+        assert "a" * 13 not in line
+
+    def test_missing_fields_degrade_gracefully(self):
+        line = format_event({})
+        assert line.startswith("--:--:--")
+        assert "?:?" in line
+
+
+def write_oplog(path, events):
+    """Write raw event dicts as a schema-tagged oplog file."""
+    with OpLogger(path=str(path)) as log:
+        for event in events:
+            fields = dict(event)
+            name = fields.pop("event")
+            log.emit(name, **fields)
+
+
+class TestObsCli:
+    def test_tail_prints_last_lines(self, tmp_path, capsys):
+        path = tmp_path / "op.jsonl"
+        write_oplog(path, lifecycle_events(3))
+        assert main(["obs", "tail", str(path), "-n", "2"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 2
+        assert "retire" in out[-1]
+
+    def test_report_counts_by_component(self, tmp_path, capsys):
+        path = tmp_path / "op.jsonl"
+        write_oplog(path, lifecycle_events(2))
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "8 events" in out
+        assert "runner" in out and "execute" in out
+        assert "availability=1.0000" in out
+
+    def test_slo_gate_passes_on_healthy_run(self, tmp_path, capsys):
+        path = tmp_path / "op.jsonl"
+        write_oplog(path, lifecycle_events(5, queue_wait_ms=12.0))
+        manifest = tmp_path / "slo.manifest.json"
+        rc = main([
+            "obs", "slo", str(path),
+            "--manifest-out", str(manifest), "--gate",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS spec=slo" in out
+        doc = json.loads(manifest.read_text())
+        assert doc["kind"] == "slo"
+        assert doc["metrics"]["requests_admitted"] == 5
+        assert validate_file(str(manifest)) == []
+
+    def test_slo_gate_fails_on_p99_violation(self, tmp_path, capsys):
+        path = tmp_path / "op.jsonl"
+        write_oplog(path, lifecycle_events(5, queue_wait_ms=120000.0))
+        rc = main(["obs", "slo", str(path), "--gate"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "queue_wait_p99" in out
+
+    def test_slo_gate_param_override_tightens_objective(self, tmp_path):
+        path = tmp_path / "op.jsonl"
+        write_oplog(path, lifecycle_events(5, queue_wait_ms=50.0))
+        assert main(["obs", "slo", str(path), "--gate"]) == 0
+        rc = main([
+            "obs", "slo", str(path), "--gate",
+            "--param", "queue_wait_p99_ms=10",
+        ])
+        assert rc == 1
+
+    def test_slo_gate_flags_lost_requests(self, tmp_path, capsys):
+        path = tmp_path / "op.jsonl"
+        events = lifecycle_events(3)
+        events = [e for e in events if e["event"] != "retire"]
+        events.append({"event": "retire", "trace_id": "t0", "status": "done"})
+        write_oplog(path, events)
+        rc = main(["obs", "slo", str(path), "--gate"])
+        assert rc == 1
+        assert "no_lost_requests" in capsys.readouterr().out

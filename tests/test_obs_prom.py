@@ -1,0 +1,201 @@
+"""Tests for the Prometheus text exposition view (repro.obs.promexport).
+
+Renders serve ``/metrics`` JSON documents as exposition text and checks
+them with the in-repo parser, which enforces the invariants a real
+scraper would (TYPE before samples, cumulative ``le`` buckets,
+``+Inf == _count``).
+"""
+
+import math
+
+import pytest
+
+from repro.obs import parse_prometheus_text, prometheus_from_serve_metrics
+from repro.obs.metrics import LatencyHistogram
+
+
+def serve_doc(**overrides):
+    """A minimal serve /metrics JSON document."""
+    hist = LatencyHistogram()
+    for wait in (3, 5, 5, 100):
+        hist.add(wait)
+    doc = {
+        "label": "test-serve",
+        "uptime_seconds": 12.5,
+        "service": {
+            "draining": False,
+            "jobs_submitted": 10,
+            "jobs_rejected": 2,
+            "jobs_dispatched": 8,
+            "jobs_completed": 7,
+            "jobs_failed": 1,
+            "batches": 3,
+            "queue_depth": 0,
+            "queue_limit": 64,
+            "inflight": 0,
+            "max_queue_depth": 5,
+            "max_batch": 8,
+            "retry_after": 1.0,
+            "batch_sizes": LatencyHistogram().to_dict(),
+            "queue_wait_ms": hist.to_dict(),
+        },
+        "runner": {
+            "jobs": 2,
+            "cache_hits": 4,
+            "cache_misses": 4,
+            "cache_hit_rate": 0.5,
+            "jobs_executed": 4,
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestExposition:
+    def test_renders_and_parses_round_trip(self):
+        text = prometheus_from_serve_metrics(serve_doc())
+        families = parse_prometheus_text(text)
+        assert families["cohort_serve_up"] == [
+            ({"service": "test-serve"}, 1.0)
+        ]
+        assert families["cohort_serve_jobs_submitted_total"][0][1] == 10.0
+        assert families["cohort_serve_queue_depth"][0][1] == 0.0
+        assert families["cohort_runner_cache_hits_total"][0][1] == 4.0
+        assert families["cohort_runner_cache_hit_rate"][0][1] == 0.5
+
+    def test_draining_service_reports_down(self):
+        doc = serve_doc()
+        doc["service"]["draining"] = True
+        families = parse_prometheus_text(prometheus_from_serve_metrics(doc))
+        assert families["cohort_serve_up"][0][1] == 0.0
+
+    def test_every_sample_carries_service_label(self):
+        text = prometheus_from_serve_metrics(serve_doc(label="svc-A"))
+        for name, rows in parse_prometheus_text(text).items():
+            for labels, _ in rows:
+                assert labels["service"] == "svc-A", name
+
+    def test_histogram_buckets_are_cumulative_and_exact(self):
+        text = prometheus_from_serve_metrics(serve_doc())
+        families = parse_prometheus_text(text)
+        buckets = families["cohort_serve_queue_wait_ms_bucket"]
+        by_le = {labels["le"]: value for labels, value in buckets}
+        # Observations 3, 5, 5, 100 → log2 buckets 2 (le=3), 3 (le=7),
+        # 7 (le=127); cumulative counts are exact at those bounds.
+        assert by_le["3.0"] == 1.0
+        assert by_le["7.0"] == 3.0
+        assert by_le["127.0"] == 4.0
+        assert by_le["+Inf"] == 4.0
+        assert families["cohort_serve_queue_wait_ms_sum"][0][1] == 113.0
+        assert families["cohort_serve_queue_wait_ms_count"][0][1] == 4.0
+
+    def test_empty_histogram_emits_inf_only(self):
+        text = prometheus_from_serve_metrics(serve_doc())
+        families = parse_prometheus_text(text)
+        buckets = families["cohort_serve_batch_size_bucket"]
+        assert [labels["le"] for labels, _ in buckets] == ["+Inf"]
+        assert buckets[0][1] == 0.0
+
+    def test_merged_histograms_expose_identical_series(self):
+        """merge() is exact: merged exposition == directly-fed one."""
+        left, right, direct = (
+            LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        )
+        for v in (1, 2, 300):
+            left.add(v)
+            direct.add(v)
+        for v in (2, 64, 64):
+            right.add(v)
+            direct.add(v)
+        merged = left.merge(right)
+        doc_merged = serve_doc()
+        doc_merged["service"]["queue_wait_ms"] = merged.to_dict()
+        doc_direct = serve_doc()
+        doc_direct["service"]["queue_wait_ms"] = direct.to_dict()
+        assert (
+            prometheus_from_serve_metrics(doc_merged)
+            == prometheus_from_serve_metrics(doc_direct)
+        )
+
+    def test_label_escaping(self):
+        text = prometheus_from_serve_metrics(
+            serve_doc(label='we"ird\\label')
+        )
+        families = parse_prometheus_text(text)
+        # The parser keeps escapes verbatim; the raw text must escape
+        # both the quote and the backslash.
+        assert r'service="we\"ird\\label"' in text
+        assert families["cohort_serve_up"]
+
+    def test_missing_fields_default_to_zero(self):
+        families = parse_prometheus_text(
+            prometheus_from_serve_metrics({"label": "bare"})
+        )
+        assert families["cohort_serve_jobs_submitted_total"][0][1] == 0.0
+        assert families["cohort_runner_jobs"][0][1] == 0.0
+
+
+class TestParserChecks:
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValueError, match="no preceding TYPE"):
+            parse_prometheus_text("orphan_metric 1\n")
+
+    def test_duplicate_type_rejected(self):
+        text = (
+            "# TYPE m counter\nm 1\n"
+            "# TYPE m counter\nm 2\n"
+        )
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_prometheus_text(text)
+
+    def test_bad_type_kind_rejected(self):
+        with pytest.raises(ValueError, match="bad TYPE"):
+            parse_prometheus_text("# TYPE m flavour\nm 1\n")
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("# TYPE m gauge\n!bad line!\n")
+
+    def test_malformed_labels_rejected(self):
+        with pytest.raises(ValueError, match="malformed labels"):
+            parse_prometheus_text('# TYPE m gauge\nm{oops} 1\n')
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_prometheus_text("# TYPE m gauge\nm over9000\n")
+
+    def test_histogram_without_inf_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 1\n'
+            "h_sum 1\nh_count 1\n"
+        )
+        with pytest.raises(ValueError, match=r"missing \+Inf"):
+            parse_prometheus_text(text)
+
+    def test_histogram_non_cumulative_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\nh_count 3\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus_text(text)
+
+    def test_histogram_inf_count_mismatch_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\nh_count 4\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            parse_prometheus_text(text)
+
+    def test_inf_and_timestamp_tokens_parse(self):
+        text = (
+            "# TYPE m gauge\n"
+            "m +Inf 1700000000\n"
+        )
+        families = parse_prometheus_text(text)
+        assert math.isinf(families["m"][0][1])

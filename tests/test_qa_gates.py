@@ -42,9 +42,9 @@ Q_FLOOR = {
 
 
 class TestShippedSpecs:
-    def test_all_four_ship(self):
+    def test_all_five_ship(self):
         assert available_specs() == [
-            "faults", "promotion", "serve", "throughput"
+            "faults", "promotion", "serve", "slo", "throughput"
         ]
 
     def test_specs_load_and_have_questions(self):
@@ -251,6 +251,7 @@ class TestLegacyGateParity:
             "round1_failures": 0, "round2_failures": 0,
             "client_mismatches": 0, "round2_hit_rate": 1.0,
             "drain_exit_code": 0, "final_snapshot_written": True,
+            "trace_propagation_ok": True,
         }
         metrics.update(overrides)
         return manifest(metrics, kind="serve_smoke")
@@ -271,6 +272,12 @@ class TestLegacyGateParity:
     def test_serve_dirty_drain_fails(self):
         assert evaluate_spec(
             load_spec("serve"), self.serve_manifest(drain_exit_code=143)
+        ).exit_code == 1
+
+    def test_serve_broken_trace_propagation_fails(self):
+        assert evaluate_spec(
+            load_spec("serve"),
+            self.serve_manifest(trace_propagation_ok=False),
         ).exit_code == 1
 
 
@@ -343,7 +350,7 @@ class TestGateCli:
     def test_gate_list(self, capsys):
         assert main(["gate", "list"]) == 0
         out = capsys.readouterr().out
-        for name in ("faults", "promotion", "serve", "throughput"):
+        for name in ("faults", "promotion", "serve", "slo", "throughput"):
             assert name in out
 
     def test_metrics_summarises_manifest_and_verdict(

@@ -177,6 +177,35 @@ class TestBatchingService:
         assert records[0].status == "failed"
         assert records[0].error
 
+    def test_oplog_covers_reject_and_drain(self, tmp_path):
+        from repro.obs import read_oplog, OpLogger
+
+        async def scenario():
+            service = self._service(
+                queue_limit=1,
+                oplog=OpLogger(path=str(tmp_path / "op.jsonl")),
+            )
+            # Batcher not yet started: the queue slot stays taken.
+            records = service.submit([tiny_spec()], trace_id="tr-ok")
+            with pytest.raises(QueueFullError):
+                service.submit([tiny_spec(seed=7)], trace_id="tr-full")
+            await service.start()
+            await self._wait_done(records)
+            await service.drain()
+            return service
+
+        service = asyncio.run(scenario())
+        service.oplog.close()
+        events = read_oplog(service.oplog.path)
+        by_event = {}
+        for doc in events:
+            by_event.setdefault(doc["event"], []).append(doc)
+        assert by_event["admit"][0]["trace_id"] == "tr-ok"
+        reject = by_event["reject"][0]
+        assert reject["reason"] == "queue_full"
+        assert reject["trace_id"] == "tr-full"
+        assert "drain" in by_event and "drained" in by_event
+
     def test_metrics_shape_and_summary(self):
         async def scenario():
             service = self._service()
@@ -266,31 +295,226 @@ class TestHTTPServer:
             conn.close()
 
 
+class TestTraceContextOverHTTP:
+    @pytest.fixture()
+    def traced_server(self, tmp_path):
+        from repro.obs import OpLogger
+
+        oplog = OpLogger(path=str(tmp_path / "op.jsonl"))
+        runner = SweepRunner(jobs=1, cache_dir=str(tmp_path / "cache"))
+        with ServerThread(
+            runner=runner, max_batch=4, batch_window=0.01,
+            queue_limit=16, oplog=oplog,
+        ) as thread:
+            yield thread
+
+    def test_one_trace_id_end_to_end(self, traced_server):
+        """The acceptance path: one id in the HTTP response header and
+        body, the result envelope, the oplog, and the exported trace."""
+        from repro.obs import read_oplog
+
+        client = ServeClient(traced_server.base_url, timeout=30.0)
+        supplied = "trace-e2e-0001"
+        records = client.submit_and_wait(
+            [TINY], timeout=120, trace_id=supplied
+        )
+        assert records[0]["status"] == "done"
+        assert records[0]["trace_id"] == supplied  # result envelope
+        status, headers, doc = client._request(
+            "GET", f"/jobs/{records[0]['id']}"
+        )
+        assert status == 200 and doc["trace_id"] == supplied
+        service = traced_server.service
+        service.oplog.close()
+        events = read_oplog(service.oplog.path)
+        chain = [e["event"] for e in events if e.get("trace_id") == supplied]
+        assert "admit" in chain and "batch" in chain and "retire" in chain
+        assert "execute" in chain or "cache_hit" in chain  # runner side
+        trace_doc = service.service_trace()
+        spans = [
+            e for e in trace_doc["traceEvents"]
+            if e.get("args", {}).get("trace_id") == supplied
+        ]
+        assert spans, "exported service trace lost the trace id"
+
+    def test_response_header_echoes_trace_id(self, traced_server):
+        client = ServeClient(traced_server.base_url, timeout=30.0)
+        status, headers, doc = client._request(
+            "POST", "/jobs", {"jobs": [TINY]},
+            extra_headers={"X-Trace-Id": "my.trace-42"},
+        )
+        assert status == 202
+        lower = {k.lower(): v for k, v in headers.items()}
+        assert lower["x-trace-id"] == "my.trace-42"
+        assert doc["trace_id"] == "my.trace-42"
+        assert all(j["trace_id"] == "my.trace-42" for j in doc["jobs"])
+
+    def test_invalid_header_gets_fresh_id_not_an_error(self, traced_server):
+        from repro.obs import valid_trace_id
+
+        client = ServeClient(traced_server.base_url, timeout=30.0)
+        status, headers, doc = client._request(
+            "POST", "/jobs", {"jobs": [TINY]},
+            extra_headers={"X-Trace-Id": "bad id with spaces"},
+        )
+        assert status == 202
+        minted = doc["trace_id"]
+        assert minted != "bad id with spaces"
+        assert valid_trace_id(minted)
+
+    def test_error_responses_carry_trace_id(self, traced_server):
+        client = ServeClient(traced_server.base_url, timeout=30.0)
+        status, headers, doc = client._request(
+            "POST", "/jobs", {"jobs": [dict(TINY, benchmark="nope")]},
+            extra_headers={"X-Trace-Id": "err-trace"},
+        )
+        assert status == 400
+        assert doc["trace_id"] == "err-trace"
+        lower = {k.lower(): v for k, v in headers.items()}
+        assert lower["x-trace-id"] == "err-trace"
+
+    def test_client_oplog_records_submission(self, traced_server, tmp_path):
+        from repro.obs import OpLogger, read_oplog
+
+        log_path = tmp_path / "client.jsonl"
+        client = ServeClient(
+            traced_server.base_url, timeout=30.0,
+            oplog=OpLogger(path=str(log_path), component="client"),
+        )
+        client.submit([TINY], trace_id="client-side-1")
+        client.oplog.close()
+        events = read_oplog(str(log_path))
+        kinds = [e["event"] for e in events]
+        assert kinds == ["client_submit", "client_accepted"]
+        assert all(e["trace_id"] == "client-side-1" for e in events)
+        assert all(e["component"] == "client" for e in events)
+
+
+class TestPrometheusOverHTTP:
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        cache = tmp_path_factory.mktemp("prom-cache")
+        runner = SweepRunner(jobs=1, cache_dir=str(cache))
+        with ServerThread(
+            runner=runner, max_batch=4, batch_window=0.01, queue_limit=16
+        ) as thread:
+            client = ServeClient(thread.base_url, timeout=30.0)
+            client.submit_and_wait([TINY], timeout=120)
+            yield thread
+
+    @staticmethod
+    def _get(server, path, accept=None):
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=10
+        )
+        try:
+            headers = {"Accept": accept} if accept else {}
+            conn.request("GET", path, headers=headers)
+            response = conn.getresponse()
+            body = response.read().decode()
+            return response.status, dict(response.getheaders()), body
+        finally:
+            conn.close()
+
+    def test_format_query_param_switches_to_exposition(self, server):
+        from repro.obs import parse_prometheus_text
+
+        status, headers, body = self._get(
+            server, "/metrics?format=prometheus"
+        )
+        assert status == 200
+        lower = {k.lower(): v for k, v in headers.items()}
+        assert lower["content-type"].startswith("text/plain; version=0.0.4")
+        families = parse_prometheus_text(body)
+        labels, value = families["cohort_serve_jobs_completed_total"][0]
+        assert value >= 1.0
+        assert labels["service"]
+        assert "cohort_serve_queue_wait_ms_bucket" in families
+
+    def test_accept_header_negotiates_exposition(self, server):
+        from repro.obs import parse_prometheus_text
+
+        status, _, body = self._get(server, "/metrics", accept="text/plain")
+        assert status == 200
+        assert parse_prometheus_text(body)
+
+    def test_json_stays_the_default_and_byte_compatible(self, server):
+        status, headers, body = self._get(server, "/metrics")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["schema"] == SERVE_METRICS_SCHEMA
+        status, _, body = self._get(
+            server, "/metrics", accept="application/json"
+        )
+        assert json.loads(body)["schema"] == SERVE_METRICS_SCHEMA
+
+    def test_exposition_numbers_match_json(self, server):
+        from repro.obs import parse_prometheus_text
+
+        _, _, json_body = self._get(server, "/metrics")
+        _, _, prom_body = self._get(server, "/metrics?format=prometheus")
+        doc = json.loads(json_body)
+        families = parse_prometheus_text(prom_body)
+        assert (
+            families["cohort_serve_jobs_submitted_total"][0][1]
+            == float(doc["service"]["jobs_submitted"])
+        )
+        assert (
+            families["cohort_runner_cache_misses_total"][0][1]
+            == float(doc["runner"]["cache_misses"])
+        )
+
+
+class TestClientBackoff:
+    def test_delay_doubles_with_attempts_within_jitter(self):
+        for attempt, base in ((1, 1.0), (2, 2.0), (3, 4.0)):
+            for _ in range(50):
+                delay = ServeClient._backoff_delay(1.0, attempt, 30.0)
+                assert 0.75 * base <= delay <= 1.25 * base
+
+    def test_delay_clamped_to_max_backoff(self):
+        for _ in range(50):
+            assert ServeClient._backoff_delay(100.0, 5, 2.5) == 2.5
+
+    def test_zero_hint_still_yields_positive_delay(self):
+        delay = ServeClient._backoff_delay(0.0, 1, 30.0)
+        assert 0.001 <= delay <= 0.00125 + 1e-9
+
+    def test_jitter_actually_varies(self):
+        draws = {
+            round(ServeClient._backoff_delay(1.0, 1, 30.0), 6)
+            for _ in range(50)
+        }
+        assert len(draws) > 1
+
+
 class TestBackpressureOverHTTP:
     def test_full_queue_returns_429_then_recovers(self):
-        # A server whose batcher can drain only slowly: saturate the
-        # admission queue, observe 429 + Retry-After, then retry in.
+        # A server whose batcher can drain only slowly.  An oversized
+        # all-or-nothing burst guarantees a 429 + Retry-After whatever
+        # the drain speed; the per-spec loop then rides bounded retries
+        # through any organic saturation until every job lands.
         runner = SweepRunner(jobs=1, cache_dir=None)
         with ServerThread(
             runner=runner, max_batch=1, batch_window=0.0, queue_limit=2
         ) as thread:
             client = ServeClient(thread.base_url, timeout=30.0)
+            with pytest.raises(BackpressureError) as excinfo:
+                client.submit([dict(TINY, seed=90 + s) for s in range(3)])
+            assert excinfo.value.retry_after > 0
+            assert excinfo.value.status == 429
             specs = [dict(TINY, seed=s) for s in range(12)]
-            accepted, rejections = [], 0
+            accepted = []
             for spec in specs:
-                try:
-                    accepted.extend(client.submit([spec]))
-                except BackpressureError as exc:
-                    rejections += 1
-                    assert exc.retry_after > 0
-                    accepted.extend(
-                        client.submit([spec], max_retries=50, backoff=0.05)
-                    )
-            assert rejections >= 1
+                accepted.extend(
+                    client.submit([spec], max_retries=50, backoff=0.05)
+                )
             records = client.wait(
                 [doc["id"] for doc in accepted], timeout=300
             )
             assert all(r["status"] == "done" for r in records.values())
             metrics = client.metrics()
-            assert metrics["service"]["jobs_rejected"] >= rejections
+            assert metrics["service"]["jobs_rejected"] >= 3
             assert metrics["service"]["jobs_completed"] == len(specs)
