@@ -59,6 +59,13 @@ def _positive_int(value: str) -> int:
     return jobs
 
 
+def _nonneg_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return parsed
+
+
 def _protocol_name(value: str) -> str:
     """Argparse type for ``--protocol``: any *registered* protocol name.
 
@@ -803,7 +810,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import BatchingService, run_server
 
     runner_kwargs = dict(
-        jobs=args.jobs, timeout=args.job_timeout, engine=args.engine
+        jobs=args.jobs, timeout=args.job_timeout, engine=args.engine,
+        cache_budget_bytes=args.cache_budget,
     )
     if args.cache_dir is not None:
         runner_kwargs["cache_dir"] = args.cache_dir
@@ -820,6 +828,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
         run_server(
             service, args.host, args.port, metrics_out=args.metrics_out,
             trace_out=args.trace_out, manifest_out=args.manifest_out,
+        )
+    )
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """``cohort fleet``: a supervised, self-healing shard fleet.
+
+    Spawns N ``cohort serve`` shard subprocesses sharing one hardened
+    result cache, routes jobs by consistent hash of their content key,
+    journals every accepted job to a per-shard write-ahead intake log
+    before acknowledging it, and restarts crashed/hung shards with
+    capped exponential backoff while live shards absorb the failover.
+    """
+    import asyncio
+
+    from repro.obs import OpLogger
+    from repro.serve.fleet import ShardSupervisor, run_fleet
+
+    supervisor = ShardSupervisor(
+        shards=args.shards,
+        host=args.host,
+        fleet_dir=args.fleet_dir,
+        cache_dir=args.cache_dir,
+        shard_jobs=args.jobs,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        shard_queue_limit=args.queue_limit,
+        engine=args.engine,
+        job_timeout=args.job_timeout,
+        cache_budget_bytes=args.cache_budget,
+        admission_limit=args.admission_limit,
+        retry_after=args.retry_after,
+        heartbeat_deadline=args.heartbeat_deadline,
+        oplog=OpLogger(path=args.oplog, component="fleet")
+        if args.oplog else None,
+    )
+    asyncio.run(
+        run_fleet(
+            supervisor, args.host, args.port, metrics_out=args.metrics_out,
         )
     )
     return 0
@@ -1118,6 +1166,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory shared by all clients "
                         "(default: the runner's standard cache)")
+    p.add_argument("--cache-budget", type=_nonneg_int, default=0,
+                   metavar="BYTES",
+                   help="on-disk result-cache size budget in bytes; "
+                        "oldest entries are evicted (LRU by mtime, under "
+                        "a cross-process lock) to stay within it "
+                        "(default: 0 = unbounded)")
     p.add_argument("--job-timeout", type=float, default=None,
                    help="per-job wall-clock timeout in seconds")
     p.add_argument("--metrics-out", default=None,
@@ -1135,6 +1189,54 @@ def build_parser() -> argparse.ArgumentParser:
                         "snapshot here on drain")
     _add_engine(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="supervised self-healing shard fleet (N serve subprocesses)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8780,
+                   help="router TCP port (0 = ephemeral; shards always "
+                        "bind ephemeral ports)")
+    p.add_argument("--shards", type=_positive_int, default=2,
+                   help="serve shard subprocesses to supervise")
+    p.add_argument("--fleet-dir", default=".cohort_fleet",
+                   help="state directory: per-shard intake journals, "
+                        "logs, oplogs (default: .cohort_fleet)")
+    p.add_argument("-j", "--jobs", type=_positive_int, default=1,
+                   help="worker processes per shard's sweep runner")
+    p.add_argument("--max-batch", type=_positive_int, default=8,
+                   help="largest chunk dispatched to one shard at once")
+    p.add_argument("--batch-window", type=float, default=0.05,
+                   help="per-shard batching window in seconds")
+    p.add_argument("--queue-limit", type=_positive_int, default=64,
+                   help="per-shard admission queue bound")
+    p.add_argument("--admission-limit", type=_positive_int, default=256,
+                   help="fleet-wide pending-job bound; beyond it "
+                        "submissions get 429 + Retry-After")
+    p.add_argument("--retry-after", type=float, default=0.5,
+                   help="Retry-After hint (seconds) on backpressure")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory shared by every shard "
+                        "(default: <fleet-dir>/cache)")
+    p.add_argument("--cache-budget", type=_nonneg_int, default=0,
+                   metavar="BYTES",
+                   help="per-shard view of the shared cache's size "
+                        "budget; see `cohort serve --cache-budget`")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="per-job wall-clock timeout in seconds")
+    p.add_argument("--heartbeat-deadline", type=float, default=3.0,
+                   help="seconds without a healthy /healthz answer "
+                        "before a shard is declared down and restarted")
+    p.add_argument("--metrics-out", default=None,
+                   help="write a final fleet /metrics snapshot here on "
+                        "drain (atomic tmp-file + rename)")
+    p.add_argument("--oplog", default=None, metavar="FILE",
+                   help="append fleet lifecycle events (admit, dispatch, "
+                        "shard_down, failover, journal_replay, retire) "
+                        "to FILE")
+    _add_engine(p)
+    p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser(
         "obs",

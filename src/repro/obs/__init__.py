@@ -47,7 +47,9 @@ from repro.obs.report import (
     summarise,
 )
 from repro.obs.schema import (
+    FLEET_METRICS_SCHEMA,
     GATE_REPORT_SCHEMA,
+    INTAKE_JOURNAL_SCHEMA,
     OPLOG_SCHEMA,
     RUN_MANIFEST_SCHEMA,
     RUN_REPORT_SCHEMA,
@@ -62,7 +64,9 @@ from repro.obs.spans import PHASES, RequestSpan, SpanCollector
 from repro.obs.telemetry import Telemetry
 
 __all__ = [
+    "FLEET_METRICS_SCHEMA",
     "GATE_REPORT_SCHEMA",
+    "INTAKE_JOURNAL_SCHEMA",
     "OPLOG_SCHEMA",
     "PHASES",
     "RUN_MANIFEST_SCHEMA",

@@ -58,6 +58,9 @@ RUNNER_COUNTERS = (
     ("job_timeouts", "Jobs that hit the per-job timeout."),
     ("job_retries", "Job resubmissions after crash/timeout."),
     ("cache_store_failures", "Best-effort cache stores that failed."),
+    ("cache_evictions", "Cache entries evicted by the size budget."),
+    ("cache_evicted_bytes", "Bytes reclaimed by budget evictions."),
+    ("cache_quarantined", "Corrupt cache envelopes moved to quarantine."),
     ("lockstep_groups", "Same-trace groups run in lock-step."),
     ("lockstep_jobs", "Jobs served by lock-step batches."),
     ("lockstep_peeled", "Jobs peeled to the per-event path."),
@@ -69,6 +72,8 @@ RUNNER_COUNTERS = (
 RUNNER_GAUGES = (
     ("jobs", "Configured worker-process count."),
     ("cache_hit_rate", "Lifetime cache hit rate."),
+    ("cache_size_bytes", "Bytes currently held by on-disk cache entries."),
+    ("cache_budget_bytes", "Configured cache size budget (0 = unbounded)."),
     ("exec_seconds", "Wall-clock seconds spent executing jobs."),
     ("backoff_seconds", "Seconds slept in retry backoff."),
 )
@@ -216,6 +221,105 @@ def prometheus_from_serve_metrics(doc: Mapping[str, Any]) -> str:
             f"cohort_runner_{field}", "gauge", help_text,
             runner.get(field, 0),
         )
+    return writer.render()
+
+
+#: Fleet counters exposed as ``cohort_fleet_*_total``.
+FLEET_COUNTERS = (
+    ("jobs_submitted", "Jobs admitted by the fleet router."),
+    ("jobs_completed", "Jobs finished successfully across the fleet."),
+    ("jobs_failed", "Jobs that ended in error across the fleet."),
+    ("jobs_rejected", "Jobs refused with fleet backpressure."),
+    ("failovers", "Jobs re-routed off a dead shard to a live one."),
+    ("replayed_jobs", "Accepted jobs replayed from an intake journal."),
+    ("restarts_total", "Shard restarts performed by the supervisor."),
+    ("recoveries", "Completed shard down->healthy recoveries."),
+)
+
+#: Fleet gauges exposed as ``cohort_fleet_*``.
+FLEET_GAUGES = (
+    ("shards_total", "Configured shard count."),
+    ("shards_up", "Shards currently healthy."),
+    ("admission_pending", "Accepted jobs not yet finished."),
+    ("admission_limit", "Fleet admission bound."),
+    ("journal_live", "Unretired intake-journal entries across shards."),
+    ("journal_torn_lines", "Torn journal lines tolerated on replay."),
+    ("recovery_seconds_max", "Worst shard recovery time observed."),
+    ("recovery_seconds_mean", "Mean shard recovery time observed."),
+)
+
+#: Aggregated shard cache-tier fields (summed over reachable shards)
+#: exposed as ``cohort_fleet_cache_*``.
+FLEET_CACHE_COUNTERS = (
+    ("evictions", "Cache entries evicted by the size budget."),
+    ("evicted_bytes", "Bytes reclaimed by budget evictions."),
+    ("quarantined", "Corrupt cache envelopes quarantined."),
+    ("hits", "Result-cache hits across shards."),
+    ("misses", "Result-cache misses across shards."),
+)
+
+
+def prometheus_from_fleet_metrics(doc: Mapping[str, Any]) -> str:
+    """Render a fleet ``/metrics`` JSON document as exposition text.
+
+    Same contract as :func:`prometheus_from_serve_metrics`: the JSON
+    snapshot (:data:`repro.obs.schema.FLEET_METRICS_SCHEMA`) stays the
+    source of truth; this re-encodes the fleet counters, the aggregated
+    cache-tier counters, and one ``cohort_fleet_shard_up`` gauge per
+    shard (labelled by shard index) for a stock Prometheus scraper.
+    """
+    fleet = doc.get("fleet", {})
+    cache = fleet.get("cache", {})
+    writer = _Writer({"service": str(doc.get("label", "fleet"))})
+    writer.sample(
+        "cohort_fleet_up", "gauge",
+        "1 while the fleet router accepts work, 0 while draining.",
+        0 if fleet.get("draining") else 1,
+    )
+    writer.sample(
+        "cohort_fleet_uptime_seconds", "gauge",
+        "Seconds since the supervisor started.",
+        float(doc.get("uptime_seconds", 0.0)),
+    )
+    for field, help_text in FLEET_COUNTERS:
+        writer.sample(
+            f"cohort_fleet_{field}_total", "counter", help_text,
+            fleet.get(field, 0),
+        )
+    for field, help_text in FLEET_GAUGES:
+        writer.sample(
+            f"cohort_fleet_{field}", "gauge", help_text,
+            fleet.get(field, 0),
+        )
+    for field, help_text in FLEET_CACHE_COUNTERS:
+        writer.sample(
+            f"cohort_fleet_cache_{field}_total", "counter", help_text,
+            cache.get(field, 0),
+        )
+    writer.sample(
+        "cohort_fleet_cache_size_bytes", "gauge",
+        "Bytes currently held by the shared on-disk cache tier.",
+        cache.get("size_bytes", 0),
+    )
+    writer.sample(
+        "cohort_fleet_cache_budget_bytes", "gauge",
+        "Configured cache size budget (0 = unbounded).",
+        cache.get("budget_bytes", 0),
+    )
+    shards = doc.get("shards", [])
+    if shards:
+        writer.lines.append(
+            "# HELP cohort_fleet_shard_up 1 while the shard answers "
+            "health checks."
+        )
+        writer.lines.append("# TYPE cohort_fleet_shard_up gauge")
+        for shard in shards:
+            labels = dict(writer.labels)
+            labels["shard"] = str(shard.get("index", "?"))
+            writer.lines.append(
+                f"cohort_fleet_shard_up{_labels(labels)} "
+                f"{1 if shard.get('state') == 'up' else 0}"
+            )
     return writer.render()
 
 

@@ -34,6 +34,11 @@ SWEEP_METRICS_SCHEMA = "repro.obs/sweep_metrics/1"
 SERVE_METRICS_SCHEMA = "repro.obs/serve_metrics/1"
 #: Schema tag stamped into every structured operational-log line.
 OPLOG_SCHEMA = "repro.obs/oplog/1"
+#: Schema tag stamped into ``cohort fleet`` /metrics snapshots.
+FLEET_METRICS_SCHEMA = "repro.obs/fleet_metrics/1"
+#: Schema tag stamped into every write-ahead intake-journal line
+#: (the per-shard JSONL the fleet router fsyncs on admission).
+INTAKE_JOURNAL_SCHEMA = "repro.serve/intake_journal/1"
 #: Schema tag stamped into every ``repro.qa`` run manifest.
 RUN_MANIFEST_SCHEMA = "repro.qa/run_manifest/1"
 #: Schema tag stamped into every ``repro.qa`` gate verdict report.
@@ -49,6 +54,8 @@ SCHEMA_REGISTRY: Dict[str, Any] = {
     "sweep_metrics": SWEEP_METRICS_SCHEMA,
     "serve_metrics": SERVE_METRICS_SCHEMA,
     "oplog": OPLOG_SCHEMA,
+    "fleet_metrics": FLEET_METRICS_SCHEMA,
+    "intake_journal": INTAKE_JOURNAL_SCHEMA,
     "run_manifest": RUN_MANIFEST_SCHEMA,
     "gate_report": GATE_REPORT_SCHEMA,
 }
@@ -77,6 +84,46 @@ OPLOG_EVENT_JSON_SCHEMA: Dict[str, Any] = {
         "queue_wait_ms": {"type": "number", "minimum": 0},
         "duration_ms": {"type": "number", "minimum": 0},
     },
+}
+
+#: One write-ahead intake-journal line (draft-07 JSON Schema).  The
+#: journal is the fleet router's durability contract: an ``admit`` line
+#: is fsync'd before the 202 leaves the building, a matching ``retire``
+#: line closes it, and replay ignores everything else.  Lines are
+#: strictly ordered by ``seq`` within one journal file.
+INTAKE_JOURNAL_JSON_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro.serve write-ahead intake-journal line",
+    "type": "object",
+    "required": ["schema", "op", "seq", "ts"],
+    "properties": {
+        "schema": {"const": INTAKE_JOURNAL_SCHEMA},
+        "op": {"type": "string", "enum": ["admit", "retire"]},
+        "seq": {"type": "integer", "minimum": 0},
+        "ts": {"type": "number", "minimum": 0},
+        "job_id": {"type": "string"},
+        "shard": {"type": "integer", "minimum": 0},
+        "job": {
+            "type": "object",
+            "required": ["id", "spec"],
+            "properties": {
+                "id": {"type": "string"},
+                "spec": {"type": "object"},
+                "trace_id": {"type": ["string", "null"]},
+                "submitted_at": {"type": "number", "minimum": 0},
+            },
+        },
+    },
+    "oneOf": [
+        {
+            "properties": {"op": {"const": "admit"}},
+            "required": ["job"],
+        },
+        {
+            "properties": {"op": {"const": "retire"}},
+            "required": ["job_id"],
+        },
+    ],
 }
 
 #: Chrome trace-event JSON object format (draft-07 JSON Schema).
@@ -229,6 +276,7 @@ JSON_SCHEMAS: Dict[str, Dict[str, Any]] = {
     RUN_MANIFEST_SCHEMA: RUN_MANIFEST_JSON_SCHEMA,
     GATE_REPORT_SCHEMA: GATE_REPORT_JSON_SCHEMA,
     OPLOG_SCHEMA: OPLOG_EVENT_JSON_SCHEMA,
+    INTAKE_JOURNAL_SCHEMA: INTAKE_JOURNAL_JSON_SCHEMA,
 }
 
 

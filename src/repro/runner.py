@@ -31,6 +31,12 @@ import os
 import signal
 import tempfile
 import time
+import uuid
+
+try:  # POSIX-only advisory locking; the cache degrades gracefully without.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -52,6 +58,15 @@ from repro.sim.trace import Trace, decode_stats
 CACHE_VERSION = 2
 
 DEFAULT_CACHE_DIR = os.path.join(".cohort_cache", "sweeps")
+
+#: Subdirectory of ``cache_dir`` where corrupt/truncated cache
+#: envelopes are moved (never deleted — they are forensic evidence).
+QUARANTINE_DIR = ".quarantine"
+
+#: Lock file used for cross-process advisory locking of cache
+#: maintenance (eviction scans); entries themselves stay lock-free —
+#: stores are already atomic ``os.replace`` writes.
+CACHE_LOCK_FILE = ".lock"
 
 
 class JobTimeoutError(RuntimeError):
@@ -263,6 +278,18 @@ class SweepRunner:
     cache_tmp_swept: int = 0
     #: Last cache-store failure, ``"ExcType: message"`` (for telemetry).
     cache_store_last_error: Optional[str] = None
+    #: On-disk cache size budget in bytes (0 = unbounded).  When a
+    #: store pushes the cache over the budget, least-recently-used
+    #: entries (by mtime — loads touch their entry) are evicted under a
+    #: cross-process advisory ``fcntl`` lock until the budget holds.
+    cache_budget_bytes: int = 0
+    #: Entries evicted by the size budget (this runner's lifetime).
+    cache_evictions: int = 0
+    #: Bytes reclaimed by budget evictions.
+    cache_evicted_bytes: int = 0
+    #: Corrupt/truncated/mislabelled cache files moved to
+    #: ``.quarantine/`` instead of being silently re-executed over.
+    cache_quarantined: int = 0
     #: Same-trace groups executed through the lock-step engine.
     lockstep_groups: int = 0
     #: Jobs served by lock-step batches (subset of ``jobs_executed``).
@@ -294,6 +321,8 @@ class SweepRunner:
                 f"engine must be 'seed', 'fast' or 'lockstep', "
                 f"got {self.engine!r}"
             )
+        if self.cache_budget_bytes < 0:
+            raise ValueError("cache_budget_bytes must be >= 0")
         self._sweep_orphan_tmp()
 
     # -- cache ---------------------------------------------------------------
@@ -335,36 +364,192 @@ class SweepRunner:
         try:
             with open(path) as fh:
                 doc = json.load(fh)
-        except (OSError, ValueError):
+        except ValueError:
+            # Truncated or garbage bytes under a digest-keyed name:
+            # quarantine the file so the evidence survives and the slot
+            # re-executes cleanly instead of failing here forever.
+            self._quarantine(path, key, "not valid JSON")
             return None
-        result = self._validate_entry(key, doc)
+        except OSError:
+            return None
+        result, corrupt_reason = self._validate_entry(key, doc)
+        if corrupt_reason is not None:
+            self._quarantine(path, key, corrupt_reason)
+            return None
         if result is None:
+            # A legitimate miss (older cache/stats schema era): the
+            # entry will be overwritten by the fresh store, not hoarded.
             return None
+        # Touch the entry so budget eviction is least-recently-*used*,
+        # not least-recently-written, across every process sharing the
+        # cache directory.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         self._memory[key] = result
         return result
 
     @staticmethod
-    def _validate_entry(key: str, doc: object) -> Optional[dict]:
-        """Check a cache file's envelope; any mismatch is a miss.
+    def _validate_entry(
+        key: str, doc: object
+    ) -> Tuple[Optional[dict], Optional[str]]:
+        """Check a cache file's envelope: ``(result, corrupt_reason)``.
 
         Entries are self-describing: they carry the job digest they were
         stored under plus the cache/stats schema versions they were
-        written with.  A renamed file, a truncated or hand-edited entry,
-        or an entry from a different schema era fails here and gets
-        recomputed instead of being replayed as a wrong result.
+        written with.  ``(result, None)`` is a hit; ``(None, None)`` is
+        a clean miss (an entry from an older schema era — stale, not
+        broken, and overwritten by the next store); ``(None, reason)``
+        is a *corrupt* entry (renamed, hand-edited, or structurally
+        wrong) that the caller quarantines instead of replaying as a
+        wrong result or re-parsing forever.
         """
         if not isinstance(doc, dict):
-            return None
+            return None, "envelope is not an object"
+        missing = [
+            field
+            for field in ("cache_version", "stats_schema", "digest", "result")
+            if field not in doc
+        ]
+        if missing:
+            # An object with no envelope structure at all is damage,
+            # not a schema-era artefact: quarantine it.
+            return None, f"envelope missing {', '.join(missing)}"
+        if (
+            doc["cache_version"] != CACHE_VERSION
+            or doc["stats_schema"] != STATS_SCHEMA_VERSION
+        ):
+            return None, None
         if doc.get("digest") != key:
-            return None
-        if doc.get("cache_version") != CACHE_VERSION:
-            return None
-        if doc.get("stats_schema") != STATS_SCHEMA_VERSION:
-            return None
+            return None, (
+                f"digest mismatch (envelope says "
+                f"{str(doc.get('digest'))[:12]}…)"
+            )
         result = doc.get("result")
         if not isinstance(result, dict) or "final_cycle" not in result:
+            return None, "result payload missing or malformed"
+        return result, None
+
+    def _quarantine(self, path: str, key: str, reason: str) -> None:
+        """Move a corrupt cache file into ``cache_dir/.quarantine/``.
+
+        Best-effort: a concurrent runner may quarantine (or overwrite)
+        the same file first, in which case there is nothing left to
+        move and the counter stays honest.
+        """
+        assert self.cache_dir is not None
+        quarantine = os.path.join(self.cache_dir, QUARANTINE_DIR)
+        target = os.path.join(
+            quarantine, f"{os.path.basename(path)}.{uuid.uuid4().hex[:8]}"
+        )
+        try:
+            os.makedirs(quarantine, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            return
+        self.cache_quarantined += 1
+        if self.oplog is not None:
+            self.oplog.emit(  # type: ignore[attr-defined]
+                "cache_quarantine", component="runner", digest=key,
+                reason=reason, quarantined_to=target,
+            )
+
+    # -- cache size budget ---------------------------------------------------
+
+    def _cache_lock(self):
+        """Cross-process advisory lock over cache maintenance.
+
+        Returns an open fd holding an exclusive ``fcntl`` lock on the
+        cache's lock file, or ``None`` when locking is unavailable
+        (non-POSIX, unwritable dir) — eviction then proceeds unlocked,
+        which at worst double-deletes an entry both runners chose.
+        """
+        if fcntl is None or self.cache_dir is None:
             return None
-        return result
+        lock_path = os.path.join(self.cache_dir, CACHE_LOCK_FILE)
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        except OSError:
+            return None
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError:
+            os.close(fd)
+            return None
+        return fd
+
+    @staticmethod
+    def _cache_unlock(fd) -> None:
+        if fd is None:
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)  # type: ignore[union-attr]
+        finally:
+            os.close(fd)
+
+    def _cache_entries(self) -> List[Tuple[float, int, str]]:
+        """``(mtime, bytes, path)`` for every entry file in the cache."""
+        assert self.cache_dir is not None
+        entries: List[Tuple[float, int, str]] = []
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return entries
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def cache_size_bytes(self) -> int:
+        """Total bytes currently held by on-disk cache entries."""
+        if self.cache_dir is None:
+            return 0
+        return sum(size for _, size, _ in self._cache_entries())
+
+    def _enforce_cache_budget(self, keep_key: Optional[str] = None) -> None:
+        """Evict least-recently-used entries until the budget holds.
+
+        Runs under the cross-process advisory lock so concurrent
+        runners do not both scan-and-evict the same files; the entry
+        just stored (``keep_key``) is never evicted by its own store.
+        """
+        if not self.cache_budget_bytes or self.cache_dir is None:
+            return
+        keep_path = self._cache_path(keep_key) if keep_key else None
+        lock = self._cache_lock()
+        try:
+            entries = sorted(self._cache_entries())
+            total = sum(size for _, size, _ in entries)
+            for mtime, size, path in entries:
+                if total <= self.cache_budget_bytes:
+                    break
+                if path == keep_path:
+                    continue
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                total -= size
+                self.cache_evictions += 1
+                self.cache_evicted_bytes += size
+                # The in-memory memo is untouched: the budget governs
+                # the shared *disk* tier; warm in-process results stay.
+                evicted_key = os.path.basename(path)[: -len(".json")]
+                if self.oplog is not None:
+                    self.oplog.emit(  # type: ignore[attr-defined]
+                        "cache_evict", component="runner",
+                        digest=evicted_key, bytes=size,
+                        budget=self.cache_budget_bytes,
+                    )
+        finally:
+            self._cache_unlock(lock)
 
     def _cache_store(self, key: str, result: dict) -> None:
         self._memory[key] = result
@@ -388,6 +573,7 @@ class SweepRunner:
             with os.fdopen(fd, "w") as fh:
                 json.dump(envelope, fh)
             os.replace(tmp, path)
+            self._enforce_cache_budget(keep_key=key)
         except OSError as exc:
             # Disk full, permissions, … — the cache is best-effort, the
             # in-memory copy stands, the sweep proceeds.
@@ -677,6 +863,11 @@ class SweepRunner:
             "cache_store_last_error": self.cache_store_last_error,
             "cache_tmp_swept": self.cache_tmp_swept,
             "cache_dir": self.cache_dir,
+            "cache_budget_bytes": self.cache_budget_bytes,
+            "cache_size_bytes": self.cache_size_bytes(),
+            "cache_evictions": self.cache_evictions,
+            "cache_evicted_bytes": self.cache_evicted_bytes,
+            "cache_quarantined": self.cache_quarantined,
             "lockstep_groups": self.lockstep_groups,
             "lockstep_jobs": self.lockstep_jobs,
             "lockstep_peeled": self.lockstep_peeled,

@@ -6,24 +6,47 @@ are coalesced into runner batches inside a micro-batching window, share
 one on-disk result cache, and are admission-controlled by a bounded
 queue with explicit backpressure.  See ``docs/serving.md``.
 
+``cohort fleet`` (:mod:`repro.serve.fleet`) scales that out and makes it
+self-healing: a :class:`ShardSupervisor` spawns N serve shards as
+subprocesses, routes jobs by consistent hash of their content key,
+write-ahead-journals every accepted job before acknowledging it, and
+restarts crashed or hung shards with capped exponential backoff while
+the survivors absorb the failover.
+
 Public surface:
 
 * :class:`BatchingService` — queue + batcher over one runner,
 * :class:`JobSpec` / :class:`JobRecord` — submissions and their lifecycle,
 * :class:`ServeApp` / :func:`run_server` — the asyncio HTTP front-end,
 * :class:`ServerThread` — in-process server for tests/benchmarks,
-* :class:`ServeClient` — synchronous stdlib client (``cohort submit``).
+* :class:`ServeClient` — synchronous stdlib client (``cohort submit``),
+  with bounded retries for both backpressure and transient connections,
+* :class:`ShardSupervisor` / :class:`FleetApp` / :func:`run_fleet` —
+  the supervised shard fleet (``cohort fleet``),
+* :class:`FleetThread` — in-process fleet for tests and the chaos soak,
+* :class:`WriteAheadJournal` / :class:`HashRing` /
+  :class:`CircuitBreaker` — the fleet's durability and routing pieces.
 
 Operationally, every submission carries a trace id end to end
 (``X-Trace-Id``), the whole stack logs structured JSON-lines events
 through :class:`repro.obs.OpLogger`, and ``/metrics`` doubles as a
-Prometheus scrape target — see ``docs/operations.md``.
+Prometheus scrape target — see ``docs/operations.md`` and, for the
+failure-mode map, ``docs/resilience.md``.
 """
 
 from repro.serve.client import (
     BackpressureError,
     ServeClient,
     ServeClientError,
+)
+from repro.serve.fleet import (
+    CircuitBreaker,
+    FleetApp,
+    FleetThread,
+    HashRing,
+    ShardSupervisor,
+    WriteAheadJournal,
+    run_fleet,
 )
 from repro.serve.server import ServeApp, ServerThread, run_server
 from repro.serve.service import (
@@ -39,7 +62,11 @@ from repro.serve.service import (
 __all__ = [
     "BackpressureError",
     "BatchingService",
+    "CircuitBreaker",
     "DrainingError",
+    "FleetApp",
+    "FleetThread",
+    "HashRing",
     "JobRecord",
     "JobSpec",
     "JobSpecError",
@@ -49,5 +76,8 @@ __all__ = [
     "ServeClientError",
     "ServeError",
     "ServerThread",
+    "ShardSupervisor",
+    "WriteAheadJournal",
+    "run_fleet",
     "run_server",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import socket
 import time
 import urllib.parse
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -24,6 +25,13 @@ SpecLike = Union[JobSpec, Dict[str, Any]]
 #: Hard ceiling on one backpressure backoff sleep, however large the
 #: server's ``Retry-After`` hint or the exponential growth gets.
 MAX_BACKOFF_SECONDS = 30.0
+
+#: Exceptions that mean "the endpoint is briefly unreachable" — the
+#: shape of a shard mid-restart (connection refused) or killed while
+#: answering (reset / torn response).  ``http.client.RemoteDisconnected``
+#: subclasses ``ConnectionResetError``; plain ``OSError`` covers
+#: ``ECONNREFUSED`` raised from ``socket.create_connection``.
+TRANSIENT_ERRORS = (ConnectionError, OSError, http.client.BadStatusLine)
 
 
 class ServeClientError(ServeError):
@@ -55,6 +63,12 @@ class ServeClient:
     (``client_submit``/``client_backoff``/``client_accepted`` events,
     including the attempt count) into the same JSON-lines format the
     server writes, so a request can be correlated across both ends.
+
+    ``connect_retries`` makes every request tolerate transient
+    connection failures — refused, reset, or torn mid-response, the
+    signature of a serve shard being restarted under it — by retrying
+    up to that many extra times with the same bounded jittered backoff
+    the 429 path uses.  The default (0) preserves fail-fast behaviour.
     """
 
     def __init__(
@@ -62,18 +76,63 @@ class ServeClient:
         base_url: str,
         timeout: float = 60.0,
         oplog: Optional[OpLogger] = None,
+        connect_retries: int = 0,
+        connect_backoff: float = 0.2,
     ) -> None:
         parsed = urllib.parse.urlparse(base_url)
         if parsed.scheme not in ("http", ""):
             raise ValueError("only http:// endpoints are supported")
+        if connect_retries < 0:
+            raise ValueError("connect_retries must be >= 0")
         self.host = parsed.hostname or "127.0.0.1"
         self.port = parsed.port or 8765
         self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
         self.oplog = oplog if oplog is not None else OpLogger(
             component="client"
         )
 
     def _request(
+        self,
+        method: str,
+        path: str,
+        doc: Optional[Any] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> tuple:
+        """One HTTP round-trip, with transient-connection retries.
+
+        Job submissions are idempotent at the service layer (results
+        are keyed by content digest), so re-sending a POST whose
+        connection died is safe; a refused connection never reached the
+        server at all.  ``socket.timeout`` is deliberately *not*
+        retried — a slow server is not a restarting one, and retrying
+        would double the wait.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, doc, extra_headers)
+            except socket.timeout:
+                raise
+            except TRANSIENT_ERRORS as exc:
+                if attempt >= self.connect_retries:
+                    raise ServeClientError(
+                        f"{method} {path} failed after {attempt + 1} "
+                        f"attempt(s): {type(exc).__name__}: {exc}"
+                    ) from exc
+                attempt += 1
+                delay = self._backoff_delay(
+                    self.connect_backoff, attempt, MAX_BACKOFF_SECONDS
+                )
+                self.oplog.emit(
+                    "client_reconnect", method=method, path=path,
+                    attempt=attempt, error=type(exc).__name__,
+                    sleep_s=round(delay, 4),
+                )
+                time.sleep(delay)
+
+    def _request_once(
         self,
         method: str,
         path: str,

@@ -1,0 +1,1598 @@
+"""Self-healing sharded serving: a supervised fleet of ``cohort serve``.
+
+``cohort fleet`` scales the single-process serving layer out to N
+*shard* subprocesses — each one a full ``cohort serve`` (a
+:class:`~repro.serve.service.BatchingService` over its own
+:class:`~repro.runner.SweepRunner`) on its own port, all sharing one
+hardened on-disk result cache — and puts a supervising router in front:
+
+* **Routing** — jobs are routed to shards by consistent hash of the
+  job's content key (:meth:`JobSpec.spec_key`), so repeated
+  submissions of the same spec land on the same shard and its warm
+  in-process memo, while the shared cache directory backstops every
+  shard with cross-shard warm replication.
+* **Durability** — every accepted job is appended to a per-shard
+  write-ahead intake journal (schema-versioned JSONL,
+  :data:`repro.obs.schema.INTAKE_JOURNAL_SCHEMA`) and ``fsync``'d
+  *before* the 202 is sent; the entry is retired when the job finishes
+  and the file is truncated once no live entries remain.  An accepted
+  202 is never lost: a crashed shard's unfinished jobs are replayed
+  from its journal, and a crashed supervisor replays every journal on
+  cold start.
+* **Supervision** — each shard is health-checked over ``/healthz``
+  with a heartbeat deadline.  A crashed (``SIGKILL``), hung
+  (``SIGSTOP``), or flapping shard is declared down, its circuit
+  breaker opens (new traffic fails over to live shards via the ring),
+  its unfinished jobs are replayed, and the supervisor restarts it
+  with capped exponential backoff — re-closing the breaker only after
+  the replacement answers health checks.
+
+Everything is asyncio + stdlib, single event-loop-thread state like
+:class:`BatchingService`; the only blocking calls (journal fsync,
+subprocess spawn) are cheap.  See ``docs/serving.md`` for the
+architecture and ``docs/resilience.md`` for the failure-mode map.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import hashlib
+
+from repro.obs.ops import OpLogger
+from repro.obs.schema import FLEET_METRICS_SCHEMA, INTAKE_JOURNAL_SCHEMA
+from repro.serve.server import JsonHttpApp, _write_json_atomic
+from repro.serve.service import (
+    DrainingError,
+    JobSpec,
+    JobSpecError,
+    QueueFullError,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "FleetApp",
+    "FleetThread",
+    "HashRing",
+    "ShardSupervisor",
+    "WriteAheadJournal",
+    "run_fleet",
+]
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (best-effort; bound then released)."""
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return int(sock.getsockname()[1])
+
+
+class ShardUnreachableError(ConnectionError):
+    """A shard did not answer an HTTP request (down, hung, or refusing)."""
+
+
+async def _http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    doc: Optional[Any] = None,
+    timeout: float = 5.0,
+    headers: Optional[Dict[str, str]] = None,
+) -> Tuple[int, Any]:
+    """One JSON-over-HTTP request on the event loop; ``(status, doc)``.
+
+    Anything that smells like an unreachable peer — refused/reset
+    connections, timeouts, a torn response — raises
+    :class:`ShardUnreachableError` so callers have a single failure
+    signal to feed the circuit breaker.
+    """
+
+    async def _talk() -> Tuple[int, Any]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            body = b"" if doc is None else json.dumps(doc).encode()
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Connection: close\r\n"
+                f"Content-Length: {len(body)}\r\n"
+            )
+            if body:
+                head += "Content-Type: application/json\r\n"
+            for key, value in (headers or {}).items():
+                head += f"{key}: {value}\r\n"
+            writer.write(head.encode("latin-1") + b"\r\n" + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1", "replace").split()
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ShardUnreachableError("malformed status line")
+            status = int(parts[1])
+            length: Optional[int] = None
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = (
+                    line.decode("latin-1", "replace").partition(":")
+                )
+                if key.strip().lower() == "content-length":
+                    try:
+                        length = int(value)
+                    except ValueError:
+                        raise ShardUnreachableError("bad content-length")
+            payload = (
+                await reader.readexactly(length)
+                if length
+                else await reader.read()
+            )
+            parsed = json.loads(payload) if payload else None
+            return status, parsed
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    try:
+        return await asyncio.wait_for(_talk(), timeout)
+    except ShardUnreachableError:
+        raise
+    except (
+        OSError,
+        asyncio.TimeoutError,
+        asyncio.IncompleteReadError,
+        ValueError,
+    ) as exc:
+        raise ShardUnreachableError(
+            f"{method} {path} on {host}:{port}: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+# -- write-ahead intake journal ---------------------------------------------
+
+
+class WriteAheadJournal:
+    """Per-shard durability log for accepted-but-unfinished jobs.
+
+    Append-only JSONL, one schema-tagged record per line
+    (:data:`INTAKE_JOURNAL_SCHEMA`): ``admit`` lines carry the full job
+    document and are flushed + ``fsync``'d before :meth:`admit`
+    returns — the caller only sends its 202 after that — and ``retire``
+    lines close them.  When the last live entry retires the file is
+    truncated to zero, so the journal's steady-state size is the
+    in-flight window, not the service's lifetime.
+
+    Loading an existing file (supervisor cold start, or a shard-down
+    replay) tolerates a torn final line: a line that does not parse was
+    never fully written, which means its ``admit`` never produced a 202
+    — dropping it loses nothing a client was promised.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.admits = 0
+        self.retires = 0
+        self.truncations = 0
+        self.torn_lines = 0
+        self._seq = 0
+        self._live: Dict[str, Dict[str, Any]] = {}
+        self._fh: Optional[Any] = None
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._recover()
+
+    def _recover(self) -> None:
+        """Rebuild the live set from an existing journal file."""
+        if not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path) as fh:
+                lines = fh.readlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self.torn_lines += 1
+                continue
+            if not isinstance(record, dict):
+                self.torn_lines += 1
+                continue
+            self._seq = max(self._seq, int(record.get("seq", 0)) + 1)
+            op = record.get("op")
+            if op == "admit" and isinstance(record.get("job"), dict):
+                job = record["job"]
+                if isinstance(job.get("id"), str):
+                    self._live[job["id"]] = job
+            elif op == "retire" and isinstance(record.get("job_id"), str):
+                self._live.pop(record["job_id"], None)
+
+    def _sink(self):
+        if self._fh is None:
+            self._fh = open(self.path, "a")
+        return self._fh
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        fh = self._sink()
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def admit(self, job: Dict[str, Any], shard: int) -> int:
+        """Durably record one accepted job; returns its sequence number.
+
+        ``job`` must carry at least ``id`` and ``spec`` (the wire-format
+        spec document).  The record is on disk — fsync'd — when this
+        returns, which is the precondition for sending the 202.
+        """
+        seq = self._seq
+        self._seq += 1
+        self._append(
+            {
+                "schema": INTAKE_JOURNAL_SCHEMA,
+                "op": "admit",
+                "seq": seq,
+                "ts": time.time(),
+                "shard": shard,
+                "job": job,
+            }
+        )
+        self._live[job["id"]] = job
+        self.admits += 1
+        return seq
+
+    def retire(self, job_id: str) -> bool:
+        """Close one admitted entry; truncate when none remain live."""
+        if job_id not in self._live:
+            return False
+        seq = self._seq
+        self._seq += 1
+        self._append(
+            {
+                "schema": INTAKE_JOURNAL_SCHEMA,
+                "op": "retire",
+                "seq": seq,
+                "ts": time.time(),
+                "job_id": job_id,
+            }
+        )
+        del self._live[job_id]
+        self.retires += 1
+        if not self._live:
+            fh = self._sink()
+            fh.seek(0)
+            fh.truncate()
+            fh.flush()
+            os.fsync(fh.fileno())
+            self.truncations += 1
+            self._seq = 0
+        return True
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    def live_jobs(self) -> List[Dict[str, Any]]:
+        """Unretired job documents, in admission order."""
+        return list(self._live.values())
+
+    def counters(self) -> Dict[str, Any]:
+        """Journal health counters for /metrics and the oplog."""
+        return {
+            "path": self.path,
+            "live": self.live_count,
+            "admits": self.admits,
+            "retires": self.retires,
+            "truncations": self.truncations,
+            "torn_lines": self.torn_lines,
+        }
+
+    def close(self) -> None:
+        """Close the append handle (the file itself is kept)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# -- consistent-hash ring ----------------------------------------------------
+
+
+class HashRing:
+    """Consistent hashing of job keys onto shard indices.
+
+    ``vnodes`` virtual nodes per shard smooth the distribution; a key's
+    owner is the first virtual node clockwise from the key's hash whose
+    shard is in the allowed set, so removing a dead shard only moves
+    *its* keys — every other key keeps its (cache-warm) owner.
+    """
+
+    def __init__(self, shard_ids: Sequence[int], vnodes: int = 64) -> None:
+        if not shard_ids:
+            raise ValueError("ring needs at least one shard")
+        self.shard_ids = list(shard_ids)
+        self.vnodes = vnodes
+        self._ring: List[Tuple[int, int]] = []
+        for shard in self.shard_ids:
+            for vnode in range(vnodes):
+                point = self._hash(f"shard-{shard}#{vnode}")
+                self._ring.append((point, shard))
+        self._ring.sort()
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(value.encode()).digest()[:8], "big"
+        )
+
+    def assign(
+        self, key: str, allowed: Optional[Set[int]] = None
+    ) -> Optional[int]:
+        """The shard owning ``key`` among ``allowed`` (None = all)."""
+        candidates = (
+            set(self.shard_ids) if allowed is None else allowed
+        )
+        if not candidates:
+            return None
+        point = self._hash(key)
+        start = 0
+        lo, hi = 0, len(self._ring)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._ring[mid][0] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        start = lo
+        for offset in range(len(self._ring)):
+            _, shard = self._ring[(start + offset) % len(self._ring)]
+            if shard in candidates:
+                return shard
+        return None
+
+
+# -- circuit breaker ---------------------------------------------------------
+
+
+class CircuitBreaker:
+    """Per-shard circuit breaker: ``closed`` → ``open`` → ``half_open``.
+
+    ``record_failure`` trips the breaker after ``threshold`` consecutive
+    failures (or immediately via :meth:`trip`); while open, :meth:`allows`
+    refuses until ``cooldown`` seconds have passed, then lets exactly one
+    probe through (``half_open``).  A success in half-open closes the
+    breaker; a failure re-opens it with doubled (capped) cooldown.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 1.0,
+        max_cooldown: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.base_cooldown = cooldown
+        self.max_cooldown = max_cooldown
+        self.clock = clock
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at = 0.0
+        self.open_count = 0
+        self._cooldown = cooldown
+
+    @property
+    def cooldown(self) -> float:
+        return self._cooldown
+
+    def record_success(self) -> None:
+        """A request (or half-open probe) succeeded: close and reset."""
+        self.failures = 0
+        self.state = "closed"
+        self._cooldown = self.base_cooldown
+
+    def record_failure(self) -> None:
+        """Count a failure; trip at the threshold or on a failed probe."""
+        self.failures += 1
+        if self.state == "half_open" or self.failures >= self.threshold:
+            self.trip()
+
+    def trip(self) -> None:
+        """Open immediately (e.g. the supervisor watched the shard die)."""
+        if self.state != "open":
+            self.open_count += 1
+        previous = self._cooldown if self.state != "closed" else 0.0
+        self.state = "open"
+        self.opened_at = self.clock()
+        if previous:
+            self._cooldown = min(previous * 2, self.max_cooldown)
+
+    def allows(self) -> bool:
+        """Whether a request may be sent through right now."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self.clock() - self.opened_at >= self._cooldown:
+                self.state = "half_open"
+                return True
+            return False
+        return True  # half_open: one probe at a time is the caller's job
+
+
+# -- shard + job state -------------------------------------------------------
+
+
+@dataclass
+class FleetJob:
+    """Lifecycle of one fleet-accepted job.
+
+    ``queued`` (journaled, awaiting dispatch) → ``dispatched`` (accepted
+    by a shard, remote id known) → ``done``/``failed``.  A shard death
+    resets ``dispatched`` jobs back to ``queued`` (the journal entry is
+    still live) and may reassign ``shard``.
+    """
+
+    id: str
+    spec: JobSpec
+    shard: int
+    trace_id: Optional[str] = None
+    status: str = "queued"
+    remote_id: Optional[str] = None
+    submitted_at: float = 0.0
+    finished_at: Optional[float] = None
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    digest: Optional[str] = None
+    attempts: int = 0
+    failovers: int = 0
+
+    def to_dict(self, include_result: bool = True) -> Dict[str, Any]:
+        """The job record served by ``GET /jobs/<id>``."""
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "status": self.status,
+            "spec": self.spec.to_dict(),
+            "spec_key": self.spec.spec_key(),
+            "shard": self.shard,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "digest": self.digest,
+            "error": self.error,
+            "trace_id": self.trace_id,
+            "attempts": self.attempts,
+            "failovers": self.failovers,
+        }
+        if include_result:
+            doc["result"] = self.result
+        return doc
+
+
+@dataclass
+class ShardState:
+    """Everything the supervisor knows about one shard."""
+
+    index: int
+    port: int = 0
+    proc: Optional[subprocess.Popen] = None
+    state: str = "starting"  # starting | up | down | backoff
+    restarts: int = 0
+    consecutive_restarts: int = 0
+    last_healthy: float = 0.0
+    up_since: float = 0.0
+    down_since: float = 0.0
+    routed: int = 0
+    completed: int = 0
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    journal: Optional[WriteAheadJournal] = None
+    log_path: str = ""
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid if self.proc is not None else None
+
+    def proc_alive(self) -> bool:
+        """True while the shard subprocess exists and has not exited."""
+        return self.proc is not None and self.proc.poll() is None
+
+
+# -- the supervisor ----------------------------------------------------------
+
+
+class ShardSupervisor:
+    """Spawns, routes to, health-checks, and heals a shard fleet.
+
+    All public methods must be called from the event loop thread (the
+    HTTP handlers, dispatchers and the health monitor share one loop).
+    Shards are real ``cohort serve`` subprocesses sharing one cache
+    directory; the supervisor is the only writer of the per-shard
+    intake journals.
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        host: str = "127.0.0.1",
+        fleet_dir: str = ".cohort_fleet",
+        cache_dir: Optional[str] = None,
+        shard_jobs: int = 1,
+        max_batch: int = 8,
+        batch_window: float = 0.05,
+        shard_queue_limit: int = 64,
+        engine: str = "lockstep",
+        job_timeout: Optional[float] = None,
+        cache_budget_bytes: int = 0,
+        admission_limit: int = 256,
+        retry_after: float = 0.5,
+        health_interval: float = 0.25,
+        heartbeat_timeout: float = 1.0,
+        heartbeat_deadline: float = 3.0,
+        restart_backoff_base: float = 0.25,
+        restart_backoff_max: float = 5.0,
+        stability_window: float = 10.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        spawn_timeout: float = 60.0,
+        request_timeout: float = 30.0,
+        label: str = "fleet",
+        oplog: Optional[OpLogger] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if admission_limit < 1:
+            raise ValueError("admission_limit must be >= 1")
+        self.host = host
+        self.fleet_dir = fleet_dir
+        self.cache_dir = (
+            cache_dir
+            if cache_dir is not None
+            else os.path.join(fleet_dir, "cache")
+        )
+        self.shard_jobs = shard_jobs
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.shard_queue_limit = shard_queue_limit
+        self.engine = engine
+        self.job_timeout = job_timeout
+        self.cache_budget_bytes = cache_budget_bytes
+        self.admission_limit = admission_limit
+        self.retry_after = retry_after
+        self.health_interval = health_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.heartbeat_deadline = heartbeat_deadline
+        self.restart_backoff_base = restart_backoff_base
+        self.restart_backoff_max = restart_backoff_max
+        self.stability_window = stability_window
+        self.spawn_timeout = spawn_timeout
+        self.request_timeout = request_timeout
+        self.label = label
+        self.oplog = oplog if oplog is not None else OpLogger(
+            component="fleet"
+        )
+        os.makedirs(self.fleet_dir, exist_ok=True)
+        self.shards: List[ShardState] = []
+        for index in range(shards):
+            shard = ShardState(
+                index=index,
+                breaker=CircuitBreaker(
+                    threshold=breaker_threshold, cooldown=breaker_cooldown
+                ),
+                journal=WriteAheadJournal(
+                    os.path.join(self.fleet_dir, f"shard-{index}.journal.jsonl")
+                ),
+                log_path=os.path.join(self.fleet_dir, f"shard-{index}.log"),
+            )
+            self.shards.append(shard)
+        self.ring = HashRing([s.index for s in self.shards])
+        self._jobs: Dict[str, FleetJob] = {}
+        self._queues: Dict[int, List[FleetJob]] = {
+            s.index: [] for s in self.shards
+        }
+        self._wakeups: Dict[int, asyncio.Event] = {}
+        self._tasks: List[asyncio.Task] = []
+        self._draining = False
+        self._started_at = time.time()
+        # Fleet-level counters surfaced through /metrics.
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_rejected = 0
+        self.failovers = 0
+        self.replayed_jobs = 0
+        self.restarts_total = 0
+        self.recovery_seconds: List[float] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def shards_up(self) -> int:
+        return sum(1 for s in self.shards if s.state == "up")
+
+    async def start(self) -> None:
+        """Cold-start: replay journals, spawn shards, start the loops."""
+        self._replay_cold_start()
+        self._wakeups = {s.index: asyncio.Event() for s in self.shards}
+        self.oplog.emit(
+            "fleet_start", shards=len(self.shards),
+            cache_dir=self.cache_dir, fleet_dir=self.fleet_dir,
+        )
+        await asyncio.gather(
+            *(self._start_shard(shard) for shard in self.shards)
+        )
+        loop = asyncio.get_running_loop()
+        for shard in self.shards:
+            self._tasks.append(
+                loop.create_task(self._dispatch_loop(shard))
+            )
+        self._tasks.append(loop.create_task(self._health_loop()))
+
+    def _replay_cold_start(self) -> None:
+        """Re-register accepted-but-unfinished jobs left in journals.
+
+        A previous supervisor crash (or hard kill) leaves live entries
+        behind; every one of them was 202-acknowledged, so each becomes
+        a queued :class:`FleetJob` again — same id, same trace context.
+        """
+        for shard in self.shards:
+            assert shard.journal is not None
+            for doc in shard.journal.live_jobs():
+                try:
+                    spec = JobSpec.from_dict(doc.get("spec"))
+                except JobSpecError as exc:
+                    self.oplog.emit(
+                        "journal_skip", shard=shard.index,
+                        job_id=doc.get("id"), reason=str(exc),
+                    )
+                    continue
+                record = FleetJob(
+                    id=doc["id"],
+                    spec=spec,
+                    shard=shard.index,
+                    trace_id=doc.get("trace_id"),
+                    submitted_at=doc.get("submitted_at", time.time()),
+                )
+                self._jobs[record.id] = record
+                self._queues[shard.index].append(record)
+                self.replayed_jobs += 1
+                self.oplog.emit(
+                    "journal_replay", shard=shard.index, job_id=record.id,
+                    trace_id=record.trace_id, phase="cold_start",
+                )
+
+    async def drain(self) -> None:
+        """Refuse new work, finish accepted jobs, stop shards cleanly."""
+        self._draining = True
+        pending = self._pending_count()
+        self.oplog.emit("fleet_drain", pending=pending)
+        self._wake_all()
+        while self._pending_count():
+            await asyncio.sleep(0.02)
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        await asyncio.gather(
+            *(self._stop_shard(shard) for shard in self.shards)
+        )
+        for shard in self.shards:
+            assert shard.journal is not None
+            shard.journal.close()
+        self.oplog.emit("fleet_drained")
+
+    async def _stop_shard(self, shard: ShardState) -> None:
+        if shard.proc is None:
+            return
+        if shard.proc.poll() is None:
+            shard.proc.terminate()
+            try:
+                await asyncio.wait_for(
+                    asyncio.get_running_loop().run_in_executor(
+                        None, shard.proc.wait
+                    ),
+                    timeout=15.0,
+                )
+            except asyncio.TimeoutError:
+                shard.proc.kill()
+                await asyncio.get_running_loop().run_in_executor(
+                    None, shard.proc.wait
+                )
+        shard.state = "down"
+
+    # -- shard process management --------------------------------------------
+
+    def _spawn_command(self, shard: ShardState) -> List[str]:
+        cmd = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--host", self.host,
+            "--port", str(shard.port),
+            "--jobs", str(self.shard_jobs),
+            "--max-batch", str(self.max_batch),
+            "--batch-window", str(self.batch_window),
+            "--queue-limit", str(self.shard_queue_limit),
+            "--cache-dir", self.cache_dir,
+            "--engine", self.engine,
+            "--oplog",
+            os.path.join(self.fleet_dir, f"shard-{shard.index}.oplog.jsonl"),
+        ]
+        if self.cache_budget_bytes:
+            cmd += ["--cache-budget", str(self.cache_budget_bytes)]
+        if self.job_timeout:
+            cmd += ["--job-timeout", str(self.job_timeout)]
+        return cmd
+
+    def _spawn(self, shard: ShardState) -> None:
+        shard.port = free_port(self.host)
+        env = dict(os.environ)
+        src_dir = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        src_root = os.path.dirname(src_dir)  # .../src
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing
+            else src_root + os.pathsep + existing
+        )
+        log = open(shard.log_path, "ab")
+        try:
+            shard.proc = subprocess.Popen(
+                self._spawn_command(shard),
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+                start_new_session=True,
+            )
+        finally:
+            log.close()
+        self.oplog.emit(
+            "shard_spawn", shard=shard.index, port=shard.port,
+            pid=shard.proc.pid, restarts=shard.restarts,
+        )
+
+    async def _start_shard(self, shard: ShardState) -> None:
+        """Spawn one shard and wait until it answers health checks."""
+        shard.state = "starting"
+        self._spawn(shard)
+        deadline = time.monotonic() + self.spawn_timeout
+        while time.monotonic() < deadline:
+            if not shard.proc_alive():
+                # The child died before listening (port race, crash on
+                # boot): respawn on a fresh port and keep waiting.
+                await asyncio.sleep(0.2)
+                if not shard.proc_alive():
+                    self.oplog.emit(
+                        "shard_boot_failed", shard=shard.index,
+                        returncode=shard.proc.returncode
+                        if shard.proc else None,
+                    )
+                    self._spawn(shard)
+                    continue
+            try:
+                status, doc = await _http_json(
+                    self.host, shard.port, "GET", "/healthz",
+                    timeout=self.heartbeat_timeout,
+                )
+            except ShardUnreachableError:
+                await asyncio.sleep(0.1)
+                continue
+            if status == 200 and isinstance(doc, dict):
+                now = time.monotonic()
+                shard.state = "up"
+                shard.last_healthy = now
+                shard.up_since = now
+                shard.breaker.record_success()
+                if shard.down_since:
+                    recovered = now - shard.down_since
+                    self.recovery_seconds.append(recovered)
+                    shard.down_since = 0.0
+                    self.oplog.emit(
+                        "shard_up", shard=shard.index, port=shard.port,
+                        pid=shard.pid, recovery_s=round(recovered, 3),
+                    )
+                else:
+                    self.oplog.emit(
+                        "shard_up", shard=shard.index, port=shard.port,
+                        pid=shard.pid,
+                    )
+                self._wakeups[shard.index].set()
+                return
+            await asyncio.sleep(0.1)
+        raise RuntimeError(
+            f"shard {shard.index} did not become healthy within "
+            f"{self.spawn_timeout}s (see {shard.log_path})"
+        )
+
+    def _on_shard_down(self, shard: ShardState, reason: str) -> None:
+        """Fault path: open the breaker, replay the journal, failover."""
+        if shard.state == "down" or shard.state == "backoff":
+            return
+        shard.state = "down"
+        shard.down_since = time.monotonic()
+        shard.breaker.trip()
+        self.oplog.emit(
+            "shard_down", shard=shard.index, reason=reason, pid=shard.pid,
+            restarts=shard.restarts,
+        )
+        if shard.proc is not None and shard.proc.poll() is None:
+            # A hung (e.g. SIGSTOP'd) process must die before a healthy
+            # replacement can take its place.
+            try:
+                shard.proc.kill()
+            except OSError:
+                pass
+        # Replay the shard's accepted-but-unfinished jobs from its
+        # journal — the journal, not in-memory state, is the source of
+        # truth for what was 202-acknowledged.
+        assert shard.journal is not None
+        live_ids = [doc["id"] for doc in shard.journal.live_jobs()]
+        alive = {
+            s.index
+            for s in self.shards
+            if s.index != shard.index and s.state == "up"
+        }
+        requeued = 0
+        for job_id in live_ids:
+            record = self._jobs.get(job_id)
+            if record is None or record.status in ("done", "failed"):
+                continue
+            record.status = "queued"
+            record.remote_id = None
+            requeued += 1
+            target = shard.index
+            if alive:
+                assigned = self.ring.assign(record.spec.spec_key(), alive)
+                if assigned is not None:
+                    target = assigned
+            if target != record.shard:
+                record.failovers += 1
+                self.failovers += 1
+                self.oplog.emit(
+                    "failover", job_id=record.id, trace_id=record.trace_id,
+                    from_shard=record.shard, to_shard=target,
+                )
+                record.shard = target
+            if record not in self._queues[target]:
+                self._queues[target].append(record)
+            self.replayed_jobs += 1
+            self.oplog.emit(
+                "journal_replay", shard=shard.index, job_id=record.id,
+                trace_id=record.trace_id, phase="shard_down",
+                to_shard=record.shard,
+            )
+        if requeued:
+            self._wake_all()
+
+    async def _restart_shard(self, shard: ShardState) -> None:
+        """Backoff, respawn, and wait healthy (capped exponential)."""
+        shard.state = "backoff"
+        shard.consecutive_restarts += 1
+        backoff = min(
+            self.restart_backoff_base * (2 ** (shard.consecutive_restarts - 1)),
+            self.restart_backoff_max,
+        )
+        self.oplog.emit(
+            "shard_restart", shard=shard.index,
+            attempt=shard.consecutive_restarts, backoff_s=round(backoff, 3),
+        )
+        await asyncio.sleep(backoff)
+        shard.restarts += 1
+        self.restarts_total += 1
+        await self._start_shard(shard)
+
+    # -- health monitoring ---------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while True:
+            for shard in self.shards:
+                if shard.state == "up":
+                    await self._probe(shard)
+                elif shard.state == "down":
+                    # The restart runs inline in the health loop so one
+                    # shard never has two racing restart tasks.
+                    try:
+                        await self._restart_shard(shard)
+                    except RuntimeError:
+                        # Spawn window exhausted; next tick tries again.
+                        shard.state = "down"
+            await asyncio.sleep(self.health_interval)
+
+    async def _probe(self, shard: ShardState) -> None:
+        now = time.monotonic()
+        if not shard.proc_alive():
+            self._on_shard_down(shard, "process exited")
+            return
+        try:
+            status, doc = await _http_json(
+                self.host, shard.port, "GET", "/healthz",
+                timeout=self.heartbeat_timeout,
+            )
+            healthy = status == 200
+        except ShardUnreachableError:
+            healthy = False
+        now = time.monotonic()
+        if healthy:
+            shard.last_healthy = now
+            shard.breaker.record_success()
+            if (
+                shard.consecutive_restarts
+                and now - shard.up_since >= self.stability_window
+            ):
+                # Stable long enough: a future crash starts the backoff
+                # ladder from the bottom again (flap detection window).
+                shard.consecutive_restarts = 0
+            return
+        if now - shard.last_healthy >= self.heartbeat_deadline:
+            self._on_shard_down(shard, "heartbeat deadline missed")
+
+    # -- submission / routing ------------------------------------------------
+
+    def _pending_count(self) -> int:
+        return sum(
+            1
+            for record in self._jobs.values()
+            if record.status in ("queued", "dispatched")
+        )
+
+    def _route_key(self, key: str) -> int:
+        """Pick the owning shard for a job key.
+
+        Healthy shards with closed breakers are preferred; when none
+        qualify (everything mid-restart) the full ring still assigns an
+        owner — the job waits, journaled, for the shard's return.
+        """
+        preferred = {
+            s.index
+            for s in self.shards
+            if s.state == "up" and s.breaker.state == "closed"
+        }
+        target = self.ring.assign(key, preferred or None)
+        if target is None:
+            target = self.ring.assign(key)
+        assert target is not None
+        return target
+
+    def submit(
+        self, specs: Sequence[JobSpec], trace_id: Optional[str] = None
+    ) -> List[FleetJob]:
+        """Admit ``specs`` as one all-or-nothing submission.
+
+        Each accepted job is journaled (fsync'd) before this returns;
+        the HTTP layer's 202 therefore only ever describes durable
+        admissions.
+        """
+        if self._draining:
+            self.oplog.emit(
+                "reject", trace_id=trace_id, reason="draining",
+                jobs=len(specs),
+            )
+            raise DrainingError("fleet is draining; not accepting jobs")
+        if not specs:
+            raise JobSpecError("submission contains no jobs")
+        pending = self._pending_count()
+        if pending + len(specs) > self.admission_limit:
+            self.jobs_rejected += len(specs)
+            self.oplog.emit(
+                "reject", trace_id=trace_id, reason="queue_full",
+                jobs=len(specs), pending=pending,
+                retry_after=self.retry_after,
+            )
+            raise QueueFullError(
+                f"fleet admission limit reached ({pending}/"
+                f"{self.admission_limit} pending); retry after "
+                f"{self.retry_after}s",
+                retry_after=self.retry_after,
+            )
+        now = time.time()
+        records: List[FleetJob] = []
+        for spec in specs:
+            key = spec.spec_key()
+            shard_id = self._route_key(key)
+            record = FleetJob(
+                id=uuid.uuid4().hex[:12],
+                spec=spec,
+                shard=shard_id,
+                trace_id=trace_id,
+                submitted_at=now,
+            )
+            shard = self.shards[shard_id]
+            assert shard.journal is not None
+            shard.journal.admit(
+                {
+                    "id": record.id,
+                    "spec": spec.to_dict(),
+                    "trace_id": trace_id,
+                    "submitted_at": now,
+                },
+                shard=shard_id,
+            )
+            self._jobs[record.id] = record
+            self._queues[shard_id].append(record)
+            shard.routed += 1
+            records.append(record)
+            self.oplog.emit(
+                "admit", trace_id=trace_id, job_id=record.id,
+                shard=shard_id, spec_key=key,
+            )
+        self.jobs_submitted += len(records)
+        self._wake_all()
+        return records
+
+    def get(self, job_id: str) -> Optional[FleetJob]:
+        """Look up a job by router-assigned id (``None`` if unknown)."""
+        return self._jobs.get(job_id)
+
+    def _wake_all(self) -> None:
+        for event in self._wakeups.values():
+            event.set()
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch_loop(self, shard: ShardState) -> None:
+        """Forward this shard's queued jobs and chase their results."""
+        wakeup = self._wakeups[shard.index]
+        while True:
+            chunk = self._take_chunk(shard.index)
+            if not chunk:
+                if self._draining and not self._queues[shard.index]:
+                    if not self._pending_count():
+                        return
+                wakeup.clear()
+                try:
+                    await asyncio.wait_for(wakeup.wait(), 0.2)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            if shard.state != "up" or not shard.breaker.allows():
+                # Not routable right now: put the chunk back and let
+                # the health loop / failover move things along.
+                self._requeue(shard.index, chunk)
+                await asyncio.sleep(0.1)
+                continue
+            await self._dispatch_chunk(shard, chunk)
+
+    def _take_chunk(self, shard_id: int) -> List[FleetJob]:
+        queue = self._queues[shard_id]
+        chunk: List[FleetJob] = []
+        remaining: List[FleetJob] = []
+        for record in queue:
+            if record.status == "queued" and record.shard == shard_id:
+                if len(chunk) < self.max_batch:
+                    chunk.append(record)
+                else:
+                    remaining.append(record)
+            elif record.status in ("queued", "dispatched") and (
+                record.shard != shard_id
+            ):
+                # Failover moved it; its new queue already holds it.
+                continue
+        self._queues[shard_id] = remaining
+        return chunk
+
+    def _requeue(self, shard_id: int, chunk: List[FleetJob]) -> None:
+        front = [r for r in chunk if r.status == "queued"]
+        self._queues[shard_id] = front + self._queues[shard_id]
+
+    async def _dispatch_chunk(
+        self, shard: ShardState, chunk: List[FleetJob]
+    ) -> None:
+        """Submit a chunk to one shard and poll it to completion."""
+        for record in chunk:
+            if record.status != "queued" or record.shard != shard.index:
+                continue
+            try:
+                status, doc = await _http_json(
+                    self.host, shard.port, "POST", "/jobs",
+                    doc=record.spec.to_dict(),
+                    timeout=self.request_timeout,
+                    headers=(
+                        {"X-Trace-Id": record.trace_id}
+                        if record.trace_id else None
+                    ),
+                )
+            except ShardUnreachableError:
+                shard.breaker.record_failure()
+                self._requeue(shard.index, [record])
+                return
+            if status == 202 and isinstance(doc, dict) and doc.get("jobs"):
+                record.remote_id = doc["jobs"][0]["id"]
+                record.status = "dispatched"
+                record.attempts += 1
+                self.oplog.emit(
+                    "dispatch", job_id=record.id, trace_id=record.trace_id,
+                    shard=shard.index, remote_id=record.remote_id,
+                )
+            elif status in (429, 503):
+                self._requeue(shard.index, [record])
+                await asyncio.sleep(self.retry_after)
+                return
+            else:
+                detail = (
+                    doc.get("error") if isinstance(doc, dict) else None
+                )
+                self._finish(
+                    record,
+                    error=f"shard {shard.index} refused job "
+                          f"({status}): {detail or 'no detail'}",
+                )
+        await self._collect(shard, chunk)
+
+    async def _collect(
+        self, shard: ShardState, chunk: List[FleetJob]
+    ) -> None:
+        """Poll the shard until every dispatched job in ``chunk`` lands."""
+        while True:
+            waiting = [
+                r for r in chunk
+                if r.status == "dispatched" and r.shard == shard.index
+            ]
+            if not waiting:
+                return
+            if shard.state != "up":
+                # The health loop declared the shard down; replay owns
+                # these records now.
+                return
+            for record in waiting:
+                try:
+                    status, doc = await _http_json(
+                        self.host, shard.port, "GET",
+                        f"/jobs/{record.remote_id}",
+                        timeout=self.request_timeout,
+                    )
+                except ShardUnreachableError:
+                    shard.breaker.record_failure()
+                    return
+                if status != 200 or not isinstance(doc, dict):
+                    # Unknown id after a silent shard restart: requeue.
+                    record.status = "queued"
+                    record.remote_id = None
+                    self._queues[shard.index].append(record)
+                    continue
+                if doc.get("status") == "done":
+                    record.digest = doc.get("digest")
+                    self._finish(record, result=doc.get("result"))
+                    shard.completed += 1
+                elif doc.get("status") == "failed":
+                    self._finish(
+                        record,
+                        error=doc.get("error") or "shard execution failed",
+                    )
+            await asyncio.sleep(0.05)
+
+    def _finish(
+        self,
+        record: FleetJob,
+        result: Optional[dict] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        record.finished_at = time.time()
+        if error is None:
+            record.status = "done"
+            record.result = result
+            self.jobs_completed += 1
+        else:
+            record.status = "failed"
+            record.error = error
+            self.jobs_failed += 1
+        shard = self.shards[record.shard]
+        assert shard.journal is not None
+        # Retire from the journal that admitted the job — failover may
+        # have moved execution elsewhere, so check the admitting journal
+        # first, then the rest.
+        if not shard.journal.retire(record.id):
+            for other in self.shards:
+                assert other.journal is not None
+                if other.journal.retire(record.id):
+                    break
+        self.oplog.emit(
+            "retire", job_id=record.id, trace_id=record.trace_id,
+            status=record.status, shard=record.shard,
+            duration_ms=max(
+                0.0, (record.finished_at - record.submitted_at) * 1000
+            ),
+        )
+
+    # -- metrics -------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """The fleet ``/metrics`` snapshot (no shard round-trips)."""
+        journal_live = 0
+        journal_torn = 0
+        shards_doc = []
+        now = time.monotonic()
+        for shard in self.shards:
+            assert shard.journal is not None
+            counters = shard.journal.counters()
+            journal_live += counters["live"]
+            journal_torn += counters["torn_lines"]
+            shards_doc.append(
+                {
+                    "index": shard.index,
+                    "port": shard.port,
+                    "pid": shard.pid,
+                    "state": shard.state,
+                    "restarts": shard.restarts,
+                    "consecutive_restarts": shard.consecutive_restarts,
+                    "breaker": shard.breaker.state,
+                    "routed": shard.routed,
+                    "completed": shard.completed,
+                    "queue_depth": len(self._queues[shard.index]),
+                    "last_healthy_age_s": (
+                        round(now - shard.last_healthy, 3)
+                        if shard.last_healthy else None
+                    ),
+                    "journal": counters,
+                    "serve": None,
+                }
+            )
+        recoveries = len(self.recovery_seconds)
+        return {
+            "schema": FLEET_METRICS_SCHEMA,
+            "label": self.label,
+            "uptime_seconds": time.time() - self._started_at,
+            "fleet": {
+                "shards_total": len(self.shards),
+                "shards_up": self.shards_up,
+                "draining": self._draining,
+                "admission_pending": self._pending_count(),
+                "admission_limit": self.admission_limit,
+                "jobs_submitted": self.jobs_submitted,
+                "jobs_completed": self.jobs_completed,
+                "jobs_failed": self.jobs_failed,
+                "jobs_rejected": self.jobs_rejected,
+                "failovers": self.failovers,
+                "replayed_jobs": self.replayed_jobs,
+                "restarts_total": self.restarts_total,
+                "recoveries": recoveries,
+                "recovery_seconds_max": (
+                    max(self.recovery_seconds) if recoveries else 0.0
+                ),
+                "recovery_seconds_mean": (
+                    sum(self.recovery_seconds) / recoveries
+                    if recoveries else 0.0
+                ),
+                "journal_live": journal_live,
+                "journal_torn_lines": journal_torn,
+                "cache": {
+                    "budget_bytes": self.cache_budget_bytes,
+                },
+            },
+            "shards": shards_doc,
+        }
+
+    async def metrics_with_shards(self) -> Dict[str, Any]:
+        """The snapshot plus each live shard's own ``/metrics`` document.
+
+        Aggregates the shards' runner cache counters (evictions,
+        quarantines, hits/misses, size) under ``fleet.cache`` so the
+        hardened cache tier is observable from one scrape; an
+        unreachable shard contributes nothing rather than failing the
+        endpoint.
+        """
+        doc = self.metrics()
+        totals = {
+            "evictions": 0, "evicted_bytes": 0, "quarantined": 0,
+            "hits": 0, "misses": 0, "size_bytes": 0,
+        }
+        for shard, shard_doc in zip(self.shards, doc["shards"]):
+            if shard.state != "up":
+                continue
+            try:
+                status, snapshot = await _http_json(
+                    self.host, shard.port, "GET", "/metrics",
+                    timeout=self.heartbeat_timeout,
+                )
+            except ShardUnreachableError:
+                continue
+            if status != 200 or not isinstance(snapshot, dict):
+                continue
+            shard_doc["serve"] = snapshot
+            runner = snapshot.get("runner", {})
+            totals["evictions"] += runner.get("cache_evictions", 0)
+            totals["evicted_bytes"] += runner.get("cache_evicted_bytes", 0)
+            totals["quarantined"] += runner.get("cache_quarantined", 0)
+            totals["hits"] += runner.get("cache_hits", 0)
+            totals["misses"] += runner.get("cache_misses", 0)
+            totals["size_bytes"] = max(
+                totals["size_bytes"], runner.get("cache_size_bytes", 0)
+            )
+        doc["fleet"]["cache"].update(totals)
+        return doc
+
+
+# -- HTTP front-end ----------------------------------------------------------
+
+
+class FleetApp(JsonHttpApp):
+    """Routes HTTP requests onto one :class:`ShardSupervisor`.
+
+    Same wire contract as :class:`~repro.serve.server.ServeApp`
+    (``/healthz``, ``/metrics`` with Prometheus negotiation,
+    ``POST /jobs``, ``GET /jobs/<id>``) so :class:`ServeClient` and
+    ``cohort submit`` work against a fleet unchanged.
+    """
+
+    def __init__(self, supervisor: ShardSupervisor) -> None:
+        self.supervisor = supervisor
+
+    async def _handle_request(self, reader):  # type: ignore[override]
+        status, doc, extra = await super()._handle_request(reader)
+        # /metrics aggregation needs awaits (shard round-trips), which
+        # the sync _route cannot do; it marks the response instead.
+        if doc == "__fleet_metrics__":
+            from repro.obs.promexport import prometheus_from_fleet_metrics
+
+            snapshot = await self.supervisor.metrics_with_shards()
+            if extra.pop("__prometheus__", None):
+                return (
+                    200,
+                    prometheus_from_fleet_metrics(snapshot),
+                    {"Content-Type":
+                     "text/plain; version=0.0.4; charset=utf-8"},
+                )
+            return 200, snapshot, {}
+        return status, doc, extra
+
+    def _route(
+        self, method: str, target: str, body: bytes,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        headers = headers or {}
+        path, _, query = target.partition("?")
+        sup = self.supervisor
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "method not allowed"}, {}
+            up = sup.shards_up
+            total = len(sup.shards)
+            status = (
+                "draining" if sup.draining
+                else "ok" if up == total
+                else "degraded" if up else "down"
+            )
+            return (
+                200,
+                {
+                    "status": status,
+                    "shards_up": up,
+                    "shards_total": total,
+                    "pending": sup._pending_count(),
+                },
+                {},
+            )
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "method not allowed"}, {}
+            extra: Dict[str, str] = {}
+            if self._wants_prometheus(query, headers):
+                extra["__prometheus__"] = "1"
+            return 200, "__fleet_metrics__", extra
+        if path == "/jobs":
+            if method != "POST":
+                return 405, {"error": "method not allowed"}, {}
+            from repro.obs.ops import new_trace_id, valid_trace_id
+
+            supplied = headers.get("x-trace-id")
+            trace_id = (
+                supplied if valid_trace_id(supplied) else new_trace_id()
+            )
+            return self._submit(body, trace_id)
+        if path.startswith("/jobs/"):
+            if method != "GET":
+                return 405, {"error": "method not allowed"}, {}
+            record = sup.get(path[len("/jobs/"):])
+            if record is None:
+                return 404, {"error": "unknown job id"}, {}
+            return 200, record.to_dict(include_result=True), {}
+        return 404, {"error": f"no route for {path}"}, {}
+
+    def _submit(
+        self, body: bytes, trace_id: str
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        trace_headers = {"X-Trace-Id": trace_id}
+        try:
+            doc = json.loads(body or b"null")
+        except ValueError:
+            return (
+                400,
+                {"error": "request body is not valid JSON",
+                 "trace_id": trace_id},
+                trace_headers,
+            )
+        raw_specs = (
+            doc.get("jobs")
+            if isinstance(doc, dict) and "jobs" in doc
+            else [doc]
+        )
+        if not isinstance(raw_specs, list):
+            return (
+                400,
+                {"error": '"jobs" must be a list of job specs',
+                 "trace_id": trace_id},
+                trace_headers,
+            )
+        sup = self.supervisor
+        try:
+            specs = [JobSpec.from_dict(raw) for raw in raw_specs]
+            records = sup.submit(specs, trace_id=trace_id)
+        except JobSpecError as exc:
+            return (
+                400,
+                {"error": str(exc), "trace_id": trace_id},
+                trace_headers,
+            )
+        except QueueFullError as exc:
+            return (
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after,
+                 "trace_id": trace_id},
+                {"Retry-After": f"{exc.retry_after}", **trace_headers},
+            )
+        except DrainingError as exc:
+            return (
+                503,
+                {"error": str(exc), "retry_after": sup.retry_after,
+                 "trace_id": trace_id},
+                {"Retry-After": f"{sup.retry_after}", **trace_headers},
+            )
+        return (
+            202,
+            {
+                "trace_id": trace_id,
+                "jobs": [r.to_dict(include_result=False) for r in records],
+            },
+            trace_headers,
+        )
+
+
+async def run_fleet(
+    supervisor: ShardSupervisor,
+    host: str = "127.0.0.1",
+    port: int = 8780,
+    *,
+    metrics_out: Optional[str] = None,
+    install_signal_handlers: bool = True,
+    stop: Optional[asyncio.Event] = None,
+) -> int:
+    """Serve the fleet router until SIGTERM/SIGINT, then drain.
+
+    Mirrors :func:`repro.serve.server.run_server`: the listener stays
+    open while draining so clients can poll, submissions are refused,
+    shards drain and exit, and an optional final metrics snapshot is
+    written atomically.  Returns the port actually bound.
+    """
+    app = FleetApp(supervisor)
+    await supervisor.start()
+    server = await asyncio.start_server(app.handle_connection, host, port)
+    bound_port = server.sockets[0].getsockname()[1]
+    stop_event = stop if stop is not None else asyncio.Event()
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop_event.set)
+    print(
+        f"cohort fleet: router on http://{host}:{bound_port} "
+        f"({len(supervisor.shards)} shards)",
+        flush=True,
+    )
+    supervisor.oplog.emit(
+        "fleet_listening", host=host, port=bound_port,
+        shards=len(supervisor.shards),
+    )
+    await stop_event.wait()
+    print("cohort fleet: draining", flush=True)
+    await supervisor.drain()
+    if metrics_out:
+        _write_json_atomic(
+            metrics_out, await supervisor.metrics_with_shards()
+        )
+        print(f"cohort fleet: metrics snapshot -> {metrics_out}", flush=True)
+    server.close()
+    await server.wait_closed()
+    supervisor.oplog.emit("fleet_exit")
+    supervisor.oplog.close()
+    print("cohort fleet: drained, exiting", flush=True)
+    return bound_port
+
+
+class FleetThread:
+    """An in-process fleet router for tests and the chaos soak.
+
+    The supervisor (and its real shard subprocesses) runs on an event
+    loop in a daemon thread; the caller talks to the router over real
+    HTTP — and can reach ``.supervisor`` directly to find shard PIDs to
+    kill.
+    """
+
+    def __init__(
+        self, *, host: str = "127.0.0.1", **supervisor_kwargs: Any
+    ) -> None:
+        self.host = host
+        self.supervisor_kwargs = supervisor_kwargs
+        self.supervisor: Optional[ShardSupervisor] = None
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def base_url(self) -> str:
+        if self.port is None:
+            raise RuntimeError("fleet not started")
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "FleetThread":
+        """Spawn the fleet loop; block until the router is listening."""
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=120):
+            raise RuntimeError("fleet thread did not start in time")
+        if self._error is not None:
+            raise RuntimeError(f"fleet thread failed: {self._error!r}")
+        return self
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self.supervisor = ShardSupervisor(
+            host=self.host, **self.supervisor_kwargs
+        )
+        app = FleetApp(self.supervisor)
+        await self.supervisor.start()
+        server = await asyncio.start_server(
+            app.handle_connection, self.host, 0
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        await self.supervisor.drain()
+        server.close()
+        await server.wait_closed()
+
+    def stop(self, timeout: float = 120.0) -> None:
+        """Drain the fleet, stop the loop and join the thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("fleet thread did not drain in time")
+        if self._error is not None:
+            raise RuntimeError(f"fleet thread failed: {self._error!r}")
+
+    def __enter__(self) -> "FleetThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -63,11 +63,15 @@ _REASONS = {
 }
 
 
-class ServeApp:
-    """Routes HTTP requests onto one :class:`BatchingService`."""
+class JsonHttpApp:
+    """Minimal HTTP/1.1-over-asyncio plumbing shared by the serving apps.
 
-    def __init__(self, service: BatchingService) -> None:
-        self.service = service
+    Subclasses implement :meth:`_route`; everything about reading one
+    request, bounding its body, and writing the JSON (or pre-rendered
+    text) response lives here.  :class:`ServeApp` routes onto one
+    :class:`BatchingService`; ``repro.serve.fleet.FleetApp`` routes onto
+    a shard supervisor.
+    """
 
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -137,6 +141,36 @@ class ServeApp:
         self, method: str, target: str, body: bytes,
         headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Any, Dict[str, str]]:
+        """Dispatch one request: ``(status, doc-or-text, extra headers)``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _wants_prometheus(query: str, headers: Dict[str, str]) -> bool:
+        """Content negotiation for ``/metrics``.
+
+        An explicit ``?format=`` wins; otherwise an ``Accept`` header
+        that names ``text/plain`` without also naming JSON (the
+        Prometheus scraper's shape) selects the exposition format.
+        JSON stays the default for everything else.
+        """
+        params = urllib.parse.parse_qs(query)
+        formats = params.get("format")
+        if formats:
+            return formats[-1].lower() in ("prometheus", "text")
+        accept = headers.get("accept", "")
+        return "text/plain" in accept and "application/json" not in accept
+
+
+class ServeApp(JsonHttpApp):
+    """Routes HTTP requests onto one :class:`BatchingService`."""
+
+    def __init__(self, service: BatchingService) -> None:
+        self.service = service
+
+    def _route(
+        self, method: str, target: str, body: bytes,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Any, Dict[str, str]]:
         headers = headers or {}
         path, _, query = target.partition("?")
         if path == "/healthz":
@@ -175,22 +209,6 @@ class ServeApp:
                 return 404, {"error": "unknown job id"}, {}
             return 200, record.to_dict(include_result=True), {}
         return 404, {"error": f"no route for {path}"}, {}
-
-    @staticmethod
-    def _wants_prometheus(query: str, headers: Dict[str, str]) -> bool:
-        """Content negotiation for ``/metrics``.
-
-        An explicit ``?format=`` wins; otherwise an ``Accept`` header
-        that names ``text/plain`` without also naming JSON (the
-        Prometheus scraper's shape) selects the exposition format.
-        JSON stays the default for everything else.
-        """
-        params = urllib.parse.parse_qs(query)
-        formats = params.get("format")
-        if formats:
-            return formats[-1].lower() in ("prometheus", "text")
-        accept = headers.get("accept", "")
-        return "text/plain" in accept and "application/json" not in accept
 
     def _submit(
         self, body: bytes, trace_id: str
@@ -372,11 +390,13 @@ class ServerThread:
         *,
         runner: Optional[SweepRunner] = None,
         host: str = "127.0.0.1",
+        port: int = 0,
         **service_kwargs: Any,
     ) -> None:
         self.runner = runner if runner is not None else SweepRunner(jobs=1)
         self.service_kwargs = service_kwargs
         self.host = host
+        self._requested_port = port
         self.port: Optional[int] = None
         self.service: Optional[BatchingService] = None
         self._ready = threading.Event()
@@ -412,7 +432,9 @@ class ServerThread:
         self.service = BatchingService(self.runner, **self.service_kwargs)
         app = ServeApp(self.service)
         await self.service.start()
-        server = await asyncio.start_server(app.handle_connection, self.host, 0)
+        server = await asyncio.start_server(
+            app.handle_connection, self.host, self._requested_port
+        )
         self.port = server.sockets[0].getsockname()[1]
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()

@@ -1,0 +1,265 @@
+"""Tests for the hardened shared cache tier (repro.runner).
+
+The disk cache is shared by every shard in a fleet, so it must defend
+itself: corrupt or mislabelled envelopes are moved to ``.quarantine/``
+(evidence preserved, slot re-executed), a byte budget evicts
+least-recently-used entries under a cross-process lock, and every
+defensive action is visible in telemetry and the oplog.
+"""
+
+import io
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.ops import OpLogger
+from repro.runner import (
+    CACHE_VERSION,
+    QUARANTINE_DIR,
+    SweepRunner,
+)
+from repro.serve import JobSpec
+
+TINY = dict(benchmark="fft", thetas=[60, 20, 20, 20], scale=0.05, seed=0)
+
+
+def tiny_job(offset=0):
+    spec = dict(TINY, thetas=[60 + 10 * offset, 20, 20, 20])
+    return JobSpec.from_dict(spec).to_sweep_job()
+
+
+def populate(cache_dir, offset=0):
+    """Run one tiny job against ``cache_dir``; return (digest, result)."""
+    job = tiny_job(offset)
+    runner = SweepRunner(jobs=1, cache_dir=cache_dir)
+    (result,) = runner.run([job])
+    return job.digest(), result
+
+
+def entry_path(cache_dir, digest):
+    return os.path.join(cache_dir, f"{digest}.json")
+
+
+def quarantined_files(cache_dir):
+    quarantine = os.path.join(cache_dir, QUARANTINE_DIR)
+    if not os.path.isdir(quarantine):
+        return []
+    return sorted(os.listdir(quarantine))
+
+
+class TestQuarantine:
+    def test_truncated_file_is_quarantined_and_recomputed(self, tmp_path):
+        cache_dir = str(tmp_path)
+        digest, expected = populate(cache_dir)
+        path = entry_path(cache_dir, digest)
+        raw = open(path).read()
+        with open(path, "w") as fh:
+            fh.write(raw[: len(raw) // 2])
+
+        runner = SweepRunner(jobs=1, cache_dir=cache_dir)
+        (result,) = runner.run([tiny_job()])
+        assert json.dumps(result, sort_keys=True) == (
+            json.dumps(expected, sort_keys=True)
+        )
+        assert runner.cache_quarantined == 1
+        assert runner.cache_misses == 1
+        # Evidence preserved, slot rewritten with a fresh entry.
+        assert len(quarantined_files(cache_dir)) == 1
+        assert os.path.exists(path)
+        assert json.load(open(path))["digest"] == digest
+
+    def test_envelope_missing_keys_is_quarantined(self, tmp_path):
+        cache_dir = str(tmp_path)
+        digest, _ = populate(cache_dir)
+        path = entry_path(cache_dir, digest)
+        with open(path, "w") as fh:
+            json.dump({"digest": "not-the-right-digest"}, fh)
+
+        runner = SweepRunner(jobs=1, cache_dir=cache_dir)
+        runner.run([tiny_job()])
+        assert runner.cache_quarantined == 1
+        assert len(quarantined_files(cache_dir)) == 1
+
+    def test_digest_mismatch_is_quarantined(self, tmp_path):
+        """A cache file renamed to another job's digest must not hit."""
+        cache_dir = str(tmp_path)
+        digest, _ = populate(cache_dir)
+        path = entry_path(cache_dir, digest)
+        doc = json.load(open(path))
+        doc["digest"] = "0" * 64
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+
+        runner = SweepRunner(jobs=1, cache_dir=cache_dir)
+        runner.run([tiny_job()])
+        assert runner.cache_quarantined == 1
+        assert runner.cache_hits == 0
+
+    def test_non_object_payload_is_quarantined(self, tmp_path):
+        cache_dir = str(tmp_path)
+        digest, _ = populate(cache_dir)
+        path = entry_path(cache_dir, digest)
+        with open(path, "w") as fh:
+            json.dump([1, 2, 3], fh)
+
+        runner = SweepRunner(jobs=1, cache_dir=cache_dir)
+        runner.run([tiny_job()])
+        assert runner.cache_quarantined == 1
+
+    def test_stale_schema_is_a_clean_miss_not_quarantine(self, tmp_path):
+        """An envelope from an older cache era is stale, not damaged."""
+        cache_dir = str(tmp_path)
+        digest, _ = populate(cache_dir)
+        path = entry_path(cache_dir, digest)
+        doc = json.load(open(path))
+        doc["cache_version"] = CACHE_VERSION - 1
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+
+        runner = SweepRunner(jobs=1, cache_dir=cache_dir)
+        runner.run([tiny_job()])
+        assert runner.cache_quarantined == 0
+        assert quarantined_files(cache_dir) == []
+        # Overwritten in place by the fresh store.
+        assert json.load(open(path))["cache_version"] == CACHE_VERSION
+
+    def test_quarantine_emits_an_oplog_event(self, tmp_path):
+        cache_dir = str(tmp_path)
+        digest, _ = populate(cache_dir)
+        with open(entry_path(cache_dir, digest), "w") as fh:
+            fh.write("{ torn")
+
+        oplog = OpLogger(stream=io.StringIO(), component="runner")
+        runner = SweepRunner(jobs=1, cache_dir=cache_dir, oplog=oplog)
+        runner.run([tiny_job()])
+        assert oplog.event_counts.get("cache_quarantine") == 1
+
+    def test_quarantined_files_leave_the_entry_scan(self, tmp_path):
+        """``.quarantine/`` contents never count against the budget."""
+        cache_dir = str(tmp_path)
+        digest, _ = populate(cache_dir)
+        with open(entry_path(cache_dir, digest), "w") as fh:
+            fh.write("garbage")
+        runner = SweepRunner(jobs=1, cache_dir=cache_dir)
+        assert runner._cache_load(digest) is None
+        # One fresh entry scan: only the (now absent) *.json files.
+        assert runner.cache_size_bytes() == 0
+
+
+class TestCacheBudget:
+    def test_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            SweepRunner(
+                jobs=1, cache_dir=str(tmp_path), cache_budget_bytes=-1
+            )
+
+    def test_zero_budget_means_unbounded(self, tmp_path):
+        cache_dir = str(tmp_path)
+        runner = SweepRunner(jobs=1, cache_dir=cache_dir)
+        runner.run([tiny_job(i) for i in range(3)])
+        assert runner.cache_evictions == 0
+        assert len(os.listdir(cache_dir)) >= 3
+
+    def test_budget_evicts_down_to_the_limit(self, tmp_path):
+        cache_dir = str(tmp_path)
+        # Size one entry first, then rerun with a two-entry budget.
+        digest, _ = populate(cache_dir)
+        entry_size = os.path.getsize(entry_path(cache_dir, digest))
+        budget = int(entry_size * 2.5)
+
+        runner = SweepRunner(
+            jobs=1, cache_dir=cache_dir, cache_budget_bytes=budget
+        )
+        runner.run([tiny_job(i) for i in range(5)])
+        assert runner.cache_evictions >= 2
+        assert runner.cache_evicted_bytes >= 2 * entry_size * 0.5
+        assert runner.cache_size_bytes() <= budget
+
+    def test_eviction_is_least_recently_used(self, tmp_path):
+        cache_dir = str(tmp_path)
+        digests = [populate(cache_dir, i)[0] for i in range(3)]
+        # Pin explicit mtimes: digests[1] is the oldest.
+        now = time.time()
+        order = {digests[1]: now - 300, digests[0]: now - 200,
+                 digests[2]: now - 100}
+        for digest, mtime in order.items():
+            os.utime(entry_path(cache_dir, digest), (mtime, mtime))
+
+        sizes = {
+            digest: os.path.getsize(entry_path(cache_dir, digest))
+            for digest in digests
+        }
+        budget = sizes[digests[0]] + sizes[digests[2]]
+        runner = SweepRunner(
+            jobs=1, cache_dir=cache_dir, cache_budget_bytes=budget
+        )
+        runner._enforce_cache_budget()
+        assert not os.path.exists(entry_path(cache_dir, digests[1]))
+        assert os.path.exists(entry_path(cache_dir, digests[0]))
+        assert os.path.exists(entry_path(cache_dir, digests[2]))
+
+    def test_keep_key_survives_even_over_budget(self, tmp_path):
+        cache_dir = str(tmp_path)
+        digest, _ = populate(cache_dir)
+        runner = SweepRunner(
+            jobs=1, cache_dir=cache_dir, cache_budget_bytes=1
+        )
+        runner._enforce_cache_budget(keep_key=digest)
+        assert os.path.exists(entry_path(cache_dir, digest))
+
+    def test_load_touches_mtime_for_lru(self, tmp_path):
+        """Loads refresh an entry so LRU is by *use*, not by write."""
+        cache_dir = str(tmp_path)
+        digest, _ = populate(cache_dir)
+        path = entry_path(cache_dir, digest)
+        stale = time.time() - 3600
+        os.utime(path, (stale, stale))
+
+        runner = SweepRunner(jobs=1, cache_dir=cache_dir)
+        assert runner._cache_load(digest) is not None
+        assert os.path.getmtime(path) > stale + 1800
+
+    def test_eviction_emits_an_oplog_event(self, tmp_path):
+        cache_dir = str(tmp_path)
+        digest, _ = populate(cache_dir)
+        entry_size = os.path.getsize(entry_path(cache_dir, digest))
+        oplog = OpLogger(stream=io.StringIO(), component="runner")
+        runner = SweepRunner(
+            jobs=1, cache_dir=cache_dir,
+            cache_budget_bytes=int(entry_size * 1.5), oplog=oplog,
+        )
+        runner.run([tiny_job(i) for i in range(3)])
+        assert oplog.event_counts.get("cache_evict", 0) >= 1
+
+    def test_memory_memo_survives_disk_eviction(self, tmp_path):
+        """The budget governs the shared disk tier, not warm memos."""
+        cache_dir = str(tmp_path)
+        job = tiny_job()
+        runner = SweepRunner(jobs=1, cache_dir=cache_dir)
+        (first,) = runner.run([job])
+        os.unlink(entry_path(cache_dir, job.digest()))
+        (second,) = runner.run([job])
+        assert first == second
+        assert runner.cache_hits == 1
+        assert runner.jobs_executed == 1
+
+
+class TestTelemetry:
+    def test_counters_surface_in_telemetry(self, tmp_path):
+        cache_dir = str(tmp_path)
+        digest, _ = populate(cache_dir)
+        with open(entry_path(cache_dir, digest), "w") as fh:
+            fh.write("garbage")
+        entry_size = 4096
+        runner = SweepRunner(
+            jobs=1, cache_dir=cache_dir, cache_budget_bytes=entry_size
+        )
+        runner.run([tiny_job()])
+        doc = runner.telemetry()
+        assert doc["cache_quarantined"] == 1
+        assert doc["cache_budget_bytes"] == entry_size
+        assert doc["cache_size_bytes"] <= entry_size
+        assert "cache_evictions" in doc
+        assert "cache_evicted_bytes" in doc

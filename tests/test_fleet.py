@@ -1,0 +1,304 @@
+"""Tests for the shard fleet (repro.serve.fleet).
+
+Unit tests cover the routing ring, the circuit breaker and the fleet's
+Prometheus exposition without any processes.  Integration tests run a
+real :class:`FleetThread` — actual ``cohort serve`` subprocesses under
+a supervising router — and exercise the failure paths the fleet exists
+for: a SIGKILLed shard mid-flight must lose nothing, and a restarting
+endpoint must be survivable by a retrying client.
+"""
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.obs import FLEET_METRICS_SCHEMA
+from repro.obs.promexport import (
+    parse_prometheus_text,
+    prometheus_from_fleet_metrics,
+)
+from repro.serve import (
+    CircuitBreaker,
+    FleetThread,
+    HashRing,
+    ServeClient,
+    ServeClientError,
+    ServerThread,
+)
+
+TINY = dict(benchmark="fft", thetas=[60, 20, 20, 20], scale=0.05, seed=0)
+
+
+def tiny_specs(count):
+    return [
+        dict(TINY, thetas=[60 + 10 * i, 20, 20, 20]) for i in range(count)
+    ]
+
+
+class TestHashRing:
+    def test_assignment_is_deterministic(self):
+        ring = HashRing([0, 1, 2])
+        keys = [f"job-{i}" for i in range(64)]
+        first = [ring.assign(key) for key in keys]
+        second = [ring.assign(key) for key in keys]
+        assert first == second
+
+    def test_spreads_keys_across_shards(self):
+        ring = HashRing([0, 1, 2])
+        owners = {ring.assign(f"job-{i}") for i in range(200)}
+        assert owners == {0, 1, 2}
+
+    def test_removing_a_shard_only_moves_its_keys(self):
+        ring = HashRing([0, 1, 2])
+        keys = [f"job-{i}" for i in range(200)]
+        before = {key: ring.assign(key) for key in keys}
+        after = {key: ring.assign(key, allowed={0, 1}) for key in keys}
+        for key in keys:
+            if before[key] != 2:
+                assert after[key] == before[key]
+            else:
+                assert after[key] in (0, 1)
+
+    def test_empty_allowed_set_returns_none(self):
+        ring = HashRing([0, 1])
+        assert ring.assign("job", allowed=set()) is None
+
+    def test_rejects_empty_ring(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+class TestCircuitBreaker:
+    def _clocked(self, **kwargs):
+        now = [0.0]
+        breaker = CircuitBreaker(clock=lambda: now[0], **kwargs)
+        return breaker, now
+
+    def test_trips_after_threshold_failures(self):
+        breaker, _ = self._clocked(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allows()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allows()
+
+    def test_cooldown_lets_one_probe_through(self):
+        breaker, now = self._clocked(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        assert not breaker.allows()
+        now[0] = 5.1
+        assert breaker.allows()
+        assert breaker.state == "half_open"
+
+    def test_half_open_failure_doubles_cooldown(self):
+        breaker, now = self._clocked(threshold=1, cooldown=2.0)
+        breaker.record_failure()
+        now[0] = 2.1
+        assert breaker.allows()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open"
+        assert breaker.cooldown == 4.0
+        now[0] = 2.1 + 3.9
+        assert not breaker.allows()
+
+    def test_success_closes_and_resets(self):
+        breaker, now = self._clocked(threshold=1, cooldown=2.0)
+        breaker.record_failure()
+        now[0] = 2.1
+        assert breaker.allows()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.cooldown == 2.0
+
+    def test_cooldown_is_capped(self):
+        breaker, now = self._clocked(
+            threshold=1, cooldown=2.0, max_cooldown=5.0
+        )
+        for _ in range(5):
+            breaker.record_failure()
+            now[0] += breaker.cooldown + 0.1
+            assert breaker.allows()
+        assert breaker.cooldown <= 5.0
+
+
+class TestFleetPrometheus:
+    def _doc(self):
+        return {
+            "schema": FLEET_METRICS_SCHEMA,
+            "label": "fleet",
+            "uptime_seconds": 1.5,
+            "fleet": {
+                "shards_total": 2, "shards_up": 1, "draining": False,
+                "admission_pending": 3, "admission_limit": 256,
+                "jobs_submitted": 10, "jobs_completed": 7,
+                "jobs_failed": 0, "jobs_rejected": 1, "failovers": 2,
+                "replayed_jobs": 2, "restarts_total": 1, "recoveries": 1,
+                "recovery_seconds_max": 1.25, "recovery_seconds_mean": 1.25,
+                "journal_live": 3, "journal_torn_lines": 0,
+                "cache": {
+                    "evictions": 4, "evicted_bytes": 4096,
+                    "quarantined": 1, "hits": 5, "misses": 5,
+                    "size_bytes": 2048, "budget_bytes": 8192,
+                },
+            },
+            "shards": [
+                {"index": 0, "state": "up"},
+                {"index": 1, "state": "down"},
+            ],
+        }
+
+    def test_renders_parseable_exposition(self):
+        text = prometheus_from_fleet_metrics(self._doc())
+        samples = parse_prometheus_text(text)
+        assert "cohort_fleet_jobs_submitted_total" in samples
+        assert "cohort_fleet_failovers_total" in samples
+        assert "cohort_fleet_cache_quarantined_total" in samples
+        assert "cohort_fleet_shard_up" in samples
+
+    def test_per_shard_up_gauge(self):
+        text = prometheus_from_fleet_metrics(self._doc())
+        assert 'cohort_fleet_shard_up{service="fleet",shard="0"} 1' in text
+        assert 'cohort_fleet_shard_up{service="fleet",shard="1"} 0' in text
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fleet")
+    thread = FleetThread(
+        shards=2,
+        fleet_dir=str(root / "state"),
+        cache_dir=str(root / "cache"),
+        batch_window=0.02,
+        health_interval=0.1,
+        heartbeat_timeout=0.5,
+        heartbeat_deadline=1.5,
+        restart_backoff_base=0.2,
+    )
+    thread.start()
+    yield thread
+    thread.stop()
+
+
+class TestFleetIntegration:
+    def test_healthz_reports_all_shards_up(self, fleet):
+        client = ServeClient(fleet.base_url)
+        doc = client.healthz()
+        assert doc["status"] == "ok"
+        assert doc["shards_up"] == doc["shards_total"] == 2
+
+    def test_round_trip_matches_direct_runner(self, fleet, tmp_path):
+        from repro.runner import SweepRunner
+        from repro.serve import JobSpec
+
+        client = ServeClient(fleet.base_url, connect_retries=3)
+        records = client.submit_and_wait([TINY], timeout=300)
+        assert records[0]["status"] == "done"
+        runner = SweepRunner(jobs=1, cache_dir=str(tmp_path / "ref"))
+        direct = runner.run([JobSpec.from_dict(TINY).to_sweep_job()])[0]
+        assert json.dumps(records[0]["result"], sort_keys=True) == (
+            json.dumps(direct, sort_keys=True)
+        )
+
+    def test_metrics_document_shape(self, fleet):
+        client = ServeClient(fleet.base_url)
+        doc = client.metrics()
+        assert doc["schema"] == FLEET_METRICS_SCHEMA
+        assert doc["fleet"]["shards_total"] == 2
+        assert len(doc["shards"]) == 2
+        for shard in doc["shards"]:
+            assert shard["journal"]["path"]
+
+    def test_duplicate_specs_route_to_the_same_shard(self, fleet):
+        client = ServeClient(fleet.base_url, connect_retries=3)
+        first = client.submit([TINY])
+        second = client.submit([TINY])
+        client.wait([first[0]["id"], second[0]["id"]], timeout=300)
+        assert (
+            client.job(first[0]["id"])["shard"]
+            == client.job(second[0]["id"])["shard"]
+        )
+
+    def test_sigkilled_shard_loses_no_accepted_jobs(self, fleet):
+        client = ServeClient(fleet.base_url, connect_retries=5)
+        accepted = client.submit(tiny_specs(6))
+        ids = [doc["id"] for doc in accepted]
+        victim = fleet.supervisor.shards[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        records = client.wait(ids, timeout=300)
+        assert all(
+            records[job_id]["status"] == "done" for job_id in ids
+        )
+        # The supervisor must bring the dead shard back.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            doc = client.metrics()
+            if all(s["state"] == "up" for s in doc["shards"]):
+                break
+            time.sleep(0.3)
+        else:
+            pytest.fail("killed shard was not restarted")
+        fleet_doc = doc["fleet"]
+        assert fleet_doc["restarts_total"] >= 1
+        assert fleet_doc["recoveries"] >= 1
+        assert fleet_doc["recovery_seconds_max"] > 0
+
+
+class TestClientConnectRetry:
+    def _free_port(self):
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def test_no_retries_fails_fast_when_nothing_listens(self):
+        port = self._free_port()
+        client = ServeClient(f"http://127.0.0.1:{port}", timeout=2.0)
+        with pytest.raises(ServeClientError):
+            client.healthz()
+
+    def test_retries_exhausted_raises_serve_client_error(self):
+        port = self._free_port()
+        client = ServeClient(
+            f"http://127.0.0.1:{port}", timeout=2.0,
+            connect_retries=2, connect_backoff=0.01,
+        )
+        started = time.monotonic()
+        with pytest.raises(ServeClientError, match="3 attempt"):
+            client.healthz()
+        # Two backoff sleeps must actually have happened.
+        assert time.monotonic() - started >= 0.01
+
+    def test_rejects_negative_retry_budget(self):
+        with pytest.raises(ValueError):
+            ServeClient("http://127.0.0.1:1", connect_retries=-1)
+
+    def test_survives_server_arriving_late(self):
+        """ECONNREFUSED during a shard restart window is retried."""
+        port = self._free_port()
+        server_box = []
+
+        def bring_up():
+            time.sleep(0.4)
+            thread = ServerThread(port=port, batch_window=0.01)
+            thread.start()
+            server_box.append(thread)
+
+        starter = threading.Thread(target=bring_up)
+        starter.start()
+        try:
+            client = ServeClient(
+                f"http://127.0.0.1:{port}", timeout=30.0,
+                connect_retries=10, connect_backoff=0.1,
+            )
+            doc = client.healthz()
+            assert doc["status"] == "ok"
+            reconnects = client.oplog.event_counts.get("client_reconnect", 0)
+            assert reconnects >= 1
+        finally:
+            starter.join()
+            for thread in server_box:
+                thread.stop()

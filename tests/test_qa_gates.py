@@ -42,9 +42,9 @@ Q_FLOOR = {
 
 
 class TestShippedSpecs:
-    def test_all_five_ship(self):
+    def test_all_six_ship(self):
         assert available_specs() == [
-            "faults", "promotion", "serve", "slo", "throughput"
+            "chaos", "faults", "promotion", "serve", "slo", "throughput"
         ]
 
     def test_specs_load_and_have_questions(self):
