@@ -505,6 +505,7 @@ class ShardState:
     breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
     journal: Optional[WriteAheadJournal] = None
     log_path: str = ""
+    restart_task: Optional["asyncio.Task"] = None
 
     @property
     def pid(self) -> Optional[int]:
@@ -691,9 +692,16 @@ class ShardSupervisor:
         self._wake_all()
         while self._pending_count():
             await asyncio.sleep(0.02)
-        for task in self._tasks:
+        restart_tasks = [
+            s.restart_task
+            for s in self.shards
+            if s.restart_task is not None and not s.restart_task.done()
+        ]
+        for task in self._tasks + restart_tasks:
             task.cancel()
-        await asyncio.gather(*self._tasks, return_exceptions=True)
+        await asyncio.gather(
+            *self._tasks, *restart_tasks, return_exceptions=True
+        )
         self._tasks = []
         await asyncio.gather(
             *(self._stop_shard(shard) for shard in self.shards)
@@ -820,6 +828,13 @@ class ShardSupervisor:
                 self._wakeups[shard.index].set()
                 return
             await asyncio.sleep(0.1)
+        if shard.proc is not None and shard.proc.poll() is None:
+            # A half-booted child must not outlive the attempt, or the
+            # next respawn would leak a second process on the machine.
+            try:
+                shard.proc.kill()
+            except OSError:
+                pass
         raise RuntimeError(
             f"shard {shard.index} did not become healthy within "
             f"{self.spawn_timeout}s (see {shard.log_path})"
@@ -843,11 +858,18 @@ class ShardSupervisor:
                 shard.proc.kill()
             except OSError:
                 pass
-        # Replay the shard's accepted-but-unfinished jobs from its
-        # journal — the journal, not in-memory state, is the source of
-        # truth for what was 202-acknowledged.
+        # Replay the shard's accepted-but-unfinished jobs.  The journal
+        # is the source of truth for what was 202-acknowledged, but a
+        # job that failed over *to* this shard keeps its admit record
+        # in the admitting shard's journal — so the sweep is the union
+        # of this journal's live entries and every in-memory job this
+        # shard currently owns.
         assert shard.journal is not None
         live_ids = [doc["id"] for doc in shard.journal.live_jobs()]
+        seen = set(live_ids)
+        for job_id, job in self._jobs.items():
+            if job_id not in seen and job.shard == shard.index:
+                live_ids.append(job_id)
         alive = {
             s.index
             for s in self.shards
@@ -857,6 +879,11 @@ class ShardSupervisor:
         for job_id in live_ids:
             record = self._jobs.get(job_id)
             if record is None or record.status in ("done", "failed"):
+                continue
+            if record.shard != shard.index:
+                # Admitted here but failed over to another shard, whose
+                # queue and dispatch loop own it now — resetting it
+                # would re-execute a job healthily in flight elsewhere.
                 continue
             record.status = "queued"
             record.remote_id = None
@@ -905,19 +932,29 @@ class ShardSupervisor:
     # -- health monitoring ---------------------------------------------------
 
     async def _health_loop(self) -> None:
+        loop = asyncio.get_running_loop()
         while True:
             for shard in self.shards:
                 if shard.state == "up":
                     await self._probe(shard)
-                elif shard.state == "down":
-                    # The restart runs inline in the health loop so one
-                    # shard never has two racing restart tasks.
-                    try:
-                        await self._restart_shard(shard)
-                    except RuntimeError:
-                        # Spawn window exhausted; next tick tries again.
-                        shard.state = "down"
+                elif shard.state == "down" and (
+                    shard.restart_task is None
+                    or shard.restart_task.done()
+                ):
+                    # One guarded task per shard — never two racing
+                    # restarts of the same shard, and a slow boot never
+                    # blocks probing (or restarting) the others.
+                    shard.restart_task = loop.create_task(
+                        self._restart_guarded(shard)
+                    )
             await asyncio.sleep(self.health_interval)
+
+    async def _restart_guarded(self, shard: ShardState) -> None:
+        try:
+            await self._restart_shard(shard)
+        except RuntimeError:
+            # Spawn window exhausted; next health tick tries again.
+            shard.state = "down"
 
     async def _probe(self, shard: ShardState) -> None:
         now = time.monotonic()
@@ -1114,8 +1151,12 @@ class ShardSupervisor:
                 )
             except ShardUnreachableError:
                 shard.breaker.record_failure()
-                self._requeue(shard.index, [record])
-                return
+                # _take_chunk removed every member from the queue: put
+                # all still-queued ones back (not just this record),
+                # then fall through so members already dispatched this
+                # round are still collected.
+                self._requeue(shard.index, chunk)
+                break
             if status == 202 and isinstance(doc, dict) and doc.get("jobs"):
                 record.remote_id = doc["jobs"][0]["id"]
                 record.status = "dispatched"
@@ -1125,9 +1166,9 @@ class ShardSupervisor:
                     shard=shard.index, remote_id=record.remote_id,
                 )
             elif status in (429, 503):
-                self._requeue(shard.index, [record])
+                self._requeue(shard.index, chunk)
                 await asyncio.sleep(self.retry_after)
-                return
+                break
             else:
                 detail = (
                     doc.get("error") if isinstance(doc, dict) else None
@@ -1154,6 +1195,7 @@ class ShardSupervisor:
                 # The health loop declared the shard down; replay owns
                 # these records now.
                 return
+            unreachable = False
             for record in waiting:
                 try:
                     status, doc = await _http_json(
@@ -1162,8 +1204,14 @@ class ShardSupervisor:
                         timeout=self.request_timeout,
                     )
                 except ShardUnreachableError:
+                    # Transient while the shard is still marked up:
+                    # keep polling — nothing else re-polls dispatched
+                    # jobs, and if the shard really died the health
+                    # loop flips its state and the check above hands
+                    # the records to journal replay.
                     shard.breaker.record_failure()
-                    return
+                    unreachable = True
+                    break
                 if status != 200 or not isinstance(doc, dict):
                     # Unknown id after a silent shard restart: requeue.
                     record.status = "queued"
@@ -1179,7 +1227,9 @@ class ShardSupervisor:
                         record,
                         error=doc.get("error") or "shard execution failed",
                     )
-            await asyncio.sleep(0.05)
+            await asyncio.sleep(
+                self.health_interval if unreachable else 0.05
+            )
 
     def _finish(
         self,

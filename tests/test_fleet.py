@@ -8,10 +8,13 @@ for: a SIGKILLed shard mid-flight must lose nothing, and a restarting
 endpoint must be survivable by a retrying client.
 """
 
+import asyncio
 import json
 import os
 import signal
 import socket
+import subprocess
+import sys
 import threading
 import time
 
@@ -124,6 +127,192 @@ class TestCircuitBreaker:
             now[0] += breaker.cooldown + 0.1
             assert breaker.allows()
         assert breaker.cooldown <= 5.0
+
+
+class TestSupervisorFailover:
+    """Supervisor bookkeeping on the fault paths, without processes.
+
+    These drive :meth:`ShardSupervisor._on_shard_down`, the dispatch
+    chunk error paths, and the health loop directly against dead ports
+    and hand-built job records — the cascading-failure orderings here
+    are deterministic where the chaos soak's are not.
+    """
+
+    def _supervisor(self, tmp_path, shards=2, **kwargs):
+        from repro.serve.fleet import ShardSupervisor
+
+        sup = ShardSupervisor(
+            shards=shards,
+            fleet_dir=str(tmp_path / "fleet"),
+            cache_dir=str(tmp_path / "cache"),
+            **kwargs,
+        )
+        for shard in sup.shards:
+            shard.state = "up"
+        return sup
+
+    def _admit_one(self, sup):
+        from repro.serve import JobSpec
+
+        (record,) = sup.submit([JobSpec.from_dict(TINY)])
+        return record
+
+    def test_failed_over_job_survives_second_shard_death(self, tmp_path):
+        # Admit on A, fail over to B, then kill B: the admit record
+        # lives in A's journal, so replay must also sweep in-memory
+        # jobs owned by B — the 202 must never be lost.
+        sup = self._supervisor(tmp_path)
+        record = self._admit_one(sup)
+        a = record.shard
+        b = 1 - a
+        sup._on_shard_down(sup.shards[a], "test kill A")
+        assert record.shard == b and record.status == "queued"
+        sup.shards[a].state = "up"  # A restarted
+        # B dispatched the job (its dispatch loop took it off the queue).
+        sup._queues[b].remove(record)
+        record.status = "dispatched"
+        record.remote_id = "remote-1"
+        sup._on_shard_down(sup.shards[b], "test kill B")
+        assert record.status == "queued"
+        assert record.shard == a
+        assert record in sup._queues[a]
+        assert record.failovers == 2
+
+    def test_replay_skips_jobs_already_failed_over_elsewhere(self, tmp_path):
+        # A's journal still holds the admit for a job that failed over
+        # to B and is mid-flight there; A dying again must not reset it.
+        sup = self._supervisor(tmp_path)
+        record = self._admit_one(sup)
+        a = record.shard
+        b = 1 - a
+        sup._on_shard_down(sup.shards[a], "test kill A")
+        sup.shards[a].state = "up"  # A restarted
+        sup._queues[b].remove(record)
+        record.status = "dispatched"
+        record.remote_id = "remote-1"
+        failovers = record.failovers
+        sup._on_shard_down(sup.shards[a], "test kill A again")
+        assert record.status == "dispatched"
+        assert record.shard == b
+        assert record.failovers == failovers
+        # A's queue may still hold a stale entry from the original
+        # admit (dropped lazily by _take_chunk) — what matters is that
+        # neither dispatch loop would pick the job up again.
+        assert sup._take_chunk(a) == []
+        assert record not in sup._queues[b]
+
+    def _hand_built_chunk(self, sup, count):
+        from repro.serve import JobSpec
+        from repro.serve.fleet import FleetJob
+
+        chunk = [
+            FleetJob(
+                id=f"job-{i}", spec=JobSpec.from_dict(TINY), shard=0,
+                submitted_at=time.time(),
+            )
+            for i in range(count)
+        ]
+        for record in chunk:
+            sup._jobs[record.id] = record
+        return chunk
+
+    def test_unreachable_shard_requeues_whole_chunk(self, tmp_path):
+        # _take_chunk already removed the chunk from the queue; a POST
+        # failure must put every still-queued member back, not just the
+        # record that hit the error.
+        from repro.serve.fleet import free_port
+
+        sup = self._supervisor(tmp_path, shards=1)
+        shard = sup.shards[0]
+        shard.port = free_port()  # nothing listening
+        chunk = self._hand_built_chunk(sup, 3)
+        asyncio.run(sup._dispatch_chunk(shard, chunk))
+        assert all(r.status == "queued" for r in chunk)
+        assert [r.id for r in sup._queues[0]] == [r.id for r in chunk]
+
+    def test_collect_retries_while_shard_marked_up(self, tmp_path):
+        # A transient poll failure must not abandon dispatched jobs:
+        # _collect keeps polling until the health loop flips the state,
+        # at which point journal replay owns the records.
+        from repro.serve.fleet import FleetJob, free_port
+
+        sup = self._supervisor(tmp_path, shards=1, health_interval=0.05)
+        shard = sup.shards[0]
+        shard.port = free_port()
+        (record,) = self._hand_built_chunk(sup, 1)
+        record.status = "dispatched"
+        record.remote_id = "remote-1"
+
+        async def drive():
+            task = asyncio.ensure_future(sup._collect(shard, [record]))
+            await asyncio.sleep(0.4)
+            assert not task.done(), "gave up on a dispatched job"
+            shard.state = "down"
+            await asyncio.wait_for(task, timeout=5)
+
+        asyncio.run(drive())
+        assert record.status == "dispatched"  # replay's job now
+
+    def test_restarts_run_concurrently_per_shard(self, tmp_path):
+        # A slow restart of one shard must not stop the health loop
+        # noticing (and restarting) another.
+        sup = self._supervisor(tmp_path, shards=2, health_interval=0.02)
+        started = []
+
+        async def slow_restart(shard):
+            started.append(shard.index)
+            await asyncio.sleep(30)
+
+        sup._restart_shard = slow_restart
+        for shard in sup.shards:
+            shard.state = "down"
+
+        async def drive():
+            task = asyncio.ensure_future(sup._health_loop())
+            try:
+                deadline = asyncio.get_running_loop().time() + 2
+                while (
+                    len(started) < 2
+                    and asyncio.get_running_loop().time() < deadline
+                ):
+                    await asyncio.sleep(0.02)
+            finally:
+                task.cancel()
+                for shard in sup.shards:
+                    if shard.restart_task is not None:
+                        shard.restart_task.cancel()
+                await asyncio.gather(
+                    task,
+                    *(
+                        s.restart_task
+                        for s in sup.shards
+                        if s.restart_task is not None
+                    ),
+                    return_exceptions=True,
+                )
+
+        asyncio.run(drive())
+        assert sorted(started) == [0, 1]
+
+    def test_spawn_timeout_kills_half_booted_child(self, tmp_path):
+        # A child that boots too slowly must be killed when the spawn
+        # window closes, not left running while a sibling is respawned.
+        from repro.serve.fleet import free_port
+
+        sup = self._supervisor(tmp_path, shards=1, spawn_timeout=0.5)
+        shard = sup.shards[0]
+
+        def fake_spawn(target):
+            target.port = free_port()
+            target.proc = subprocess.Popen(
+                [sys.executable, "-c", "import time; time.sleep(60)"]
+            )
+
+        sup._spawn = fake_spawn
+        with pytest.raises(RuntimeError):
+            asyncio.run(sup._start_shard(shard))
+        shard.proc.wait(timeout=10)  # raises TimeoutExpired if leaked
+        assert shard.proc.poll() is not None
 
 
 class TestFleetPrometheus:
