@@ -1,0 +1,34 @@
+# Container image for the cohort serving layer.
+#
+# Two entrypoints ship in one image:
+#
+#   docker run -p 8765:8765 <image>                    # single serve
+#   docker run -p 8780:8780 <image> fleet --shards 3   # supervised fleet
+#
+# Anything after the image name is passed to `cohort` verbatim, so every
+# `cohort serve` / `cohort fleet` flag works unchanged.  State lives
+# under /data (result cache, intake journals, oplogs) — mount a volume
+# there to keep the cache warm and the journals durable across
+# container restarts; see deployment/ for a compose file that wires
+# this together with a Prometheus scraper.
+
+FROM python:3.12-slim
+
+# The simulator and runner need numpy only; keep the layer small.
+RUN pip install --no-cache-dir numpy
+
+WORKDIR /app
+COPY pyproject.toml README.md ./
+COPY src ./src
+RUN pip install --no-cache-dir .
+
+# /data holds everything mutable: result cache + fleet state.
+RUN mkdir -p /data/cache /data/fleet
+WORKDIR /data
+
+# 8765: cohort serve (single shard).  8780: cohort fleet (router).
+EXPOSE 8765 8780
+
+ENTRYPOINT ["cohort"]
+CMD ["serve", "--host", "0.0.0.0", "--port", "8765", \
+     "--cache-dir", "/data/cache", "--oplog", "/data/serve.oplog.jsonl"]

@@ -24,6 +24,9 @@ Public surface:
 * :class:`ShardSupervisor` / :class:`FleetApp` / :func:`run_fleet` —
   the supervised shard fleet (``cohort fleet``),
 * :class:`FleetThread` — in-process fleet for tests and the chaos soak,
+* :class:`LoadGenerator` / :func:`arrival_schedule` /
+  :func:`theta_population` — open-loop Poisson load generation for the
+  capacity soak (``benchmarks/capacity_soak.py``),
 * :class:`WriteAheadJournal` / :class:`HashRing` /
   :class:`CircuitBreaker` — the fleet's durability and routing pieces.
 
@@ -38,6 +41,12 @@ from repro.serve.client import (
     BackpressureError,
     ServeClient,
     ServeClientError,
+)
+from repro.serve.loadgen import (
+    LoadGenerator,
+    LoadgenReport,
+    arrival_schedule,
+    theta_population,
 )
 from repro.serve.fleet import (
     CircuitBreaker,
@@ -70,6 +79,8 @@ __all__ = [
     "JobRecord",
     "JobSpec",
     "JobSpecError",
+    "LoadGenerator",
+    "LoadgenReport",
     "QueueFullError",
     "ServeApp",
     "ServeClient",
@@ -78,6 +89,8 @@ __all__ = [
     "ServerThread",
     "ShardSupervisor",
     "WriteAheadJournal",
+    "arrival_schedule",
     "run_fleet",
     "run_server",
+    "theta_population",
 ]

@@ -277,34 +277,98 @@ class ServeClient:
             raise ServeClientError(f"job {job_id} returned {status}", status)
         return doc
 
+    def poll_jobs(
+        self,
+        job_ids: Sequence[str],
+        *,
+        include_result: bool = True,
+    ) -> Optional[Dict[str, Dict[str, Any]]]:
+        """Batched status poll (``POST /jobs/poll``); id → record.
+
+        Returns ``None`` when the server predates the batch endpoint
+        (404/405), so callers can fall back to per-job ``GET``s.  An
+        unknown id raises, exactly like :meth:`job` would.
+        """
+        status, _, doc = self._request(
+            "POST", "/jobs/poll",
+            {"ids": list(job_ids), "include_result": include_result},
+        )
+        if status in (404, 405):
+            return None
+        if status != 200 or not isinstance(doc, dict):
+            raise ServeClientError(f"jobs/poll returned {status}", status)
+        unknown = doc.get("unknown") or []
+        if unknown:
+            raise ServeClientError(
+                f"unknown job id(s): {unknown[:4]}", status=404
+            )
+        return dict(doc.get("jobs", {}))
+
     def wait(
         self,
         job_ids: Sequence[str],
         *,
         timeout: float = 600.0,
         poll: float = 0.05,
+        poll_batch: int = 64,
     ) -> Dict[str, Dict[str, Any]]:
-        """Poll until every job is done or failed; id → final record."""
+        """Poll until every job is done or failed; id → final record.
+
+        Jobs are polled in batches of ``poll_batch`` over
+        ``POST /jobs/poll`` (falling back to per-job ``GET``s against
+        older servers), and the ``timeout`` deadline is enforced before
+        *every* HTTP round-trip — never only between full passes, so
+        thousands of in-flight jobs cannot stretch one pass past the
+        deadline unnoticed.
+        """
+        if poll_batch < 1:
+            raise ValueError("poll_batch must be >= 1")
         deadline = time.monotonic() + timeout
         finished: Dict[str, Dict[str, Any]] = {}
         pending = list(job_ids)
+        batch_supported = True
         while pending:
-            still_pending = []
-            for job_id in pending:
-                record = self.job(job_id)
-                if record["status"] in ("done", "failed"):
-                    finished[job_id] = record
-                else:
-                    still_pending.append(job_id)
+            still_pending: List[str] = []
+            for start in range(0, len(pending), poll_batch):
+                chunk = pending[start:start + poll_batch]
+                # Deadline first: the remainder of this pass is still
+                # pending by definition, so report all of it.
+                remaining = chunk + pending[start + poll_batch:]
+                self._check_wait_deadline(deadline, timeout, remaining)
+                records: Optional[Dict[str, Dict[str, Any]]] = None
+                if batch_supported:
+                    records = self.poll_jobs(chunk)
+                    if records is None:
+                        batch_supported = False
+                if records is None:
+                    records = {}
+                    for i, job_id in enumerate(chunk):
+                        self._check_wait_deadline(
+                            deadline, timeout,
+                            chunk[i:] + pending[start + poll_batch:],
+                        )
+                        records[job_id] = self.job(job_id)
+                for job_id in chunk:
+                    record = records[job_id]
+                    if record["status"] in ("done", "failed"):
+                        finished[job_id] = record
+                    else:
+                        still_pending.append(job_id)
             pending = still_pending
             if pending:
-                if time.monotonic() > deadline:
-                    raise TimeoutError(
-                        f"{len(pending)} job(s) still pending after "
-                        f"{timeout}s: {pending[:4]}"
-                    )
+                self._check_wait_deadline(deadline, timeout, pending)
                 time.sleep(poll)
         return finished
+
+    @staticmethod
+    def _check_wait_deadline(
+        deadline: float, timeout: float, pending: Sequence[str]
+    ) -> None:
+        if time.monotonic() > deadline:
+            raise TimeoutError(
+                f"{len(pending)} job(s) still pending after "
+                f"{timeout}s: {list(pending[:4])}"
+            )
 
     def submit_and_wait(
         self,

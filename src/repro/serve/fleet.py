@@ -28,9 +28,12 @@ hardened on-disk result cache — and puts a supervising router in front:
   the replacement answers health checks.
 
 Everything is asyncio + stdlib, single event-loop-thread state like
-:class:`BatchingService`; the only blocking calls (journal fsync,
-subprocess spawn) are cheap.  See ``docs/serving.md`` for the
-architecture and ``docs/resilience.md`` for the failure-mode map.
+:class:`BatchingService`.  Journal fsyncs run on an executor thread so
+a slow disk never stalls the event loop; because that makes ``submit``
+yield mid-admission, admission slots are reserved atomically *before*
+the first await (see :meth:`ShardSupervisor.submit`).  See
+``docs/serving.md`` for the architecture and ``docs/resilience.md``
+for the failure-mode map.
 """
 
 from __future__ import annotations
@@ -52,7 +55,7 @@ import hashlib
 
 from repro.obs.ops import OpLogger
 from repro.obs.schema import FLEET_METRICS_SCHEMA, INTAKE_JOURNAL_SCHEMA
-from repro.serve.server import JsonHttpApp, _write_json_atomic
+from repro.serve.server import JsonHttpApp, _write_json_atomic, poll_jobs_route
 from repro.serve.service import (
     DrainingError,
     JobSpec,
@@ -180,6 +183,11 @@ class WriteAheadJournal:
     replay) tolerates a torn final line: a line that does not parse was
     never fully written, which means its ``admit`` never produced a 202
     — dropping it loses nothing a client was promised.
+
+    Thread-safe: the supervisor runs admits on an executor thread (the
+    fsync must not stall the event loop under submission load) while
+    retires and replay sweeps run on the loop thread, so every mutation
+    and every read of the live set takes the internal lock.
     """
 
     def __init__(self, path: str) -> None:
@@ -191,6 +199,7 @@ class WriteAheadJournal:
         self._seq = 0
         self._live: Dict[str, Dict[str, Any]] = {}
         self._fh: Optional[Any] = None
+        self._lock = threading.Lock()
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -244,48 +253,50 @@ class WriteAheadJournal:
         spec document).  The record is on disk — fsync'd — when this
         returns, which is the precondition for sending the 202.
         """
-        seq = self._seq
-        self._seq += 1
-        self._append(
-            {
-                "schema": INTAKE_JOURNAL_SCHEMA,
-                "op": "admit",
-                "seq": seq,
-                "ts": time.time(),
-                "shard": shard,
-                "job": job,
-            }
-        )
-        self._live[job["id"]] = job
-        self.admits += 1
-        return seq
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            self._append(
+                {
+                    "schema": INTAKE_JOURNAL_SCHEMA,
+                    "op": "admit",
+                    "seq": seq,
+                    "ts": time.time(),
+                    "shard": shard,
+                    "job": job,
+                }
+            )
+            self._live[job["id"]] = job
+            self.admits += 1
+            return seq
 
     def retire(self, job_id: str) -> bool:
         """Close one admitted entry; truncate when none remain live."""
-        if job_id not in self._live:
-            return False
-        seq = self._seq
-        self._seq += 1
-        self._append(
-            {
-                "schema": INTAKE_JOURNAL_SCHEMA,
-                "op": "retire",
-                "seq": seq,
-                "ts": time.time(),
-                "job_id": job_id,
-            }
-        )
-        del self._live[job_id]
-        self.retires += 1
-        if not self._live:
-            fh = self._sink()
-            fh.seek(0)
-            fh.truncate()
-            fh.flush()
-            os.fsync(fh.fileno())
-            self.truncations += 1
-            self._seq = 0
-        return True
+        with self._lock:
+            if job_id not in self._live:
+                return False
+            seq = self._seq
+            self._seq += 1
+            self._append(
+                {
+                    "schema": INTAKE_JOURNAL_SCHEMA,
+                    "op": "retire",
+                    "seq": seq,
+                    "ts": time.time(),
+                    "job_id": job_id,
+                }
+            )
+            del self._live[job_id]
+            self.retires += 1
+            if not self._live:
+                fh = self._sink()
+                fh.seek(0)
+                fh.truncate()
+                fh.flush()
+                os.fsync(fh.fileno())
+                self.truncations += 1
+                self._seq = 0
+            return True
 
     @property
     def live_count(self) -> int:
@@ -293,24 +304,27 @@ class WriteAheadJournal:
 
     def live_jobs(self) -> List[Dict[str, Any]]:
         """Unretired job documents, in admission order."""
-        return list(self._live.values())
+        with self._lock:
+            return list(self._live.values())
 
     def counters(self) -> Dict[str, Any]:
         """Journal health counters for /metrics and the oplog."""
-        return {
-            "path": self.path,
-            "live": self.live_count,
-            "admits": self.admits,
-            "retires": self.retires,
-            "truncations": self.truncations,
-            "torn_lines": self.torn_lines,
-        }
+        with self._lock:
+            return {
+                "path": self.path,
+                "live": self.live_count,
+                "admits": self.admits,
+                "retires": self.retires,
+                "truncations": self.truncations,
+                "torn_lines": self.torn_lines,
+            }
 
     def close(self) -> None:
         """Close the append handle (the file itself is kept)."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
 
 # -- consistent-hash ring ----------------------------------------------------
@@ -460,6 +474,12 @@ class FleetJob:
     remote_id: Optional[str] = None
     submitted_at: float = 0.0
     finished_at: Optional[float] = None
+    #: Monotonic twins of the wall-clock stamps above: the ``*_at``
+    #: fields are journal/display values, while ``duration_ms`` (and any
+    #: other elapsed-time math) derives from these so an NTP step cannot
+    #: corrupt it.
+    submitted_mono: float = 0.0
+    finished_mono: Optional[float] = None
     result: Optional[dict] = None
     error: Optional[str] = None
     digest: Optional[str] = None
@@ -497,7 +517,10 @@ class ShardState:
     state: str = "starting"  # starting | up | down | backoff
     restarts: int = 0
     consecutive_restarts: int = 0
-    last_healthy: float = 0.0
+    #: Monotonic time of the last successful health probe; ``None``
+    #: means "never healthy" — distinct from a legitimate monotonic
+    #: reading of ``0.0``, so never test this by truthiness.
+    last_healthy: Optional[float] = None
     up_since: float = 0.0
     down_since: float = 0.0
     routed: int = 0
@@ -613,6 +636,15 @@ class ShardSupervisor:
         self._tasks: List[asyncio.Task] = []
         self._draining = False
         self._started_at = time.time()
+        self._started_mono = time.monotonic()
+        # Admission accounting.  ``_pending`` counts jobs in "queued"/
+        # "dispatched" status; ``_reserved`` counts admission slots held
+        # by in-flight ``submit`` calls that have passed the limit check
+        # but not yet registered their records (journal fsyncs happen
+        # off-loop, so submit yields between check and append).  The
+        # limit check reads both, making check-and-reserve atomic.
+        self._pending = 0
+        self._reserved = 0
         # Fleet-level counters surfaced through /metrics.
         self.jobs_submitted = 0
         self.jobs_completed = 0
@@ -675,9 +707,11 @@ class ShardSupervisor:
                     shard=shard.index,
                     trace_id=doc.get("trace_id"),
                     submitted_at=doc.get("submitted_at", time.time()),
+                    submitted_mono=time.monotonic(),
                 )
                 self._jobs[record.id] = record
                 self._queues[shard.index].append(record)
+                self._pending += 1
                 self.replayed_jobs += 1
                 self.oplog.emit(
                     "journal_replay", shard=shard.index, job_id=record.id,
@@ -981,17 +1015,19 @@ class ShardSupervisor:
                 # ladder from the bottom again (flap detection window).
                 shard.consecutive_restarts = 0
             return
-        if now - shard.last_healthy >= self.heartbeat_deadline:
+        if (
+            shard.last_healthy is None
+            or now - shard.last_healthy >= self.heartbeat_deadline
+        ):
             self._on_shard_down(shard, "heartbeat deadline missed")
 
     # -- submission / routing ------------------------------------------------
 
     def _pending_count(self) -> int:
-        return sum(
-            1
-            for record in self._jobs.values()
-            if record.status in ("queued", "dispatched")
-        )
+        # Maintained incrementally (submit/replay +1, _finish -1): the
+        # old scan over every job ever admitted made each admission
+        # check O(total jobs) — quadratic over a long soak.
+        return self._pending
 
     def _route_key(self, key: str) -> int:
         """Pick the owning shard for a job key.
@@ -1011,14 +1047,20 @@ class ShardSupervisor:
         assert target is not None
         return target
 
-    def submit(
+    async def submit(
         self, specs: Sequence[JobSpec], trace_id: Optional[str] = None
     ) -> List[FleetJob]:
         """Admit ``specs`` as one all-or-nothing submission.
 
         Each accepted job is journaled (fsync'd) before this returns;
         the HTTP layer's 202 therefore only ever describes durable
-        admissions.
+        admissions.  The fsyncs run on an executor thread so a slow
+        disk never stalls the event loop — which means this coroutine
+        yields between the admission-limit check and the record
+        registrations.  The limit check is therefore check-AND-reserve:
+        the whole batch's slots are claimed under ``_reserved`` before
+        the first ``await``, so two concurrent oversize submissions can
+        never both pass the check.
         """
         if self._draining:
             self.oplog.emit(
@@ -1028,7 +1070,7 @@ class ShardSupervisor:
             raise DrainingError("fleet is draining; not accepting jobs")
         if not specs:
             raise JobSpecError("submission contains no jobs")
-        pending = self._pending_count()
+        pending = self._pending + self._reserved
         if pending + len(specs) > self.admission_limit:
             self.jobs_rejected += len(specs)
             self.oplog.emit(
@@ -1042,37 +1084,50 @@ class ShardSupervisor:
                 f"{self.retry_after}s",
                 retry_after=self.retry_after,
             )
+        # Reserve every slot before the first await; the finally block
+        # releases whatever was not converted into a registered record.
+        self._reserved += len(specs)
+        loop = asyncio.get_running_loop()
         now = time.time()
         records: List[FleetJob] = []
-        for spec in specs:
-            key = spec.spec_key()
-            shard_id = self._route_key(key)
-            record = FleetJob(
-                id=uuid.uuid4().hex[:12],
-                spec=spec,
-                shard=shard_id,
-                trace_id=trace_id,
-                submitted_at=now,
-            )
-            shard = self.shards[shard_id]
-            assert shard.journal is not None
-            shard.journal.admit(
-                {
-                    "id": record.id,
-                    "spec": spec.to_dict(),
-                    "trace_id": trace_id,
-                    "submitted_at": now,
-                },
-                shard=shard_id,
-            )
-            self._jobs[record.id] = record
-            self._queues[shard_id].append(record)
-            shard.routed += 1
-            records.append(record)
-            self.oplog.emit(
-                "admit", trace_id=trace_id, job_id=record.id,
-                shard=shard_id, spec_key=key,
-            )
+        try:
+            for spec in specs:
+                key = spec.spec_key()
+                shard_id = self._route_key(key)
+                record = FleetJob(
+                    id=uuid.uuid4().hex[:12],
+                    spec=spec,
+                    shard=shard_id,
+                    trace_id=trace_id,
+                    submitted_at=now,
+                    submitted_mono=time.monotonic(),
+                )
+                shard = self.shards[shard_id]
+                assert shard.journal is not None
+                await loop.run_in_executor(
+                    None,
+                    shard.journal.admit,
+                    {
+                        "id": record.id,
+                        "spec": spec.to_dict(),
+                        "trace_id": trace_id,
+                        "submitted_at": now,
+                    },
+                    shard_id,
+                )
+                self._jobs[record.id] = record
+                self._queues[shard_id].append(record)
+                shard.routed += 1
+                records.append(record)
+                # Convert one reservation into a registered pending job.
+                self._reserved -= 1
+                self._pending += 1
+                self.oplog.emit(
+                    "admit", trace_id=trace_id, job_id=record.id,
+                    shard=shard_id, spec_key=key,
+                )
+        finally:
+            self._reserved -= len(specs) - len(records)
         self.jobs_submitted += len(records)
         self._wake_all()
         return records
@@ -1237,7 +1292,10 @@ class ShardSupervisor:
         result: Optional[dict] = None,
         error: Optional[str] = None,
     ) -> None:
+        if record.status in ("queued", "dispatched"):
+            self._pending -= 1
         record.finished_at = time.time()
+        record.finished_mono = time.monotonic()
         if error is None:
             record.status = "done"
             record.result = result
@@ -1256,12 +1314,12 @@ class ShardSupervisor:
                 assert other.journal is not None
                 if other.journal.retire(record.id):
                     break
+        # Monotonic duration: immune to wall-clock (NTP) steps, so no
+        # clamp is needed — a negative value here would be a real bug.
         self.oplog.emit(
             "retire", job_id=record.id, trace_id=record.trace_id,
             status=record.status, shard=record.shard,
-            duration_ms=max(
-                0.0, (record.finished_at - record.submitted_at) * 1000
-            ),
+            duration_ms=(record.finished_mono - record.submitted_mono) * 1000,
         )
 
     # -- metrics -------------------------------------------------------------
@@ -1289,9 +1347,11 @@ class ShardSupervisor:
                     "routed": shard.routed,
                     "completed": shard.completed,
                     "queue_depth": len(self._queues[shard.index]),
+                    # Explicit None test: a monotonic reading of 0.0 is
+                    # a legitimate "healthy right now" timestamp.
                     "last_healthy_age_s": (
                         round(now - shard.last_healthy, 3)
-                        if shard.last_healthy else None
+                        if shard.last_healthy is not None else None
                     ),
                     "journal": counters,
                     "serve": None,
@@ -1301,7 +1361,7 @@ class ShardSupervisor:
         return {
             "schema": FLEET_METRICS_SCHEMA,
             "label": self.label,
-            "uptime_seconds": time.time() - self._started_at,
+            "uptime_seconds": time.monotonic() - self._started_mono,
             "fleet": {
                 "shards_total": len(self.shards),
                 "shards_up": self.shards_up,
@@ -1448,7 +1508,13 @@ class FleetApp(JsonHttpApp):
             trace_id = (
                 supplied if valid_trace_id(supplied) else new_trace_id()
             )
+            # Coroutine: awaited by JsonHttpApp._handle_request (the
+            # supervisor's submit fsyncs journals off-loop).
             return self._submit(body, trace_id)
+        if path == "/jobs/poll":
+            if method != "POST":
+                return 405, {"error": "method not allowed"}, {}
+            return poll_jobs_route(sup.get, body)
         if path.startswith("/jobs/"):
             if method != "GET":
                 return 405, {"error": "method not allowed"}, {}
@@ -1458,7 +1524,7 @@ class FleetApp(JsonHttpApp):
             return 200, record.to_dict(include_result=True), {}
         return 404, {"error": f"no route for {path}"}, {}
 
-    def _submit(
+    async def _submit(
         self, body: bytes, trace_id: str
     ) -> Tuple[int, Any, Dict[str, str]]:
         trace_headers = {"X-Trace-Id": trace_id}
@@ -1486,7 +1552,7 @@ class FleetApp(JsonHttpApp):
         sup = self.supervisor
         try:
             specs = [JobSpec.from_dict(raw) for raw in raw_specs]
-            records = sup.submit(specs, trace_id=trace_id)
+            records = await sup.submit(specs, trace_id=trace_id)
         except JobSpecError as exc:
             return (
                 400,

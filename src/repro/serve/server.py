@@ -15,7 +15,9 @@ third-party framework, one request per connection, JSON in and out:
   honoured, anything else gets a freshly minted one — echoed in the
   response header/body and stamped through the oplog, the runner and
   the job's result envelope,
-* ``GET /jobs/<id>`` — poll one job (result embedded when done).
+* ``GET /jobs/<id>`` — poll one job (result embedded when done),
+* ``POST /jobs/poll`` — poll many jobs in one round-trip
+  (``{"ids": [...], "include_result": bool}``).
 
 ``SIGTERM``/``SIGINT`` trigger a graceful drain: submissions are
 refused, queued and in-flight batches finish, final metrics/trace
@@ -135,13 +137,20 @@ class JsonHttpApp:
                 body = await asyncio.wait_for(reader.readexactly(length), 30)
             except (asyncio.TimeoutError, asyncio.IncompleteReadError):
                 return 400, {"error": "truncated request body"}, {}
-        return self._route(method, target, body, headers)
+        result = self._route(method, target, body, headers)
+        if asyncio.iscoroutine(result):
+            # A route that needs the event loop (e.g. the fleet's
+            # submission path, which journals through an executor)
+            # returns a coroutine instead of a response tuple.
+            result = await result
+        return result
 
     def _route(
         self, method: str, target: str, body: bytes,
         headers: Optional[Dict[str, str]] = None,
-    ) -> Tuple[int, Any, Dict[str, str]]:
-        """Dispatch one request: ``(status, doc-or-text, extra headers)``."""
+    ) -> Any:
+        """Dispatch one request: ``(status, doc-or-text, extra headers)``,
+        or a coroutine resolving to that tuple for async routes."""
         raise NotImplementedError
 
     @staticmethod
@@ -159,6 +168,43 @@ class JsonHttpApp:
             return formats[-1].lower() in ("prometheus", "text")
         accept = headers.get("accept", "")
         return "text/plain" in accept and "application/json" not in accept
+
+
+def poll_jobs_route(
+    get, body: bytes
+) -> Tuple[int, Any, Dict[str, str]]:
+    """Shared ``POST /jobs/poll`` handler: batched status polling.
+
+    Body: ``{"ids": [...], "include_result": bool}`` (``include_result``
+    defaults to true).  Answers ``{"jobs": {id: record}, "unknown":
+    [...]}`` — one round-trip for a whole in-flight window instead of
+    one ``GET /jobs/<id>`` per job, which is what keeps high-fan-out
+    pollers (``ServeClient.wait``, the load generator) from drowning the
+    server in per-job requests.  ``get`` is the id → record lookup of
+    the owning service (:class:`BatchingService` or the fleet
+    supervisor).
+    """
+    try:
+        doc = json.loads(body or b"null")
+    except ValueError:
+        return 400, {"error": "request body is not valid JSON"}, {}
+    if not isinstance(doc, dict) or not isinstance(doc.get("ids"), list):
+        return 400, {"error": '"ids" must be a list of job ids'}, {}
+    ids = doc["ids"]
+    if not all(isinstance(job_id, str) for job_id in ids):
+        return 400, {"error": "job ids must be strings"}, {}
+    include_result = doc.get("include_result", True)
+    if not isinstance(include_result, bool):
+        return 400, {"error": '"include_result" must be a boolean'}, {}
+    jobs: Dict[str, Any] = {}
+    unknown = []
+    for job_id in ids:
+        record = get(job_id)
+        if record is None:
+            unknown.append(job_id)
+        else:
+            jobs[job_id] = record.to_dict(include_result=include_result)
+    return 200, {"jobs": jobs, "unknown": unknown}, {}
 
 
 class ServeApp(JsonHttpApp):
@@ -201,6 +247,10 @@ class ServeApp(JsonHttpApp):
             supplied = headers.get("x-trace-id")
             trace_id = supplied if valid_trace_id(supplied) else new_trace_id()
             return self._submit(body, trace_id)
+        if path == "/jobs/poll":
+            if method != "POST":
+                return 405, {"error": "method not allowed"}, {}
+            return poll_jobs_route(self.service.get, body)
         if path.startswith("/jobs/"):
             if method != "GET":
                 return 405, {"error": "method not allowed"}, {}

@@ -173,6 +173,14 @@ class JobRecord:
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Monotonic twins of the wall-clock stamps above.  The ``*_at``
+    #: fields are display/journal values (epoch seconds, serialised in
+    #: :meth:`to_dict`); every *duration* — queue wait, end-to-end
+    #: ``duration_ms`` — is derived from these instead, so an NTP step
+    #: mid-run cannot corrupt percentiles or SLO verdicts.
+    submitted_mono: float = 0.0
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
     #: The SweepJob content digest, known once the batch materialised.
     digest: Optional[str] = None
     result: Optional[dict] = None
@@ -245,7 +253,7 @@ class BatchingService:
         self._task: Optional[asyncio.Task] = None
         self._draining = False
         self._inflight = 0
-        self._started_at = time.time()
+        self._started_mono = time.monotonic()
         # Counters surfaced through /metrics.
         self.jobs_submitted = 0
         self.jobs_rejected = 0
@@ -314,6 +322,12 @@ class BatchingService:
             raise DrainingError("service is draining; not accepting jobs")
         if not specs:
             raise JobSpecError("submission contains no jobs")
+        # Check-and-admit is one atomic step: nothing between the limit
+        # check and the final append yields to the event loop (no awaits,
+        # no blocking I/O beyond the oplog write), so two concurrent
+        # submissions can never both pass the check and overshoot
+        # ``queue_limit``.  Anything slow enough to need an await must
+        # happen before this point.
         if len(self._queue) + len(specs) > self.queue_limit:
             self.jobs_rejected += len(specs)
             self.oplog.emit(
@@ -328,11 +342,12 @@ class BatchingService:
                 retry_after=self.retry_after,
             )
         now = time.time()
+        now_mono = time.monotonic()
         records = []
         for spec in specs:
             record = JobRecord(
                 id=uuid.uuid4().hex[:12], spec=spec, submitted_at=now,
-                trace_id=trace_id,
+                submitted_mono=now_mono, trace_id=trace_id,
             )
             self._jobs[record.id] = record
             self._queue.append(record)
@@ -388,10 +403,12 @@ class BatchingService:
     async def _execute(self, batch: List[JobRecord]) -> None:
         self._inflight = len(batch)
         started = time.time()
+        started_mono = time.monotonic()
         for record in batch:
             record.status = "running"
             record.started_at = started
-            wait_ms = max(0, int((started - record.submitted_at) * 1000))
+            record.started_mono = started_mono
+            wait_ms = int((started_mono - record.submitted_mono) * 1000)
             self._queue_wait_ms.add(wait_ms)
             self.oplog.emit(
                 "batch", trace_id=record.trace_id, job_id=record.id,
@@ -413,6 +430,7 @@ class BatchingService:
                 record.error = detail
                 record.executed_at = executed
                 record.finished_at = time.time()
+                record.finished_mono = time.monotonic()
                 self._retire(record)
             self.jobs_failed += len(batch)
         else:
@@ -423,6 +441,7 @@ class BatchingService:
                 record.result = result
                 record.executed_at = executed
                 record.finished_at = time.time()
+                record.finished_mono = time.monotonic()
                 self._retire(record)
             self.jobs_completed += len(batch)
         finally:
@@ -433,9 +452,10 @@ class BatchingService:
         self.oplog.emit(
             "retire", trace_id=record.trace_id, job_id=record.id,
             status=record.status, digest=record.digest,
-            duration_ms=max(
-                0.0, (record.finished_at - record.submitted_at) * 1000
-            ),
+            # Monotonic, so a wall-clock (NTP) step mid-job can neither
+            # inflate the duration nor push it negative.
+            duration_ms=(record.finished_mono - record.submitted_mono)
+            * 1000,
         )
         if len(self.trace_rows) >= self.trace_rows_limit:
             self.trace_rows.pop(0)
@@ -485,7 +505,7 @@ class BatchingService:
         return {
             "schema": SERVE_METRICS_SCHEMA,
             "label": self.label,
-            "uptime_seconds": time.time() - self._started_at,
+            "uptime_seconds": time.monotonic() - self._started_mono,
             "service": {
                 "queue_depth": len(self._queue),
                 "queue_limit": self.queue_limit,

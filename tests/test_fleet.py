@@ -152,9 +152,11 @@ class TestSupervisorFailover:
         return sup
 
     def _admit_one(self, sup):
+        import asyncio
+
         from repro.serve import JobSpec
 
-        (record,) = sup.submit([JobSpec.from_dict(TINY)])
+        (record,) = asyncio.run(sup.submit([JobSpec.from_dict(TINY)]))
         return record
 
     def test_failed_over_job_survives_second_shard_death(self, tmp_path):
@@ -491,3 +493,158 @@ class TestClientConnectRetry:
             starter.join()
             for thread in server_box:
                 thread.stop()
+
+
+class TestLastHealthyAge:
+    def _supervisor(self, tmp_path):
+        from repro.serve.fleet import ShardSupervisor
+
+        return ShardSupervisor(
+            shards=1,
+            fleet_dir=str(tmp_path / "fleet"),
+            cache_dir=str(tmp_path / "cache"),
+        )
+
+    def test_zero_monotonic_reading_is_a_real_age(self, tmp_path):
+        # last_healthy == 0.0 is a legitimate monotonic timestamp (the
+        # clock's epoch is arbitrary); only None means "never healthy".
+        # The old truthiness test conflated the two and reported a
+        # healthy shard as ageless.
+        sup = self._supervisor(tmp_path)
+        shard = sup.shards[0]
+        shard.state = "up"
+        shard.last_healthy = 0.0
+        age = sup.metrics()["shards"][0]["last_healthy_age_s"]
+        assert age is not None
+        assert age > 0
+
+    def test_never_healthy_reports_none(self, tmp_path):
+        sup = self._supervisor(tmp_path)
+        assert sup.shards[0].last_healthy is None
+        assert sup.metrics()["shards"][0]["last_healthy_age_s"] is None
+
+    def test_never_healthy_shard_misses_heartbeat_deadline(self, tmp_path):
+        # A shard that never answered a single probe must be declared
+        # down once probing starts failing — last_healthy=None cannot
+        # be treated as "healthy at monotonic zero" (which, early after
+        # boot, would sit inside the deadline window forever).
+        sup = self._supervisor(tmp_path)
+        shard = sup.shards[0]
+        shard.state = "up"
+        down = []
+        sup._on_shard_down = lambda s, reason: down.append(reason)
+        shard.proc_alive = lambda: True
+
+        async def scenario():
+            await sup._probe(shard)
+
+        asyncio.run(scenario())
+        assert down, "never-healthy shard survived a failed probe"
+
+
+class TestAtomicFleetAdmission:
+    def test_concurrent_oversize_submissions_cannot_both_pass(
+        self, tmp_path, monkeypatch
+    ):
+        # submit() journals each job with an fsync on an executor
+        # thread, so it yields between the admission check and the
+        # record registrations.  Without reserve-before-await, two
+        # concurrent 3-job submissions against admission_limit=4 both
+        # read pending=0, both pass, and 6 jobs are admitted.  The
+        # reservation makes exactly one lose.
+        from repro.serve import JobSpec
+        from repro.serve.fleet import (
+            QueueFullError,
+            ShardSupervisor,
+            WriteAheadJournal,
+        )
+
+        sup = ShardSupervisor(
+            shards=2,
+            fleet_dir=str(tmp_path / "fleet"),
+            cache_dir=str(tmp_path / "cache"),
+            admission_limit=4,
+        )
+        for shard in sup.shards:
+            shard.state = "up"
+
+        real_admit = WriteAheadJournal.admit
+
+        def slow_admit(self, job, shard):
+            time.sleep(0.05)  # a slow disk widens the race window
+            return real_admit(self, job, shard)
+
+        monkeypatch.setattr(WriteAheadJournal, "admit", slow_admit)
+
+        def burst(base):
+            return [
+                JobSpec.from_dict(dict(TINY, seed=base + i))
+                for i in range(3)
+            ]
+
+        async def scenario():
+            return await asyncio.gather(
+                sup.submit(burst(0)),
+                sup.submit(burst(100)),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(scenario())
+        rejected = [r for r in results if isinstance(r, QueueFullError)]
+        admitted = [r for r in results if isinstance(r, list)]
+        assert len(rejected) == 1 and len(admitted) == 1, results
+        assert sup._pending_count() == 3
+        assert sup.jobs_submitted == 3
+        assert sup.jobs_rejected == 3
+
+
+class TestFleetMonotonicDurations:
+    def test_wall_clock_step_cannot_corrupt_retire_duration(
+        self, tmp_path, monkeypatch
+    ):
+        # Same NTP-step scenario as the serve-layer test, at the fleet
+        # layer: duration_ms in the retire oplog event must come from
+        # the monotonic clock.  Pre-fix it was wall-clock and clamped
+        # with max(0, ...) — a forward step inflated it by the step.
+        import repro.serve.fleet as fleet_mod
+        from repro.obs import OpLogger
+        from repro.serve import JobSpec
+
+        class SteppedTime:
+            def __init__(self):
+                self._real = time
+                self.offset = 0.0
+
+            def time(self):
+                return self._real.time() + self.offset
+
+            def monotonic(self):
+                return self._real.monotonic()
+
+            def __getattr__(self, name):
+                return getattr(self._real, name)
+
+        clock = SteppedTime()
+        monkeypatch.setattr(fleet_mod, "time", clock)
+        oplog_path = tmp_path / "fleet.oplog.jsonl"
+        sup = fleet_mod.ShardSupervisor(
+            shards=1,
+            fleet_dir=str(tmp_path / "fleet"),
+            cache_dir=str(tmp_path / "cache"),
+            oplog=OpLogger(path=str(oplog_path), component="fleet"),
+        )
+        sup.shards[0].state = "up"
+        (record,) = asyncio.run(sup.submit([JobSpec.from_dict(TINY)]))
+        clock.offset = 3600.0  # NTP steps +1h while the job is queued
+        sup._finish(record, result={"final_cycle": 1})
+        assert record.status == "done"
+        assert sup._pending_count() == 0
+        retires = [
+            json.loads(line)
+            for line in oplog_path.read_text().splitlines()
+            if '"retire"' in line
+        ]
+        assert retires
+        assert all(0 <= e["duration_ms"] < 60_000 for e in retires)
+        # The journal/display stamp keeps wall time.
+        assert record.finished_at - record.submitted_at >= 3600

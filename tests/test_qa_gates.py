@@ -42,9 +42,10 @@ Q_FLOOR = {
 
 
 class TestShippedSpecs:
-    def test_all_six_ship(self):
+    def test_all_seven_ship(self):
         assert available_specs() == [
-            "chaos", "faults", "promotion", "serve", "slo", "throughput"
+            "capacity", "chaos", "faults", "promotion", "serve", "slo",
+            "throughput",
         ]
 
     def test_specs_load_and_have_questions(self):

@@ -518,3 +518,207 @@ class TestBackpressureOverHTTP:
             metrics = client.metrics()
             assert metrics["service"]["jobs_rejected"] >= 3
             assert metrics["service"]["jobs_completed"] == len(specs)
+
+
+class TestBatchPolling:
+    """POST /jobs/poll and the batched client paths built on it."""
+
+    def test_poll_jobs_returns_known_and_rejects_unknown(self):
+        with ServerThread(runner=SweepRunner(jobs=1, cache_dir=None)) as t:
+            client = ServeClient(t.base_url, timeout=30.0)
+            accepted = client.submit([dict(TINY, seed=s) for s in range(3)])
+            ids = [doc["id"] for doc in accepted]
+            client.wait(ids, timeout=300)
+            records = client.poll_jobs(ids)
+            assert set(records) == set(ids)
+            assert all(r["status"] == "done" for r in records.values())
+            assert all("result" in r for r in records.values())
+            slim = client.poll_jobs(ids, include_result=False)
+            assert all("result" not in r for r in slim.values())
+            from repro.serve import ServeClientError
+
+            with pytest.raises(ServeClientError) as excinfo:
+                client.poll_jobs(ids + ["nope"])
+            assert excinfo.value.status == 404
+
+    def test_wait_falls_back_when_batch_endpoint_is_missing(self):
+        # A server that 404s /jobs/poll (an old deployment): wait must
+        # still finish via per-job GETs.
+        import threading
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        class OldServer(BaseHTTPRequestHandler):
+            def _reply(self, status, doc):
+                body = json.dumps(doc).encode()
+                self.send_response(status)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_POST(self):
+                self.rfile.read(int(self.headers.get("Content-Length", 0)))
+                self._reply(404, {"error": "no route"})
+
+            def do_GET(self):
+                job_id = self.path.rsplit("/", 1)[-1]
+                self._reply(200, {"id": job_id, "status": "done"})
+
+            def log_message(self, *args):
+                pass
+
+        server = ThreadingHTTPServer(("127.0.0.1", 0), OldServer)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            client = ServeClient(
+                f"http://127.0.0.1:{server.server_address[1]}", timeout=5.0
+            )
+            records = client.wait(["a", "b", "c"], timeout=10.0)
+            assert set(records) == {"a", "b", "c"}
+        finally:
+            server.shutdown()
+
+
+class TestWaitDeadline:
+    def test_deadline_is_enforced_inside_one_pass(self):
+        # Pre-fix, the deadline was only checked *between* full passes
+        # over the pending list, and each pass issued one blocking GET
+        # per job: 8 pending jobs at 0.15s each meant a 0.4s timeout
+        # returned after ~1.2s.  The fix checks the deadline before
+        # every HTTP round-trip, so the overrun is bounded by one
+        # request, not by the fan-out.
+        import threading
+        import time as _time
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        class SlowJobServer(BaseHTTPRequestHandler):
+            def _reply(self, status, doc):
+                body = json.dumps(doc).encode()
+                self.send_response(status)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_POST(self):  # no batch endpoint: force per-job GETs
+                self.rfile.read(int(self.headers.get("Content-Length", 0)))
+                self._reply(404, {"error": "no route"})
+
+            def do_GET(self):
+                _time.sleep(0.15)
+                job_id = self.path.rsplit("/", 1)[-1]
+                self._reply(200, {"id": job_id, "status": "running"})
+
+            def log_message(self, *args):
+                pass
+
+        server = ThreadingHTTPServer(("127.0.0.1", 0), SlowJobServer)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            client = ServeClient(
+                f"http://127.0.0.1:{server.server_address[1]}", timeout=5.0
+            )
+            start = _time.monotonic()
+            with pytest.raises(TimeoutError) as excinfo:
+                client.wait(
+                    [f"job-{i}" for i in range(8)], timeout=0.4, poll=0.01
+                )
+            elapsed = _time.monotonic() - start
+        finally:
+            server.shutdown()
+        assert "still pending" in str(excinfo.value)
+        assert elapsed < 1.0, (
+            f"wait overran its 0.4s deadline by {elapsed - 0.4:.2f}s — "
+            "deadline not enforced inside the polling pass"
+        )
+
+
+class _SteppedTime:
+    """``time``-module stand-in: steppable wall clock, real monotonic."""
+
+    def __init__(self):
+        import time as _real
+
+        self._real = _real
+        self.offset = 0.0
+
+    def time(self):
+        return self._real.time() + self.offset
+
+    def monotonic(self):
+        return self._real.monotonic()
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class TestMonotonicDurations:
+    def test_wall_clock_step_cannot_corrupt_queue_wait_or_duration(
+        self, tmp_path, monkeypatch
+    ):
+        # An NTP step of +1h between admission and execution must not
+        # show up in queue-wait or duration_ms: both derive from the
+        # monotonic clock; the wall clock is display/journal only.
+        import repro.serve.service as service_mod
+        from repro.obs import OpLogger
+
+        clock = _SteppedTime()
+        monkeypatch.setattr(service_mod, "time", clock)
+        oplog_path = tmp_path / "serve.oplog.jsonl"
+
+        async def scenario():
+            service = BatchingService(
+                SweepRunner(jobs=1, cache_dir=None),
+                max_batch=4, batch_window=0.01, queue_limit=8,
+                oplog=OpLogger(path=str(oplog_path), component="serve"),
+            )
+            records = service.submit([tiny_spec()])
+            clock.offset = 3600.0  # the NTP step lands mid-queue
+            await service.start()
+            while any(r.status not in ("done", "failed") for r in records):
+                await asyncio.sleep(0.01)
+            await service.drain()
+            return service, records
+
+        service, records = asyncio.run(scenario())
+        assert records[0].status == "done"
+        assert service._queue_wait_ms.max < 60_000
+        assert service.metrics()["service"]["queue_wait_ms_p95"] < 60_000
+        retires = [
+            json.loads(line)
+            for line in oplog_path.read_text().splitlines()
+            if '"retire"' in line
+        ]
+        assert retires
+        assert all(0 <= e["duration_ms"] < 60_000 for e in retires)
+        # Wall-clock journal fields keep the stepped time (display).
+        assert records[0].finished_at - records[0].submitted_at >= 3600
+
+
+class TestAtomicAdmission:
+    def test_concurrent_bursts_never_overshoot_queue_limit(self):
+        # submit() is loop-atomic (no awaits between the limit check
+        # and the final append), so interleaved oversize bursts admit
+        # at most queue_limit jobs and reject the rest whole.
+        async def scenario():
+            service = BatchingService(
+                SweepRunner(jobs=1, cache_dir=None),
+                max_batch=4, batch_window=0.01, queue_limit=8,
+            )
+
+            async def burst(seed0):
+                await asyncio.sleep(0)
+                try:
+                    return service.submit(
+                        [tiny_spec(seed=seed0 + i) for i in range(6)]
+                    )
+                except QueueFullError as exc:
+                    return exc
+
+            results = await asyncio.gather(burst(0), burst(100))
+            return service, results
+
+        service, results = asyncio.run(scenario())
+        rejected = [r for r in results if isinstance(r, QueueFullError)]
+        admitted = [r for r in results if isinstance(r, list)]
+        assert len(rejected) == 1 and len(admitted) == 1
+        assert service.max_queue_depth <= 8
+        assert service.queue_depth == 6
